@@ -1,0 +1,77 @@
+// Ablation A5 (Section VII): the Lustre striping best practices.
+//
+// "Placing small files or directories containing many small files on a
+// single OST by setting the striping count to 1 ... improves the stat
+// performance since every stat operation must communicate with every OST
+// which contains file or directory data. Other examples include employing
+// large and stripe-aligned I/O requests whenever possible."
+//
+// Two sides of the tradeoff: metadata cost of a stat storm vs the
+// single-file bandwidth a wide stripe buys for large files.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/center.hpp"
+#include "core/spider_config.hpp"
+#include "fs/mds.hpp"
+#include "workload/ior.hpp"
+
+int main() {
+  using namespace spider;
+
+  bench::banner("A5a: stat-storm cost vs stripe count (interactive `ls -l` "
+                "over 100k small files)");
+  fs::Mds mds;
+  Table stat_table;
+  stat_table.set_columns({"stripe count", "weighted ops per stat",
+                          "storm cost kops", "storm wall s (idle MDS)"});
+  double storm_s[4];
+  int row = 0;
+  for (std::uint32_t stripes : {1u, 4u, 8u, 16u}) {
+    const double per_stat = mds.op_cost(fs::MetaOp::kStat, stripes);
+    const double storm = per_stat * 100e3;
+    storm_s[row++] = storm / mds.capacity_ops();
+    stat_table.add_row({static_cast<std::int64_t>(stripes), per_stat,
+                        storm / 1e3, storm / mds.capacity_ops()});
+  }
+  stat_table.print(std::cout);
+
+  bench::banner("A5b: single large file bandwidth vs stripe count "
+                "(one writer process per stripe, 1 MiB aligned)");
+  Rng rng(2014);
+  core::CenterModel center(core::spider2_config(), rng);
+  center.set_target_namespace(0);
+  center.set_client_placement(core::ClientPlacement::kOptimal, rng);
+  Table bw_table;
+  bw_table.set_columns({"stripe count", "file bandwidth GB/s"});
+  double file_bw[4];
+  row = 0;
+  for (std::size_t stripes : {1u, 4u, 8u, 16u}) {
+    // A shared file striped over N OSTs served by N writer processes: one
+    // flow per stripe.
+    center.reset_flows();
+    auto& solver = center.solver();
+    for (std::size_t s = 0; s < stripes; ++s) {
+      auto df = center.data_flow(s, s, block::IoDir::kWrite,
+                                 block::IoMode::kSequential, 1_MiB);
+      solver.add_flow(std::move(df.path), df.rate_cap);
+    }
+    solver.solve();
+    file_bw[row++] = solver.aggregate_rate();
+    bw_table.add_row({static_cast<std::int64_t>(stripes),
+                      to_gbps(solver.aggregate_rate())});
+  }
+  bw_table.print(std::cout);
+  std::cout << "\n";
+
+  bench::ShapeChecker checker;
+  checker.check(storm_s[3] > 2.0 * storm_s[0],
+                "wide striping multiplies the stat storm (stripe-1 rule)");
+  checker.check(file_bw[3] > 8.0 * file_bw[0],
+                "wide striping multiplies large-file bandwidth");
+  checker.check(storm_s[0] < 10.0,
+                "stripe-1 keeps a 100k stat storm interactive");
+  return checker.exit_code();
+}

@@ -1,0 +1,105 @@
+// Ablation A6 (Lesson 18): I/O-aware scheduling built on IOSI signatures.
+//
+// "IOSI can be used to dynamically detect I/O patterns and aid users and
+// administrators to allocate resources in an efficient manner" — here,
+// three periodic applications whose signatures IOSI extracted get phase
+// offsets that de-overlap their checkpoint bursts. Verified two ways: the
+// analytic peak-demand timeline, and a DES run measuring each burst's
+// achieved bandwidth with and without the schedule.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/center.hpp"
+#include "core/scenario.hpp"
+#include "core/spider_config.hpp"
+#include "tools/scheduler.hpp"
+
+namespace {
+
+using namespace spider;
+
+tools::IosiSignature make_sig(double period_s, double burst_s, double burst_gb) {
+  tools::IosiSignature sig;
+  sig.found = true;
+  sig.period_s = period_s;
+  sig.burst_duration_s = burst_s;
+  sig.burst_bytes = burst_gb * 1e9;
+  sig.confidence = 1.0;
+  return sig;
+}
+
+/// Run the three apps through the DES with given phase offsets; returns the
+/// mean achieved bandwidth per burst.
+double run_des(core::CenterModel& center,
+               const std::vector<tools::IosiSignature>& apps,
+               const std::vector<double>& offsets) {
+  sim::Simulator sim;
+  core::ScenarioRunner runner(center, sim);
+  std::vector<double> burst_bw;
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    for (double t = offsets[a]; t < 3600.0; t += apps[a].period_s) {
+      workload::IoBurst burst;
+      burst.start = sim::from_seconds(t);
+      burst.clients = 1024;
+      burst.bytes_per_client =
+          static_cast<Bytes>(apps[a].burst_bytes / 1024.0);
+      const std::size_t base = a * 37;
+      runner.submit_burst(burst,
+                          [base, &center](std::size_t f) {
+                            return (base + f) % center.total_osts();
+                          },
+                          [&burst_bw](core::BurstOutcome o) {
+                            burst_bw.push_back(o.achieved_bw);
+                          },
+                          16, 10000 * (a + 1));
+    }
+  }
+  sim.run();
+  return mean_of(burst_bw);
+}
+
+}  // namespace
+
+int main() {
+  using namespace spider;
+
+  bench::banner("A6: IOSI-driven burst scheduling, three periodic apps");
+
+  const std::vector<tools::IosiSignature> apps{
+      make_sig(600, 45, 800), make_sig(600, 60, 600), make_sig(1200, 90, 1000)};
+  const auto schedule = tools::schedule_applications(apps);
+
+  Table table;
+  table.set_columns({"app", "period s", "burst GB", "chosen offset s"});
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    table.add_row({std::string("app") + std::to_string(a), apps[a].period_s,
+                   apps[a].burst_bytes / 1e9, schedule.offsets[a]});
+  }
+  table.print(std::cout);
+  std::cout << "\nanalytic peak demand: naive "
+            << to_gbps(schedule.naive_peak_bw) << " GB/s -> scheduled "
+            << to_gbps(schedule.scheduled_peak_bw) << " GB/s ("
+            << schedule.peak_reduction << "x reduction)\n";
+
+  Rng rng(2014);
+  core::CenterModel center(core::scaled_config(core::spider2_config(), 0.15),
+                           rng);
+  center.set_client_placement(core::ClientPlacement::kRandom, rng);
+  const std::vector<double> naive_offsets(apps.size(), 0.0);
+  const double naive_bw = run_des(center, apps, naive_offsets);
+  const double scheduled_bw = run_des(center, apps, schedule.offsets);
+  std::cout << "DES mean per-burst bandwidth: naive " << to_gbps(naive_bw)
+            << " GB/s -> scheduled " << to_gbps(scheduled_bw) << " GB/s ("
+            << 100.0 * (scheduled_bw / naive_bw - 1.0) << "% faster bursts)\n\n";
+
+  bench::ShapeChecker checker;
+  checker.check(schedule.peak_reduction > 1.5,
+                "schedule cuts the aggregate demand peak substantially");
+  checker.check(scheduled_bw > 1.1 * naive_bw,
+                "de-overlapped bursts finish measurably faster in the DES");
+  return checker.exit_code();
+}

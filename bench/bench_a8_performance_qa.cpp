@@ -1,0 +1,99 @@
+// Ablation A8 (Section V-D, Lesson 16): the thin test file system.
+//
+// "Plan and design for test resources for the lifetime of the PFS.
+// Mechanisms such as a thin file system can accommodate the destructive
+// nature of some of these tests... It also allows for performance
+// comparisons between full file systems and those that are freshly
+// formatted."
+//
+// The bench carries a namespace through its production life: accept the
+// baseline while fresh, let it fill to 85%, degrade a couple of RAID
+// groups, and show the thin QA (a) doesn't false-alarm on fullness,
+// (b) catches the hardware regressions, and (c) quantifies the
+// fresh-vs-full gap administrators use to argue for purges.
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "block/raid.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "fs/thinfs.hpp"
+
+int main() {
+  using namespace spider;
+
+  Rng rng(2014);
+  std::vector<std::unique_ptr<block::Raid6Group>> groups;
+  std::vector<std::unique_ptr<fs::Ost>> osts;
+  std::vector<fs::Ost*> ptrs;
+  Rng pop_rng(7);
+  for (int i = 0; i < 56; ++i) {  // one SSU worth of OSTs
+    auto members = block::make_population(10, block::DiskParams{},
+                                          block::PopulationModel{}, pop_rng);
+    groups.push_back(
+        std::make_unique<block::Raid6Group>(block::RaidParams{}, members));
+    osts.push_back(std::make_unique<fs::Ost>(i, groups.back().get()));
+    ptrs.push_back(osts.back().get());
+  }
+  fs::ThinFs thin(ptrs);
+
+  bench::banner("A8: thin-file-system performance QA over the system's life");
+  std::cout << "reserved capacity: " << to_tb(thin.reserved_capacity())
+            << " TB of " << to_tb([&] {
+                 Bytes t = 0;
+                 for (auto* o : ptrs) t += o->capacity();
+                 return t;
+               }())
+            << " TB (" << 100.0 * fs::ThinFsParams{}.reserve_fraction
+            << "%, an acquisition line item)\n\n";
+
+  Table table;
+  table.set_columns({"lifecycle stage", "thin QA fleet GB/s",
+                     "regressed OSTs", "fresh/production ratio"});
+
+  const auto accept = thin.baseline(0, rng);
+  table.add_row({std::string("acceptance (fresh system)"),
+                 to_gbps(accept.fleet_write_bw), static_cast<std::int64_t>(0),
+                 accept.fresh_over_production});
+
+  // Year one: production fills to 85%.
+  for (auto* o : ptrs) {
+    o->set_used(static_cast<Bytes>(static_cast<double>(o->capacity()) * 0.85));
+  }
+  const auto year1 = thin.run_qa(365 * sim::kDay, rng);
+  table.add_row({std::string("year 1 (85% full, healthy hw)"),
+                 to_gbps(year1.fleet_write_bw),
+                 static_cast<std::int64_t>(year1.regressed_osts.size()),
+                 year1.fresh_over_production});
+
+  // Year two: two groups run degraded (failed members awaiting rebuild).
+  ptrs[10]->group().fail_member(3);
+  ptrs[41]->group().fail_member(7);
+  const auto year2 = thin.run_qa(730 * sim::kDay, rng);
+  table.add_row({std::string("year 2 (+2 degraded RAID groups)"),
+                 to_gbps(year2.fleet_write_bw),
+                 static_cast<std::int64_t>(year2.regressed_osts.size()),
+                 year2.fresh_over_production});
+  table.print(std::cout);
+  std::cout << "\nregressed OSTs flagged: ";
+  for (auto o : year2.regressed_osts) std::cout << o << " ";
+  std::cout << "\n\n";
+
+  bench::ShapeChecker checker;
+  checker.check(thin.reserved_capacity() <
+                    [&] {
+                      Bytes t = 0;
+                      for (auto* o : ptrs) t += o->capacity();
+                      return t;
+                    }() / 50,
+                "thin reserve is a small percentage of hardware capacity");
+  checker.check(year1.regressed_osts.empty(),
+                "production fullness causes no false QA alarms");
+  checker.check(year1.fresh_over_production > 1.3,
+                "QA quantifies the fresh-vs-full gap (why purges matter)");
+  checker.check(year2.regressed_osts.size() == 2,
+                "QA pinpoints exactly the degraded hardware");
+  return checker.exit_code();
+}

@@ -1,0 +1,102 @@
+// C10 (Section IV-C): metadata scaling — why Spider is split into multiple
+// namespaces, and why the paper recommends "using both DNE and multiple
+// namespaces, concurrently".
+//
+// "Lustre supports a single metadata server per namespace. This limitation
+// cannot sustain the necessary rate of concurrent file system metadata
+// operations for the OLCF user workloads."
+#include <iostream>
+
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "fs/dne.hpp"
+#include "fs/mds.hpp"
+
+int main() {
+  using namespace spider;
+  using namespace spider::fs;
+
+  bench::banner("C10: metadata throughput and latency under a center-wide op storm");
+
+  // The center's aggregate metadata demand, in weighted ops/sec: a large
+  // job creating files plus interactive users stat'ing.
+  const double offered = 55e3;
+
+  struct Config {
+    const char* name;
+    std::size_t namespaces;
+    std::size_t dne_shards;
+  };
+  const Config configs[] = {
+      {"1 namespace, classic MDS", 1, 1},
+      {"2 namespaces (Spider II)", 2, 1},
+      {"4 namespaces (Spider I)", 4, 1},
+      {"1 namespace + DNE x4", 1, 4},
+      {"2 namespaces + DNE x4 (recommended)", 2, 4},
+  };
+
+  Table table;
+  table.set_columns({"configuration", "capacity kops/s", "throughput kops/s",
+                     "mean latency ms", "saturated"});
+  double single_throughput = 0.0, recommended_throughput = 0.0;
+  double single_latency = 0.0, recommended_latency = 0.0;
+  for (const auto& cfg : configs) {
+    MdsParams params;
+    params.dne_shards = cfg.dne_shards;
+    const Mds mds(params);
+    const double capacity =
+        mds.capacity_ops() * static_cast<double>(cfg.namespaces);
+    const double per_ns_offered = offered / static_cast<double>(cfg.namespaces);
+    const double throughput =
+        mds.throughput(per_ns_offered) * static_cast<double>(cfg.namespaces);
+    const double latency = mds.mean_latency_s(per_ns_offered);
+    const bool saturated = per_ns_offered >= mds.capacity_ops();
+    if (cfg.namespaces == 1 && cfg.dne_shards == 1) {
+      single_throughput = throughput;
+      single_latency = latency;
+    }
+    if (cfg.namespaces == 2 && cfg.dne_shards == 4) {
+      recommended_throughput = throughput;
+      recommended_latency = latency;
+    }
+    table.add_row({std::string(cfg.name), capacity / 1e3, throughput / 1e3,
+                   latency * 1e3, std::string(saturated ? "yes" : "no")});
+  }
+  table.print(std::cout);
+
+  // Why the paper recommends DNE *and* namespaces concurrently: DNE phase 1
+  // shards by directory, so a single hot directory still lands on one MDT.
+  {
+    DneNamespace dne;  // 4 MDTs x 20 kops/s
+    std::vector<double> spread(1000, offered / 1000.0);
+    std::vector<double> hot(1000, 0.0);
+    hot[0] = offered;
+    std::cout << "\nDNE x4 under " << offered / 1e3
+              << " kops/s: spread over 1000 dirs -> "
+              << dne.max_throughput(spread) / 1e3
+              << " kops/s; one hot directory -> "
+              << dne.max_throughput(hot) / 1e3
+              << " kops/s (one MDT's worth — hence namespaces too)\n";
+  }
+
+  // The stat-storm corollary: stripe-count-1 best practice.
+  const Mds mds;
+  std::cout << "\nstat cost by stripe count (getattr units): 1 -> "
+            << mds.op_cost(MetaOp::kStat, 1) << ", 4 -> "
+            << mds.op_cost(MetaOp::kStat, 4) << ", 16 -> "
+            << mds.op_cost(MetaOp::kStat, 16)
+            << "  (why small files should use stripe count 1)\n\n";
+
+  bench::ShapeChecker checker;
+  checker.check(single_throughput < offered,
+                "a single MDS cannot sustain the center's metadata rate");
+  checker.check(recommended_throughput >= offered * 0.999,
+                "namespaces + DNE absorb the full op storm");
+  checker.check(recommended_latency < 0.05 * single_latency,
+                "latency collapses when the MDS leaves saturation");
+  checker.check(mds.op_cost(MetaOp::kStat, 16) > 4.0 * mds.op_cost(MetaOp::kStat, 1),
+                "wide striping multiplies stat cost (stripe-1 best practice)");
+  return checker.exit_code();
+}

@@ -1,0 +1,69 @@
+// C11 (Sections I-II, VII): the case for the data-centric model.
+//
+// Three quantitative strands from the paper:
+//   - workflow: machine-exclusive scratch forces data staging between
+//     islands ("excessive data movement costs");
+//   - cost: exclusive file systems "can easily exceed 10% of the total
+//     acquisition cost" per platform, plus movement infrastructure; the
+//     center-wide PFS amortizes one system across all platforms, and the
+//     30x-memory capacity target leaves "margin for accommodating new
+//     systems with minimal cost";
+//   - availability: downtime on the owning machine strands its island.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/exclusive_model.hpp"
+#include "tools/capacity_planner.hpp"
+
+int main() {
+  using namespace spider;
+  using namespace spider::core;
+
+  bench::banner("C11a: simulate -> analyze -> visualize workflow");
+  const auto wf = compare_workflow(WorkflowSpec{});
+  Table wft;
+  wft.set_columns({"model", "pipeline time (min)", "movement fraction"});
+  wft.add_row({std::string("data-centric (Spider)"), wf.datacentric_s / 60.0,
+               0.0});
+  wft.add_row({std::string("machine-exclusive islands"), wf.exclusive_s / 60.0,
+               wf.movement_fraction});
+  wft.print(std::cout);
+  std::cout << "workflow speedup from eliminating staging: " << wf.speedup
+            << "x\n";
+
+  bench::banner("C11b: acquisition cost (flagship-machine cost units)");
+  // Titan-class flagship, two analysis clusters, a viz cluster, a DTN.
+  const std::vector<double> platforms{1.0, 0.12, 0.08, 0.05, 0.02};
+  const auto cost = tools::compare_acquisition_cost(platforms);
+  Table ct;
+  ct.set_columns({"model", "storage cost", "notes"});
+  ct.add_row({std::string("machine-exclusive"), cost.exclusive_total,
+              std::string(">=10% of each platform + movers")});
+  ct.add_row({std::string("data-centric"), cost.datacentric_total,
+              std::string("one center-wide PFS + attach costs")});
+  ct.print(std::cout);
+  std::cout << "savings: " << cost.savings_fraction * 100.0 << "%\n";
+
+  bench::banner("C11c: capacity target and availability");
+  const Bytes target = tools::capacity_target_from_memory(770_TB);
+  std::cout << "30x rule on 770 TB attached memory -> " << to_pb(target)
+            << " PB (Spider II's 32 PB exceeds it, leaving attach margin)\n";
+  const auto avail = compare_availability(AvailabilitySpec{});
+  std::cout << "dataset availability: exclusive " << avail.exclusive * 100.0
+            << "% vs data-centric " << avail.datacentric * 100.0 << "%\n\n";
+
+  bench::ShapeChecker checker;
+  checker.check(wf.speedup > 1.2,
+                "data-centric workflow meaningfully faster end to end");
+  checker.check(wf.movement_fraction > 0.3,
+                "staging dominates the exclusive pipeline");
+  checker.check(cost.savings_fraction > 0.0,
+                "data-centric storage cheaper for a multi-platform center");
+  checker.check(to_pb(target) < 32.0,
+                "Spider II capacity exceeds the 30x memory target");
+  checker.check(avail.datacentric > avail.exclusive,
+                "center-wide PFS keeps data reachable during machine downtime");
+  return checker.exit_code();
+}

@@ -1,0 +1,96 @@
+// C15 (Section VI-B): IOSI — identifying an application's I/O signature
+// from server-side throughput logs alone.
+//
+// Paper: "IOSI characterizes per-application I/O behavior from the
+// server-side I/O throughput logs. We determined application I/O
+// signatures by observing multiple runs and identifying the common I/O
+// pattern across those runs... at no cost to the user and without taxing
+// the storage subsystem."
+//
+// Method: run an S3D-like periodic application inside a noisy center (DES),
+// record the aggregate server-side bandwidth per 10 s bin over several
+// runs, and let IOSI recover the period/burst signature.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/center.hpp"
+#include "core/scenario.hpp"
+#include "core/spider_config.hpp"
+#include "tools/iosi.hpp"
+#include "workload/s3d.hpp"
+
+int main() {
+  using namespace spider;
+
+  Rng rng(2014);
+  core::CenterModel center(
+      core::scaled_config(core::spider2_config(), 0.1), rng);
+  center.set_client_placement(core::ClientPlacement::kRandom, rng);
+
+  workload::S3dParams app;
+  app.ranks = 1024;
+  app.bytes_per_rank = 64_MiB;
+  app.output_interval_s = 600.0;
+  const workload::S3dWorkload s3d(app);
+
+  bench::banner("C15: IOSI signature extraction from server-side logs "
+                "(S3D-like app, period 600 s, inside background noise)");
+
+  const double duration_s = 3600.0;
+  const double bin_s = 5.0;
+  std::vector<std::vector<double>> run_logs;
+  for (int run = 0; run < 5; ++run) {
+    sim::Simulator sim;
+    core::ScenarioRunner runner(center, sim);
+    Rng run_rng(100 + run);
+    // The application's periodic output bursts.
+    for (const auto& burst : s3d.generate(duration_s, run_rng)) {
+      runner.submit_burst(burst,
+                          [&](std::size_t f) { return f % center.total_osts(); },
+                          nullptr, 16);
+    }
+    // Background noise: other users' sporadic medium-size bursts.
+    double t = 20.0;
+    while (t < duration_s) {
+      workload::IoBurst noise;
+      noise.start = sim::from_seconds(t);
+      noise.clients = 64 + run_rng.uniform_index(64);
+      noise.bytes_per_client = 128_MiB;
+      runner.submit_burst(noise,
+                          [&](std::size_t f) {
+                            return (f * 7 + 3) % center.total_osts();
+                          },
+                          nullptr, 16, 50000);
+      t += 40.0 + run_rng.uniform(0.0, 80.0);
+    }
+    std::vector<double> log;
+    runner.record_throughput(bin_s, duration_s, &log);
+    sim.run();
+    run_logs.push_back(std::move(log));
+  }
+
+  const auto sig = tools::extract_signature(run_logs, bin_s);
+  Table table;
+  table.set_columns({"metric", "ground truth", "IOSI estimate"});
+  table.add_row({std::string("period (s)"), 600.0, sig.period_s});
+  table.add_row({std::string("burst volume (GiB)"),
+                 to_gib(s3d.bytes_per_output()),
+                 sig.burst_bytes / (1024.0 * 1024.0 * 1024.0)});
+  table.add_row({std::string("confidence"), 1.0, sig.confidence});
+  table.print(std::cout);
+  std::cout << "bursts observed across runs: " << sig.bursts_seen << "\n\n";
+
+  bench::ShapeChecker checker;
+  checker.check(sig.found, "IOSI finds a signature");
+  checker.check(std::abs(sig.period_s - 600.0) < 60.0,
+                "recovered period within 10% of the application's 600 s");
+  checker.check(sig.confidence >= 0.6,
+                "majority of runs agree on the period");
+  const double truth = static_cast<double>(s3d.bytes_per_output());
+  checker.check(sig.burst_bytes > 0.4 * truth && sig.burst_bytes < 2.0 * truth,
+                "burst volume recovered to the right order");
+  return checker.exit_code();
+}

@@ -1,0 +1,115 @@
+// C16 (Lessons 1-2): mixed workloads interfere on a shared file system.
+//
+// Paper: "In some cases, competing workloads can significantly impact
+// application runtime of simulations or the responsiveness of interactive
+// analysis workloads." The data-centric design must be judged against the
+// mix, not against each machine's stream in isolation.
+//
+// Method (DES): a latency-sensitive analytics read stream runs for 60 s;
+// a Titan-style checkpoint burst slams the same namespace mid-stream.
+// Reported: analytics latency percentiles quiet vs contended, and the
+// checkpoint's own completion time with and without the analytics stream.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/center.hpp"
+#include "core/scenario.hpp"
+#include "core/spider_config.hpp"
+#include "workload/analytics.hpp"
+
+namespace {
+
+using namespace spider;
+
+struct RunResult {
+  double mean_latency = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double checkpoint_s = 0.0;
+};
+
+RunResult run(core::CenterModel& center, bool with_checkpoint,
+              bool with_analytics) {
+  sim::Simulator sim;
+  core::ScenarioRunner runner(center, sim);
+  std::vector<double> latencies;
+  if (with_analytics) {
+    workload::AnalyticsParams ap;
+    ap.clients = 16;
+    workload::AnalyticsWorkload analytics(ap);
+    Rng arng(11);
+    runner.submit_requests(analytics.generate(60.0, arng),
+                           [](std::size_t w) { return w % 8; }, &latencies);
+  }
+  core::BurstOutcome checkpoint_outcome;
+  bool checkpoint_done = false;
+  if (with_checkpoint) {
+    // 128 grouped flows over the analytics stream's 8 OSTs: each OST's
+    // fair share drops below what a single reader needs.
+    workload::IoBurst burst;
+    burst.start = 10 * sim::kSecond;
+    burst.clients = 4096;
+    burst.bytes_per_client = 512_MiB;
+    runner.submit_burst(burst, [](std::size_t f) { return f % 8; },
+                        [&](core::BurstOutcome o) {
+                          checkpoint_outcome = o;
+                          checkpoint_done = true;
+                        },
+                        32, 100000);
+  }
+  sim.run();
+  RunResult r;
+  if (!latencies.empty()) {
+    r.mean_latency = mean_of(latencies);
+    r.p50 = percentile(latencies, 50.0);
+    r.p99 = percentile(latencies, 99.0);
+  }
+  if (checkpoint_done) {
+    r.checkpoint_s = sim::to_seconds(checkpoint_outcome.end -
+                                     checkpoint_outcome.start);
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  using namespace spider;
+
+  Rng rng(2014);
+  core::CenterModel center(
+      core::scaled_config(core::spider2_config(), 0.1), rng);
+  center.set_client_placement(core::ClientPlacement::kRandom, rng);
+
+  bench::banner("C16: checkpoint/analytics interference on a shared namespace");
+
+  const auto quiet = run(center, /*checkpoint=*/false, /*analytics=*/true);
+  const auto contended = run(center, true, true);
+  const auto checkpoint_alone = run(center, true, /*analytics=*/false);
+
+  Table table;
+  table.set_columns({"scenario", "analytics mean ms", "p50 ms", "p99 ms",
+                     "checkpoint time s"});
+  table.add_row({std::string("analytics alone"), quiet.mean_latency * 1e3,
+                 quiet.p50 * 1e3, quiet.p99 * 1e3, 0.0});
+  table.add_row({std::string("analytics + checkpoint"),
+                 contended.mean_latency * 1e3, contended.p50 * 1e3,
+                 contended.p99 * 1e3, contended.checkpoint_s});
+  table.add_row({std::string("checkpoint alone"), 0.0, 0.0, 0.0,
+                 checkpoint_alone.checkpoint_s});
+  table.print(std::cout);
+  std::cout << "\n";
+
+  bench::ShapeChecker checker;
+  checker.check(contended.mean_latency > 1.3 * quiet.mean_latency,
+                "checkpoint traffic visibly hurts analytics responsiveness");
+  checker.check(contended.p99 > 1.3 * quiet.p99,
+                "tail latency suffers most under contention");
+  checker.check(contended.checkpoint_s > checkpoint_alone.checkpoint_s,
+                "the reads also slow the checkpoint (contention is mutual)");
+  return checker.exit_code();
+}

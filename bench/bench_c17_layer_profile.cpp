@@ -1,0 +1,80 @@
+// C17 (Lesson 12): the bottom-up, per-layer performance profile.
+//
+// Paper: "Build the performance profile for each layer in the PFS, from
+// the bottom up. Quantify and minimize the lost performance in traversing
+// from one layer to the next along the I/O path." Includes an
+// obdfilter-survey run — the tool the paper used to measure file-system
+// overhead over the block level.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/center.hpp"
+#include "core/spider_config.hpp"
+#include "fs/obdsurvey.hpp"
+
+int main() {
+  using namespace spider;
+
+  Rng rng(2014);
+  core::CenterModel center(core::spider2_config(), rng);
+
+  bench::banner("C17: bottom-up layer profile, sequential write, 1 MiB");
+  const auto p = center.layer_profile(block::IoMode::kSequential,
+                                      block::IoDir::kWrite);
+  Table table;
+  table.set_columns({"layer", "aggregate GB/s", "loss vs previous %"});
+  struct Row {
+    const char* name;
+    double value;
+  };
+  const Row rows[] = {
+      {"raw disk media (20,160 disks)", p.disks},
+      {"RAID-6 groups (2,016 OSTs)", p.raid},
+      {"obdfilter + journal (FS level)", p.obdfilter},
+      {"controller pairs (36 SSUs)", std::min(p.controllers, p.obdfilter)},
+      {"OSS nodes (288)", std::min({p.oss, p.controllers, p.obdfilter})},
+      {"LNET routers (440)",
+       std::min({p.routers, p.oss, p.controllers, p.obdfilter})},
+      {"end-to-end", p.end_to_end},
+  };
+  double prev = rows[0].value;
+  for (const auto& row : rows) {
+    const double loss = prev > 0.0 ? 100.0 * (1.0 - row.value / prev) : 0.0;
+    table.add_row({std::string(row.name), to_gbps(row.value),
+                   row.value == prev ? 0.0 : loss});
+    prev = row.value;
+  }
+  table.print(std::cout);
+
+  bench::banner("C17: obdfilter-survey on one OST");
+  const auto survey =
+      fs::run_obdfilter_survey(center.ost_at(0), fs::ObdSurveyConfig{}, rng);
+  Table st;
+  st.set_columns({"threads", "write MB/s", "rewrite MB/s", "read MB/s"});
+  for (const auto& r : survey) {
+    st.add_row({static_cast<std::int64_t>(r.threads), to_mbps(r.write_bw),
+                to_mbps(r.rewrite_bw), to_mbps(r.read_bw)});
+  }
+  st.print(std::cout);
+  const double overhead =
+      fs::fs_overhead_fraction(center.ost_at(0), block::IoDir::kWrite);
+  std::cout << "\nfile-system overhead vs block level (write): "
+            << overhead * 100.0 << "%\n\n";
+
+  bench::ShapeChecker checker;
+  checker.check(p.disks > p.raid && p.raid > p.obdfilter,
+                "each storage layer costs bandwidth over the one below");
+  checker.check(p.end_to_end ==
+                    std::min({p.obdfilter, p.controllers, p.oss, p.routers,
+                              p.ib_leaves, p.clients}),
+                "end-to-end equals the tightest layer");
+  checker.check(p.controllers < p.obdfilter,
+                "controllers are the system bottleneck (post-upgrade Spider II)");
+  checker.check(overhead > 0.03 && overhead < 0.20,
+                "obdfilter-survey sees single-to-low-double-digit FS overhead");
+  checker.check(p.end_to_end > 1.0 * kTBps,
+                "profile still clears the 1 TB/s requirement end to end");
+  return checker.exit_code();
+}

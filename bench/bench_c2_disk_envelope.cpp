@@ -1,0 +1,90 @@
+// C2: the fair-lio benchmark suite (Section III-B) and the single-disk
+// random-performance envelope.
+//
+// Paper: "a single SATA or near line SAS hard disk drive can achieve
+// 20-25% of its peak performance under random I/O workloads (with 1 MB I/O
+// block sizes)". Vendors ran this exact parameter sweep to answer the RFP.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "block/disk.hpp"
+#include "block/fairlio.hpp"
+#include "block/raid.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace spider;
+  using namespace spider::block;
+
+  Rng rng(2014);
+  const Disk disk(DiskParams{}, 0, 1.0, 1e-4);
+
+  bench::banner("C2: fair-lio parameter sweep on one 2 TB NL-SAS disk");
+  Table table;
+  table.set_columns({"request", "mode", "qd", "MB/s", "IOPS", "p99 ms"});
+  struct Point {
+    Bytes size;
+    IoMode mode;
+    unsigned qd;
+  };
+  std::vector<Point> points;
+  for (Bytes size : {4_KiB, 64_KiB, 512_KiB, 1_MiB, 4_MiB}) {
+    for (IoMode mode : {IoMode::kSequential, IoMode::kRandom}) {
+      for (unsigned qd : {1u, 16u}) points.push_back({size, mode, qd});
+    }
+  }
+  double seq_1m = 0.0, rnd_1m = 0.0;
+  for (const auto& p : points) {
+    FairLioConfig cfg;
+    cfg.request_size = p.size;
+    cfg.mode = p.mode;
+    cfg.queue_depth = p.qd;
+    cfg.duration_s = 4.0;
+    cfg.write_fraction = 0.0;
+    const auto r = run_fairlio(disk, cfg, rng);
+    if (p.size == 1_MiB && p.qd == 1) {
+      (p.mode == IoMode::kSequential ? seq_1m : rnd_1m) = r.bandwidth;
+    }
+    std::string label = p.size >= 1_MiB
+                            ? std::to_string(p.size / 1_MiB) + " MiB"
+                            : std::to_string(p.size / 1_KiB) + " KiB";
+    table.add_row({label,
+                   std::string(p.mode == IoMode::kSequential ? "seq" : "rand"),
+                   static_cast<std::int64_t>(p.qd), to_mbps(r.bandwidth),
+                   r.iops, r.p99_latency_s * 1e3});
+  }
+  table.print(std::cout);
+
+  bench::banner("C2: RAID-6 8+2 group under the same sweep");
+  Rng pop_rng(7);
+  const auto members =
+      make_population(10, DiskParams{}, PopulationModel{}, pop_rng);
+  Raid6Group group(RaidParams{}, members);
+  Table gtable;
+  gtable.set_columns({"request", "mode", "write MB/s", "read MB/s"});
+  for (Bytes size : {128_KiB, 1_MiB, 8_MiB}) {
+    FairLioConfig cfg;
+    cfg.request_size = size;
+    cfg.duration_s = 3.0;
+    cfg.mode = IoMode::kSequential;
+    cfg.write_fraction = 1.0;
+    const auto w = run_fairlio(group, cfg, rng);
+    cfg.write_fraction = 0.0;
+    const auto r = run_fairlio(group, cfg, rng);
+    gtable.add_row({std::to_string(size / 1_KiB) + " KiB", std::string("seq"),
+                    to_mbps(w.bandwidth), to_mbps(r.bandwidth)});
+  }
+  gtable.print(std::cout);
+  std::cout << "\n";
+
+  bench::ShapeChecker checker;
+  const double fraction = rnd_1m / seq_1m;
+  std::cout << "random(1 MiB) / sequential = " << fraction << "\n";
+  checker.check(fraction > 0.18 && fraction < 0.27,
+                "single disk random(1 MB) is 20-25% of sequential (paper)");
+  checker.check(seq_1m > 120.0 * kMBps && seq_1m < 150.0 * kMBps,
+                "sequential rate matches the 2 TB NL-SAS generation");
+  return checker.exit_code();
+}

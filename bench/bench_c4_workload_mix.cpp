@@ -1,0 +1,58 @@
+// C4: the Spider I workload characterization (Section II, study [14]).
+//
+// Paper: "a mix of 60% write and 40% read I/O requests"; "a majority of
+// I/O requests are either small (under 16 KB) or large (multiples of
+// 1 MB)"; "the inter-arrival time and idle time distributions both follow
+// a long-tail distribution that can be modeled as a Pareto distribution."
+// The bench generates the mixed center workload and runs the same
+// characterization pipeline on it.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "workload/arrivals.hpp"
+#include "workload/characterize.hpp"
+#include "workload/mixed.hpp"
+
+int main() {
+  using namespace spider;
+  using namespace spider::workload;
+
+  Rng rng(2014);
+  const WorkloadMixParams mix;
+  const auto trace = generate_trace(mix, 64, 300.0, rng);
+  const auto stats = characterize(trace);
+
+  bench::banner("C4: mixed-workload characterization (server-side view)");
+  Table table;
+  table.set_columns({"metric", "paper", "measured"});
+  table.add_row({std::string("write fraction"), std::string("0.60"),
+                 stats.write_fraction});
+  table.add_row({std::string("requests < 16 KB"), std::string("~0.45 (small mode)"),
+                 stats.small_fraction});
+  table.add_row({std::string("requests = k x 1 MB"),
+                 std::string("rest (large mode)"), stats.mb_multiple_fraction});
+  table.add_row({std::string("inter-arrival Pareto alpha"),
+                 std::string("long tail (alpha ~1.35)"),
+                 stats.interarrival_tail_alpha});
+  table.add_row({std::string("idle-time Pareto alpha"),
+                 std::string("long tail (alpha ~1.15)"),
+                 stats.idle_tail_alpha});
+  table.print(std::cout);
+
+  std::cout << "\nrequest-size histogram (log2 bins):\n"
+            << stats.size_histogram.to_string() << "\n";
+
+  bench::ShapeChecker checker;
+  checker.check(std::abs(stats.write_fraction - 0.60) < 0.02,
+                "write fraction ~= 60% (paper: 60/40 mix)");
+  checker.check(stats.small_fraction + stats.mb_multiple_fraction > 0.97,
+                "sizes are bimodal: small (<16 KB) or multiples of 1 MB");
+  checker.check(stats.interarrival_tail_alpha > 0.8 &&
+                    stats.interarrival_tail_alpha < 2.5,
+                "inter-arrival gaps show a Pareto-class heavy tail");
+  checker.check(stats.idle_tail_alpha > 0.8 && stats.idle_tail_alpha < 2.0,
+                "idle periods show a Pareto-class heavy tail");
+  return checker.exit_code();
+}

@@ -1,0 +1,149 @@
+// C7 (Section VI-A): libPIO balanced data placement.
+//
+// Paper: "Experimental results at-scale on Titan demonstrate that the I/O
+// performance can be improved by more than 70% on a per-job basis using
+// synthetic benchmarks", and integrating libPIO with S3D (~30 changed
+// lines) yielded "up to 24% improvement in POSIX file I/O bandwidth" in a
+// noisy production environment.
+//
+// Method: load the center with background traffic concentrated on part of
+// the fleet (production is never uniform), then run a job whose writers
+// are placed either by the default round-robin start (load-blind) or by
+// libPIO from the live load snapshot, and compare the job's max-min
+// aggregate.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/center.hpp"
+#include "core/spider_config.hpp"
+#include "tools/libpio.hpp"
+#include "workload/ior.hpp"
+
+namespace {
+
+using namespace spider;
+
+/// Add background flows loading a fraction of the OSTs heavily.
+void add_background(core::CenterModel& center, double loaded_fraction,
+                    std::size_t flows_per_ost, Rng& rng) {
+  auto& solver = center.solver();
+  const std::size_t n = center.total_osts();
+  const auto hot = static_cast<std::size_t>(loaded_fraction * static_cast<double>(n));
+  for (std::size_t o = 0; o < hot; ++o) {
+    for (std::size_t f = 0; f < flows_per_ost; ++f) {
+      auto df = center.make_flow(center.steady_map(),
+                                 /*client=*/rng.uniform_index(10000), o,
+                                 block::IoDir::kWrite,
+                                 block::IoMode::kSequential, 1_MiB);
+      solver.add_flow(std::move(df.path), df.rate_cap);
+    }
+  }
+}
+
+/// Run a job with explicit OST placement; returns the job's aggregate.
+double run_job(core::CenterModel& center,
+               const std::vector<tools::PlacementSuggestion>& placement,
+               double background_fraction, std::size_t background_flows,
+               Rng& rng) {
+  center.reset_flows();
+  Rng bg_rng = rng.fork(1);
+  add_background(center, background_fraction, background_flows, bg_rng);
+  auto& solver = center.solver();
+  const std::size_t first_job_flow = solver.flows();
+  for (std::size_t w = 0; w < placement.size(); ++w) {
+    auto df = center.make_flow(center.steady_map(), 20000 + w,
+                               placement[w].ost, block::IoDir::kWrite,
+                               block::IoMode::kSequential, 1_MiB);
+    solver.add_flow(std::move(df.path), df.rate_cap);
+  }
+  solver.solve();
+  double job_bw = 0.0;
+  for (std::size_t f = first_job_flow; f < solver.flows(); ++f) {
+    job_bw += solver.flow_rate(f);
+  }
+  return job_bw;
+}
+
+}  // namespace
+
+int main() {
+  using namespace spider;
+
+  Rng rng(2014);
+  core::CenterModel center(
+      core::scaled_config(core::spider2_config(), 0.25), rng);
+  center.set_target_namespace(SIZE_MAX);
+  center.set_client_placement(core::ClientPlacement::kOptimal, rng);
+
+  tools::LibPio pio(center.storage_topology());
+  const std::size_t writers = center.total_osts() / 4;
+
+  bench::banner("C7: libPIO load-aware placement vs default placement");
+
+  // Build the load snapshot libPIO would read from the monitoring plane:
+  // solve the background alone once.
+  center.reset_flows();
+  Rng bg_rng = rng.fork(1);
+  add_background(center, 0.5, 6, bg_rng);
+  center.solver().solve();
+  const auto loads = center.loads_from_solver();
+
+  Table table;
+  table.set_columns({"scenario", "placement", "job GB/s", "gain %"});
+
+  // The load-blind baseline depends on where Lustre's round-robin cursor
+  // happens to start; average it over several job launches (the paper's
+  // per-job gains are against typical, not lucky, placements).
+  auto mean_default_job = [&](double background_fraction,
+                              std::size_t background_flows, std::uint64_t seed) {
+    double acc = 0.0;
+    const int launches = 8;
+    for (int i = 0; i < launches; ++i) {
+      Rng def_rng(seed + static_cast<std::uint64_t>(i));
+      const auto placement = pio.place_default(writers, def_rng);
+      acc += run_job(center, placement, background_fraction, background_flows,
+                     rng);
+    }
+    return acc / launches;
+  };
+
+  // Synthetic benchmark scenario: heavy skewed background (half the fleet
+  // saturated by other jobs).
+  const auto aware_half = pio.place_job(writers, loads);
+  const double synth_default = mean_default_job(0.5, 6, 7);
+  const double synth_aware = run_job(center, aware_half, 0.5, 6, rng);
+  const double synth_gain = 100.0 * (synth_aware / synth_default - 1.0);
+  table.add_row({std::string("synthetic, heavy contention"),
+                 std::string("default"), to_gbps(synth_default), 0.0});
+  table.add_row({std::string("synthetic, heavy contention"),
+                 std::string("libPIO"), to_gbps(synth_aware), synth_gain});
+
+  // S3D-like production scenario: milder, broader noise.
+  center.reset_flows();
+  Rng bg2 = rng.fork(2);
+  add_background(center, 0.35, 3, bg2);
+  center.solver().solve();
+  const auto mild_loads = center.loads_from_solver();
+  const auto aware_mild = pio.place_job(writers, mild_loads);
+  const double s3d_default = mean_default_job(0.35, 3, 8);
+  const double s3d_aware = run_job(center, aware_mild, 0.35, 3, rng);
+  const double s3d_gain = 100.0 * (s3d_aware / s3d_default - 1.0);
+  table.add_row({std::string("S3D-like, production noise"),
+                 std::string("default"), to_gbps(s3d_default), 0.0});
+  table.add_row({std::string("S3D-like, production noise"),
+                 std::string("libPIO"), to_gbps(s3d_aware), s3d_gain});
+  table.print(std::cout);
+  std::cout << "\npaper: >70% per-job gain (synthetic, at scale); "
+               "up to 24% for S3D in production noise\n\n";
+
+  bench::ShapeChecker checker;
+  checker.check(synth_gain > 50.0,
+                "synthetic per-job gain above 50% (paper: >70%)");
+  checker.check(s3d_gain > 10.0,
+                "S3D-like gain is double-digit (paper: up to 24%)");
+  checker.check(s3d_gain < synth_gain,
+                "production gain smaller than clean synthetic gain");
+  return checker.exit_code();
+}

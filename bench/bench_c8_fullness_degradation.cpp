@@ -1,0 +1,65 @@
+// C8 (Lesson 10 / Section VI-C): performance vs file-system fullness.
+//
+// Paper: "The OLCF as well as many other HPC centers that use Lustre note
+// a severe performance degradation after the resource is 70% or more
+// full" and "we have seen direct performance degradation when the
+// utilization of the filesystem is greater than 50%". Capacity targets
+// should therefore sit 30%+ above workload estimates.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/center.hpp"
+#include "core/spider_config.hpp"
+#include "workload/ior.hpp"
+
+int main() {
+  using namespace spider;
+
+  Rng rng(2014);
+  // Give the controllers headroom so the sweep isolates the storage layer:
+  // in a controller-bound system mild fullness loss hides behind the
+  // controller ceiling (exactly why capacity planning uses OST-level
+  // margins, Lesson 10).
+  auto cfg = core::scaled_config(core::spider2_config(), 0.25);
+  cfg.ssu.controller.per_controller_bw = 30.0 * kGBps;
+  core::CenterModel center(cfg, rng);
+  center.set_target_namespace(SIZE_MAX);
+  center.set_client_placement(core::ClientPlacement::kOptimal, rng);
+
+  bench::banner("C8: delivered bandwidth vs file-system fullness");
+  Table table;
+  table.set_columns({"fullness %", "aggregate GB/s", "relative"});
+  std::vector<double> agg;
+  const std::vector<double> fills{0.0,  0.30, 0.50, 0.60, 0.70,
+                                  0.80, 0.90, 0.95};
+  for (double f : fills) {
+    center.set_fleet_fullness(f);
+    workload::IorConfig cfg;
+    cfg.clients = center.total_osts() * 2;
+    const auto r = workload::run_ior(center, cfg);
+    agg.push_back(r.aggregate_bw);
+    table.add_row({f * 100.0, to_gbps(r.aggregate_bw), r.aggregate_bw / agg[0]});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+
+  bench::ShapeChecker checker;
+  checker.check(agg[1] > 0.999 * agg[0],
+                "no loss below 50% full");
+  checker.check(agg[3] < agg[2],
+                "measurable degradation past 50% (admin observation)");
+  checker.check(agg[4] > 0.85 * agg[0],
+                "moderate loss at the 70% knee");
+  // Severe region: the drop from 70% to 90% is much steeper than from
+  // 50% to 70%.
+  const double gentle = agg[2] - agg[4];
+  const double severe = agg[4] - agg[6];
+  checker.check(severe > 2.0 * gentle,
+                "severe degradation beyond 70% full (paper's knee)");
+  checker.check(agg[7] < 0.7 * agg[0],
+                "a nearly full scratch loses a third or more of its bandwidth");
+  return checker.exit_code();
+}

@@ -1,0 +1,82 @@
+// Figure 1: "Integration of Spider PFS and OLCF infrastructure."
+//
+// The paper's architecture diagram, regenerated from the live center
+// model: compute platforms funneling through LNET routers onto SION's
+// leaf/core fabric, into OSS nodes, controller pairs, and the SSU fleet,
+// with the per-layer counts and capacities annotated. Shape checks assert
+// the rendered inventory is the model's actual inventory.
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "core/center.hpp"
+#include "core/spider_config.hpp"
+
+int main() {
+  using namespace spider;
+
+  Rng rng(2014);
+  core::CenterModel center(core::spider2_config(), rng);
+  const auto& cfg = center.config();
+  const auto prof = center.layer_profile(block::IoMode::kSequential,
+                                         block::IoDir::kWrite);
+
+  bench::banner("Figure 1: Spider II / OLCF integration architecture");
+
+  std::ostringstream d;
+  auto line = [&d](const std::string& s) { d << s << "\n"; };
+  auto gb = [](double bw) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(0) << to_gbps(bw);
+    return os.str();
+  };
+  line("  +--------------------- compute platforms ----------------------+");
+  line("  |  Titan: " + std::to_string(cfg.clients) + " clients on a " +
+       std::to_string(cfg.torus.x) + "x" + std::to_string(cfg.torus.y) + "x" +
+       std::to_string(cfg.torus.z) + " Gemini 3D torus                 |");
+  line("  |  (+ analysis / visualization / data-transfer clusters)       |");
+  line("  +------------------------------+--------------------------------+");
+  line("                                 | " +
+       std::to_string(center.fgr().num_routers()) +
+       " LNET I/O routers (" + gb(prof.routers) + " GB/s)");
+  line("  +------------------------------v--------------------------------+");
+  line("  |  SION InfiniBand SAN: " +
+       std::to_string(cfg.fabric.leaf_switches) + " leaf + " +
+       std::to_string(cfg.fabric.core_switches) +
+       " core switches (FGR keeps bulk I/O on-leaf) |");
+  line("  +------------------------------+--------------------------------+");
+  line("                                 | " + std::to_string(center.num_oss()) +
+       " OSS (" + gb(prof.oss) + " GB/s)");
+  line("  +------------------------------v--------------------------------+");
+  line("  |  " + std::to_string(center.num_ssus()) +
+       " SSUs: controller pairs (" + gb(prof.controllers) +
+       " GB/s) over " + std::to_string(center.total_osts()) +
+       " RAID-6 OSTs      |");
+  line("  |  " + std::to_string(center.num_ssus() *
+                                cfg.ssu.raid_groups * 10) +
+       " disks -> " + std::to_string(static_cast<int>(
+                          to_pb(center.filesystem().capacity()))) +
+       " PB in " + std::to_string(cfg.namespaces) +
+       " namespaces (atlas1, atlas2)               |");
+  line("  +----------------------------------------------------------------+");
+  line("   monitoring plane: Nagios checks | DDN poller | Lustre health");
+  line("   provisioning:     GeDI diskless images + BCFG2 config management");
+  std::cout << d.str() << "\n";
+  std::cout << "end-to-end sequential write ceiling: " << gb(prof.end_to_end)
+            << " GB/s (paper: >1 TB/s)\n\n";
+
+  bench::ShapeChecker checker;
+  checker.check(cfg.clients == 18688 && center.fgr().num_routers() == 440,
+                "compute side matches the paper (18,688 clients, 440 routers)");
+  checker.check(center.num_ssus() == 36 && center.total_osts() == 2016 &&
+                    center.num_oss() == 288,
+                "storage side matches the paper (36 SSUs, 2,016 OSTs, 288 OSS)");
+  checker.check(cfg.namespaces == 2 &&
+                    to_pb(center.filesystem().capacity()) > 32.0,
+                "two namespaces over 32+ PB");
+  checker.check(prof.end_to_end > 1.0 * kTBps,
+                "the integrated stack clears 1 TB/s");
+  return checker.exit_code();
+}

@@ -1,0 +1,63 @@
+// Figure 3: IOR write bandwidth vs transfer size, single Spider II
+// namespace (pre-upgrade controllers), file-per-process, fixed client
+// count, 30 s stonewall.
+//
+// Paper finding: "the best performance for writes can be obtained by using
+// a 1 MB transfer size."
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/center.hpp"
+#include "core/spider_config.hpp"
+#include "workload/ior.hpp"
+
+int main() {
+  using namespace spider;
+
+  Rng rng(2014);
+  // Figures 3-4 were measured before the controller upgrade.
+  core::CenterModel center(core::spider2_config(/*upgraded=*/false), rng);
+  center.set_target_namespace(0);
+  center.set_client_placement(core::ClientPlacement::kRandom, rng);
+
+  bench::banner(
+      "Figure 3: IOR write bandwidth vs transfer size "
+      "(single namespace, 2016 clients, file-per-process, stonewall 30 s)");
+
+  const std::vector<Bytes> sizes{4_KiB,   16_KiB, 64_KiB, 256_KiB,
+                                 512_KiB, 1_MiB,  4_MiB,  16_MiB};
+  Table table;
+  table.set_columns({"transfer size", "aggregate GB/s", "per-client MB/s",
+                     "bottleneck"});
+  std::vector<double> agg;
+  for (Bytes size : sizes) {
+    workload::IorConfig cfg;
+    cfg.clients = 2016;
+    cfg.transfer_size = size;
+    const auto r = workload::run_ior(center, cfg);
+    agg.push_back(r.aggregate_bw);
+    std::string label = size >= 1_MiB
+                            ? std::to_string(size / 1_MiB) + " MiB"
+                            : std::to_string(size / 1_KiB) + " KiB";
+    table.add_row({label, to_gbps(r.aggregate_bw), to_mbps(r.mean_client_bw),
+                   r.bottleneck});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+
+  bench::ShapeChecker checker;
+  const std::size_t mb_idx = 5;  // 1 MiB
+  checker.check(agg[mb_idx] > agg[0] * 10.0,
+                "1 MiB transfers are an order of magnitude above 4 KiB");
+  bool monotone_rise = true;
+  for (std::size_t i = 1; i <= mb_idx; ++i) {
+    monotone_rise &= agg[i] >= agg[i - 1];
+  }
+  checker.check(monotone_rise, "bandwidth rises monotonically up to 1 MiB");
+  checker.check(agg[mb_idx] >= agg[6] && agg[mb_idx] >= agg[7],
+                "peak write bandwidth is at the 1 MiB transfer size (paper)");
+  return checker.exit_code();
+}

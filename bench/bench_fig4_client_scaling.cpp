@@ -1,0 +1,58 @@
+// Figure 4: IOR write bandwidth vs number of clients, single Spider II
+// namespace (pre-upgrade), 1 MiB transfers, scheduler (random) placement.
+//
+// Paper finding: "a single namespace can scale almost linearly up to 6,000
+// clients and then provide relatively steady performance with respect to
+// increasing number of clients."
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/center.hpp"
+#include "core/spider_config.hpp"
+#include "workload/ior.hpp"
+
+int main() {
+  using namespace spider;
+
+  Rng rng(2014);
+  core::CenterModel center(core::spider2_config(/*upgraded=*/false), rng);
+  center.set_target_namespace(0);
+  center.set_client_placement(core::ClientPlacement::kRandom, rng);
+
+  bench::banner(
+      "Figure 4: IOR write bandwidth vs client count "
+      "(single namespace, 1 MiB transfers, random placement, stonewall 30 s)");
+
+  const std::vector<std::size_t> clients{32,   128,  512,  1024, 2048, 4096,
+                                         6144, 8192, 12288, 16384};
+  Table table;
+  table.set_columns(
+      {"clients", "aggregate GB/s", "per-client MB/s", "bottleneck"});
+  std::vector<double> agg;
+  for (std::size_t n : clients) {
+    workload::IorConfig cfg;
+    cfg.clients = n;
+    const auto r = workload::run_ior(center, cfg);
+    agg.push_back(r.aggregate_bw);
+    table.add_row({static_cast<std::int64_t>(n), to_gbps(r.aggregate_bw),
+                   to_mbps(r.mean_client_bw), r.bottleneck});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+
+  bench::ShapeChecker checker;
+  // Near-linear region: 32 -> 4096 clients scales by > 100x.
+  checker.check(agg[5] > 100.0 * agg[0],
+                "near-linear scaling through the low-client region");
+  checker.check(agg[6] > 1.25 * agg[5],
+                "still gaining meaningfully at 6,144 clients");
+  // Plateau: 16,384 clients deliver within 15% of 8,192.
+  checker.check(agg[9] < 1.15 * agg[7],
+                "steady performance beyond the ~6,000-client knee");
+  checker.check(to_gbps(agg[9]) > 280.0 && to_gbps(agg[9]) < 360.0,
+                "plateau sits at the pre-upgrade namespace ceiling (~320 GB/s)");
+  return checker.exit_code();
+}

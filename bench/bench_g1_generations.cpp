@@ -1,0 +1,90 @@
+// G1: two generations of the data-centric model — Spider I (2008) vs
+// Spider II (2013).
+//
+// Paper touchstones: Spider I provided 240 GB/s and 10 PB over four
+// namespaces (and carried the 5-enclosure failure-domain design the 2010
+// incident exposed); Spider II provides >1 TB/s and 32 PB over two
+// namespaces with the corrected 10-enclosure design. "The original Spider I
+// file system met a similar capacity target and supported all compute
+// systems in the facility without the need for an upgrade."
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "block/failure.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/center.hpp"
+#include "core/spider_config.hpp"
+#include "tools/capacity_planner.hpp"
+#include "workload/ior.hpp"
+
+int main() {
+  using namespace spider;
+
+  bench::banner("G1: Spider I (2008) vs Spider II (2013)");
+
+  struct Generation {
+    const char* name;
+    core::CenterConfig cfg;
+    double paper_bw_gbps;
+    double paper_capacity_pb;
+  };
+  Generation gens[] = {
+      {"Spider I", core::spider1_config(), 240.0, 10.0},
+      {"Spider II", core::spider2_config(), 1000.0, 32.0},
+  };
+
+  Table table;
+  table.set_columns({"system", "namespaces", "OSTs", "capacity PB (paper)",
+                     "peak GB/s (paper)", "enclosure design",
+                     "incident outcome"});
+  double measured_bw[2];
+  double measured_pb[2];
+  for (int g = 0; g < 2; ++g) {
+    Rng rng(2014);
+    core::CenterModel center(gens[g].cfg, rng);
+    center.set_target_namespace(SIZE_MAX);
+    center.set_client_placement(core::ClientPlacement::kOptimal, rng);
+    workload::IorConfig ior;
+    ior.clients = center.total_osts() * 2;
+    const auto r = workload::run_ior(center, ior);
+    measured_bw[g] = to_gbps(r.aggregate_bw);
+    measured_pb[g] = to_pb(center.filesystem().capacity());
+
+    Rng irng(7);
+    block::IncidentConfig incident;
+    incident.enclosures = gens[g].cfg.ssu.enclosures;
+    const auto outcome = block::replay_incident_2010(incident, irng);
+
+    table.add_row(
+        {std::string(gens[g].name),
+         static_cast<std::int64_t>(gens[g].cfg.namespaces),
+         static_cast<std::int64_t>(center.total_osts()),
+         std::to_string(measured_pb[g]).substr(0, 5) + " (" +
+             std::to_string(static_cast<int>(gens[g].paper_capacity_pb)) + ")",
+         std::to_string(measured_bw[g]).substr(0, 6) + " (" +
+             std::to_string(static_cast<int>(gens[g].paper_bw_gbps)) + ")",
+         std::to_string(gens[g].cfg.ssu.enclosures) + " enclosures",
+         std::string(outcome.data_lost ? "DATA LOST" : "tolerated")});
+  }
+  table.print(std::cout);
+
+  // The 30x capacity rule held for both generations without an upgrade.
+  std::cout << "\ncapacity targets: Spider I vs ~270 TB attached memory -> "
+            << to_pb(tools::capacity_target_from_memory(270_TB))
+            << " PB needed; Spider II vs 770 TB -> "
+            << to_pb(tools::capacity_target_from_memory(770_TB))
+            << " PB needed\n\n";
+
+  bench::ShapeChecker checker;
+  checker.check(std::abs(measured_bw[0] - 240.0) < 60.0,
+                "Spider I generation delivers ~240 GB/s");
+  checker.check(measured_bw[1] > 1000.0,
+                "Spider II generation delivers > 1 TB/s");
+  checker.check(measured_bw[1] / measured_bw[0] > 3.5,
+                "one generation bought ~4x bandwidth");
+  checker.check(std::abs(measured_pb[0] - 10.0) < 4.0 &&
+                    std::abs(measured_pb[1] - 32.0) < 2.0,
+                "capacities land on the paper's 10 PB / 32 PB");
+  return checker.exit_code();
+}

@@ -1,0 +1,100 @@
+// Microbenchmarks of the simulation engine itself (google-benchmark).
+//
+// These guard the performance properties the reproduction relies on: the
+// max-min solver must handle full Spider II scale (18,688 flows over ~70k
+// resources) in well under a second per solve, and the event queue must
+// sustain millions of schedule/pop cycles for DES scenarios.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/center.hpp"
+#include "core/spider_config.hpp"
+#include "net/torus.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/resource.hpp"
+#include "workload/ior.hpp"
+
+namespace {
+
+using namespace spider;
+
+void BM_RngUniform(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.uniform());
+  }
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  Rng rng(2);
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (int i = 0; i < 1000; ++i) {
+      q.schedule(static_cast<sim::SimTime>(rng.uniform_index(1000000)), [] {});
+    }
+    while (!q.empty()) q.pop();
+  }
+}
+BENCHMARK(BM_EventQueueScheduleAndPop);
+
+void BM_TorusRoute(benchmark::State& state) {
+  net::Torus3D torus({25, 16, 24});
+  Rng rng(3);
+  for (auto _ : state) {
+    const auto from = static_cast<int>(rng.uniform_index(
+        static_cast<std::uint64_t>(torus.num_nodes())));
+    const auto to = static_cast<int>(rng.uniform_index(
+        static_cast<std::uint64_t>(torus.num_nodes())));
+    benchmark::DoNotOptimize(torus.route(from, to));
+  }
+}
+BENCHMARK(BM_TorusRoute);
+
+void BM_SolveMaxMin(benchmark::State& state) {
+  const auto flows_n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  const std::size_t nr = 2000;
+  std::vector<double> cap(nr);
+  for (auto& c : cap) c = rng.uniform(1e8, 1e9);
+  std::vector<std::vector<sim::PathHop>> paths(flows_n);
+  std::vector<sim::SolverFlow> flows;
+  for (auto& p : paths) {
+    for (int h = 0; h < 8; ++h) {
+      p.push_back({static_cast<sim::ResourceId>(rng.uniform_index(nr)), 1.0});
+    }
+  }
+  for (const auto& p : paths) flows.push_back({p, 6e8});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::solve_max_min(cap, flows));
+  }
+}
+BENCHMARK(BM_SolveMaxMin)->Arg(512)->Arg(4096)->Arg(16384);
+
+void BM_FullSpiderIorSolve(benchmark::State& state) {
+  Rng rng(5);
+  core::CenterModel center(core::spider2_config(), rng);
+  center.set_target_namespace(0);
+  center.set_client_placement(core::ClientPlacement::kRandom, rng);
+  workload::IorConfig cfg;
+  cfg.clients = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload::run_ior(center, cfg));
+  }
+}
+BENCHMARK(BM_FullSpiderIorSolve)->Arg(1008)->Arg(8192)->Unit(benchmark::kMillisecond);
+
+void BM_CenterConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    Rng rng(6);
+    core::CenterModel center(core::spider2_config(), rng);
+    benchmark::DoNotOptimize(center.total_osts());
+  }
+}
+BENCHMARK(BM_CenterConstruction)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,167 @@
+// S1: a full production shift on the simulated center — every subsystem at
+// once (the paper's Figure 1 in motion).
+//
+// Six hours of data-centric operation at 1/10 scale: two periodic
+// checkpointing applications and an interactive analytics stream share the
+// namespaces; one RAID group rides through a rebuild window; a controller
+// pair fails over and recovers; the DDN poller and the standard check
+// battery watch everything; server-side logs feed IOSI afterwards.
+// Shape assertions: the center delivers, the monitoring sees exactly the
+// injected faults, and the logs carry the applications' signatures.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/center.hpp"
+#include "core/scenario.hpp"
+#include "core/spider_config.hpp"
+#include "tools/health.hpp"
+#include "tools/iosi.hpp"
+#include "tools/standard_checks.hpp"
+#include "workload/analytics.hpp"
+#include "workload/s3d.hpp"
+
+int main() {
+  using namespace spider;
+
+  Rng rng(2014);
+  core::CenterModel center(core::scaled_config(core::spider2_config(), 0.1),
+                           rng);
+  center.set_client_placement(core::ClientPlacement::kRandom, rng);
+  sim::Simulator sim;
+  core::ScenarioRunner runner(center, sim);
+
+  const double shift_s = 6.0 * 3600.0;
+
+  // Application 1: big checkpointer, 40-minute cadence.
+  workload::S3dParams app1;
+  app1.ranks = 2048;
+  app1.bytes_per_rank = 96_MiB;
+  app1.output_interval_s = 2400.0;
+  // Application 2: smaller, 10-minute cadence.
+  workload::S3dParams app2;
+  app2.ranks = 512;
+  app2.bytes_per_rank = 64_MiB;
+  app2.output_interval_s = 600.0;
+
+  std::size_t bursts_done = 0;
+  Bytes bytes_delivered = 0;
+  Rng wl_rng(7);
+  int app_index = 0;
+  for (const auto& params : {app1, app2}) {
+    const workload::S3dWorkload app(params);
+    const std::size_t base = app_index * 53;
+    for (const auto& burst : app.generate(shift_s, wl_rng)) {
+      runner.submit_burst(burst,
+                          [base, &center](std::size_t f) {
+                            return (base + f) % center.total_osts();
+                          },
+                          [&](core::BurstOutcome o) {
+                            ++bursts_done;
+                            bytes_delivered += o.bytes;
+                          },
+                          32, 20000 * (app_index + 1));
+    }
+    ++app_index;
+  }
+
+  // Interactive analytics all shift. Think time is stretched vs the
+  // seconds-scale interference benches: six simulated hours at 50 ms think
+  // would mean ~14M DES events; a 10 s cadence keeps the shift tractable
+  // while still sampling latency continuously.
+  workload::AnalyticsParams ap;
+  ap.clients = 16;
+  ap.think_time_s = 10.0;
+  workload::AnalyticsWorkload analytics(ap);
+  Rng arng(11);
+  std::vector<double> latencies;
+  runner.submit_requests(analytics.generate(shift_s, arng),
+                         [&center](std::size_t w) {
+                           return (w * 13) % center.total_osts();
+                         },
+                         &latencies, 60000);
+
+  // Fault injection: a rebuild window and a controller failover.
+  tools::HealthMonitor monitor;
+  const auto& map = runner.map();
+  sim.schedule_at(sim::from_seconds(3600.0), [&] {
+    auto& grp = center.ssu(1).group(7);
+    grp.fail_member(2);
+    grp.start_rebuild(2);
+    const std::size_t ost = 1 * center.config().ssu.raid_groups + 7;
+    runner.network().set_capacity(
+        map.ost[ost], center.ost_at(ost).bandwidth(block::IoMode::kSequential,
+                                                   block::IoDir::kWrite));
+    monitor.ingest({sim.now(), tools::EventSource::kHardware,
+                    tools::Severity::kWarning, "ssu1-g7", "disk failed"});
+  });
+  sim.schedule_at(sim::from_seconds(4.0 * 3600.0), [&] {
+    center.ssu(2).controller().fail_one();
+    runner.network().set_capacity(map.controller[2],
+                                  center.ssu(2).controller().delivered_bw());
+    monitor.ingest({sim.now(), tools::EventSource::kHardware,
+                    tools::Severity::kCritical, "ssu2-ctrl", "failover"});
+  });
+
+  // Server-side throughput log for IOSI.
+  std::vector<double> log;
+  runner.record_throughput(5.0, shift_s, &log);
+
+  sim.run(sim::from_seconds(shift_s));
+  sim.run();  // drain whatever is still in flight
+
+  bench::banner("S1: six-hour production shift, 1/10-scale Spider II");
+  Table table;
+  table.set_columns({"metric", "value"});
+  table.add_row({std::string("checkpoint bursts completed"),
+                 static_cast<std::int64_t>(bursts_done)});
+  table.add_row({std::string("checkpoint volume (TiB)"),
+                 static_cast<double>(bytes_delivered) / (1024.0 * 1024.0 *
+                                                         1024.0 * 1024.0)});
+  table.add_row({std::string("analytics requests served"),
+                 static_cast<std::int64_t>(latencies.size())});
+  table.add_row({std::string("analytics mean latency (ms)"),
+                 mean_of(latencies) * 1e3});
+  table.add_row({std::string("analytics p99 latency (ms)"),
+                 percentile(latencies, 99.0) * 1e3});
+  const auto incidents = monitor.coalesce(10 * sim::kMinute);
+  table.add_row({std::string("health incidents coalesced"),
+                 static_cast<std::int64_t>(incidents.size())});
+  table.print(std::cout);
+
+  // End-of-shift check battery must show exactly the injected faults.
+  tools::IbErrorCounters ib(8);
+  const std::vector<double> mds_offered(center.filesystem().namespaces(), 5e3);
+  auto checks = tools::make_standard_checks(center, ib, mds_offered);
+  const auto report = checks.run_all();
+  std::cout << "\ncheck battery: " << report.ok << " ok, " << report.warning
+            << " warning, " << report.critical << " critical\n";
+  for (const auto& [name, result] : report.failing) {
+    std::cout << "  " << name << ": " << result.detail << "\n";
+  }
+
+  const auto bursts = tools::detect_bursts(log, 5.0);
+  std::cout << "server-side log: " << bursts.size()
+            << " bursts detected across the shift\n\n";
+
+  bench::ShapeChecker checker;
+  checker.check(bursts_done >= 40,
+                "both applications checkpointed all shift");
+  checker.check(static_cast<double>(bytes_delivered) > 2.5 * 1099511627776.0,
+                "multiple terabytes of checkpoint data landed");
+  checker.check(mean_of(latencies) < 0.2,
+                "interactive analytics stayed responsive through the mix");
+  checker.check(incidents.size() == 2,
+                "monitoring coalesced exactly the two injected faults");
+  checker.check(report.warning + report.critical == 2,
+                "check battery shows exactly the rebuild + failover");
+  // The big application's bursts dominate the log (the small app's ride
+  // below the peak-relative burst threshold — exactly why IOSI needs
+  // multiple runs per application).
+  checker.check(bursts.size() >= 8,
+                "server-side logs carry the big application's burst structure");
+  return checker.exit_code();
+}

@@ -1,0 +1,29 @@
+// Shared helpers for the reproduction benches.
+//
+// Every bench prints the paper's table/series through spider::Table and
+// finishes with explicit shape checks ([PASS]/[FAIL]) against the paper's
+// qualitative claims. A bench exits non-zero if any shape check fails.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+namespace spider::bench {
+
+class ShapeChecker {
+ public:
+  void check(bool ok, const std::string& label) {
+    std::cout << (ok ? "[PASS] " : "[FAIL] ") << label << "\n";
+    if (!ok) ++failures_;
+  }
+  int exit_code() const { return failures_ == 0 ? 0 : 1; }
+
+ private:
+  int failures_ = 0;
+};
+
+inline void banner(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+}  // namespace spider::bench

@@ -1,0 +1,135 @@
+// Checkpoint/restart with libPIO: the Section VI-A application story.
+//
+// An S3D-like solver writes periodic restart dumps (file-per-process,
+// POSIX, 1 MiB transfers) into a center that is already busy with other
+// users' I/O. The unmodified application takes whatever OSTs Lustre's
+// cursor hands it; the libPIO-integrated version asks the placement
+// library first. The paper reports the integration took ~30 changed lines;
+// the `LibPioWriter` wrapper below is the analogous footprint.
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "core/center.hpp"
+#include "core/scenario.hpp"
+#include "core/spider_config.hpp"
+#include "tools/libpio.hpp"
+#include "workload/s3d.hpp"
+
+using namespace spider;
+
+namespace {
+
+/// The application-side integration: everything the solver's I/O layer
+/// needs to change to become placement-aware. Targets are chosen when the
+/// output step actually starts, from the live monitoring-plane snapshot.
+class LibPioWriter {
+ public:
+  LibPioWriter(core::CenterModel& center, core::ScenarioRunner& runner,
+               bool use_libpio)
+      : center_(center), runner_(runner), use_libpio_(use_libpio),
+        pio_(center.storage_topology()) {}
+
+  /// OST targets for one output step of `ranks` writer groups; call at
+  /// burst start.
+  std::vector<std::size_t> targets(std::size_t ranks, Rng& rng) {
+    std::vector<std::size_t> osts(ranks);
+    if (use_libpio_) {
+      // One call into the library with the live load snapshot.
+      const auto loads =
+          center_.loads_from_network(runner_.network(), runner_.map());
+      const auto suggestions = pio_.place_job(ranks, loads);
+      for (std::size_t i = 0; i < ranks; ++i) osts[i] = suggestions[i].ost;
+    } else {
+      const std::size_t start = rng.uniform_index(center_.total_osts());
+      for (std::size_t i = 0; i < ranks; ++i) {
+        osts[i] = (start + i) % center_.total_osts();
+      }
+    }
+    return osts;
+  }
+
+ private:
+  core::CenterModel& center_;
+  core::ScenarioRunner& runner_;
+  bool use_libpio_;
+  tools::LibPio pio_;
+};
+
+/// Background users hammering part of the fleet (production is never idle).
+void add_noise(core::CenterModel& center, core::ScenarioRunner& runner,
+               double duration_s, Rng& rng) {
+  double t = 0.0;
+  while (t < duration_s) {
+    workload::IoBurst burst;
+    burst.start = sim::from_seconds(t);
+    burst.clients = 256;
+    burst.bytes_per_client = 512_MiB;
+    const std::size_t hot_base = rng.uniform_index(center.total_osts() / 2);
+    runner.submit_burst(burst,
+                        [hot_base, &center](std::size_t f) {
+                          return (hot_base + f) % center.total_osts();
+                        },
+                        nullptr, 16, 60000);
+    t += 60.0 + rng.uniform(0.0, 60.0);
+  }
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(99);
+  core::CenterModel center(core::scaled_config(core::spider2_config(), 0.15),
+                           rng);
+  center.set_client_placement(core::ClientPlacement::kRandom, rng);
+
+  workload::S3dParams params;
+  params.ranks = 1024;
+  params.bytes_per_rank = 32_MiB;
+  params.output_interval_s = 300.0;
+  const workload::S3dWorkload s3d(params);
+
+  std::cout << "S3D-like run: " << params.ranks << " ranks, "
+            << to_gib(s3d.bytes_per_output()) << " GiB per restart dump, every "
+            << params.output_interval_s << " s\n\n";
+
+  for (bool use_libpio : {false, true}) {
+    sim::Simulator sim;
+    core::ScenarioRunner runner(center, sim);
+    Rng run_rng(7);
+    add_noise(center, runner, 1800.0, run_rng);
+    LibPioWriter writer(center, runner, use_libpio);
+
+    std::vector<double> burst_bw;
+    Rng app_rng(13);
+    auto target_rng = std::make_shared<Rng>(app_rng.fork(1));
+    for (const auto& burst : s3d.generate(1800.0, app_rng)) {
+      // Targets are chosen lazily, per output step, against the live load.
+      auto step_targets = std::make_shared<std::vector<std::size_t>>();
+      runner.submit_burst(burst,
+                          [&writer, step_targets, target_rng](std::size_t f) {
+                            if (step_targets->empty()) {
+                              *step_targets = writer.targets(64, *target_rng);
+                            }
+                            return (*step_targets)[f % step_targets->size()];
+                          },
+                          [&burst_bw](core::BurstOutcome o) {
+                            burst_bw.push_back(o.achieved_bw);
+                          },
+                          /*client_grouping=*/16);
+    }
+    sim.run();
+
+    double mean = 0.0;
+    for (double b : burst_bw) mean += b;
+    mean /= static_cast<double>(burst_bw.size());
+    std::cout << (use_libpio ? "with libPIO   " : "without libPIO")
+              << ": " << burst_bw.size() << " restart dumps, mean "
+              << to_gbps(mean) << " GB/s per dump\n";
+  }
+  std::cout << "\n(the paper measured up to 24% improvement for S3D in a "
+               "noisy production environment)\n";
+  return 0;
+}

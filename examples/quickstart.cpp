@@ -1,0 +1,56 @@
+// Quickstart: build the Spider II center model, inspect the stack, and run
+// one IOR-style measurement — the 60-second tour of the spiderpfs API.
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "core/center.hpp"
+#include "core/spider_config.hpp"
+#include "workload/ior.hpp"
+
+int main() {
+  using namespace spider;
+
+  // 1. Build the center: Titan-like torus, 440 LNET routers, 36 SSUs
+  //    (20,160 disks in 2,016 RAID-6 groups), 288 OSS, two namespaces.
+  Rng rng(42);
+  core::CenterConfig cfg = core::spider2_config();
+  core::CenterModel center(cfg, rng);
+
+  std::cout << "center: " << cfg.name << "\n"
+            << "  clients:       " << cfg.clients << " on a " << cfg.torus.x
+            << "x" << cfg.torus.y << "x" << cfg.torus.z << " torus\n"
+            << "  routers:       " << center.fgr().num_routers() << "\n"
+            << "  SSUs:          " << center.num_ssus() << "\n"
+            << "  OSTs:          " << center.total_osts() << "\n"
+            << "  OSS:           " << center.num_oss() << "\n"
+            << "  capacity:      " << to_pb(center.filesystem().capacity())
+            << " PB\n\n";
+
+  // 2. Bottom-up layer profile (Lesson 12): where does bandwidth go?
+  const auto prof = center.layer_profile(block::IoMode::kSequential,
+                                         block::IoDir::kWrite);
+  std::cout << "layer profile (sequential write, 1 MiB):\n"
+            << "  raw disks:     " << to_gbps(prof.disks) << " GB/s\n"
+            << "  RAID groups:   " << to_gbps(prof.raid) << " GB/s\n"
+            << "  obdfilter:     " << to_gbps(prof.obdfilter) << " GB/s\n"
+            << "  controllers:   " << to_gbps(prof.controllers) << " GB/s\n"
+            << "  OSS nodes:     " << to_gbps(prof.oss) << " GB/s\n"
+            << "  LNET routers:  " << to_gbps(prof.routers) << " GB/s\n"
+            << "  end-to-end:    " << to_gbps(prof.end_to_end) << " GB/s\n\n";
+
+  // 3. One IOR point: 4,032 optimally placed clients, 1 MiB transfers,
+  //    whole file system.
+  center.set_target_namespace(SIZE_MAX);
+  center.set_client_placement(core::ClientPlacement::kOptimal, rng);
+  workload::IorConfig ior;
+  ior.clients = 4032;
+  ior.transfer_size = 1_MiB;
+  const auto result = workload::run_ior(center, ior);
+  std::cout << "IOR file-per-process, 4032 clients, 1 MiB transfers:\n"
+            << "  aggregate:     " << to_gbps(result.aggregate_bw) << " GB/s\n"
+            << "  per-client:    " << to_mbps(result.mean_client_bw)
+            << " MB/s\n"
+            << "  bottleneck:    " << result.bottleneck << "\n";
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Disk model: the 2 TB near-line SAS generation Spider II was built from.
+//
+// The paper's block-level lessons rest on two facts this model reproduces:
+//   1. A single disk achieves only 20-25% of its sequential bandwidth under
+//      random I/O with 1 MB blocks (Section III-A) — drove the 240 GB/s
+//      random requirement alongside 1 TB/s sequential.
+//   2. A population of "fully functioning" disks hides a tail of slow units
+//      whose variance drags whole RAID groups (Lesson 13); ~2,000 of 20,160
+//      disks were culled. Every disk carries a performance factor drawn from
+//      a two-component population (healthy cluster + slow tail) plus a
+//      latency-outlier rate that the culling tools key on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace spider::block {
+
+enum class IoMode { kSequential, kRandom };
+enum class IoDir { kRead, kWrite };
+
+/// Nominal characteristics of the disk product (before per-unit variance).
+struct DiskParams {
+  Bandwidth seq_read_bw = 138.0 * kMBps;
+  Bandwidth seq_write_bw = 132.0 * kMBps;
+  /// Delivered fraction of sequential bandwidth under random I/O with
+  /// 1 MB requests. Paper: 20-25%; default mid-range.
+  double random_fraction_1mb = 0.22;
+  /// Average seek + settle for small random I/O, seconds.
+  double seek_s = 8.5e-3;
+  /// Half-rotation latency (7.2k rpm), seconds.
+  double rotational_s = 4.16e-3;
+  /// Duration of a media-retry recovery pause, seconds.
+  double outlier_pause_s = 0.35;
+  Bytes capacity = 2_TB;
+};
+
+/// Distribution of per-unit variance across a shipped population.
+struct PopulationModel {
+  /// Healthy units: factor ~ Normal(1.0, healthy_sigma), clipped to
+  /// [1 - 4*sigma, 1 + 4*sigma].
+  double healthy_sigma = 0.015;
+  /// Fraction of units in the slow tail (paper culled ~10% over two rounds).
+  double slow_fraction = 0.10;
+  /// Slow units: factor ~ Uniform(slow_lo, slow_hi).
+  double slow_lo = 0.55;
+  double slow_hi = 0.92;
+  /// Probability that a served request incurs a long recovery pause
+  /// (media retries); slow disks have this scaled up by outlier_slow_mult.
+  double outlier_rate = 1e-4;
+  double outlier_rate_slow = 5e-3;
+};
+
+/// One physical disk.
+class Disk {
+ public:
+  Disk(const DiskParams& params, std::uint32_t id, double perf_factor,
+       double outlier_rate);
+
+  std::uint32_t id() const { return id_; }
+  double perf_factor() const { return perf_factor_; }
+  double outlier_rate() const { return outlier_rate_; }
+  Bytes capacity() const { return params_.capacity; }
+  const DiskParams& params() const { return params_; }
+
+  /// Steady bandwidth for large transfers in the given mode/direction,
+  /// excluding outlier pauses. For kRandom this is the asymptotic rate with
+  /// `request_size` bytes moved per positioning operation.
+  Bandwidth effective_bw(IoMode mode, IoDir dir, Bytes request_size = 1_MiB) const;
+
+  /// Expected service time of a single request, excluding outliers.
+  double service_time_s(Bytes size, IoMode mode, IoDir dir) const;
+
+  /// Service time of a single request with stochastic outlier pauses; used
+  /// by the fair-lio driver and the culling tools.
+  double sample_service_time_s(Bytes size, IoMode mode, IoDir dir, Rng& rng) const;
+
+  /// True if this unit belongs to the slow tail (factor below threshold).
+  bool is_slow(double threshold = 0.95) const { return perf_factor_ < threshold; }
+
+ private:
+  /// Per-request positioning overhead in random mode, calibrated so that
+  /// 1 MiB random delivers exactly random_fraction_1mb of sequential.
+  double random_overhead_s() const;
+
+  DiskParams params_;
+  std::uint32_t id_;
+  double perf_factor_;
+  double outlier_rate_;
+};
+
+/// Draw a population of `n` disks. Deterministic given the rng state.
+std::vector<Disk> make_population(std::size_t n, const DiskParams& params,
+                                  const PopulationModel& pop, Rng& rng);
+
+}  // namespace spider::block

@@ -1,0 +1,36 @@
+#include "block/enclosure.hpp"
+
+#include <stdexcept>
+
+namespace spider::block {
+
+EnclosureLayout::EnclosureLayout(std::size_t groups, std::size_t members_per_group,
+                                 std::size_t enclosures)
+    : groups_(groups), members_per_group_(members_per_group), enclosures_(enclosures) {
+  if (groups == 0 || members_per_group == 0 || enclosures == 0) {
+    throw std::invalid_argument("EnclosureLayout: all dimensions must be > 0");
+  }
+}
+
+std::uint32_t EnclosureLayout::enclosure_of(std::size_t g, std::size_t m) const {
+  if (g >= groups_ || m >= members_per_group_) {
+    throw std::out_of_range("EnclosureLayout::enclosure_of");
+  }
+  // Rotate by group index so enclosure load is even across groups.
+  return static_cast<std::uint32_t>((m + g) % enclosures_);
+}
+
+std::vector<std::size_t> EnclosureLayout::members_in(std::size_t g,
+                                                     std::uint32_t e) const {
+  std::vector<std::size_t> out;
+  for (std::size_t m = 0; m < members_per_group_; ++m) {
+    if (enclosure_of(g, m) == e) out.push_back(m);
+  }
+  return out;
+}
+
+std::size_t EnclosureLayout::max_members_per_enclosure() const {
+  return (members_per_group_ + enclosures_ - 1) / enclosures_;
+}
+
+}  // namespace spider::block

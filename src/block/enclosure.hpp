@@ -1,0 +1,43 @@
+// Disk-enclosure layout: the failure-domain geometry of Lesson 11.
+//
+// Spider I distributed each 10-disk RAID-6 set evenly over *five* disk
+// enclosures (two members per enclosure), so losing one enclosure removed
+// two members — combined with one rebuilding member, three losses exceeded
+// RAID-6 parity and the 2010 incident lost data. A ten-enclosure layout
+// (one member per enclosure) would have tolerated the same event. The
+// layout class makes that geometry explicit and queryable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace spider::block {
+
+class EnclosureLayout {
+ public:
+  /// Distribute `members_per_group` members of each of `groups` RAID groups
+  /// round-robin over `enclosures` enclosures. members_per_group must be a
+  /// multiple of enclosures or vice versa for an even layout.
+  EnclosureLayout(std::size_t groups, std::size_t members_per_group,
+                  std::size_t enclosures);
+
+  std::size_t groups() const { return groups_; }
+  std::size_t members_per_group() const { return members_per_group_; }
+  std::size_t enclosures() const { return enclosures_; }
+
+  /// Enclosure housing member `m` of group `g`.
+  std::uint32_t enclosure_of(std::size_t g, std::size_t m) const;
+
+  /// Member indices of group `g` housed in enclosure `e`.
+  std::vector<std::size_t> members_in(std::size_t g, std::uint32_t e) const;
+
+  /// Worst-case members any single enclosure failure removes from one group.
+  std::size_t max_members_per_enclosure() const;
+
+ private:
+  std::size_t groups_;
+  std::size_t members_per_group_;
+  std::size_t enclosures_;
+};
+
+}  // namespace spider::block

@@ -1,0 +1,118 @@
+#include "block/failure.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace spider::block {
+
+IncidentOutcome replay_incident_2010(const IncidentConfig& cfg, Rng& rng) {
+  IncidentOutcome out;
+  out.enclosures = cfg.enclosures;
+
+  SsuParams params;
+  params.raid_groups = cfg.raid_groups;
+  params.enclosures = cfg.enclosures;
+  Ssu ssu(params, /*id=*/0, rng);
+
+  auto log = [&out](const std::string& line) { out.timeline.push_back(line); };
+
+  // 1. A disk is replaced; its group starts rebuilding.
+  const std::size_t g = rng.uniform_index(ssu.groups());
+  const std::size_t m = rng.uniform_index(ssu.group(g).width());
+  ssu.group(g).fail_member(m);
+  ssu.group(g).start_rebuild(m);
+  {
+    std::ostringstream os;
+    os << "t+0h: disk replaced in group " << g << " member " << m
+       << "; rebuild started (" << ssu.group(g).rebuild_time_s() / 3600.0
+       << " h to completion)";
+    log(os.str());
+  }
+
+  // 2. Controller-to-enclosure link fails; pair fails over and the unit
+  //    returns to production, still rebuilding (meets design spec).
+  ssu.controller().fail_one();
+  ssu.controller().journal_add(cfg.journal_files);
+  log("t+0h: controller-enclosure connection interrupted; failed over to "
+      "partner controller; unit returned to production while rebuilding");
+
+  // 3. Array taken offline while still in rebuild mode: the enclosure with
+  //    the failed controller link drops out. It is a different enclosure
+  //    than the one holding the rebuilding member, so its loss stacks on
+  //    top of the in-flight rebuild. With 5 enclosures it removes two more
+  //    members of the rebuilding group (3 > parity); with 10 it removes one
+  //    (2 = parity, tolerated).
+  const std::uint32_t rebuild_enc = ssu.layout().enclosure_of(g, m);
+  const std::uint32_t e =
+      (rebuild_enc + 1) % static_cast<std::uint32_t>(cfg.enclosures);
+  ssu.enclosure_down(e);
+  const std::uint64_t lost_journal = ssu.controller().take_offline(/*graceful=*/false);
+  {
+    std::ostringstream os;
+    os << "t+" << cfg.offline_after_hours << "h: array taken offline in rebuild "
+       << "state; enclosure " << e << " unavailable; " << lost_journal
+       << " journal entries dropped";
+    log(os.str());
+  }
+
+  for (std::size_t i = 0; i < ssu.groups(); ++i) {
+    if (ssu.group(i).data_lost()) ++out.groups_lost;
+  }
+  out.data_lost = out.groups_lost > 0;
+  if (out.data_lost) {
+    out.journal_files_lost = lost_journal;
+    out.recovered_fraction = 0.95;
+    out.recovery_days = 15.0;
+    std::ostringstream os;
+    os << "outcome: " << out.groups_lost << " RAID groups exceeded parity; "
+       << out.journal_files_lost << " files' journal lost; recovery "
+       << out.recovery_days << " days at " << out.recovered_fraction * 100.0
+       << "% success";
+    log(os.str());
+  } else {
+    log("outcome: all groups within parity; journal replayed after restore; "
+        "no data loss");
+    out.recovered_fraction = 1.0;
+  }
+  return out;
+}
+
+FailureStats inject_random_failures(Ssu& ssu, double years, double afr, Rng& rng) {
+  FailureStats stats;
+  // Hour-granular sweep: each disk fails with rate afr/8766 per hour;
+  // rebuilds complete after the group's rebuild time.
+  const double p_hour = afr / 8766.0;
+  const double hours = years * 8766.0;
+  // Remaining rebuild hours per (group, member), -1 when none.
+  std::vector<std::vector<double>> rebuilding(ssu.groups());
+  for (std::size_t g = 0; g < ssu.groups(); ++g) {
+    rebuilding[g].assign(ssu.group(g).width(), -1.0);
+  }
+  for (double h = 0.0; h < hours; h += 1.0) {
+    for (std::size_t g = 0; g < ssu.groups(); ++g) {
+      auto& grp = ssu.group(g);
+      if (grp.data_lost()) continue;
+      for (std::size_t m = 0; m < grp.width(); ++m) {
+        // Progress in-flight rebuilds.
+        if (rebuilding[g][m] >= 0.0) {
+          rebuilding[g][m] -= 1.0;
+          if (rebuilding[g][m] < 0.0) grp.finish_rebuild(m);
+          continue;
+        }
+        if (!rng.chance(p_hour)) continue;
+        ++stats.disk_failures;
+        if (grp.state() == RaidState::kRebuilding) ++stats.double_failures;
+        grp.fail_member(m);
+        if (grp.data_lost()) {
+          ++stats.groups_lost;
+          break;
+        }
+        grp.start_rebuild(m);
+        rebuilding[g][m] = grp.rebuild_time_s() / 3600.0;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace spider::block

@@ -1,0 +1,65 @@
+// Failure injection and the 2010 incident replay (Section IV-E, Lesson 11).
+//
+// Timeline of the incident:
+//   1. A disk is replaced in a storage enclosure; its RAID-6 group starts
+//      rebuilding.
+//   2. During the rebuild, the controller-to-enclosure connection fails;
+//      the pair fails over as designed and the unit returns to production
+//      while still rebuilding (within design specification).
+//   3. Eighteen hours later the affected array is taken offline — still in
+//      rebuild mode — losing the controller pair's journal for over a
+//      million files.
+// With 5 enclosures per controller pair (two members of each group per
+// enclosure), the offline enclosure plus the rebuilding member exceeds
+// RAID-6 parity: data loss, and the recovery took more than two weeks with
+// a 95% success rate. With 10 enclosures, one member per group per
+// enclosure, the same event stays within parity.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "block/ssu.hpp"
+#include "common/rng.hpp"
+
+namespace spider::block {
+
+struct IncidentOutcome {
+  std::size_t enclosures = 0;
+  bool data_lost = false;
+  std::size_t groups_lost = 0;
+  std::uint64_t journal_files_lost = 0;
+  /// Files eventually recovered from the lost journal (paper: 95%).
+  double recovered_fraction = 0.0;
+  /// Wall-clock recovery effort (paper: more than two weeks).
+  double recovery_days = 0.0;
+  std::vector<std::string> timeline;
+};
+
+struct IncidentConfig {
+  /// Enclosures per controller pair: 5 replays the Spider I design, 10 the
+  /// corrected one.
+  std::size_t enclosures = 5;
+  std::size_t raid_groups = 56;
+  /// Journal entries (files) pending on the controller pair when it is
+  /// taken offline; the paper reports "more than a million".
+  std::uint64_t journal_files = 1'200'000;
+  /// Hours between the failover and the array being taken offline.
+  double offline_after_hours = 18.0;
+};
+
+/// Replay the incident against an SSU built with the given enclosure count.
+IncidentOutcome replay_incident_2010(const IncidentConfig& cfg, Rng& rng);
+
+/// General random failure injection: drive `years` of simulated operation
+/// with the given annualized disk failure rate; returns how many groups ever
+/// exceeded parity (should be ~0 with prompt rebuilds).
+struct FailureStats {
+  std::uint64_t disk_failures = 0;
+  std::uint64_t double_failures = 0;  ///< rebuilds with a second loss in flight
+  std::uint64_t groups_lost = 0;
+};
+FailureStats inject_random_failures(Ssu& ssu, double years, double afr, Rng& rng);
+
+}  // namespace spider::block

@@ -1,0 +1,48 @@
+// fair-lio: the OLCF block-level benchmark (Section III-B).
+//
+// The real tool uses Linux AIO to keep a configurable number of requests in
+// flight against raw devices, sweeping request size, queue depth, read/write
+// mix, and sequential/random mode. This driver reproduces that parameter
+// space against the Disk and Raid6Group models with a closed-loop
+// queue-depth simulation, producing bandwidth, IOPS, and latency statistics.
+// Vendors ran exactly these sweeps to respond to the Spider II RFP; the
+// slow-disk culling workflow (Lesson 13) keys on the same outputs.
+#pragma once
+
+#include <cstdint>
+
+#include "block/disk.hpp"
+#include "block/raid.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace spider::block {
+
+struct FairLioConfig {
+  Bytes request_size = 1_MiB;
+  unsigned queue_depth = 16;
+  /// Fraction of requests that are writes; the remainder are reads.
+  double write_fraction = 1.0;
+  IoMode mode = IoMode::kSequential;
+  /// Simulated test duration.
+  double duration_s = 10.0;
+};
+
+struct FairLioResult {
+  Bandwidth bandwidth = 0.0;  ///< delivered bytes/second
+  double iops = 0.0;
+  double mean_latency_s = 0.0;
+  double p99_latency_s = 0.0;
+  std::uint64_t requests = 0;
+};
+
+/// Closed-loop run against a single disk. Higher queue depth lets the drive
+/// reorder (elevator) random requests, recovering some positioning time.
+FairLioResult run_fairlio(const Disk& disk, const FairLioConfig& cfg, Rng& rng);
+
+/// Closed-loop run against a RAID group: requests are striped, so the
+/// slowest member paces every request (full-stripe granularity).
+FairLioResult run_fairlio(const Raid6Group& group, const FairLioConfig& cfg,
+                          Rng& rng);
+
+}  // namespace spider::block

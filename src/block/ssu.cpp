@@ -1,0 +1,81 @@
+#include "block/ssu.hpp"
+
+#include <algorithm>
+
+namespace spider::block {
+
+Disk draw_healthy_disk(const DiskParams& disk, const PopulationModel& pop,
+                       std::uint32_t id, Rng& rng) {
+  const double lo = 1.0 - 4.0 * pop.healthy_sigma;
+  const double hi = 1.0 + 4.0 * pop.healthy_sigma;
+  const double factor = std::clamp(rng.normal(1.0, pop.healthy_sigma), lo, hi);
+  return Disk(disk, id, factor, pop.outlier_rate);
+}
+
+Ssu::Ssu(const SsuParams& params, std::uint32_t id, Rng& rng)
+    : params_(params),
+      id_(id),
+      controller_(params.controller),
+      layout_(params.raid_groups, params.raid.data_disks + params.raid.parity_disks,
+              params.enclosures),
+      next_disk_id_(0) {
+  const std::size_t width = params_.raid.data_disks + params_.raid.parity_disks;
+  groups_.reserve(params_.raid_groups);
+  for (std::size_t g = 0; g < params_.raid_groups; ++g) {
+    auto disks = make_population(width, params_.disk, params_.population, rng);
+    for (auto& d : disks) {
+      d = Disk(params_.disk, next_disk_id_++, d.perf_factor(), d.outlier_rate());
+    }
+    groups_.emplace_back(params_.raid, std::move(disks));
+  }
+}
+
+std::size_t Ssu::total_disks() const {
+  return groups_.size() * (params_.raid.data_disks + params_.raid.parity_disks);
+}
+
+Bytes Ssu::capacity() const {
+  Bytes total = 0;
+  for (const auto& g : groups_) total += g.capacity();
+  return total;
+}
+
+Bandwidth Ssu::delivered_bw(IoMode mode, IoDir dir, Bytes request_size) const {
+  double disk_side = 0.0;
+  for (const auto& g : groups_) disk_side += g.bandwidth(mode, dir, request_size);
+  return std::min(disk_side, controller_.delivered_bw());
+}
+
+std::vector<double> Ssu::group_bandwidths(IoMode mode, IoDir dir,
+                                          Bytes request_size) const {
+  std::vector<double> out;
+  out.reserve(groups_.size());
+  for (const auto& g : groups_) out.push_back(g.bandwidth(mode, dir, request_size));
+  return out;
+}
+
+void Ssu::enclosure_down(std::uint32_t e) {
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    for (std::size_t m : layout_.members_in(g, e)) {
+      groups_[g].fail_member(m);
+    }
+  }
+}
+
+void Ssu::enclosure_up(std::uint32_t e) {
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    if (groups_[g].data_lost()) continue;
+    for (std::size_t m : layout_.members_in(g, e)) {
+      if (groups_[g].member_state(m) == MemberState::kFailed) {
+        groups_[g].restore_member(m);
+      }
+    }
+  }
+}
+
+void Ssu::replace_disk(std::size_t group, std::size_t member, Rng& rng) {
+  groups_.at(group).replace_member(
+      member, draw_healthy_disk(params_.disk, params_.population, next_disk_id_++, rng));
+}
+
+}  // namespace spider::block

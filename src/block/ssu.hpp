@@ -1,0 +1,78 @@
+// Scalable System Unit: the procurement building block (Section III-A).
+//
+// The Spider II SOW defined the SSU as "the unit of configuration, pricing,
+// benchmarking, and integration". One Spider II SSU is 56 RAID-6 8+2 groups
+// (560 disks) behind one controller pair; 36 SSUs form the file system
+// (20,160 disks, 2,016 OSTs).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "block/controller.hpp"
+#include "block/disk.hpp"
+#include "block/enclosure.hpp"
+#include "block/raid.hpp"
+#include "common/rng.hpp"
+
+namespace spider::block {
+
+struct SsuParams {
+  std::size_t raid_groups = 56;
+  RaidParams raid;
+  DiskParams disk;
+  PopulationModel population;
+  /// Enclosures the members of each group are spread over. Spider I's
+  /// incident design used 5 (two members per enclosure); 10 tolerates an
+  /// enclosure loss during rebuild (Lesson 11).
+  std::size_t enclosures = 10;
+  ControllerParams controller;
+};
+
+class Ssu {
+ public:
+  Ssu(const SsuParams& params, std::uint32_t id, Rng& rng);
+
+  std::uint32_t id() const { return id_; }
+  const SsuParams& params() const { return params_; }
+  std::size_t groups() const { return groups_.size(); }
+  Raid6Group& group(std::size_t i) { return groups_.at(i); }
+  const Raid6Group& group(std::size_t i) const { return groups_.at(i); }
+  ControllerPair& controller() { return controller_; }
+  const ControllerPair& controller() const { return controller_; }
+  const EnclosureLayout& layout() const { return layout_; }
+
+  std::size_t total_disks() const;
+  Bytes capacity() const;
+
+  /// Delivered bandwidth for a uniform workload over all groups:
+  /// min(disk-side aggregate, controller cap).
+  Bandwidth delivered_bw(IoMode mode, IoDir dir, Bytes request_size = 1_MiB) const;
+
+  /// Per-group delivered bandwidths (culling tools bin these).
+  std::vector<double> group_bandwidths(IoMode mode, IoDir dir,
+                                       Bytes request_size = 1_MiB) const;
+
+  /// Fail every group member housed in enclosure `e` (hardware loss).
+  void enclosure_down(std::uint32_t e);
+  /// Restore members from enclosure `e` in groups that did not lose data.
+  void enclosure_up(std::uint32_t e);
+
+  /// Replace a group member with a fresh unit drawn from the healthy part
+  /// of the population (slow-disk culling, Lesson 13).
+  void replace_disk(std::size_t group, std::size_t member, Rng& rng);
+
+ private:
+  SsuParams params_;
+  std::uint32_t id_;
+  std::vector<Raid6Group> groups_;
+  ControllerPair controller_;
+  EnclosureLayout layout_;
+  std::uint32_t next_disk_id_;
+};
+
+/// A fresh unit from the healthy (non-slow) portion of the population.
+Disk draw_healthy_disk(const DiskParams& disk, const PopulationModel& pop,
+                       std::uint32_t id, Rng& rng);
+
+}  // namespace spider::block

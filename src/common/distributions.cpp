@@ -1,0 +1,120 @@
+#include "common/distributions.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace spider {
+
+Pareto::Pareto(double shape_alpha, double scale_xm)
+    : alpha_(shape_alpha), xm_(scale_xm) {
+  if (alpha_ <= 0.0 || xm_ <= 0.0) {
+    throw std::invalid_argument("Pareto requires alpha > 0 and x_m > 0");
+  }
+}
+
+double Pareto::sample(Rng& rng) const {
+  // Inverse transform: x = x_m / U^(1/alpha).
+  const double u = 1.0 - rng.uniform();  // in (0, 1]
+  return xm_ / std::pow(u, 1.0 / alpha_);
+}
+
+double Pareto::mean() const {
+  if (alpha_ <= 1.0) return std::numeric_limits<double>::infinity();
+  return alpha_ * xm_ / (alpha_ - 1.0);
+}
+
+BoundedPareto::BoundedPareto(double shape_alpha, double lo, double hi)
+    : alpha_(shape_alpha), lo_(lo), hi_(hi) {
+  if (alpha_ <= 0.0 || lo_ <= 0.0 || hi_ <= lo_) {
+    throw std::invalid_argument("BoundedPareto requires alpha > 0, 0 < lo < hi");
+  }
+}
+
+double BoundedPareto::sample(Rng& rng) const {
+  // Inverse transform of the truncated CDF.
+  const double u = rng.uniform();
+  const double la = std::pow(lo_, alpha_);
+  const double ha = std::pow(hi_, alpha_);
+  const double x = std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha_);
+  return std::min(std::max(x, lo_), hi_);
+}
+
+LogNormal::LogNormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  if (sigma_ < 0.0) throw std::invalid_argument("LogNormal requires sigma >= 0");
+}
+
+double LogNormal::sample(Rng& rng) const {
+  return std::exp(rng.normal(mu_, sigma_));
+}
+
+double LogNormal::mean() const { return std::exp(mu_ + 0.5 * sigma_ * sigma_); }
+
+Zipf::Zipf(std::size_t n, double s) {
+  if (n == 0) throw std::invalid_argument("Zipf requires n > 0");
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = acc;
+  }
+  for (auto& c : cdf_) c /= acc;
+}
+
+std::size_t Zipf::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  // Binary search for the first cdf entry >= u.
+  std::size_t lo = 0, hi = cdf_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+DiscreteMixture::DiscreteMixture(std::span<const double> weights) {
+  if (weights.empty()) throw std::invalid_argument("DiscreteMixture requires weights");
+  double acc = 0.0;
+  cdf_.reserve(weights.size());
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("DiscreteMixture weights must be >= 0");
+    acc += w;
+    cdf_.push_back(acc);
+  }
+  if (acc <= 0.0) throw std::invalid_argument("DiscreteMixture weights must sum > 0");
+  for (auto& c : cdf_) c /= acc;
+}
+
+std::size_t DiscreteMixture::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  std::size_t lo = 0, hi = cdf_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+double DiscreteMixture::probability(std::size_t i) const {
+  assert(i < cdf_.size());
+  return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+Empirical::Empirical(std::vector<double> values) : values_(std::move(values)) {
+  if (values_.empty()) throw std::invalid_argument("Empirical requires values");
+}
+
+double Empirical::sample(Rng& rng) const {
+  return values_[rng.uniform_index(values_.size())];
+}
+
+}  // namespace spider

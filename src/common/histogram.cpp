@@ -1,0 +1,80 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace spider {
+
+LinearHistogram::LinearHistogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  if (bins == 0 || hi <= lo) {
+    throw std::invalid_argument("LinearHistogram requires bins > 0, hi > lo");
+  }
+}
+
+void LinearHistogram::add(double x, std::uint64_t weight) {
+  auto idx = static_cast<std::int64_t>((x - lo_) / width_);
+  idx = std::clamp<std::int64_t>(idx, 0, static_cast<std::int64_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(idx)] += weight;
+  total_ += weight;
+}
+
+double LinearHistogram::bin_center(std::size_t bin) const {
+  return lo_ + (static_cast<double>(bin) + 0.5) * width_;
+}
+
+double LinearHistogram::fraction_between(double lo_bound, double hi_bound) const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double c = bin_center(i);
+    if (c >= lo_bound && c < hi_bound) acc += counts_[i];
+  }
+  return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+Log2Histogram::Log2Histogram(int min_exp, int max_exp) : min_exp_(min_exp) {
+  if (max_exp <= min_exp) {
+    throw std::invalid_argument("Log2Histogram requires max_exp > min_exp");
+  }
+  counts_.assign(static_cast<std::size_t>(max_exp - min_exp), 0);
+}
+
+int Log2Histogram::bin_index(double x) const {
+  if (x <= 0.0) return 0;
+  const int exp = static_cast<int>(std::floor(std::log2(x)));
+  return std::clamp(exp - min_exp_, 0, static_cast<int>(counts_.size()) - 1);
+}
+
+void Log2Histogram::add(double x, std::uint64_t weight) {
+  counts_[static_cast<std::size_t>(bin_index(x))] += weight;
+  total_ += weight;
+}
+
+std::uint64_t Log2Histogram::count_for_exp(int exp) const {
+  const int idx = exp - min_exp_;
+  if (idx < 0 || idx >= static_cast<int>(counts_.size())) return 0;
+  return counts_[static_cast<std::size_t>(idx)];
+}
+
+double Log2Histogram::fraction_below(double threshold) const {
+  if (total_ == 0) return 0.0;
+  const int limit = bin_index(threshold);
+  std::uint64_t acc = 0;
+  for (int i = 0; i < limit; ++i) acc += counts_[static_cast<std::size_t>(i)];
+  return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+std::string Log2Histogram::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const int exp = min_exp_ + static_cast<int>(i);
+    os << "[2^" << exp << ", 2^" << exp + 1 << "): " << counts_[i] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace spider

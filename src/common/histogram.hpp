@@ -1,0 +1,63 @@
+// Fixed-bin histograms for request sizes, latencies, and bandwidth samples.
+//
+// Log2Histogram matches how the paper's workload characterization reports
+// request sizes (small < 16 KB vs multiples of 1 MB): power-of-two buckets
+// spanning many decades.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spider {
+
+/// Uniform-width bins over [lo, hi); out-of-range samples clamp into the
+/// first/last bin so totals are conserved.
+class LinearHistogram {
+ public:
+  LinearHistogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, std::uint64_t weight = 1);
+
+  std::size_t bins() const { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::uint64_t total() const { return total_; }
+  /// Center value of a bin.
+  double bin_center(std::size_t bin) const;
+  /// Fraction of all samples in [lo_bound, hi_bound).
+  double fraction_between(double lo_bound, double hi_bound) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Power-of-two bins: bin k holds values in [2^k, 2^(k+1)).
+class Log2Histogram {
+ public:
+  /// Bins cover [2^min_exp, 2^max_exp); values outside clamp.
+  Log2Histogram(int min_exp, int max_exp);
+
+  void add(double x, std::uint64_t weight = 1);
+
+  int min_exp() const { return min_exp_; }
+  int max_exp() const { return min_exp_ + static_cast<int>(counts_.size()); }
+  std::uint64_t count_for_exp(int exp) const;
+  std::uint64_t total() const { return total_; }
+  /// Fraction of samples with value < threshold (bin-granular: counts all
+  /// bins whose lower edge is below the threshold's bin).
+  double fraction_below(double threshold) const;
+  /// Render a compact ASCII summary, one line per non-empty bin.
+  std::string to_string() const;
+
+ private:
+  int bin_index(double x) const;
+
+  int min_exp_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace spider

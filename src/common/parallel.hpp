@@ -1,0 +1,53 @@
+// Minimal task parallelism: a fixed thread pool plus parallel_for.
+//
+// Benchmarks sweep large parameter spaces (Lesson 15 warns scaling studies
+// are expensive); independent sweep points run concurrently across hardware
+// threads. Simulations themselves stay single-threaded and deterministic —
+// parallelism is only across independent runs.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace spider {
+
+/// Fixed-size worker pool. Tasks are void() callables; exceptions escaping a
+/// task terminate (tasks are expected to handle their own errors).
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads = std::thread::hardware_concurrency());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void submit(std::function<void()> task);
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  std::size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Run fn(i) for i in [0, n) across up to `threads` workers. Blocks until
+/// all iterations complete. With threads <= 1 (or n <= 1) runs inline, which
+/// keeps single-threaded determinism trivially available.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  std::size_t threads = std::thread::hardware_concurrency());
+
+}  // namespace spider

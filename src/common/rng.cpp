@@ -1,0 +1,96 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace spider {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 significant bits -> double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  // Lemire's multiply-shift rejection method.
+  std::uint64_t x = (*this)();
+  unsigned __int128 m = static_cast<unsigned __int128>(x) * n;
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < n) {
+    const std::uint64_t t = -n % n;
+    while (l < t) {
+      x = (*this)();
+      m = static_cast<unsigned __int128>(x) * n;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  return lo + static_cast<std::int64_t>(
+                  uniform_index(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+bool Rng::chance(double p) { return uniform() < p; }
+
+double Rng::normal() {
+  if (have_spare_) {
+    have_spare_ = false;
+    return spare_normal_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  have_spare_ = true;
+  return u * factor;
+}
+
+double Rng::normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+double Rng::exponential(double rate) {
+  // Inverse transform; uniform() < 1 so log argument is > 0.
+  return -std::log(1.0 - uniform()) / rate;
+}
+
+Rng Rng::fork(std::uint64_t salt) {
+  std::uint64_t seed = (*this)() ^ (salt * 0x9e3779b97f4a7c15ULL);
+  return Rng(seed);
+}
+
+}  // namespace spider

@@ -1,0 +1,112 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spider {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::cv() const {
+  const double m = mean();
+  return m == 0.0 ? 0.0 : stddev() / m;
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  mean_ += delta * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double percentile(std::span<const double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+std::vector<double> percentiles(std::span<const double> values,
+                                std::span<const double> ps) {
+  std::vector<double> out;
+  out.reserve(ps.size());
+  if (values.empty()) {
+    out.assign(ps.size(), 0.0);
+    return out;
+  }
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (double p : ps) {
+    const double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    out.push_back(sorted[lo] + frac * (sorted[hi] - sorted[lo]));
+  }
+  return out;
+}
+
+double mean_of(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double acc = 0.0;
+  for (double v : values) acc += v;
+  return acc / static_cast<double>(values.size());
+}
+
+double stddev_of(std::span<const double> values) {
+  RunningStats rs;
+  for (double v : values) rs.add(v);
+  return rs.stddev();
+}
+
+double spread_fraction(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  RunningStats rs;
+  for (double v : values) rs.add(v);
+  if (rs.mean() == 0.0) return 0.0;
+  return (rs.max() - rs.min()) / rs.mean();
+}
+
+double imbalance_of(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  RunningStats rs;
+  for (double v : values) rs.add(v);
+  if (rs.mean() == 0.0) return 0.0;
+  return rs.max() / rs.mean() - 1.0;
+}
+
+}  // namespace spider

@@ -1,0 +1,64 @@
+// Descriptive statistics helpers.
+//
+// Used everywhere a benchmark or tool summarizes measurements: RAID-group
+// performance binning (Lesson 13 uses a 5%/7.5% variance envelope), latency
+// percentiles for analytics workloads, and load-imbalance metrics for
+// libPIO.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace spider {
+
+/// Online mean/variance via Welford's algorithm; O(1) space.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  /// Coefficient of variation (stddev / mean); 0 when mean is 0.
+  double cv() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Merge another accumulator (parallel reduction support).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile of a sample set using linear interpolation between closest
+/// ranks; p in [0, 100]. Copies and sorts internally.
+double percentile(std::span<const double> values, double p);
+
+/// Several percentiles in one sort.
+std::vector<double> percentiles(std::span<const double> values,
+                                std::span<const double> ps);
+
+/// Arithmetic mean; 0 for empty input.
+double mean_of(std::span<const double> values);
+
+/// Sample standard deviation; 0 for fewer than two values.
+double stddev_of(std::span<const double> values);
+
+/// (max - min) / mean as a fraction; the paper's RAID-group "performance
+/// variance" acceptance metric. Returns 0 for empty input or zero mean.
+double spread_fraction(std::span<const double> values);
+
+/// max / mean - 1 load-imbalance metric used by the placement tools.
+double imbalance_of(std::span<const double> values);
+
+}  // namespace spider

@@ -1,0 +1,100 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace spider {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void Table::set_columns(std::vector<std::string> names) {
+  columns_ = std::move(names);
+  precision_.assign(columns_.size(), 2);
+}
+
+void Table::set_precision(std::size_t column, int digits) {
+  precision_.at(column) = digits;
+}
+
+void Table::add_row(std::vector<Cell> cells) {
+  if (cells.size() != columns_.size()) {
+    throw std::invalid_argument("Table::add_row: cell count != column count");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+const Cell& Table::at(std::size_t row, std::size_t col) const {
+  return rows_.at(row).at(col);
+}
+
+double Table::number_at(std::size_t row, std::size_t col) const {
+  const Cell& c = at(row, col);
+  if (std::holds_alternative<double>(c)) return std::get<double>(c);
+  if (std::holds_alternative<std::int64_t>(c)) {
+    return static_cast<double>(std::get<std::int64_t>(c));
+  }
+  throw std::invalid_argument("Table::number_at: cell is a string");
+}
+
+std::string Table::format_cell(std::size_t col, const Cell& cell) const {
+  std::ostringstream os;
+  if (std::holds_alternative<std::string>(cell)) {
+    os << std::get<std::string>(cell);
+  } else if (std::holds_alternative<std::int64_t>(cell)) {
+    os << std::get<std::int64_t>(cell);
+  } else {
+    os << std::fixed << std::setprecision(precision_.at(col))
+       << std::get<double>(cell);
+  }
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      r.push_back(format_cell(c, row[c]));
+      widths[c] = std::max(widths[c], r.back().size());
+    }
+    rendered.push_back(std::move(r));
+  }
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << std::setw(static_cast<int>(widths[c])) << columns_[c]
+       << (c + 1 < columns_.size() ? "  " : "");
+  }
+  os << "\n";
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) rule += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  os << std::string(rule, '-') << "\n";
+  for (const auto& r : rendered) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      os << std::setw(static_cast<int>(widths[c])) << r[c]
+         << (c + 1 < r.size() ? "  " : "");
+    }
+    os << "\n";
+  }
+}
+
+void Table::print_csv(std::ostream& os) const {
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << columns_[c] << (c + 1 < columns_.size() ? "," : "");
+  }
+  os << "\n";
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << format_cell(c, row[c]) << (c + 1 < row.size() ? "," : "");
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace spider

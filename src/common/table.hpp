@@ -1,0 +1,51 @@
+// ASCII/CSV table writer for benchmark output.
+//
+// Every bench binary prints the paper's table or figure series through this
+// class so output is uniform and machine-parseable (`--csv` style output is
+// a one-liner for callers).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace spider {
+
+/// A cell is a string, an integer, or a double (formatted with a
+/// per-column precision).
+using Cell = std::variant<std::string, std::int64_t, double>;
+
+class Table {
+ public:
+  explicit Table(std::string title = {});
+
+  /// Define columns; must be called before adding rows.
+  void set_columns(std::vector<std::string> names);
+  /// Set float precision for one column (default 2).
+  void set_precision(std::size_t column, int digits);
+
+  void add_row(std::vector<Cell> cells);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return columns_.size(); }
+  const Cell& at(std::size_t row, std::size_t col) const;
+  /// Numeric value of a cell; throws if the cell is a string.
+  double number_at(std::size_t row, std::size_t col) const;
+
+  /// Render with aligned columns and a rule under the header.
+  void print(std::ostream& os) const;
+  /// Render as CSV (no title line).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::string format_cell(std::size_t col, const Cell& cell) const;
+
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<int> precision_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace spider

@@ -1,0 +1,50 @@
+// Units and quantities used throughout spiderpfs.
+//
+// Conventions:
+//   - bytes are uint64_t; helper literals give KiB/MiB/GiB/TiB/PiB (binary)
+//     and KB/MB/GB/TB/PB (decimal, as used by disk vendors and the paper's
+//     "1 TB/s" figures).
+//   - bandwidth is double bytes/second.
+//   - simulated time is int64_t nanoseconds (see sim/time.hpp); wall-clock
+//     style helpers here convert seconds/minutes/hours to nanoseconds.
+#pragma once
+
+#include <cstdint>
+
+namespace spider {
+
+using Bytes = std::uint64_t;
+
+inline constexpr Bytes operator""_KiB(unsigned long long v) { return v * 1024ULL; }
+inline constexpr Bytes operator""_MiB(unsigned long long v) { return v * 1024ULL * 1024ULL; }
+inline constexpr Bytes operator""_GiB(unsigned long long v) { return v * 1024ULL * 1024ULL * 1024ULL; }
+inline constexpr Bytes operator""_TiB(unsigned long long v) { return v * 1024ULL * 1024ULL * 1024ULL * 1024ULL; }
+inline constexpr Bytes operator""_PiB(unsigned long long v) { return v * 1024ULL * 1024ULL * 1024ULL * 1024ULL * 1024ULL; }
+
+inline constexpr Bytes operator""_KB(unsigned long long v) { return v * 1000ULL; }
+inline constexpr Bytes operator""_MB(unsigned long long v) { return v * 1000ULL * 1000ULL; }
+inline constexpr Bytes operator""_GB(unsigned long long v) { return v * 1000ULL * 1000ULL * 1000ULL; }
+inline constexpr Bytes operator""_TB(unsigned long long v) { return v * 1000ULL * 1000ULL * 1000ULL * 1000ULL; }
+inline constexpr Bytes operator""_PB(unsigned long long v) { return v * 1000ULL * 1000ULL * 1000ULL * 1000ULL * 1000ULL; }
+
+/// Bandwidth in bytes per second.
+using Bandwidth = double;
+
+inline constexpr Bandwidth kMiBps = 1024.0 * 1024.0;
+inline constexpr Bandwidth kMBps = 1e6;
+inline constexpr Bandwidth kGBps = 1e9;
+inline constexpr Bandwidth kTBps = 1e12;
+
+/// Convert bytes/second to GB/s (decimal) for reporting.
+inline constexpr double to_gbps(Bandwidth b) { return b / kGBps; }
+/// Convert bytes/second to MB/s (decimal) for reporting.
+inline constexpr double to_mbps(Bandwidth b) { return b / kMBps; }
+
+/// Convert a byte count to GiB for reporting.
+inline constexpr double to_gib(Bytes b) { return static_cast<double>(b) / (1024.0 * 1024.0 * 1024.0); }
+/// Convert a byte count to decimal TB for reporting.
+inline constexpr double to_tb(Bytes b) { return static_cast<double>(b) / 1e12; }
+/// Convert a byte count to decimal PB for reporting.
+inline constexpr double to_pb(Bytes b) { return static_cast<double>(b) / 1e15; }
+
+}  // namespace spider

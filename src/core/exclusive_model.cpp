@@ -1,0 +1,44 @@
+#include "core/exclusive_model.hpp"
+
+namespace spider::core {
+
+WorkflowResult compare_workflow(const WorkflowSpec& spec) {
+  const double data = static_cast<double>(spec.dataset);
+  const double reduced = data * spec.reduction_factor;
+
+  // Data-centric: every stage reads/writes the shared PFS directly.
+  const double dc = data / spec.sim_write_bw              // simulation dump
+                    + data / spec.analysis_read_bw        // analysis reads
+                    + spec.analysis_compute_s             //
+                    + reduced / spec.viz_read_bw          // viz reads reduced set
+                    + spec.viz_compute_s;
+
+  // Machine-exclusive: stage the dataset to the analysis island, then the
+  // reduced set to the viz island, through the data-movement cluster.
+  const double ex = data / spec.sim_write_bw
+                    + data / spec.mover_bw                // stage to analysis FS
+                    + data / spec.analysis_read_bw
+                    + spec.analysis_compute_s
+                    + reduced / spec.mover_bw             // stage to viz FS
+                    + reduced / spec.viz_read_bw
+                    + spec.viz_compute_s;
+
+  WorkflowResult out;
+  out.datacentric_s = dc;
+  out.exclusive_s = ex;
+  const double movement = data / spec.mover_bw + reduced / spec.mover_bw;
+  out.movement_fraction = ex > 0.0 ? movement / ex : 0.0;
+  out.speedup = dc > 0.0 ? ex / dc : 0.0;
+  return out;
+}
+
+AvailabilityResult compare_availability(const AvailabilitySpec& spec) {
+  AvailabilityResult out;
+  // Exclusive island: the dataset is behind the owning machine.
+  out.exclusive = spec.machine_availability * spec.pfs_availability;
+  // Data-centric: only the PFS needs to be up.
+  out.datacentric = spec.pfs_availability;
+  return out;
+}
+
+}  // namespace spider::core

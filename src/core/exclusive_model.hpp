@@ -1,0 +1,67 @@
+// Machine-exclusive vs data-centric comparison (Sections I-II, VII).
+//
+// The quantitative case for the data-centric model, as the paper states it:
+//   - machine-exclusive scratch "can easily exceed 10% of the total
+//     acquisition cost" per platform, plus a data-movement cluster;
+//   - scientific workflows (simulate -> analyze -> visualize) must stage
+//     data between islands, paying transfer time and user attention;
+//   - a platform downtime takes its island's data offline with it.
+// compare_workflow computes end-to-end pipeline time under both models;
+// availability_of_data estimates the fraction of time a dataset is
+// reachable from the analysis side.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace spider::core {
+
+struct WorkflowSpec {
+  /// Dataset produced by the simulation stage.
+  Bytes dataset = 50_TB;
+  /// Simulation write bandwidth to its scratch (either model).
+  Bandwidth sim_write_bw = 400.0 * kGBps;
+  /// Analysis cluster's read bandwidth from its local scratch.
+  Bandwidth analysis_read_bw = 60.0 * kGBps;
+  /// Data-movement cluster bandwidth between exclusive file systems.
+  Bandwidth mover_bw = 10.0 * kGBps;
+  /// Pure compute time of the analysis stage.
+  double analysis_compute_s = 1800.0;
+  /// Pure render time of the visualization stage.
+  double viz_compute_s = 600.0;
+  /// Visualization read bandwidth.
+  Bandwidth viz_read_bw = 30.0 * kGBps;
+  /// Fraction of the dataset the analysis stage reduces to for viz.
+  double reduction_factor = 0.05;
+};
+
+struct WorkflowResult {
+  double datacentric_s = 0.0;
+  double exclusive_s = 0.0;
+  /// Fraction of the exclusive pipeline spent purely moving data between
+  /// islands.
+  double movement_fraction = 0.0;
+  double speedup = 0.0;
+};
+
+WorkflowResult compare_workflow(const WorkflowSpec& spec);
+
+struct AvailabilitySpec {
+  /// Flagship availability (scheduled + unscheduled).
+  double machine_availability = 0.95;
+  /// Center-wide PFS availability.
+  double pfs_availability = 0.99;
+};
+
+struct AvailabilityResult {
+  /// Probability the dataset is reachable from an analysis cluster.
+  double exclusive = 0.0;    ///< data lives on the flagship's island
+  double datacentric = 0.0;  ///< data lives on the center-wide PFS
+};
+
+/// Lesson: "a scheduled or an unscheduled downtime on a supercomputer can
+/// render all data on a localized file system unavailable". Under the
+/// machine-exclusive model the dataset is reachable only when both the
+/// owning machine's file system (mounted through it) and the PFS are up.
+AvailabilityResult compare_availability(const AvailabilitySpec& spec);
+
+}  // namespace spider::core

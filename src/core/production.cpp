@@ -1,0 +1,83 @@
+#include "core/production.hpp"
+
+namespace spider::core {
+
+ProductionMix& ProductionMix::add_checkpoint_app(
+    const workload::S3dParams& params, std::size_t ost_base) {
+  checkpoint_.push_back({params, ost_base});
+  return *this;
+}
+
+ProductionMix& ProductionMix::add_analytics(
+    const workload::AnalyticsParams& params, std::size_t ost_base,
+    std::size_t ost_span) {
+  analytics_.push_back({params, ost_base, ost_span});
+  return *this;
+}
+
+ProductionMix& ProductionMix::add_noise(std::uint32_t clients,
+                                        Bytes bytes_per_client,
+                                        double mean_gap_s) {
+  noise_.push_back({clients, bytes_per_client, mean_gap_s});
+  return *this;
+}
+
+std::shared_ptr<MixOutcome> ProductionMix::deploy(ScenarioRunner& runner,
+                                                  Rng& rng) const {
+  auto outcome = std::make_shared<MixOutcome>();
+  auto& center = runner.center();
+  const std::size_t total_osts = center.total_osts();
+  std::size_t client_base = 10000;
+
+  for (const auto& spec : checkpoint_) {
+    const workload::S3dWorkload app(spec.params);
+    Rng app_rng = rng.fork(client_base);
+    for (const auto& burst : app.generate(duration_s_, app_rng)) {
+      runner.submit_burst(burst,
+                          [base = spec.ost_base, total_osts](std::size_t f) {
+                            return (base + f) % total_osts;
+                          },
+                          [outcome](BurstOutcome o) {
+                            ++outcome->bursts_completed;
+                            outcome->checkpoint_bytes += o.bytes;
+                            outcome->burst_bandwidths.push_back(o.achieved_bw);
+                          },
+                          /*client_grouping=*/32, client_base);
+    }
+    client_base += 10000;
+  }
+
+  for (const auto& spec : analytics_) {
+    const workload::AnalyticsWorkload stream(spec.params);
+    Rng stream_rng = rng.fork(client_base);
+    runner.submit_requests(
+        stream.generate(duration_s_, stream_rng),
+        [spec, total_osts](std::size_t w) {
+          return (spec.ost_base + w % spec.ost_span) % total_osts;
+        },
+        &outcome->analytics_latencies_s, client_base);
+    client_base += 10000;
+  }
+
+  for (const auto& spec : noise_) {
+    Rng noise_rng = rng.fork(client_base);
+    double t = noise_rng.uniform(0.0, spec.mean_gap_s);
+    while (t < duration_s_) {
+      workload::IoBurst burst;
+      burst.start = sim::from_seconds(t);
+      burst.clients = spec.clients;
+      burst.bytes_per_client = spec.bytes_per_client;
+      const std::size_t base = noise_rng.uniform_index(total_osts);
+      runner.submit_burst(burst,
+                          [base, total_osts](std::size_t f) {
+                            return (base + f) % total_osts;
+                          },
+                          nullptr, 16, client_base);
+      t += noise_rng.exponential(1.0 / spec.mean_gap_s);
+    }
+    client_base += 10000;
+  }
+  return outcome;
+}
+
+}  // namespace spider::core

@@ -1,0 +1,77 @@
+// ProductionMix: compose a center's production day from the paper's
+// workload classes and deploy it onto a ScenarioRunner.
+//
+// Section II's workload taxonomy as an API: periodic checkpoint writers
+// (bandwidth-bound), interactive analytics readers (latency-bound), and
+// background noise — the mix a data-centric PFS actually serves. Collects
+// per-class outcomes (burst bandwidths, request latencies) so studies like
+// bench_s1 and the examples don't re-implement the plumbing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/scenario.hpp"
+#include "workload/analytics.hpp"
+#include "workload/s3d.hpp"
+
+namespace spider::core {
+
+struct MixOutcome {
+  std::size_t bursts_completed = 0;
+  Bytes checkpoint_bytes = 0;
+  std::vector<double> burst_bandwidths;
+  std::vector<double> analytics_latencies_s;
+};
+
+class ProductionMix {
+ public:
+  explicit ProductionMix(double duration_s) : duration_s_(duration_s) {}
+
+  /// Add a periodic checkpointing application; its flows target OSTs
+  /// starting at `ost_base` (round-robin over the whole fleet).
+  ProductionMix& add_checkpoint_app(const workload::S3dParams& params,
+                                    std::size_t ost_base = 0);
+
+  /// Add an interactive analytics stream over `ost_span` OSTs starting at
+  /// `ost_base`.
+  ProductionMix& add_analytics(const workload::AnalyticsParams& params,
+                               std::size_t ost_base = 0,
+                               std::size_t ost_span = 64);
+
+  /// Sporadic background bursts (other users), mean gap `mean_gap_s`.
+  ProductionMix& add_noise(std::uint32_t clients, Bytes bytes_per_client,
+                           double mean_gap_s);
+
+  std::size_t checkpoint_apps() const { return checkpoint_.size(); }
+  std::size_t analytics_streams() const { return analytics_.size(); }
+
+  /// Schedule everything onto the runner. The returned outcome object is
+  /// filled in as the simulation executes; read it after sim.run().
+  std::shared_ptr<MixOutcome> deploy(ScenarioRunner& runner, Rng& rng) const;
+
+ private:
+  struct CheckpointSpec {
+    workload::S3dParams params;
+    std::size_t ost_base;
+  };
+  struct AnalyticsSpec {
+    workload::AnalyticsParams params;
+    std::size_t ost_base;
+    std::size_t ost_span;
+  };
+  struct NoiseSpec {
+    std::uint32_t clients;
+    Bytes bytes_per_client;
+    double mean_gap_s;
+  };
+
+  double duration_s_;
+  std::vector<CheckpointSpec> checkpoint_;
+  std::vector<AnalyticsSpec> analytics_;
+  std::vector<NoiseSpec> noise_;
+};
+
+}  // namespace spider::core

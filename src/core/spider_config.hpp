@@ -1,0 +1,86 @@
+// Center configurations: Spider II, Spider I, and scaled variants.
+//
+// Numbers come straight from the paper (Sections I, III, V):
+//   Titan: 18,688 clients on a 25x16x24 Gemini 3D torus; 440 LNET routers
+//   in 110 I/O modules of 4.
+//   Spider II: 36 SSUs, 20,160 2 TB NL-SAS disks in 2,016 RAID-6 8+2
+//   groups (one OST each), 288 OSS, 2 namespaces, 32 PB, >1 TB/s
+//   sequential and 240 GB/s random targets; 36 IB leaf switches.
+//   Spider I: 240 GB/s, 10 PB, 4 namespaces.
+// The controller upgrade (Section V-C) raised a namespace from 320 to
+// 510 GB/s; spider2_config(upgraded=false) reproduces the pre-upgrade
+// machine Figures 3-4 were measured on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "block/ssu.hpp"
+#include "fs/mds.hpp"
+#include "fs/oss.hpp"
+#include "fs/ost.hpp"
+#include "fs/striping.hpp"
+#include "net/fabric.hpp"
+#include "net/placement.hpp"
+#include "net/torus.hpp"
+
+namespace spider::core {
+
+struct CenterConfig {
+  std::string name = "spider2";
+
+  // --- compute platform ---------------------------------------------------
+  net::TorusDims torus{25, 16, 24};
+  std::uint32_t clients = 18688;
+  std::uint32_t clients_per_node = 2;
+  /// Per-torus-node injection ceiling for I/O traffic.
+  Bandwidth node_injection_bw = 2.8 * kGBps;
+  /// Per-process Lustre pipeline ceiling with a zero-hop router path.
+  Bandwidth client_stream_bw = 620.0 * kMBps;
+  /// Transfer-size ramp parameters (see workload::transfer_size_rate_cap).
+  Bytes rpc_knee = 192_KiB;
+  Bytes max_rpc = 1_MiB;
+  double oversize_penalty = 0.97;
+  /// Placement-quality penalty: a client k torus hops from its router
+  /// shares dimension-order-routed links with O(k) other streams, so its
+  /// delivered ceiling is stream_bw / (1 + per_hop_penalty * k). This is
+  /// the congestion effect of [8,9] that makes the paper's optimally
+  /// placed 1,008 clients worth ~10x randomly placed ones.
+  double per_hop_penalty = 1.3;
+  Bandwidth torus_link_bw = 4.7 * kGBps;
+
+  // --- I/O routers ----------------------------------------------------------
+  net::PlacementConfig placement{};  // 110 modules x 4 routers, 36 groups
+  net::PlacementStrategy placement_strategy = net::PlacementStrategy::kFgrZoned;
+  Bandwidth router_bw = 2.8 * kGBps;
+
+  // --- SAN ------------------------------------------------------------------
+  net::FabricParams fabric{};
+
+  // --- storage ----------------------------------------------------------------
+  std::size_t ssus = 36;
+  block::SsuParams ssu{};
+  std::size_t oss_count = 288;
+  fs::OssParams oss{};
+  fs::OstParams ost{};
+  std::size_t namespaces = 2;
+  fs::MdsParams mds{};
+  fs::StripePolicy default_stripe{1, 1_MiB};
+  fs::AllocatorMode allocator_mode = fs::AllocatorMode::kQosWeighted;
+};
+
+/// Spider II as deployed. `upgraded_controllers` selects the post-refresh
+/// controller generation (510 GB/s per namespace) vs the original
+/// (320 GB/s per namespace).
+CenterConfig spider2_config(bool upgraded_controllers = true);
+
+/// Spider I (the 2008 system): 240 GB/s, 10 PB, 4 namespaces, 5-enclosure
+/// failure domains.
+CenterConfig spider1_config();
+
+/// Proportionally scaled-down variant for fast tests/DES scenarios: client
+/// count, SSUs, OSS, router modules, and torus volume all scale by ~f;
+/// per-unit performance is unchanged, so bandwidth scales by ~f too.
+CenterConfig scaled_config(CenterConfig base, double f);
+
+}  // namespace spider::core

@@ -1,0 +1,39 @@
+#include "fs/client.hpp"
+
+#include <algorithm>
+
+namespace spider::fs {
+
+Bandwidth client_stream_ceiling(const LustreClientParams& params) {
+  const double window_bw =
+      static_cast<double>(params.max_rpcs_in_flight) *
+      static_cast<double>(params.rpc_bytes()) / params.rpc_rtt_s;
+  const double dirty_bw =
+      static_cast<double>(params.max_dirty_bytes) / params.rpc_rtt_s;
+  return std::min({window_bw, dirty_bw, params.link_bw});
+}
+
+Bandwidth client_transfer_ceiling(const LustreClientParams& params,
+                                  Bytes transfer_size) {
+  if (transfer_size == 0) return 0.0;
+  const Bytes rpc = params.rpc_bytes();
+  if (transfer_size >= rpc) return client_stream_ceiling(params);
+  // Sub-RPC transfers: each syscall produces one undersized RPC; the
+  // pipeline depth still applies but each slot carries fewer bytes.
+  const double window_bw = static_cast<double>(params.max_rpcs_in_flight) *
+                           static_cast<double>(transfer_size) /
+                           params.rpc_rtt_s;
+  return std::min({window_bw,
+                   static_cast<double>(params.max_dirty_bytes) / params.rpc_rtt_s,
+                   params.link_bw});
+}
+
+Bandwidth client_striped_ceiling(const LustreClientParams& params,
+                                 unsigned stripe_count) {
+  if (stripe_count == 0) return 0.0;
+  return std::min(static_cast<double>(stripe_count) *
+                      client_stream_ceiling(params),
+                  params.link_bw);
+}
+
+}  // namespace spider::fs

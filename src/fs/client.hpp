@@ -1,0 +1,53 @@
+// Lustre client I/O pipeline model.
+//
+// The client-side knobs every Lustre best-practices guide (including
+// OLCF's, Section VII) tunes: RPCs in flight per OST, pages per RPC, and
+// the dirty-page budget. They set the *intrinsic* per-process streaming
+// ceiling — the rate a perfectly placed client can sustain:
+//
+//   ceiling = min( max_rpcs_in_flight * rpc_bytes / rtt,
+//                  max_dirty_bytes / rtt,
+//                  client_link_bw )
+//
+// In the center model this intrinsic ceiling exceeds the placement-limited
+// rate (CenterConfig::per_hop_penalty, docs/MODEL_NOTES.md §4) for all but
+// zero-hop clients, which is exactly the paper's observation: tuning
+// client knobs alone cannot buy what placement buys.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace spider::fs {
+
+struct LustreClientParams {
+  /// osc.*.max_rpcs_in_flight (per OST).
+  unsigned max_rpcs_in_flight = 8;
+  /// Pages per RPC (256 x 4 KiB = 1 MiB, the classic wire size).
+  unsigned max_pages_per_rpc = 256;
+  /// osc.*.max_dirty_mb translated to bytes.
+  Bytes max_dirty_bytes = 32_MiB;
+  /// Request round-trip to the OSS at zero congestion, seconds.
+  double rpc_rtt_s = 4e-3;
+  /// Client NIC ceiling.
+  Bandwidth link_bw = 5.0 * kGBps;
+
+  Bytes rpc_bytes() const {
+    return static_cast<Bytes>(max_pages_per_rpc) * 4_KiB;
+  }
+};
+
+/// Intrinsic streaming ceiling to one OST.
+Bandwidth client_stream_ceiling(const LustreClientParams& params);
+
+/// Ceiling for a given transfer size: transfers below the RPC size cannot
+/// fill the pipeline (one RPC per syscall), reproducing the small-transfer
+/// penalty at the client level.
+Bandwidth client_transfer_ceiling(const LustreClientParams& params,
+                                  Bytes transfer_size);
+
+/// Striping a file over `stripe_count` OSTs multiplies the per-OST
+/// pipeline (each OSC has its own RPCs in flight), up to the link.
+Bandwidth client_striped_ceiling(const LustreClientParams& params,
+                                 unsigned stripe_count);
+
+}  // namespace spider::fs

@@ -1,0 +1,61 @@
+#include "fs/dne.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace spider::fs {
+
+DneNamespace::DneNamespace(const DneParams& params) : params_(params) {
+  if (params_.mdts == 0) throw std::invalid_argument("DneNamespace: mdts >= 1");
+  load_.assign(params_.mdts, 0.0);
+}
+
+std::size_t DneNamespace::mdt_of_dir(std::uint64_t dir_id) const {
+  std::uint64_t state = dir_id;
+  return static_cast<std::size_t>(splitmix64(state) % params_.mdts);
+}
+
+DneNamespace::OpOutcome DneNamespace::account(std::uint64_t dir_id, MetaOp op,
+                                              std::uint64_t linked_dir) {
+  OpOutcome out;
+  out.mdt = mdt_of_dir(dir_id);
+  const Mds cost_model(op_costs_);
+  out.cost = cost_model.op_cost(op);
+  if (linked_dir != UINT64_MAX && mdt_of_dir(linked_dir) != out.mdt) {
+    out.cross_mdt = true;
+    out.cost *= params_.cross_mdt_penalty;
+    // The remote shard does work too.
+    load_[mdt_of_dir(linked_dir)] += out.cost * 0.5;
+  }
+  load_[out.mdt] += out.cost;
+  return out;
+}
+
+double DneNamespace::imbalance() const { return imbalance_of(load_); }
+
+void DneNamespace::reset() { load_.assign(params_.mdts, 0.0); }
+
+double DneNamespace::capacity_ops() const {
+  return params_.mdt_ops_per_sec * static_cast<double>(params_.mdts);
+}
+
+double DneNamespace::max_throughput(
+    const std::vector<double>& offered_per_dir) const {
+  // Map the offered per-directory loads onto shards; the hottest shard
+  // saturates first and caps the whole namespace's scaling factor.
+  std::vector<double> shard(params_.mdts, 0.0);
+  double total = 0.0;
+  for (std::size_t d = 0; d < offered_per_dir.size(); ++d) {
+    shard[mdt_of_dir(d)] += offered_per_dir[d];
+    total += offered_per_dir[d];
+  }
+  const double hottest = *std::max_element(shard.begin(), shard.end());
+  if (hottest <= 0.0) return 0.0;
+  const double scale = std::min(1.0, params_.mdt_ops_per_sec / hottest);
+  return total * scale;
+}
+
+}  // namespace spider::fs

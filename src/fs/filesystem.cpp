@@ -1,0 +1,58 @@
+#include "fs/filesystem.hpp"
+
+#include <stdexcept>
+
+namespace spider::fs {
+
+std::size_t FileSystem::add_namespace(std::unique_ptr<FsNamespace> ns) {
+  namespaces_.push_back(std::move(ns));
+  return namespaces_.size() - 1;
+}
+
+FsNamespace* FileSystem::find(const std::string& name) {
+  for (auto& ns : namespaces_) {
+    if (ns->name() == name) return ns.get();
+  }
+  return nullptr;
+}
+
+void FileSystem::assign_project(std::uint32_t project, std::size_t ns_index) {
+  if (ns_index >= namespaces_.size()) {
+    throw std::out_of_range("FileSystem::assign_project: bad namespace");
+  }
+  project_ns_[project] = ns_index;
+}
+
+std::size_t FileSystem::namespace_of(std::uint32_t project) const {
+  if (namespaces_.empty()) throw std::logic_error("FileSystem: no namespaces");
+  auto it = project_ns_.find(project);
+  if (it != project_ns_.end()) return it->second;
+  return project % namespaces_.size();
+}
+
+FileId FileSystem::create_file(std::uint32_t project, Bytes size,
+                               sim::SimTime now, Rng& rng,
+                               std::optional<StripePolicy> policy) {
+  return namespaces_.at(namespace_of(project))
+      ->create_file(project, size, now, rng, policy);
+}
+
+Bytes FileSystem::capacity() const {
+  Bytes total = 0;
+  for (const auto& ns : namespaces_) total += ns->capacity();
+  return total;
+}
+
+Bytes FileSystem::used() const {
+  Bytes total = 0;
+  for (const auto& ns : namespaces_) total += ns->used();
+  return total;
+}
+
+std::uint64_t FileSystem::live_files() const {
+  std::uint64_t total = 0;
+  for (const auto& ns : namespaces_) total += ns->live_files();
+  return total;
+}
+
+}  // namespace spider::fs

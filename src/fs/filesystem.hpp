@@ -1,0 +1,51 @@
+// Multi-namespace file system (Spider I: four namespaces; Spider II: two).
+//
+// Projects are statically distributed across namespaces by the capacity
+// planner (Section IV-C / tools/capacity_planner); the file system routes
+// per-project operations to the owning namespace.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fs/fs_namespace.hpp"
+
+namespace spider::fs {
+
+class FileSystem {
+ public:
+  explicit FileSystem(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  std::size_t add_namespace(std::unique_ptr<FsNamespace> ns);
+  std::size_t namespaces() const { return namespaces_.size(); }
+  FsNamespace& ns(std::size_t i) { return *namespaces_.at(i); }
+  const FsNamespace& ns(std::size_t i) const { return *namespaces_.at(i); }
+  /// Lookup by name; nullptr when absent.
+  FsNamespace* find(const std::string& name);
+
+  /// Pin a project to a namespace (capacity-planner output).
+  void assign_project(std::uint32_t project, std::size_t ns_index);
+  /// Namespace that owns a project (unassigned projects hash round-robin).
+  std::size_t namespace_of(std::uint32_t project) const;
+
+  /// Create a file in the project's namespace.
+  FileId create_file(std::uint32_t project, Bytes size, sim::SimTime now,
+                     Rng& rng, std::optional<StripePolicy> policy = {});
+
+  Bytes capacity() const;
+  Bytes used() const;
+  std::uint64_t live_files() const;
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<FsNamespace>> namespaces_;
+  std::unordered_map<std::uint32_t, std::size_t> project_ns_;
+};
+
+}  // namespace spider::fs

@@ -1,0 +1,154 @@
+#include "fs/fs_namespace.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace spider::fs {
+
+namespace {
+// FileId layout: (generation << 32) | (slot + 1). Slot reuse bumps the
+// generation so stale ids never alias a new file.
+constexpr FileId make_id(std::uint32_t generation, std::size_t slot) {
+  return (static_cast<FileId>(generation) << 32) |
+         static_cast<FileId>(slot + 1);
+}
+constexpr std::size_t slot_of(FileId id) {
+  return static_cast<std::size_t>((id & 0xffffffffULL) - 1);
+}
+constexpr std::uint32_t generation_of(FileId id) {
+  return static_cast<std::uint32_t>(id >> 32);
+}
+}  // namespace
+
+FsNamespace::FsNamespace(std::string name, std::vector<Ost*> osts,
+                         const MdsParams& mds_params, AllocatorMode alloc_mode,
+                         StripePolicy default_policy)
+    : name_(std::move(name)),
+      osts_(std::move(osts)),
+      mds_(mds_params),
+      allocator_(osts_, alloc_mode),
+      default_policy_(default_policy) {
+  if (osts_.empty()) throw std::invalid_argument("FsNamespace: no OSTs");
+}
+
+FileId FsNamespace::create_file(std::uint32_t project, Bytes size,
+                                sim::SimTime now, Rng& rng,
+                                std::optional<StripePolicy> policy) {
+  const StripePolicy p = policy.value_or(default_policy_);
+  auto chosen = allocator_.allocate(p.stripe_count, size, rng);
+  if (chosen.empty()) return kNoFile;
+  mds_.account(MetaOp::kCreate);
+
+  std::size_t slot;
+  std::uint32_t generation = 0;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    generation = generation_of(files_[slot].id) + 1;
+  } else {
+    slot = files_.size();
+    files_.emplace_back();
+  }
+  FileRecord& rec = files_[slot];
+  rec.id = make_id(generation, slot);
+  rec.project = project;
+  rec.size = size;
+  rec.atime = rec.mtime = rec.ctime = now;
+  rec.stripe_offset = static_cast<std::uint32_t>(stripe_pool_.size());
+  rec.stripe_count = static_cast<std::uint32_t>(chosen.size());
+  rec.alive = true;
+  stripe_pool_.insert(stripe_pool_.end(), chosen.begin(), chosen.end());
+  ++live_files_;
+  ++total_created_;
+  return rec.id;
+}
+
+bool FsNamespace::exists(FileId id) const {
+  if (id == kNoFile) return false;
+  const std::size_t slot = slot_of(id);
+  return slot < files_.size() && files_[slot].alive && files_[slot].id == id;
+}
+
+const FileRecord& FsNamespace::file(FileId id) const {
+  if (!exists(id)) throw std::out_of_range("FsNamespace::file: no such file");
+  return files_[slot_of(id)];
+}
+
+FileRecord& FsNamespace::record(FileId id) {
+  if (!exists(id)) throw std::out_of_range("FsNamespace: no such file");
+  return files_[slot_of(id)];
+}
+
+void FsNamespace::read_file(FileId id, sim::SimTime now) {
+  FileRecord& rec = record(id);
+  rec.atime = now;
+  mds_.account(MetaOp::kLookup);
+  mds_.account(MetaOp::kStat, rec.stripe_count);
+}
+
+void FsNamespace::touch_file(FileId id, sim::SimTime now) {
+  FileRecord& rec = record(id);
+  rec.mtime = now;
+  rec.atime = now;
+  mds_.account(MetaOp::kSetattr);
+}
+
+void FsNamespace::stat_file(FileId id) {
+  const FileRecord& rec = record(id);
+  mds_.account(MetaOp::kStat, rec.stripe_count);
+}
+
+bool FsNamespace::unlink(FileId id, sim::SimTime now) {
+  (void)now;
+  if (!exists(id)) return false;
+  FileRecord& rec = files_[slot_of(id)];
+  allocator_.release(stripes_of(rec), rec.size);
+  mds_.account(MetaOp::kUnlink);
+  rec.alive = false;
+  free_slots_.push_back(slot_of(id));
+  --live_files_;
+  return true;
+}
+
+void FsNamespace::for_each_file(
+    const std::function<void(const FileRecord&)>& fn) const {
+  for (const auto& rec : files_) {
+    if (rec.alive) fn(rec);
+  }
+}
+
+Bytes FsNamespace::capacity() const {
+  Bytes total = 0;
+  for (const Ost* o : osts_) total += o->capacity();
+  return total;
+}
+
+Bytes FsNamespace::used() const {
+  Bytes total = 0;
+  for (const Ost* o : osts_) total += o->used();
+  return total;
+}
+
+double FsNamespace::fullness() const {
+  const Bytes cap = capacity();
+  return cap == 0 ? 1.0 : static_cast<double>(used()) / static_cast<double>(cap);
+}
+
+std::unordered_map<std::uint32_t, Bytes> FsNamespace::usage_by_project() const {
+  std::unordered_map<std::uint32_t, Bytes> usage;
+  for_each_file([&usage](const FileRecord& rec) { usage[rec.project] += rec.size; });
+  return usage;
+}
+
+Bandwidth FsNamespace::aggregate_ost_bw(block::IoMode mode, block::IoDir dir,
+                                        Bytes request_size) const {
+  double total = 0.0;
+  for (const Ost* o : osts_) total += o->bandwidth(mode, dir, request_size);
+  return total;
+}
+
+std::span<const std::uint32_t> FsNamespace::stripes_of(const FileRecord& rec) const {
+  return {stripe_pool_.data() + rec.stripe_offset, rec.stripe_count};
+}
+
+}  // namespace spider::fs

@@ -1,0 +1,29 @@
+#include "fs/journal.hpp"
+
+namespace spider::fs {
+
+double JournalModel::write_efficiency() const {
+  switch (mode) {
+    case JournalMode::kSyncOnData:
+      return 0.70;  // measured class of loss that motivated the work
+    case JournalMode::kAsync:
+      return 0.88;
+    case JournalMode::kHighPerformance:
+      return 0.97;
+  }
+  return 1.0;
+}
+
+double JournalModel::commit_latency_s() const {
+  switch (mode) {
+    case JournalMode::kSyncOnData:
+      return 12e-3;  // seek to the journal region and back
+    case JournalMode::kAsync:
+      return 3e-3;
+    case JournalMode::kHighPerformance:
+      return 0.5e-3;
+  }
+  return 0.0;
+}
+
+}  // namespace spider::fs

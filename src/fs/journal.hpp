@@ -1,0 +1,31 @@
+// Lustre journaling model.
+//
+// Section IV-D: OLCF direct-funded "high-performance Lustre journaling"
+// because stock ldiskfs journal commits serialized small synchronous writes
+// on the data spindles and cost double-digit write bandwidth. The model
+// expresses journaling as a write-efficiency factor plus a commit latency,
+// with three modes: synchronous on-data-disk journal (worst), asynchronous
+// commit (stock tuning), and the OLCF hardware/async journaling work (best).
+#pragma once
+
+namespace spider::fs {
+
+enum class JournalMode {
+  /// Journal on the data disks, synchronous transactions.
+  kSyncOnData,
+  /// Asynchronous journal commit (batched transactions).
+  kAsync,
+  /// OLCF-funded high-performance journaling (dedicated device + async).
+  kHighPerformance,
+};
+
+struct JournalModel {
+  JournalMode mode = JournalMode::kHighPerformance;
+
+  /// Multiplier on OST write bandwidth from journal traffic.
+  double write_efficiency() const;
+  /// Added latency per write RPC batch, seconds.
+  double commit_latency_s() const;
+};
+
+}  // namespace spider::fs

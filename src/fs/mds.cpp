@@ -1,0 +1,58 @@
+#include "fs/mds.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace spider::fs {
+
+Mds::Mds(const MdsParams& params) : params_(params) {
+  if (params_.base_ops_per_sec <= 0.0 || params_.dne_shards == 0) {
+    throw std::invalid_argument("Mds: base rate > 0 and >= 1 shard required");
+  }
+}
+
+double Mds::capacity_ops() const {
+  if (params_.dne_shards == 1) return params_.base_ops_per_sec;
+  const double extra = static_cast<double>(params_.dne_shards - 1);
+  return params_.base_ops_per_sec * (1.0 + extra * params_.dne_efficiency);
+}
+
+double Mds::op_cost(MetaOp op, std::uint32_t stripe_count) const {
+  double c = 0.0;
+  switch (op) {
+    case MetaOp::kCreate: c = params_.create_cost; break;
+    case MetaOp::kStat:
+      c = params_.stat_cost +
+          params_.stat_per_stripe_cost * static_cast<double>(
+              stripe_count > 0 ? stripe_count - 1 : 0);
+      break;
+    case MetaOp::kUnlink: c = params_.unlink_cost; break;
+    case MetaOp::kLookup: c = params_.lookup_cost; break;
+    case MetaOp::kSetattr: c = params_.setattr_cost; break;
+  }
+  return c;
+}
+
+void Mds::account(MetaOp op, std::uint32_t stripe_count) {
+  accounted_ += op_cost(op, stripe_count);
+  ++ops_seen_;
+}
+
+void Mds::reset_accounting() {
+  accounted_ = 0.0;
+  ops_seen_ = 0;
+}
+
+double Mds::throughput(double offered) const {
+  return std::min(offered, capacity_ops());
+}
+
+double Mds::mean_latency_s(double offered) const {
+  const double mu = capacity_ops();
+  const double service = 1.0 / mu;
+  const double rho = offered / mu;
+  if (rho >= 0.999) return service * 1000.0;  // saturated: three decades up
+  return service / (1.0 - rho);
+}
+
+}  // namespace spider::fs

@@ -1,0 +1,73 @@
+// Metadata server model (single MDS per namespace; optional DNE).
+//
+// Section IV-C: "Lustre supports a single metadata server per namespace.
+// This limitation cannot sustain the necessary rate of concurrent file
+// system metadata operations for the OLCF user workloads" — the reason
+// Spider was split into multiple namespaces, and why the paper recommends
+// using DNE (Lustre 2.4 Distributed Namespace) *and* multiple namespaces
+// concurrently. The model is an M/M/c-style queueing abstraction: a
+// capacity in weighted ops/sec, per-op-class costs, and latency that blows
+// up as offered load approaches capacity.
+//
+// Per the user best practices (Section VII), stat() on a striped file must
+// consult every OST holding data, so its cost scales with stripe count —
+// the reason small files should use stripe count 1.
+#pragma once
+
+#include <cstdint>
+
+namespace spider::fs {
+
+enum class MetaOp { kCreate, kStat, kUnlink, kLookup, kSetattr };
+
+struct MdsParams {
+  /// Weighted metadata ops/sec of one MDT (getattr-class unit cost).
+  double base_ops_per_sec = 20e3;
+  /// DNE shards (metadata targets); 1 = classic single MDS.
+  std::size_t dne_shards = 1;
+  /// DNE scaling efficiency per extra shard (cross-shard ops cost some).
+  double dne_efficiency = 0.85;
+  /// Relative cost per op class, in getattr units.
+  double create_cost = 2.5;
+  double stat_cost = 1.0;
+  double unlink_cost = 2.0;
+  double lookup_cost = 0.6;
+  double setattr_cost = 1.2;
+  /// Extra stat cost per data-holding OST beyond the first (glimpse RPCs).
+  double stat_per_stripe_cost = 0.35;
+};
+
+class Mds {
+ public:
+  explicit Mds(const MdsParams& params = {});
+
+  const MdsParams& params() const { return params_; }
+
+  /// Aggregate capacity in weighted ops/sec across DNE shards.
+  double capacity_ops() const;
+
+  /// Weighted cost of one op (stat cost grows with stripe count).
+  double op_cost(MetaOp op, std::uint32_t stripe_count = 1) const;
+
+  /// Record an op (telemetry used by LustreDU comparisons and monitoring).
+  void account(MetaOp op, std::uint32_t stripe_count = 1);
+  double accounted_load() const { return accounted_; }
+  std::uint64_t ops_seen() const { return ops_seen_; }
+  void reset_accounting();
+
+  /// Throughput achieved under an offered weighted load (ops-units/sec):
+  /// min(offered, capacity).
+  double throughput(double offered) const;
+
+  /// Mean response time under offered weighted load, seconds. M/M/1-style:
+  /// service 1/mu, waiting grows as rho/(1-rho); saturates to a large value
+  /// at/over capacity rather than infinity.
+  double mean_latency_s(double offered) const;
+
+ private:
+  MdsParams params_;
+  double accounted_ = 0.0;
+  std::uint64_t ops_seen_ = 0;
+};
+
+}  // namespace spider::fs

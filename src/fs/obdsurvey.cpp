@@ -1,0 +1,53 @@
+#include "fs/obdsurvey.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spider::fs {
+
+namespace {
+double thread_scaling(unsigned threads, const ObdSurveyConfig& cfg) {
+  if (threads == 0) return 0.0;
+  const double sat = static_cast<double>(cfg.saturation_threads);
+  const double t = static_cast<double>(threads);
+  // Ramp to saturation, then a slow decline from contention.
+  const double ramp = std::min(1.0, t / sat);
+  const double over = t > sat ? 1.0 - cfg.oversubscribe_penalty * (t - sat) : 1.0;
+  return ramp * std::max(0.5, over);
+}
+}  // namespace
+
+std::vector<ObdSurveyRow> run_obdfilter_survey(const Ost& ost,
+                                               const ObdSurveyConfig& cfg,
+                                               Rng& rng) {
+  std::vector<ObdSurveyRow> rows;
+  rows.reserve(cfg.thread_counts.size());
+  for (unsigned threads : cfg.thread_counts) {
+    const double scale = thread_scaling(threads, cfg);
+    ObdSurveyRow row;
+    row.threads = threads;
+    auto jitter = [&rng] { return 1.0 + 0.02 * (rng.uniform() - 0.5); };
+    row.write_bw = ost.bandwidth(block::IoMode::kSequential, block::IoDir::kWrite,
+                                 cfg.record_size) *
+                   scale * jitter();
+    // Rewrite skips allocation but pays the same journal cost; marginally
+    // faster than first write.
+    row.rewrite_bw = row.write_bw * 1.04 * jitter();
+    row.read_bw = ost.bandwidth(block::IoMode::kSequential, block::IoDir::kRead,
+                                cfg.record_size) *
+                  scale * jitter();
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+double fs_overhead_fraction(const Ost& ost, block::IoDir dir, Bytes record_size) {
+  const Bandwidth block_bw =
+      ost.group().bandwidth(block::IoMode::kSequential, dir, record_size);
+  if (block_bw <= 0.0) return 0.0;
+  const Bandwidth fs_bw =
+      ost.bandwidth(block::IoMode::kSequential, dir, record_size);
+  return 1.0 - fs_bw / block_bw;
+}
+
+}  // namespace spider::fs

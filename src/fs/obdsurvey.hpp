@@ -1,0 +1,45 @@
+// obdfilter-survey driver (Section III-B).
+//
+// The real obdfilter-survey benchmarks the obdfilter layer of the Lustre
+// stack — object write, rewrite, and read throughput as a function of
+// concurrent threads and objects — isolating file-system overhead from raw
+// block performance. Comparing its output with fair-lio's block numbers is
+// how the paper measures per-layer loss (Lesson 12).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "fs/ost.hpp"
+
+namespace spider::fs {
+
+struct ObdSurveyConfig {
+  std::vector<unsigned> thread_counts{1, 2, 4, 8, 16};
+  Bytes record_size = 1_MiB;
+  /// Threads needed to saturate the OST pipeline.
+  unsigned saturation_threads = 4;
+  /// Per-extra-thread efficiency loss past saturation (lock contention).
+  double oversubscribe_penalty = 0.01;
+};
+
+struct ObdSurveyRow {
+  unsigned threads = 0;
+  Bandwidth write_bw = 0.0;
+  Bandwidth rewrite_bw = 0.0;
+  Bandwidth read_bw = 0.0;
+};
+
+/// Run the survey against one OST.
+std::vector<ObdSurveyRow> run_obdfilter_survey(const Ost& ost,
+                                               const ObdSurveyConfig& cfg,
+                                               Rng& rng);
+
+/// File-system overhead vs the raw RAID group: 1 - (survey peak / block
+/// peak) for the given direction.
+double fs_overhead_fraction(const Ost& ost, block::IoDir dir,
+                            Bytes record_size = 1_MiB);
+
+}  // namespace spider::fs

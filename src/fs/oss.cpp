@@ -1,0 +1,19 @@
+#include "fs/oss.hpp"
+
+#include <algorithm>
+
+namespace spider::fs {
+
+Oss::Oss(std::uint32_t id, OssParams params, std::size_t ib_leaf)
+    : id_(id), params_(params), ib_leaf_(ib_leaf) {}
+
+Bandwidth Oss::node_bw() const { return std::min(params_.net_bw, params_.cpu_bw); }
+
+Bandwidth Oss::delivered_bw(block::IoMode mode, block::IoDir dir,
+                            Bytes request_size) const {
+  double ost_side = 0.0;
+  for (const Ost* o : osts_) ost_side += o->bandwidth(mode, dir, request_size);
+  return std::min(ost_side, node_bw());
+}
+
+}  // namespace spider::fs

@@ -1,0 +1,52 @@
+// Object Storage Server: the diskless Lustre server node fronting several
+// OSTs (Lesson 7: OLCF boots OSS/MDS diskless via GeDI).
+//
+// Spider II runs 288 OSS for 2,016 OSTs (7 OSTs each). An OSS caps the
+// bandwidth of its OSTs at min(network port, CPU/memory pipeline); it also
+// carries the leaf-switch attachment FGR routes against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "fs/ost.hpp"
+
+namespace spider::fs {
+
+struct OssParams {
+  /// FDR InfiniBand port effective bandwidth.
+  Bandwidth net_bw = 6.0 * kGBps;
+  /// Software/CPU ceiling moving data between network and block layers.
+  Bandwidth cpu_bw = 5.5 * kGBps;
+  /// RPC processing ceiling for small-request workloads.
+  double rpc_per_sec = 30e3;
+};
+
+class Oss {
+ public:
+  Oss(std::uint32_t id, OssParams params, std::size_t ib_leaf);
+
+  std::uint32_t id() const { return id_; }
+  const OssParams& params() const { return params_; }
+  std::size_t ib_leaf() const { return ib_leaf_; }
+
+  void attach(Ost* ost) { osts_.push_back(ost); }
+  const std::vector<Ost*>& osts() const { return osts_; }
+
+  /// Server-side ceiling independent of its OSTs.
+  Bandwidth node_bw() const;
+
+  /// Delivered bandwidth for a uniform stream over all attached OSTs:
+  /// min(sum of OST bandwidths, node ceiling).
+  Bandwidth delivered_bw(block::IoMode mode, block::IoDir dir,
+                         Bytes request_size = 1_MiB) const;
+
+ private:
+  std::uint32_t id_;
+  OssParams params_;
+  std::size_t ib_leaf_;
+  std::vector<Ost*> osts_;
+};
+
+}  // namespace spider::fs

@@ -1,0 +1,50 @@
+#include "fs/purge.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace spider::fs {
+
+PurgeReport run_purge(FsNamespace& ns, sim::SimTime now,
+                      const PurgePolicy& policy) {
+  PurgeReport report;
+  const sim::SimTime window =
+      static_cast<sim::SimTime>(policy.window_days * static_cast<double>(sim::kDay));
+  const sim::SimTime cutoff = now - window;
+
+  const double mds_before = ns.mds().accounted_load();
+  std::vector<FileId> victims;
+  ns.for_each_file([&](const FileRecord& rec) {
+    ++report.scanned;
+    if (rec.project == policy.exempt_project) return;
+    const sim::SimTime last_touch =
+        std::max(rec.atime, std::max(rec.mtime, rec.ctime));
+    if (last_touch < cutoff) victims.push_back(rec.id);
+  });
+  for (FileId id : victims) {
+    const Bytes size = ns.file(id).size;
+    if (ns.unlink(id, now)) {
+      ++report.purged;
+      report.freed += size;
+    }
+  }
+  report.mds_ops = ns.mds().accounted_load() - mds_before;
+  return report;
+}
+
+void schedule_daily_purge(sim::Simulator& sim, FsNamespace& ns,
+                          const PurgePolicy& policy, int days,
+                          double hour_of_day, std::vector<PurgeReport>* reports) {
+  const auto start_day = sim.now() / sim::kDay;
+  for (int d = 0; d < days; ++d) {
+    const sim::SimTime when =
+        (start_day + 1 + d) * sim::kDay +
+        static_cast<sim::SimTime>(hour_of_day * static_cast<double>(sim::kHour));
+    sim.schedule_at(when, [&sim, &ns, policy, reports] {
+      const auto report = run_purge(ns, sim.now(), policy);
+      if (reports) reports->push_back(report);
+    });
+  }
+}
+
+}  // namespace spider::fs

@@ -1,0 +1,46 @@
+// Automatic purge engine (Lesson 10).
+//
+// "Files that are not created, modified, or accessed within a contiguous
+// 14 day range are deleted by an automated process. This mechanism allows
+// for automatic capacity trimming" — keeping scratch fullness below the
+// 70% severe-degradation point.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "fs/fs_namespace.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace spider::fs {
+
+struct PurgePolicy {
+  /// Files untouched (atime, mtime, and ctime) for this long are purged.
+  double window_days = 14.0;
+  /// Purge runs can exempt projects (e.g. under an active extension).
+  std::uint32_t exempt_project = UINT32_MAX;
+};
+
+struct PurgeReport {
+  std::uint64_t scanned = 0;
+  std::uint64_t purged = 0;
+  Bytes freed = 0;
+  /// Weighted MDS ops the sweep itself cost (scan stats + unlinks).
+  double mds_ops = 0.0;
+};
+
+/// One purge sweep over a namespace at simulated time `now`.
+PurgeReport run_purge(FsNamespace& ns, sim::SimTime now,
+                      const PurgePolicy& policy = {});
+
+/// Schedule the production cadence: one sweep per day at `hour_of_day`
+/// (OLCF runs it off-hours), for `days` days starting from the
+/// simulator's current day. Reports accumulate into `*reports` if given.
+void schedule_daily_purge(sim::Simulator& sim, FsNamespace& ns,
+                          const PurgePolicy& policy, int days,
+                          double hour_of_day = 2.0,
+                          std::vector<PurgeReport>* reports = nullptr);
+
+}  // namespace spider::fs

@@ -1,0 +1,40 @@
+#include "fs/recovery.hpp"
+
+#include <algorithm>
+
+namespace spider::fs {
+
+FailoverOutcome simulate_oss_failover(const RecoveryParams& params) {
+  FailoverOutcome out;
+
+  // Detection: how long until clients know the OSS moved.
+  if (params.asymmetric_router_notification) {
+    // Routers see the dead path and broadcast; no RPC timeout.
+    out.detection_s = params.notification_s;
+  } else if (params.imperative_recovery) {
+    // The failover server boots its targets and pings clients; still pays
+    // the failover partner's takeover delay, not the full RPC timeout.
+    out.detection_s = params.notification_s + 0.1 * params.rpc_timeout_s;
+  } else {
+    // Classic: mean RPC timeout plus detection spread.
+    out.detection_s = params.rpc_timeout_s + 0.5 * params.detection_spread_s;
+  }
+
+  // Reconnect storm: all clients stream reconnect RPCs into one server.
+  out.reconnect_s =
+      static_cast<double>(params.clients) / params.reconnect_rate;
+
+  // Straggler gating: classic recovery keeps the window open until the
+  // last known client returns or the window expires. Imperative recovery
+  // evicts non-responding clients quickly instead of waiting.
+  if (params.imperative_recovery) {
+    out.straggler_wait_s = std::min(10.0, params.recovery_window_s);
+  } else if (params.straggler_fraction > 0.0) {
+    out.straggler_wait_s = params.recovery_window_s;
+  }
+
+  out.total_outage_s = out.detection_s + out.reconnect_s + out.straggler_wait_s;
+  return out;
+}
+
+}  // namespace spider::fs

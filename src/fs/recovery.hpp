@@ -1,0 +1,55 @@
+// Lustre failover recovery, including the OLCF-funded features
+// (Section IV-D): imperative recovery and asymmetric router notification.
+//
+// Classic Lustre recovery after an OSS failover: clients discover the
+// failure only when their RPCs time out, then reconnect to the failover
+// partner; the server holds a recovery window open until every known
+// client reconnects (or the window expires) before serving new I/O.
+// At Titan scale (18,688 clients behind 440 routers) timeouts and the
+// straggler-gated window dominate. Imperative recovery has the server
+// *tell* clients to reconnect immediately; asymmetric router notification
+// lets LNET routers broadcast a dead-path notice so clients skip the RPC
+// timeout entirely.
+#pragma once
+
+#include <cstddef>
+
+namespace spider::fs {
+
+struct RecoveryParams {
+  std::size_t clients = 18688;
+  /// Classic RPC timeout before a client notices the OSS is gone.
+  double rpc_timeout_s = 100.0;
+  /// Spread of client timeout detection (in-flight RPC phase), seconds.
+  double detection_spread_s = 60.0;
+  /// Recovery window the failover server holds for stragglers.
+  double recovery_window_s = 300.0;
+  /// Reconnect RPCs/sec the failover server can absorb.
+  double reconnect_rate = 2000.0;
+  /// Fraction of clients that are slow/absent stragglers under classic
+  /// recovery (they gate the window).
+  double straggler_fraction = 0.002;
+  // --- OLCF-funded features ---
+  /// Server-initiated reconnect notification.
+  bool imperative_recovery = false;
+  /// Routers broadcast dead-path notices (skips the RPC timeout).
+  bool asymmetric_router_notification = false;
+  /// Notification fan-out latency through the router fleet.
+  double notification_s = 2.0;
+};
+
+struct FailoverOutcome {
+  /// Time from OSS death until clients know to reconnect.
+  double detection_s = 0.0;
+  /// Time spent streaming reconnects into the failover server.
+  double reconnect_s = 0.0;
+  /// Extra time the recovery window stayed open for stragglers.
+  double straggler_wait_s = 0.0;
+  /// Total I/O outage for the affected OSTs.
+  double total_outage_s = 0.0;
+};
+
+/// Model one OSS failover under the given feature set.
+FailoverOutcome simulate_oss_failover(const RecoveryParams& params);
+
+}  // namespace spider::fs

@@ -1,0 +1,96 @@
+#include "fs/thinfs.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace spider::fs {
+
+ThinFs::ThinFs(std::vector<Ost*> osts, ThinFsParams params)
+    : osts_(std::move(osts)), params_(params) {
+  if (osts_.empty()) throw std::invalid_argument("ThinFs: no OSTs");
+  if (params_.reserve_fraction <= 0.0 || params_.reserve_fraction >= 0.5) {
+    throw std::invalid_argument("ThinFs: reserve fraction must be in (0, 0.5)");
+  }
+}
+
+Bytes ThinFs::reserved_capacity() const {
+  Bytes total = 0;
+  for (const Ost* o : osts_) {
+    total += static_cast<Bytes>(static_cast<double>(o->capacity()) *
+                                params_.reserve_fraction);
+  }
+  return total;
+}
+
+QaMeasurement ThinFs::measure(std::size_t idx, sim::SimTime now,
+                              Rng& rng) const {
+  const Ost& o = *osts_[idx];
+  QaMeasurement m;
+  m.ost = o.id();
+  m.when = now;
+  // The thin region is freshly formatted for every run: hardware bandwidth
+  // (RAID group through obdfilter) without the production fullness factor,
+  // with benchmark run-to-run noise.
+  const double noise = 1.0 + 0.015 * (rng.uniform() - 0.5);
+  const double fullness_factor = o.fullness_factor();
+  const double divisor = fullness_factor > 0.0 ? fullness_factor : 1.0;
+  m.write_bw = o.bandwidth(block::IoMode::kSequential, block::IoDir::kWrite,
+                           params_.request_size) /
+               divisor * noise;
+  m.read_bw = o.bandwidth(block::IoMode::kSequential, block::IoDir::kRead,
+                          params_.request_size) /
+              divisor * noise;
+  return m;
+}
+
+QaReport ThinFs::baseline(sim::SimTime now, Rng& rng) {
+  baseline_.assign(osts_.size(), 0.0);
+  QaReport report;
+  report.when = now;
+  report.osts_tested = osts_.size();
+  double ratio_acc = 0.0;
+  for (std::size_t i = 0; i < osts_.size(); ++i) {
+    const auto m = measure(i, now, rng);
+    baseline_[i] = m.write_bw;
+    report.fleet_write_bw += m.write_bw;
+    const double prod = osts_[i]->bandwidth(block::IoMode::kSequential,
+                                            block::IoDir::kWrite,
+                                            params_.request_size);
+    ratio_acc += prod > 0.0 ? m.write_bw / prod : 0.0;
+  }
+  report.fresh_over_production = ratio_acc / static_cast<double>(osts_.size());
+  return report;
+}
+
+QaReport ThinFs::run_qa(sim::SimTime now, Rng& rng) {
+  if (baseline_.empty()) return baseline(now, rng);
+  QaReport report;
+  report.when = now;
+  report.osts_tested = osts_.size();
+  double ratio_acc = 0.0;
+  for (std::size_t i = 0; i < osts_.size(); ++i) {
+    const auto m = measure(i, now, rng);
+    report.fleet_write_bw += m.write_bw;
+    if (baseline_[i] > 0.0 &&
+        m.write_bw < baseline_[i] * (1.0 - params_.regression_threshold)) {
+      report.regressed_osts.push_back(m.ost);
+    }
+    const double prod = osts_[i]->bandwidth(block::IoMode::kSequential,
+                                            block::IoDir::kWrite,
+                                            params_.request_size);
+    ratio_acc += prod > 0.0 ? m.write_bw / prod : 0.0;
+  }
+  report.fresh_over_production = ratio_acc / static_cast<double>(osts_.size());
+  return report;
+}
+
+Bandwidth ThinFs::baseline_write_bw(std::uint32_t ost) const {
+  for (std::size_t i = 0; i < osts_.size(); ++i) {
+    if (osts_[i]->id() == ost) {
+      return i < baseline_.size() ? baseline_[i] : 0.0;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace spider::fs

@@ -1,0 +1,87 @@
+// The "thin" test file system — performance QA for the life of the PFS
+// (Section V-D, Lesson 16).
+//
+// "the Spider file systems were provisioned with a small part of each RAID
+// volume reserved for long-term testing. While it only represents a small
+// percentage of the total hardware capacity, it can be used to stress the
+// entire system. This 'thin' file system, which contains no user data, can
+// be used to run destructive benchmarks even after Spider has been put
+// into production. It also allows for performance comparisons between full
+// file systems and those that are freshly formatted."
+//
+// The model reserves a capacity fraction on every OST, runs QA sweeps that
+// never touch user data (the thin region is always "freshly formatted", so
+// QA measures hardware health rather than fullness state), and maintains a
+// per-OST performance baseline so regressions surface as alerts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "fs/ost.hpp"
+#include "sim/time.hpp"
+
+namespace spider::fs {
+
+struct ThinFsParams {
+  /// Fraction of each OST reserved for the thin file system (the paper:
+  /// "a small percentage"; accounted for at acquisition time).
+  double reserve_fraction = 0.01;
+  /// QA request size.
+  Bytes request_size = 1_MiB;
+  /// A QA result this fraction below the recorded baseline raises a flag.
+  double regression_threshold = 0.10;
+};
+
+struct QaMeasurement {
+  std::uint32_t ost = 0;
+  Bandwidth write_bw = 0.0;
+  Bandwidth read_bw = 0.0;
+  sim::SimTime when = 0;
+};
+
+struct QaReport {
+  sim::SimTime when = 0;
+  std::size_t osts_tested = 0;
+  double fleet_write_bw = 0.0;  ///< aggregate of per-OST results
+  std::vector<std::uint32_t> regressed_osts;
+  /// Mean ratio of thin-region (fresh) to production-region bandwidth —
+  /// the paper's full-vs-fresh comparison.
+  double fresh_over_production = 0.0;
+};
+
+class ThinFs {
+ public:
+  /// `osts` are non-owning and must outlive the ThinFs.
+  ThinFs(std::vector<Ost*> osts, ThinFsParams params = {});
+
+  const ThinFsParams& params() const { return params_; }
+  /// Capacity set aside across the fleet (the acquisition line item).
+  Bytes reserved_capacity() const;
+
+  /// First QA pass: records the accepted baseline per OST.
+  QaReport baseline(sim::SimTime now, Rng& rng);
+  bool has_baseline() const { return !baseline_.empty(); }
+
+  /// Periodic QA pass: destructive write/read in the thin region only;
+  /// compares against the baseline and against the production region's
+  /// current (fullness-affected) bandwidth.
+  QaReport run_qa(sim::SimTime now, Rng& rng);
+
+  /// Recorded baseline for an OST (0 if none).
+  Bandwidth baseline_write_bw(std::uint32_t ost) const;
+
+ private:
+  /// Thin-region measurement: the reserve is always freshly formatted, so
+  /// no fullness factor applies — only the hardware underneath.
+  QaMeasurement measure(std::size_t idx, sim::SimTime now, Rng& rng) const;
+
+  std::vector<Ost*> osts_;
+  ThinFsParams params_;
+  std::vector<Bandwidth> baseline_;
+};
+
+}  // namespace spider::fs

@@ -1,0 +1,124 @@
+#include "infra/config_mgmt.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace spider::infra {
+
+void ConfigSpec::set(const std::string& key, const std::string& value) {
+  entries_[key] = value;
+  ++version_;
+}
+
+const std::string* ConfigSpec::get(const std::string& key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::size_t ManagedNode::drift_against(const ConfigSpec& spec) const {
+  std::size_t drift = 0;
+  for (const auto& [key, value] : spec.all()) {
+    auto it = state_.find(key);
+    if (it == state_.end() || it->second != value) ++drift;
+  }
+  return drift;
+}
+
+std::size_t ManagedNode::apply(const ConfigSpec& spec) {
+  std::size_t changed = 0;
+  for (const auto& [key, value] : spec.all()) {
+    auto it = state_.find(key);
+    if (it == state_.end() || it->second != value) {
+      state_[key] = value;
+      ++changed;
+    }
+  }
+  return changed;
+}
+
+void ManagedNode::mutate(const std::string& key, const std::string& value) {
+  state_[key] = value;
+}
+
+ConfigManager::ConfigManager(std::string fleet_name, std::size_t nodes)
+    : fleet_name_(std::move(fleet_name)) {
+  nodes_.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    nodes_.emplace_back(static_cast<std::uint32_t>(i));
+  }
+}
+
+DriftReport ConfigManager::audit() const {
+  DriftReport report;
+  report.nodes_audited = nodes_.size();
+  for (const auto& node : nodes_) {
+    const std::size_t drift = node.drift_against(spec_);
+    if (drift > 0) {
+      ++report.drifted_nodes;
+      report.drifted_entries += drift;
+    }
+  }
+  return report;
+}
+
+std::size_t ConfigManager::converge() {
+  std::size_t changed = 0;
+  for (auto& node : nodes_) changed += node.apply(spec_);
+  return changed;
+}
+
+RolloutResult ConfigManager::staged_rollout(const ConfigSpec& next,
+                                            double canary_fraction,
+                                            double failure_prob, Rng& rng) {
+  RolloutResult result;
+  const auto canaries = std::max<std::size_t>(
+      1, static_cast<std::size_t>(canary_fraction *
+                                  static_cast<double>(nodes_.size())));
+  result.canary_nodes = canaries;
+  bool canary_failed = false;
+  for (std::size_t i = 0; i < canaries; ++i) {
+    nodes_[i].apply(next);
+    if (rng.chance(failure_prob)) {
+      canary_failed = true;
+      break;
+    }
+  }
+  if (canary_failed) {
+    // Roll the canaries back to the current spec; the fleet never saw the
+    // bad change.
+    for (std::size_t i = 0; i < canaries; ++i) nodes_[i].apply(spec_);
+    result.rolled_back = true;
+    return result;
+  }
+  spec_ = next;
+  result.converged_nodes = nodes_.size();
+  converge();
+  result.success = true;
+  return result;
+}
+
+CentralizationComparison compare_centralization(std::size_t fleets,
+                                                std::size_t edits_per_year,
+                                                double miss_prob, Rng& rng) {
+  CentralizationComparison cmp;
+  cmp.specs_centralized = 1;
+  cmp.specs_separate = fleets;
+  cmp.edits_centralized = static_cast<double>(edits_per_year);
+  cmp.edits_separate = static_cast<double>(edits_per_year * fleets);
+
+  // Separate instances: each change must be copied into every fleet's
+  // spec; with probability miss_prob a fleet is forgotten and its spec
+  // permanently diverges on that entry.
+  std::vector<std::set<std::size_t>> missing(fleets);
+  for (std::size_t edit = 0; edit < edits_per_year; ++edit) {
+    for (std::size_t f = 0; f < fleets; ++f) {
+      if (rng.chance(miss_prob)) missing[f].insert(edit);
+    }
+  }
+  std::set<std::size_t> inconsistent;
+  for (const auto& m : missing) inconsistent.insert(m.begin(), m.end());
+  cmp.inconsistent_entries = inconsistent.size();
+  return cmp;
+}
+
+}  // namespace spider::infra

@@ -1,0 +1,124 @@
+// Configuration and change management (BCFG2 class; Lessons 6-7).
+//
+// "The process is integrated with the center's change and configuration
+// management system, BCFG2, so that the effects of specific changes are
+// easily determined... OLCF modifications to BCFG2 support diskless
+// clients allowing for fast convergence to a node's configuration."
+//
+// Lesson 6's centralization argument is made measurable here: one shared
+// spec serving every fleet (centralized) vs per-fleet spec copies that
+// drift apart (the pre-2010 separate-instance structure). The model
+// supports declarative specs, drift auditing, convergence, and staged
+// (canary) rollouts with rollback — the "repeatable, reliable processes"
+// of Lesson 7.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace spider::infra {
+
+/// Declarative desired state: key -> value (file contents, package
+/// versions, service states — all reduced to entries).
+class ConfigSpec {
+ public:
+  ConfigSpec() = default;
+
+  void set(const std::string& key, const std::string& value);
+  const std::string* get(const std::string& key) const;
+  std::size_t entries() const { return entries_.size(); }
+  std::uint32_t version() const { return version_; }
+  const std::map<std::string, std::string>& all() const { return entries_; }
+
+ private:
+  std::map<std::string, std::string> entries_;
+  std::uint32_t version_ = 0;
+};
+
+/// A node's actual configuration state.
+class ManagedNode {
+ public:
+  explicit ManagedNode(std::uint32_t id) : id_(id) {}
+
+  std::uint32_t id() const { return id_; }
+
+  /// Entries differing from (or missing vs) the spec.
+  std::size_t drift_against(const ConfigSpec& spec) const;
+  /// Converge to the spec; returns entries changed.
+  std::size_t apply(const ConfigSpec& spec);
+  /// Out-of-band local change (the thing audits exist to catch).
+  void mutate(const std::string& key, const std::string& value);
+
+ private:
+  std::uint32_t id_;
+  std::map<std::string, std::string> state_;
+};
+
+struct DriftReport {
+  std::size_t nodes_audited = 0;
+  std::size_t drifted_nodes = 0;
+  std::size_t drifted_entries = 0;
+};
+
+struct RolloutResult {
+  bool success = false;
+  bool rolled_back = false;
+  std::size_t canary_nodes = 0;
+  std::size_t converged_nodes = 0;
+};
+
+/// One fleet (e.g. "spider-oss", "spider-routers") under one spec.
+class ConfigManager {
+ public:
+  explicit ConfigManager(std::string fleet_name, std::size_t nodes);
+
+  const std::string& fleet() const { return fleet_name_; }
+  std::size_t nodes() const { return nodes_.size(); }
+  ConfigSpec& spec() { return spec_; }
+  const ConfigSpec& spec() const { return spec_; }
+  ManagedNode& node(std::size_t i) { return nodes_.at(i); }
+
+  DriftReport audit() const;
+  /// Converge every node to the spec; returns total entries changed.
+  std::size_t converge();
+
+  /// Staged rollout of `next`: apply to a canary fraction first and
+  /// validate (each canary fails with `failure_prob`); on any canary
+  /// failure the change is rolled back fleet-wide. On success the
+  /// remainder converges. This is the change-management discipline that
+  /// keeps effects of specific changes "easily determined".
+  RolloutResult staged_rollout(const ConfigSpec& next, double canary_fraction,
+                               double failure_prob, Rng& rng);
+
+ private:
+  std::string fleet_name_;
+  ConfigSpec spec_;
+  std::vector<ManagedNode> nodes_;
+};
+
+// --- Lesson 6: centralized vs separate infrastructure -----------------------
+
+struct CentralizationComparison {
+  /// Specs maintained (1 centralized vs one per fleet).
+  std::size_t specs_centralized = 0;
+  std::size_t specs_separate = 0;
+  /// Entries that differ between fleets' specs after independent edits —
+  /// the inconsistencies Lesson 6 wants eliminated.
+  std::size_t inconsistent_entries = 0;
+  /// Annual admin effort, in spec-edit units.
+  double edits_centralized = 0.0;
+  double edits_separate = 0.0;
+};
+
+/// Simulate `edits_per_year` config changes maintained either once
+/// (centralized) or per fleet with probability `miss_prob` of a fleet being
+/// forgotten on each change.
+CentralizationComparison compare_centralization(std::size_t fleets,
+                                                std::size_t edits_per_year,
+                                                double miss_prob, Rng& rng);
+
+}  // namespace spider::infra

@@ -1,0 +1,75 @@
+#include "infra/gedi.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spider::infra {
+
+GediProvisioner::GediProvisioner(GediParams params) : params_(params) {}
+
+void GediProvisioner::add_boot_script(BootScript script) {
+  scripts_.push_back(std::move(script));
+  std::stable_sort(scripts_.begin(), scripts_.end(),
+                   [](const BootScript& a, const BootScript& b) {
+                     if (a.order != b.order) return a.order < b.order;
+                     return a.name < b.name;
+                   });
+}
+
+BootRecord GediProvisioner::boot_node(std::uint32_t node, Rng& rng) const {
+  BootRecord rec;
+  rec.node = node;
+  rec.image_version = image_.version;
+  double t = params_.post_s * rng.uniform(0.95, 1.05);
+  t += static_cast<double>(image_.size) / params_.control_net_bw;
+  t += params_.kernel_init_s;
+  for (const auto& s : scripts_) {
+    rec.script_order.push_back(s.name);
+    rec.generated_files.insert(rec.generated_files.end(),
+                               s.generated_files.begin(),
+                               s.generated_files.end());
+    t += s.runtime_s;
+  }
+  rec.boot_time_s = t;
+  return rec;
+}
+
+double GediProvisioner::fleet_boot_time_s(std::size_t nodes) const {
+  if (nodes == 0) return 0.0;
+  // POST and scripts run fully parallel; image transfers are limited by the
+  // boot server's stream count, in waves.
+  const double per_node_serial =
+      params_.post_s + params_.kernel_init_s +
+      [this] {
+        double s = 0.0;
+        for (const auto& script : scripts_) s += script.runtime_s;
+        return s;
+      }();
+  const double transfer_s =
+      static_cast<double>(image_.size) / params_.control_net_bw;
+  const auto waves = static_cast<double>(
+      (nodes + params_.parallel_streams - 1) / params_.parallel_streams);
+  return per_node_serial + waves * transfer_s;
+}
+
+DisklessSavings diskless_savings(std::size_t nodes,
+                                 const DiskfulHardwareCost& cost) {
+  DisklessSavings s;
+  s.per_node_acquisition = cost.raid_controller + cost.backplane +
+                           cost.cabling + cost.carriers + cost.boot_drives;
+  s.fleet_acquisition = s.per_node_acquisition * static_cast<double>(nodes);
+  s.fleet_annual_maintenance =
+      s.fleet_acquisition * cost.annual_maintenance_fraction;
+  return s;
+}
+
+MttrComparison repair_mttr(const GediProvisioner& gedi, double reinstall_s,
+                           double manual_config_s) {
+  MttrComparison m;
+  Rng rng(0);  // MTTR estimate uses the nominal boot
+  m.diskless_s = gedi.boot_node(0, rng).boot_time_s;
+  m.diskful_s = m.diskless_s + reinstall_s + manual_config_s;
+  return m;
+}
+
+}  // namespace spider::infra

@@ -1,0 +1,129 @@
+// GeDI: Generic Diskless Installer — cluster provisioning (Lesson 7).
+//
+// "The OLCF has deployed cluster resources (both file system and compute)
+// using the open-source Generic Diskless Installer (GeDI) since 2007. This
+// mechanism allows the nodes to boot over the control network, tftp, an
+// initial initrd, and then mount the root file system in a read-only
+// fashion." OLCF extended GeDI for Spider II so configuration files are
+// generated *as the node boots*, before the service needing them starts:
+// "Scripts in /etc/gedi.d are run in integer order to build configuration
+// files for network configuration, the InfiniBand srp_daemon
+// configuration, and the InfiniBand Subnet Manager."
+//
+// The model covers what the paper argues with it: diskless servers need no
+// RAID controllers/backplanes/cabling/carriers/drives (cost), the image
+// build is repeatable (every boot converges to the image + generated
+// config), and image swaps make MTTR a reboot rather than a reinstall.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace spider::infra {
+
+/// A versioned, read-only root image served over the control network.
+struct NodeImage {
+  std::string name = "oss-image";
+  std::uint32_t version = 1;
+  Bytes size = 2_GiB;
+};
+
+/// One /etc/gedi.d script: runs at `order` during boot and emits
+/// `generated_files` into the RAM-disk overlays (/etc, /var, /opt).
+struct BootScript {
+  int order = 0;
+  std::string name;
+  std::vector<std::string> generated_files;
+  /// Seconds the script takes on a healthy boot.
+  double runtime_s = 0.5;
+};
+
+/// Result of booting one node.
+struct BootRecord {
+  std::uint32_t node = 0;
+  std::uint32_t image_version = 0;
+  double boot_time_s = 0.0;
+  /// Script names in execution order (must be integer-order sorted).
+  std::vector<std::string> script_order;
+  /// Host-specific files generated before services started.
+  std::vector<std::string> generated_files;
+};
+
+struct GediParams {
+  /// tftp + kernel + initrd transfer rate from the boot server.
+  Bandwidth control_net_bw = 100.0 * kMBps;
+  /// Fixed firmware/POST time per node.
+  double post_s = 45.0;
+  /// Kernel + initrd + read-only root mount once the image arrives.
+  double kernel_init_s = 20.0;
+  /// Concurrent image streams the boot infrastructure sustains.
+  std::size_t parallel_streams = 64;
+};
+
+class GediProvisioner {
+ public:
+  explicit GediProvisioner(GediParams params = {});
+
+  void set_image(NodeImage image) { image_ = image; }
+  const NodeImage& image() const { return image_; }
+  /// Register a gedi.d script; scripts run in ascending `order` (ties by
+  /// name, as the shell glob would).
+  void add_boot_script(BootScript script);
+  std::size_t scripts() const { return scripts_.size(); }
+
+  /// Boot one node: POST, image transfer, kernel, then gedi.d scripts in
+  /// integer order. Deterministic except for small jitter from `rng`.
+  BootRecord boot_node(std::uint32_t node, Rng& rng) const;
+
+  /// Wall-clock to (re)boot a fleet of `nodes`, given the configured
+  /// parallel stream limit — the MTTR lever Lesson 7 cares about.
+  double fleet_boot_time_s(std::size_t nodes) const;
+
+ private:
+  GediParams params_;
+  NodeImage image_;
+  std::vector<BootScript> scripts_;
+};
+
+// --- the diskless cost argument ---------------------------------------------
+
+/// Per-node hardware a diskful server needs that a diskless one does not
+/// ("these nodes do not require RAID controllers, disk backplanes, cabling,
+/// disk carriers, or the physical hard drives").
+struct DiskfulHardwareCost {
+  double raid_controller = 450.0;
+  double backplane = 220.0;
+  double cabling = 60.0;
+  double carriers = 90.0;
+  double boot_drives = 2.0 * 180.0;  // mirrored pair
+  /// Annualized replacement/maintenance cost of the above.
+  double annual_maintenance_fraction = 0.08;
+};
+
+struct DisklessSavings {
+  double per_node_acquisition = 0.0;
+  double fleet_acquisition = 0.0;
+  double fleet_annual_maintenance = 0.0;
+};
+
+/// Acquisition + maintenance savings across a server fleet (Spider II: 288
+/// OSS + 440 routers + MDS nodes all boot diskless).
+DisklessSavings diskless_savings(std::size_t nodes,
+                                 const DiskfulHardwareCost& cost = {});
+
+/// MTTR comparison for "replace a broken server's system state": diskless
+/// = swap hardware + one boot; diskful = swap + reinstall + configure.
+struct MttrComparison {
+  double diskless_s = 0.0;
+  double diskful_s = 0.0;
+};
+MttrComparison repair_mttr(const GediProvisioner& gedi,
+                           double reinstall_s = 3600.0,
+                           double manual_config_s = 1800.0);
+
+}  // namespace spider::infra

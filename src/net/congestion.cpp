@@ -1,0 +1,79 @@
+#include "net/congestion.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+
+namespace spider::net {
+
+std::vector<double> link_loads(const Torus3D& torus, const FgrPolicy& policy,
+                               std::span<const int> client_nodes,
+                               std::span<const std::size_t> dest_leaf,
+                               Bandwidth per_client_bw, RoutingChoice routing) {
+  if (client_nodes.size() != dest_leaf.size()) {
+    throw std::invalid_argument("link_loads: clients/leaves size mismatch");
+  }
+  std::vector<double> loads(static_cast<std::size_t>(torus.num_links()), 0.0);
+  std::uint64_t rr = 0;
+  for (std::size_t c = 0; c < client_nodes.size(); ++c) {
+    std::size_t router;
+    switch (routing) {
+      case RoutingChoice::kFgr:
+        router = policy.select_fgr(client_nodes[c], dest_leaf[c]);
+        break;
+      case RoutingChoice::kNearest:
+        router = policy.select_nearest(client_nodes[c]);
+        break;
+      case RoutingChoice::kRoundRobin:
+        router = policy.select_round_robin(rr++);
+        break;
+      default:
+        router = 0;
+    }
+    for (LinkId l : torus.route(client_nodes[c], policy.router(router).node)) {
+      loads[l] += per_client_bw;
+    }
+  }
+  return loads;
+}
+
+CongestionReport analyze_congestion(const Torus3D& torus,
+                                    const FgrPolicy& policy,
+                                    std::span<const int> client_nodes,
+                                    std::span<const std::size_t> dest_leaf,
+                                    Bandwidth per_client_bw,
+                                    RoutingChoice routing) {
+  const auto loads = link_loads(torus, policy, client_nodes, dest_leaf,
+                                per_client_bw, routing);
+  CongestionReport report;
+  report.clients = client_nodes.size();
+  report.total_demand =
+      per_client_bw * static_cast<double>(client_nodes.size());
+
+  std::vector<double> used;
+  double total_hops_weighted = 0.0;
+  for (std::size_t l = 0; l < loads.size(); ++l) {
+    if (loads[l] <= 0.0) continue;
+    used.push_back(loads[l]);
+    total_hops_weighted += loads[l];
+    if (loads[l] > report.max_link_load) {
+      report.max_link_load = loads[l];
+      report.hottest_link = static_cast<LinkId>(l);
+    }
+  }
+  report.links_used = used.size();
+  if (!used.empty()) {
+    report.mean_link_load = mean_of(used);
+    report.p99_link_load = percentile(used, 99.0);
+    report.concentration = report.max_link_load / report.mean_link_load;
+  }
+  if (per_client_bw > 0.0 && !client_nodes.empty()) {
+    // Each link crossing carries per_client_bw; summed link load divided by
+    // injected demand is the average hop count.
+    report.mean_hops = total_hops_weighted / report.total_demand;
+  }
+  return report;
+}
+
+}  // namespace spider::net

@@ -1,0 +1,53 @@
+// Static congestion analysis of the torus under an I/O pattern (Lesson 14).
+//
+// "Network congestion will lead to sub-optimal I/O performance.
+// Identifying hot spots and eliminating them is key to realizing better
+// performance." The analyzer projects a client population's I/O demand
+// onto dimension-order-routed torus links and reports the hotspot
+// structure (hottest link, tail loads, concentration factor) — the view an
+// operator needs *before* running traffic, complementing the solver's
+// delivered-bandwidth answer.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/units.hpp"
+#include "net/fgr.hpp"
+#include "net/torus.hpp"
+
+namespace spider::net {
+
+enum class RoutingChoice { kFgr, kNearest, kRoundRobin };
+
+struct CongestionReport {
+  std::size_t clients = 0;
+  std::size_t links_used = 0;
+  double total_demand = 0.0;     ///< bytes/s injected
+  double max_link_load = 0.0;    ///< bytes/s on the hottest link
+  double mean_link_load = 0.0;   ///< over links carrying traffic
+  double p99_link_load = 0.0;
+  /// Hotspot concentration: max / mean over used links.
+  double concentration = 0.0;
+  LinkId hottest_link = 0;
+  /// Average torus hops per flow (data-movement cost).
+  double mean_hops = 0.0;
+};
+
+/// Project `per_client_bw` of demand from every client onto the torus.
+/// `dest_leaf_of_client[i]` is the IB leaf client i's target OST lives on.
+CongestionReport analyze_congestion(const Torus3D& torus,
+                                    const FgrPolicy& policy,
+                                    std::span<const int> client_nodes,
+                                    std::span<const std::size_t> dest_leaf,
+                                    Bandwidth per_client_bw,
+                                    RoutingChoice routing);
+
+/// Per-link load vector (directed links), for custom analyses/plots.
+std::vector<double> link_loads(const Torus3D& torus, const FgrPolicy& policy,
+                               std::span<const int> client_nodes,
+                               std::span<const std::size_t> dest_leaf,
+                               Bandwidth per_client_bw, RoutingChoice routing);
+
+}  // namespace spider::net

@@ -1,0 +1,33 @@
+#include "net/fabric.hpp"
+
+#include <stdexcept>
+
+namespace spider::net {
+
+IbFabric::IbFabric(const FabricParams& params) : params_(params) {
+  if (params_.leaf_switches == 0 || params_.core_switches == 0) {
+    throw std::invalid_argument("IbFabric: need at least one leaf and core switch");
+  }
+}
+
+std::size_t IbFabric::leaf_of_oss(std::size_t oss_index, std::size_t total_oss) const {
+  // Block assignment: consecutive OSS share a leaf, mirroring how SSU
+  // cabling groups servers (total_oss / leaves servers per leaf).
+  const std::size_t per_leaf =
+      (total_oss + params_.leaf_switches - 1) / params_.leaf_switches;
+  return per_leaf == 0 ? 0 : (oss_index / per_leaf) % params_.leaf_switches;
+}
+
+IbFabric::PathInfo IbFabric::path(std::size_t src_leaf, std::size_t dst_leaf) const {
+  if (src_leaf >= params_.leaf_switches || dst_leaf >= params_.leaf_switches) {
+    throw std::out_of_range("IbFabric::path: leaf out of range");
+  }
+  PathInfo info;
+  info.src_leaf = src_leaf;
+  info.dst_leaf = dst_leaf;
+  info.crosses_core = src_leaf != dst_leaf;
+  info.core_index = (src_leaf * 31 + dst_leaf * 17) % params_.core_switches;
+  return info;
+}
+
+}  // namespace spider::net

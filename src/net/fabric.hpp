@@ -1,0 +1,59 @@
+// SION: the center-wide InfiniBand storage area network.
+//
+// Spider II's fabric is decentralized: 36 leaf switches and multiple core
+// switches (Section V-B). Lustre servers (OSS) and LNET routers plug into
+// leaves; traffic between different leaves crosses the core. FGR's whole
+// point is to pick router/server pairs on the *same* leaf so the core is
+// never crossed for bulk I/O.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace spider::net {
+
+struct FabricParams {
+  std::size_t leaf_switches = 36;
+  std::size_t core_switches = 4;
+  /// FDR InfiniBand port (56 Gb/s ≈ 6.8 GB/s raw; ~6.0 effective).
+  Bandwidth port_bw = 6.0 * kGBps;
+  /// Leaf switch aggregate crossbar capacity.
+  Bandwidth leaf_bw = 80.0 * kGBps;
+  /// Per-core-switch capacity for inter-leaf traffic. Deliberately thin:
+  /// Spider II's fabric is "decentralized" (Section V-B) — bulk I/O is
+  /// supposed to stay on the leaf its OSS lives on (that is FGR's job),
+  /// and the core is sized for management and residual traffic only.
+  Bandwidth core_bw = 40.0 * kGBps;
+};
+
+/// Static description of the SAN: who is attached where, and which switch
+/// resources a path crosses. Capacities become solver resources in the
+/// center model.
+class IbFabric {
+ public:
+  explicit IbFabric(const FabricParams& params);
+
+  const FabricParams& params() const { return params_; }
+  std::size_t leaves() const { return params_.leaf_switches; }
+
+  /// Deterministic leaf assignment for an OSS index (round-robin).
+  std::size_t leaf_of_oss(std::size_t oss_index, std::size_t total_oss) const;
+
+  /// Leaf switches crossed by a router-side to server-side path:
+  /// {leaf} when same leaf; {leaf_a, leaf_b} plus core when different.
+  struct PathInfo {
+    std::size_t src_leaf;
+    std::size_t dst_leaf;
+    bool crosses_core;
+    /// Core switch used when crossing (hashed from the leaf pair).
+    std::size_t core_index;
+  };
+  PathInfo path(std::size_t src_leaf, std::size_t dst_leaf) const;
+
+ private:
+  FabricParams params_;
+};
+
+}  // namespace spider::net

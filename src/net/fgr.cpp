@@ -1,0 +1,60 @@
+#include "net/fgr.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace spider::net {
+
+FgrPolicy::FgrPolicy(const Torus3D& torus, std::vector<PlacedRouter> routers,
+                     std::size_t leaf_switches)
+    : torus_(torus), routers_(std::move(routers)), by_leaf_(leaf_switches) {
+  if (routers_.empty()) throw std::invalid_argument("FgrPolicy: no routers");
+  for (std::size_t i = 0; i < routers_.size(); ++i) {
+    if (routers_[i].ib_leaf >= leaf_switches) {
+      throw std::out_of_range("FgrPolicy: router leaf out of range");
+    }
+    by_leaf_[routers_[i].ib_leaf].push_back(i);
+  }
+}
+
+const std::vector<std::size_t>& FgrPolicy::routers_for_leaf(std::size_t leaf) const {
+  return by_leaf_.at(leaf);
+}
+
+std::size_t FgrPolicy::select_fgr(int client_node, std::size_t dest_leaf) const {
+  const auto& candidates = by_leaf_.at(dest_leaf);
+  if (candidates.empty()) {
+    // No router serves this leaf directly; fall back to nearest overall
+    // (traffic will cross the core, as on a real mis-wired system).
+    return select_nearest(client_node);
+  }
+  std::size_t best = candidates.front();
+  int best_hops = std::numeric_limits<int>::max();
+  for (std::size_t idx : candidates) {
+    const int h = torus_.hop_count(client_node, routers_[idx].node);
+    if (h < best_hops) {
+      best_hops = h;
+      best = idx;
+    }
+  }
+  return best;
+}
+
+std::size_t FgrPolicy::select_round_robin(std::uint64_t counter) const {
+  return static_cast<std::size_t>(counter % routers_.size());
+}
+
+std::size_t FgrPolicy::select_nearest(int client_node) const {
+  std::size_t best = 0;
+  int best_hops = std::numeric_limits<int>::max();
+  for (std::size_t i = 0; i < routers_.size(); ++i) {
+    const int h = torus_.hop_count(client_node, routers_[i].node);
+    if (h < best_hops) {
+      best_hops = h;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace spider::net

@@ -1,0 +1,53 @@
+// Fine-Grained Routing (FGR) — Lesson 14.
+//
+// "At the most basic level, FGR uses multiple Lustre LNET Network
+// Interfaces (NIs) to expose physical or topological locality. Each router
+// has an InfiniBand-side NI that corresponds to the leaf switch it is
+// plugged into. Clients choose to use a topologically close router that
+// uses the NI of the desired destination. Clients have a Gemini-side NI
+// that corresponds to a topological 'zone' in the torus. The Lustre servers
+// will choose a router connected to the same InfiniBand leaf switch that is
+// in the destination topological zone."
+//
+// FgrPolicy implements exactly that selection, plus two baselines (blind
+// round-robin and locality-only) the congestion bench compares against.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/placement.hpp"
+#include "net/torus.hpp"
+
+namespace spider::net {
+
+class FgrPolicy {
+ public:
+  FgrPolicy(const Torus3D& torus, std::vector<PlacedRouter> routers,
+            std::size_t leaf_switches);
+
+  std::size_t num_routers() const { return routers_.size(); }
+  const PlacedRouter& router(std::size_t idx) const { return routers_.at(idx); }
+  const std::vector<std::size_t>& routers_for_leaf(std::size_t leaf) const;
+
+  /// FGR selection: among routers uplinked to the destination leaf switch,
+  /// the one topologically closest to the client. Returns router index.
+  std::size_t select_fgr(int client_node, std::size_t dest_leaf) const;
+
+  /// Baseline: blind round-robin over all routers (ignores both locality
+  /// and leaf affinity; traffic to the wrong leaf crosses the IB core).
+  std::size_t select_round_robin(std::uint64_t counter) const;
+
+  /// Baseline: nearest router to the client regardless of leaf (good torus
+  /// locality, but server-side traffic crosses the IB core when the leaf
+  /// doesn't match).
+  std::size_t select_nearest(int client_node) const;
+
+ private:
+  const Torus3D& torus_;
+  std::vector<PlacedRouter> routers_;
+  std::vector<std::vector<std::size_t>> by_leaf_;
+};
+
+}  // namespace spider::net

@@ -1,0 +1,227 @@
+#include "net/placement.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+
+namespace spider::net {
+
+namespace {
+
+/// XY cabinet cells for module placement, ordered by strategy.
+std::vector<std::pair<int, int>> module_cells(const Torus3D& torus,
+                                              std::size_t modules,
+                                              PlacementStrategy strategy) {
+  const auto& d = torus.dims();
+  const std::size_t cells = static_cast<std::size_t>(d.x) * static_cast<std::size_t>(d.y);
+  if (modules > cells) {
+    throw std::invalid_argument("place_routers: more modules than XY cabinets");
+  }
+  std::vector<std::pair<int, int>> out;
+  out.reserve(modules);
+  if (strategy == PlacementStrategy::kClustered) {
+    // Column-major fill from the x=0 edge.
+    for (int x = 0; x < d.x && out.size() < modules; ++x) {
+      for (int y = 0; y < d.y && out.size() < modules; ++y) {
+        out.emplace_back(x, y);
+      }
+    }
+    return out;
+  }
+  // Uniform stride over the flattened XY grid (also the base layout for
+  // kFgrZoned, which differs only in group assignment).
+  const double stride = static_cast<double>(cells) / static_cast<double>(modules);
+  for (std::size_t m = 0; m < modules; ++m) {
+    const auto cell = static_cast<std::size_t>(std::floor(static_cast<double>(m) * stride));
+    out.emplace_back(static_cast<int>(cell % static_cast<std::size_t>(d.x)),
+                     static_cast<int>(cell / static_cast<std::size_t>(d.x)));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<PlacedRouter> place_routers(const Torus3D& torus,
+                                        const PlacementConfig& cfg,
+                                        PlacementStrategy strategy) {
+  if (cfg.num_groups == 0 || cfg.routers_per_module == 0) {
+    throw std::invalid_argument("place_routers: groups and routers_per_module > 0");
+  }
+  const auto cells = module_cells(torus, cfg.modules, strategy);
+  const auto& d = torus.dims();
+  std::vector<PlacedRouter> routers;
+  routers.reserve(cfg.modules * cfg.routers_per_module);
+  for (std::size_t m = 0; m < cells.size(); ++m) {
+    const auto [cx, cy] = cells[m];
+    int group;
+    if (strategy == PlacementStrategy::kFgrZoned) {
+      // Zone the XY plane: nearby cabinets share a group, so a group's
+      // routers form a topological neighborhood (Figure 2's color blocks).
+      const int zones_x = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(cfg.num_groups))));
+      const int zones_y = static_cast<int>((cfg.num_groups + zones_x - 1) / zones_x);
+      const int zx = std::min(zones_x - 1, cx * zones_x / d.x);
+      const int zy = std::min(zones_y - 1, cy * zones_y / d.y);
+      group = static_cast<int>((zy * zones_x + zx) % static_cast<int>(cfg.num_groups));
+    } else {
+      group = static_cast<int>(m % cfg.num_groups);
+    }
+    for (std::size_t r = 0; r < cfg.routers_per_module; ++r) {
+      PlacedRouter pr;
+      // Spread the module's routers across Z within the cabinet.
+      const int z = static_cast<int>((r * static_cast<std::size_t>(d.z)) /
+                                     cfg.routers_per_module);
+      pr.node = torus.node_id(Coord{cx, cy, z});
+      pr.module = static_cast<int>(m);
+      pr.group = group;
+      // Each router of a module uplinks to a different leaf switch of the
+      // group's quad.
+      pr.ib_leaf = (static_cast<std::size_t>(group) * cfg.routers_per_module + r) %
+                   cfg.leaf_switches;
+      routers.push_back(pr);
+    }
+  }
+  return routers;
+}
+
+PlacementQuality evaluate_placement(const Torus3D& torus,
+                                    std::span<const PlacedRouter> routers) {
+  PlacementQuality q;
+  if (routers.empty()) return q;
+  RunningStats hops;
+  std::vector<double> load(routers.size(), 0.0);
+  for (int n = 0; n < torus.num_nodes(); ++n) {
+    int best = std::numeric_limits<int>::max();
+    std::size_t best_r = 0;
+    for (std::size_t r = 0; r < routers.size(); ++r) {
+      const int h = torus.hop_count(n, routers[r].node);
+      if (h < best) {
+        best = h;
+        best_r = r;
+      }
+    }
+    hops.add(static_cast<double>(best));
+    load[best_r] += 1.0;
+  }
+  q.mean_hops_to_router = hops.mean();
+  q.max_hops_to_router = hops.max();
+  q.hops_stddev = hops.stddev();
+  q.router_load_imbalance = imbalance_of(load);
+  return q;
+}
+
+namespace {
+
+/// Objective for module placement: mean torus-XY distance from every
+/// cabinet to its nearest module cell, with the max distance as a
+/// lexicographic tiebreaker (scaled in as a small term).
+double xy_objective(const Torus3D& torus,
+                    const std::vector<std::pair<int, int>>& cells) {
+  const auto& d = torus.dims();
+  auto wrap = [](int a, int b, int extent) {
+    const int diff = std::abs(a - b);
+    return std::min(diff, extent - diff);
+  };
+  double total = 0.0;
+  double worst = 0.0;
+  for (int x = 0; x < d.x; ++x) {
+    for (int y = 0; y < d.y; ++y) {
+      int best = std::numeric_limits<int>::max();
+      for (const auto& [cx, cy] : cells) {
+        best = std::min(best, wrap(x, cx, d.x) + wrap(y, cy, d.y));
+        if (best == 0) break;
+      }
+      total += best;
+      worst = std::max(worst, static_cast<double>(best));
+    }
+  }
+  const double cabs = static_cast<double>(d.x) * static_cast<double>(d.y);
+  return total / cabs + 0.01 * worst;
+}
+
+}  // namespace
+
+std::vector<PlacedRouter> place_routers_optimized(const Torus3D& torus,
+                                                  const PlacementConfig& cfg,
+                                                  Rng& rng,
+                                                  std::size_t iterations) {
+  const auto& d = torus.dims();
+  auto cells = module_cells(torus, cfg.modules,
+                            PlacementStrategy::kUniformSpread);
+  std::set<std::pair<int, int>> occupied(cells.begin(), cells.end());
+  double score = xy_objective(torus, cells);
+  for (std::size_t it = 0; it < iterations; ++it) {
+    const std::size_t m = rng.uniform_index(cells.size());
+    const std::pair<int, int> proposal{
+        static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(d.x))),
+        static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(d.y)))};
+    if (occupied.contains(proposal)) continue;
+    const auto old = cells[m];
+    cells[m] = proposal;
+    const double candidate = xy_objective(torus, cells);
+    if (candidate < score) {
+      score = candidate;
+      occupied.erase(old);
+      occupied.insert(proposal);
+    } else {
+      cells[m] = old;
+    }
+  }
+  // Materialize routers from the optimized cells with FGR zoning (same
+  // logic as place_routers for kFgrZoned).
+  std::vector<PlacedRouter> routers;
+  routers.reserve(cells.size() * cfg.routers_per_module);
+  const int zones_x = static_cast<int>(
+      std::ceil(std::sqrt(static_cast<double>(cfg.num_groups))));
+  const int zones_y = static_cast<int>((cfg.num_groups + zones_x - 1) / zones_x);
+  for (std::size_t m = 0; m < cells.size(); ++m) {
+    const auto [cx, cy] = cells[m];
+    const int zx = std::min(zones_x - 1, cx * zones_x / d.x);
+    const int zy = std::min(zones_y - 1, cy * zones_y / d.y);
+    const int group =
+        static_cast<int>((zy * zones_x + zx) % static_cast<int>(cfg.num_groups));
+    for (std::size_t r = 0; r < cfg.routers_per_module; ++r) {
+      PlacedRouter pr;
+      const int z = static_cast<int>((r * static_cast<std::size_t>(d.z)) /
+                                     cfg.routers_per_module);
+      pr.node = torus.node_id(Coord{cx, cy, z});
+      pr.module = static_cast<int>(m);
+      pr.group = group;
+      pr.ib_leaf = (static_cast<std::size_t>(group) * cfg.routers_per_module +
+                    r) %
+                   cfg.leaf_switches;
+      routers.push_back(pr);
+    }
+  }
+  return routers;
+}
+
+std::string render_xy_map(const Torus3D& torus,
+                          std::span<const PlacedRouter> routers) {
+  const auto& d = torus.dims();
+  std::vector<std::vector<char>> grid(static_cast<std::size_t>(d.y),
+                                      std::vector<char>(static_cast<std::size_t>(d.x), '.'));
+  auto glyph = [](int group) {
+    static const char* alphabet =
+        "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+    return alphabet[static_cast<std::size_t>(group) % 62];
+  };
+  for (const auto& r : routers) {
+    const Coord c = torus.coord_of(r.node);
+    grid[static_cast<std::size_t>(c.y)][static_cast<std::size_t>(c.x)] = glyph(r.group);
+  }
+  std::ostringstream os;
+  for (int y = d.y - 1; y >= 0; --y) {
+    for (int x = 0; x < d.x; ++x) {
+      os << grid[static_cast<std::size_t>(y)][static_cast<std::size_t>(x)] << ' ';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace spider::net

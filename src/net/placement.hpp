@@ -1,0 +1,81 @@
+// LNET router placement on the torus (Figure 2, Lesson 14).
+//
+// Titan integrates 440 Lustre I/O routers as 110 I/O modules of 4 routers.
+// "Considerable effort was directed towards calculating the router
+// placement on Titan's 3D torus": modules are spread so every compute node
+// has a topologically close router, and router *groups* (roughly SSU
+// indices) are each wired to four InfiniBand leaf switches, one per router
+// in the module. This module reproduces the placement, its Figure 2 XY
+// rendering, and quality metrics comparing strategies.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/torus.hpp"
+
+namespace spider::net {
+
+enum class PlacementStrategy {
+  /// Fill cabinets column-by-column from x=0 (what a naive install does).
+  kClustered,
+  /// Even stride over the XY cabinet grid.
+  kUniformSpread,
+  /// Even stride, with group ids assigned by XY zone so each zone's modules
+  /// serve the same InfiniBand switch quad (the deployed design).
+  kFgrZoned,
+};
+
+struct PlacementConfig {
+  std::size_t modules = 110;
+  std::size_t routers_per_module = 4;
+  /// Router groups; each group is wired to `routers_per_module` leaf
+  /// switches. Spider II: groups roughly correspond to SSU indices.
+  std::size_t num_groups = 36;
+  std::size_t leaf_switches = 36;
+};
+
+struct PlacedRouter {
+  int node = 0;          ///< torus node hosting this router
+  int module = 0;        ///< I/O module index
+  int group = 0;         ///< router group (≈ SSU index)
+  std::size_t ib_leaf = 0;  ///< InfiniBand leaf switch this router uplinks to
+};
+
+/// Place routers per the strategy. Modules land on distinct cabinets
+/// (distinct XY columns of the torus); the four routers of a module sit at
+/// spread Z positions within the cabinet.
+std::vector<PlacedRouter> place_routers(const Torus3D& torus,
+                                        const PlacementConfig& cfg,
+                                        PlacementStrategy strategy);
+
+struct PlacementQuality {
+  double mean_hops_to_router = 0.0;  ///< avg over nodes, nearest router
+  double max_hops_to_router = 0.0;
+  double hops_stddev = 0.0;
+  /// Clients-per-nearest-router imbalance: max/mean - 1.
+  double router_load_imbalance = 0.0;
+};
+
+PlacementQuality evaluate_placement(const Torus3D& torus,
+                                    std::span<const PlacedRouter> routers);
+
+/// ASCII rendering in the style of Figure 2: one cell per XY cabinet,
+/// letter = router group of the module there ('.' = no I/O module).
+std::string render_xy_map(const Torus3D& torus,
+                          std::span<const PlacedRouter> routers);
+
+/// The "considerable effort" version: local-search optimization of module
+/// cabinet positions, minimizing the mean XY distance from every cabinet
+/// to its nearest I/O module (with a max-distance tiebreaker). Starts from
+/// the uniform stride and hill-climbs with `iterations` randomized move
+/// proposals. Group/leaf assignment follows the FGR zoning.
+std::vector<PlacedRouter> place_routers_optimized(const Torus3D& torus,
+                                                  const PlacementConfig& cfg,
+                                                  Rng& rng,
+                                                  std::size_t iterations = 400);
+
+}  // namespace spider::net

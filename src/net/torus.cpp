@@ -1,0 +1,85 @@
+#include "net/torus.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace spider::net {
+
+Torus3D::Torus3D(TorusDims dims) : dims_(dims) {
+  if (dims.x < 1 || dims.y < 1 || dims.z < 1) {
+    throw std::invalid_argument("Torus3D: dimensions must be >= 1");
+  }
+}
+
+int Torus3D::node_id(Coord c) const {
+  assert(c.x >= 0 && c.x < dims_.x && c.y >= 0 && c.y < dims_.y && c.z >= 0 &&
+         c.z < dims_.z);
+  return (c.z * dims_.y + c.y) * dims_.x + c.x;
+}
+
+Coord Torus3D::coord_of(int node) const {
+  Coord c;
+  c.x = node % dims_.x;
+  c.y = (node / dims_.x) % dims_.y;
+  c.z = node / (dims_.x * dims_.y);
+  return c;
+}
+
+int Torus3D::wrap_delta(int from, int to, int extent) {
+  int d = to - from;
+  if (d > extent / 2) d -= extent;
+  if (d < -extent / 2) d += extent;
+  // For even extents the two half-way routes tie; prefer positive.
+  if (2 * std::abs(d) == extent && d < 0) d = -d;
+  return d;
+}
+
+int Torus3D::hop_count(int from, int to) const {
+  const Coord a = coord_of(from);
+  const Coord b = coord_of(to);
+  return std::abs(wrap_delta(a.x, b.x, dims_.x)) +
+         std::abs(wrap_delta(a.y, b.y, dims_.y)) +
+         std::abs(wrap_delta(a.z, b.z, dims_.z));
+}
+
+int Torus3D::neighbor(int node, int dir) const {
+  Coord c = coord_of(node);
+  switch (dir) {
+    case 0: c.x = (c.x + 1) % dims_.x; break;
+    case 1: c.x = (c.x - 1 + dims_.x) % dims_.x; break;
+    case 2: c.y = (c.y + 1) % dims_.y; break;
+    case 3: c.y = (c.y - 1 + dims_.y) % dims_.y; break;
+    case 4: c.z = (c.z + 1) % dims_.z; break;
+    case 5: c.z = (c.z - 1 + dims_.z) % dims_.z; break;
+    default: throw std::invalid_argument("neighbor: bad direction");
+  }
+  return node_id(c);
+}
+
+std::vector<LinkId> Torus3D::route(int from, int to) const {
+  std::vector<LinkId> links;
+  if (from == to) return links;
+  const Coord b = coord_of(to);
+  int cur = from;
+  Coord c = coord_of(from);
+  // Dimension order: X, then Y, then Z; shorter wrap direction per dim.
+  const std::array<std::pair<int, int>, 3> plan = {{
+      {wrap_delta(c.x, b.x, dims_.x), 0},
+      {wrap_delta(c.y, b.y, dims_.y), 2},
+      {wrap_delta(c.z, b.z, dims_.z), 4},
+  }};
+  links.reserve(static_cast<std::size_t>(hop_count(from, to)));
+  for (const auto& [delta, base_dir] : plan) {
+    const int dir = delta >= 0 ? base_dir : base_dir + 1;
+    for (int s = 0; s < std::abs(delta); ++s) {
+      links.push_back(static_cast<LinkId>(cur) * 6 + static_cast<LinkId>(dir));
+      cur = neighbor(cur, dir);
+    }
+  }
+  assert(cur == to);
+  return links;
+}
+
+}  // namespace spider::net

@@ -1,0 +1,69 @@
+// 3D torus interconnect (Cray Gemini class) with dimension-order routing.
+//
+// Titan's Gemini network is a 3D torus; I/O traffic from 18,688 clients is
+// funneled through 440 LNET routers onto the InfiniBand SAN (Section V-B).
+// Router placement and fine-grained routing decide how many torus links a
+// request crosses and how hot the hottest link runs — the congestion story
+// of Lesson 14. The model is a standard wrap-around torus with deterministic
+// dimension-order (X then Y then Z) routing, shortest wrap direction per
+// dimension.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace spider::net {
+
+struct TorusDims {
+  int x = 1;
+  int y = 1;
+  int z = 1;
+};
+
+struct Coord {
+  int x = 0;
+  int y = 0;
+  int z = 0;
+  bool operator==(const Coord&) const = default;
+};
+
+/// Directed link id: node * 6 + direction (0:+x 1:-x 2:+y 3:-y 4:+z 5:-z).
+using LinkId = std::uint32_t;
+
+class Torus3D {
+ public:
+  explicit Torus3D(TorusDims dims);
+
+  const TorusDims& dims() const { return dims_; }
+  int num_nodes() const { return dims_.x * dims_.y * dims_.z; }
+  int num_links() const { return num_nodes() * 6; }
+
+  int node_id(Coord c) const;
+  Coord coord_of(int node) const;
+
+  /// Minimal hop count between two nodes (torus metric).
+  int hop_count(int from, int to) const;
+
+  /// Directed links crossed by a dimension-order route from `from` to `to`.
+  /// Empty when from == to.
+  std::vector<LinkId> route(int from, int to) const;
+
+  /// The node owning directed link `l` and its direction index.
+  static int link_node(LinkId l) { return static_cast<int>(l / 6); }
+  static int link_dir(LinkId l) { return static_cast<int>(l % 6); }
+
+  /// Neighbor of `node` in direction d (0:+x .. 5:-z), with wraparound.
+  int neighbor(int node, int dir) const;
+
+ private:
+  /// Signed steps (with wrap) to travel in one dimension; magnitude and
+  /// sign of the shorter way around.
+  static int wrap_delta(int from, int to, int extent);
+
+  TorusDims dims_;
+};
+
+}  // namespace spider::net

@@ -1,0 +1,47 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+
+namespace spider::sim {
+
+EventId EventQueue::schedule(SimTime when, EventFn fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{when, id});
+  callbacks_.emplace(id, std::move(fn));
+  ++live_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  --live_;
+  return true;
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty() && !callbacks_.contains(heap_.top().id)) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  drop_cancelled();
+  assert(!heap_.empty());
+  return heap_.top().when;
+}
+
+std::pair<SimTime, EventFn> EventQueue::pop() {
+  drop_cancelled();
+  assert(!heap_.empty());
+  const Entry e = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(e.id);
+  EventFn fn = std::move(it->second);
+  callbacks_.erase(it);
+  --live_;
+  return {e.when, std::move(fn)};
+}
+
+}  // namespace spider::sim

@@ -1,0 +1,59 @@
+// Cancellable discrete-event queue.
+//
+// A binary heap keyed on (time, sequence) gives deterministic FIFO ordering
+// for simultaneous events. Cancellation is lazy: cancelled ids are skipped
+// at pop time, which keeps cancel O(1) — important because the flow network
+// cancels and reschedules its next-completion event on every arrival.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace spider::sim {
+
+using EventId = std::uint64_t;
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  /// Schedule fn at absolute time `when`. Returns an id usable with cancel().
+  EventId schedule(SimTime when, EventFn fn);
+
+  /// Cancel a pending event. Cancelling an already-fired or unknown id is a
+  /// harmless no-op (returns false).
+  bool cancel(EventId id);
+
+  bool empty() const { return live_ == 0; }
+  std::size_t size() const { return live_; }
+
+  /// Earliest pending event time; only valid when !empty().
+  SimTime next_time() const;
+
+  /// Pop the earliest event. Only valid when !empty(). Returns its time and
+  /// callback.
+  std::pair<SimTime, EventFn> pop();
+
+ private:
+  struct Entry {
+    SimTime when;
+    EventId id;
+    bool operator>(const Entry& o) const {
+      if (when != o.when) return when > o.when;
+      return id > o.id;
+    }
+  };
+
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<EventId, EventFn> callbacks_;
+  EventId next_id_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace spider::sim

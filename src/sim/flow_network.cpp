@@ -1,0 +1,161 @@
+#include "sim/flow_network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace spider::sim {
+
+namespace {
+// A flow is considered finished when its remaining size drops below this
+// fraction of one unit; prevents infinite tails from float error.
+constexpr double kRemainingEps = 1e-6;
+}  // namespace
+
+ResourceId FlowNetwork::add_resource(std::string name, double capacity) {
+  if (capacity < 0.0) throw std::invalid_argument("resource capacity must be >= 0");
+  names_.push_back(std::move(name));
+  capacity_.push_back(capacity);
+  stats_.emplace_back();
+  return static_cast<ResourceId>(capacity_.size() - 1);
+}
+
+void FlowNetwork::set_capacity(ResourceId id, double capacity) {
+  advance_progress();
+  capacity_.at(id) = capacity;
+  resolve();
+}
+
+FlowId FlowNetwork::start_flow(FlowDesc desc) {
+  if (desc.size <= 0.0) throw std::invalid_argument("flow size must be > 0");
+  for (const auto& hop : desc.path) {
+    if (hop.resource >= capacity_.size()) {
+      throw std::out_of_range("flow path references unknown resource");
+    }
+  }
+  const FlowId id = next_flow_id_++;
+  auto activate = [this, id, desc = std::move(desc)]() mutable {
+    advance_progress();
+    ActiveFlow f;
+    f.path = std::move(desc.path);
+    f.size = desc.size;
+    f.remaining = desc.size;
+    f.rate_cap = desc.rate_cap;
+    f.on_complete = std::move(desc.on_complete);
+    for (const auto& hop : f.path) ++stats_[hop.resource].flows_seen;
+    flows_.emplace(id, std::move(f));
+    resolve();
+  };
+  if (desc.latency > 0) {
+    const SimTime latency = desc.latency;
+    sim_.schedule_in(latency, std::move(activate));
+  } else {
+    activate();
+  }
+  return id;
+}
+
+void FlowNetwork::cancel_flow(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  advance_progress();
+  flows_.erase(it);
+  resolve();
+}
+
+double FlowNetwork::flow_rate(FlowId id) const {
+  auto it = flows_.find(id);
+  return it == flows_.end() ? 0.0 : it->second.rate;
+}
+
+void FlowNetwork::advance_progress() {
+  const SimTime now = sim_.now();
+  if (now == last_update_) return;
+  const double dt = to_seconds(now - last_update_);
+  last_update_ = now;
+  if (dt <= 0.0) return;
+  // Per-resource delivered units this interval, for telemetry.
+  std::vector<double> used(capacity_.size(), 0.0);
+  for (auto& [id, f] : flows_) {
+    const double moved = std::min(f.remaining, f.rate * dt);
+    f.remaining -= moved;
+    for (const auto& hop : f.path) used[hop.resource] += moved * hop.cost;
+  }
+  for (std::size_t r = 0; r < capacity_.size(); ++r) {
+    stats_[r].served += used[r];
+    if (capacity_[r] > 0.0) {
+      stats_[r].busy_integral += used[r] / capacity_[r];
+    }
+  }
+}
+
+void FlowNetwork::resolve() {
+  // Cancel any stale completion event.
+  if (completion_scheduled_) {
+    sim_.cancel(completion_event_);
+    completion_scheduled_ = false;
+  }
+
+  // Stable ordering: solve over flows sorted by id for determinism.
+  std::vector<FlowId> ids;
+  ids.reserve(flows_.size());
+  for (const auto& [id, f] : flows_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+
+  std::vector<SolverFlow> sf;
+  sf.reserve(ids.size());
+  for (FlowId id : ids) {
+    const ActiveFlow& f = flows_.at(id);
+    sf.push_back(SolverFlow{f.path, f.rate_cap});
+  }
+  const SolveResult res = solve_max_min(capacity_, sf);
+
+  aggregate_rate_ = 0.0;
+  double min_completion_s = kUnbounded;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ActiveFlow& f = flows_.at(ids[i]);
+    f.rate = res.rate[i];
+    aggregate_rate_ += f.rate;
+    if (f.rate > 0.0) {
+      min_completion_s = std::min(min_completion_s, f.remaining / f.rate);
+    }
+  }
+  for (std::size_t r = 0; r < capacity_.size(); ++r) {
+    stats_[r].current_load = res.utilization[r];
+  }
+
+  if (!std::isinf(min_completion_s)) {
+    SimTime dt = from_seconds(min_completion_s);
+    if (dt < 1) dt = 1;  // always move forward
+    completion_event_ = sim_.schedule_in(dt, [this] { on_completion_event(); });
+    completion_scheduled_ = true;
+  }
+}
+
+void FlowNetwork::on_completion_event() {
+  completion_scheduled_ = false;
+  advance_progress();
+  // Collect finished flows (remaining ~ 0), fire callbacks after erasing so
+  // callbacks may start new flows re-entrantly.
+  std::vector<std::pair<FlowId, std::function<void(FlowId, SimTime)>>> done;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->second.remaining <= kRemainingEps * (1.0 + it->second.remaining)) {
+      total_delivered_ += it->second.size;
+      done.emplace_back(it->first, std::move(it->second.on_complete));
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Deterministic callback order.
+  std::sort(done.begin(), done.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  const SimTime now = sim_.now();
+  for (auto& [id, cb] : done) {
+    if (cb) cb(id, now);
+  }
+  resolve();
+}
+
+}  // namespace spider::sim

@@ -1,0 +1,43 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace spider::sim {
+
+EventId Simulator::schedule_at(SimTime when, EventFn fn) {
+  if (when < now_) throw std::invalid_argument("schedule_at: time in the past");
+  return queue_.schedule(when, std::move(fn));
+}
+
+EventId Simulator::schedule_in(SimTime dt, EventFn fn) {
+  if (dt < 0) throw std::invalid_argument("schedule_in: negative delay");
+  return queue_.schedule(now_ + dt, std::move(fn));
+}
+
+std::uint64_t Simulator::run(SimTime until) {
+  std::uint64_t ran = 0;
+  while (!queue_.empty() && queue_.next_time() <= until) {
+    auto [when, fn] = queue_.pop();
+    assert(when >= now_);
+    now_ = when;
+    fn();
+    ++ran;
+    ++executed_;
+  }
+  if (queue_.empty()) return ran;
+  // Cut off: advance the clock to the horizon so callers can resume.
+  if (until != std::numeric_limits<SimTime>::max() && now_ < until) now_ = until;
+  return ran;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto [when, fn] = queue_.pop();
+  now_ = when;
+  fn();
+  ++executed_;
+  return true;
+}
+
+}  // namespace spider::sim

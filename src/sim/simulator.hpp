@@ -1,0 +1,40 @@
+// Discrete-event simulator driver.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace spider::sim {
+
+class Simulator {
+ public:
+  SimTime now() const { return now_; }
+
+  /// Schedule at an absolute time (must be >= now()).
+  EventId schedule_at(SimTime when, EventFn fn);
+  /// Schedule `dt` after now (dt >= 0).
+  EventId schedule_in(SimTime dt, EventFn fn);
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Run until the queue drains or `until` is reached, whichever is first.
+  /// The clock stops at the last executed event (or exactly at `until` if
+  /// the run was cut off). Returns the number of events executed.
+  std::uint64_t run(SimTime until = std::numeric_limits<SimTime>::max());
+
+  /// Execute exactly one event, if any. Returns true if one ran.
+  bool step();
+
+  bool idle() const { return queue_.empty(); }
+  std::size_t pending_events() const { return queue_.size(); }
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace spider::sim

@@ -1,0 +1,95 @@
+#include "tools/capacity_planner.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+
+namespace spider::tools {
+
+NamespacePlan plan_namespaces(std::span<const ProjectRequirement> projects,
+                              std::size_t namespaces) {
+  if (namespaces == 0) throw std::invalid_argument("plan_namespaces: need >= 1");
+  NamespacePlan plan;
+  plan.assignment.assign(projects.size(), 0);
+  plan.capacity_per_ns.assign(namespaces, 0);
+  plan.bandwidth_per_ns.assign(namespaces, 0.0);
+  if (projects.empty()) return plan;
+
+  Bytes total_cap = 0;
+  double total_bw = 0.0;
+  for (const auto& p : projects) {
+    total_cap += p.capacity;
+    total_bw += p.bandwidth;
+  }
+  const double cap_norm = total_cap > 0 ? static_cast<double>(total_cap) : 1.0;
+  const double bw_norm = total_bw > 0.0 ? total_bw : 1.0;
+
+  // Largest dominant demand first.
+  std::vector<std::size_t> order(projects.size());
+  std::iota(order.begin(), order.end(), 0);
+  auto dominant = [&](std::size_t i) {
+    return std::max(static_cast<double>(projects[i].capacity) / cap_norm,
+                    projects[i].bandwidth / bw_norm);
+  };
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return dominant(a) > dominant(b); });
+
+  for (std::size_t i : order) {
+    // Least combined normalized load wins.
+    std::size_t best_ns = 0;
+    double best_load = std::numeric_limits<double>::infinity();
+    for (std::size_t n = 0; n < namespaces; ++n) {
+      const double load =
+          static_cast<double>(plan.capacity_per_ns[n]) / cap_norm +
+          plan.bandwidth_per_ns[n] / bw_norm;
+      if (load < best_load) {
+        best_load = load;
+        best_ns = n;
+      }
+    }
+    plan.assignment[i] = best_ns;
+    plan.capacity_per_ns[best_ns] += projects[i].capacity;
+    plan.bandwidth_per_ns[best_ns] += projects[i].bandwidth;
+  }
+
+  std::vector<double> caps(namespaces), bws(namespaces);
+  for (std::size_t n = 0; n < namespaces; ++n) {
+    caps[n] = static_cast<double>(plan.capacity_per_ns[n]);
+    bws[n] = plan.bandwidth_per_ns[n];
+  }
+  plan.capacity_imbalance = imbalance_of(caps);
+  plan.bandwidth_imbalance = imbalance_of(bws);
+  return plan;
+}
+
+Bytes capacity_target_from_memory(Bytes aggregate_memory, double multiple) {
+  return static_cast<Bytes>(static_cast<double>(aggregate_memory) * multiple);
+}
+
+Bytes capacity_target_from_usage(Bytes expected_usage, double headroom) {
+  return static_cast<Bytes>(static_cast<double>(expected_usage) * (1.0 + headroom));
+}
+
+CostComparison compare_acquisition_cost(std::span<const double> platform_costs,
+                                        const CostModel& model) {
+  CostComparison cmp;
+  double flagship = 0.0;
+  for (double c : platform_costs) flagship = std::max(flagship, c);
+  for (double c : platform_costs) {
+    cmp.exclusive_total += c * model.exclusive_pfs_fraction;
+  }
+  // Exclusive islands additionally need the data-movement cluster.
+  cmp.exclusive_total += flagship * model.movement_infra_fraction;
+  cmp.datacentric_total = flagship * model.datacentric_pfs_fraction +
+                          static_cast<double>(platform_costs.size()) *
+                              flagship * model.attach_fraction;
+  if (cmp.exclusive_total > 0.0) {
+    cmp.savings_fraction =
+        (cmp.exclusive_total - cmp.datacentric_total) / cmp.exclusive_total;
+  }
+  return cmp;
+}
+
+}  // namespace spider::tools

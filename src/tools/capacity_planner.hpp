@@ -1,0 +1,77 @@
+// Capacity planning: project classification, namespace balancing, and the
+// acquisition sizing rules (Sections IV-C and VII).
+//
+// "OLCF developed a model that classifies projects based on their capacity
+// and bandwidth requirements. The projects were then distributed among the
+// namespaces" — a 2-D balancing problem solved greedily here. Plus the two
+// sizing rules the paper states:
+//  - capacity >= 30x the aggregate memory of all connected systems
+//    (used in the DOE/NNSA CORAL acquisition);
+//  - acquisition should hold usable capacity ~30% above workload estimates
+//    so fullness stays below the degradation point (Lesson 10).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace spider::tools {
+
+struct ProjectRequirement {
+  std::uint32_t id = 0;
+  Bytes capacity = 0;
+  Bandwidth bandwidth = 0.0;
+};
+
+struct NamespacePlan {
+  /// assignment[i] = namespace index of project i (parallel to input span).
+  std::vector<std::size_t> assignment;
+  std::vector<Bytes> capacity_per_ns;
+  std::vector<Bandwidth> bandwidth_per_ns;
+  /// max/mean - 1 over namespaces, for each dimension.
+  double capacity_imbalance = 0.0;
+  double bandwidth_imbalance = 0.0;
+};
+
+/// Greedy 2-D balance: sort projects by their dominant normalized demand,
+/// assign each to the namespace with the lowest combined load.
+NamespacePlan plan_namespaces(std::span<const ProjectRequirement> projects,
+                              std::size_t namespaces);
+
+/// The 30x-memory capacity target.
+Bytes capacity_target_from_memory(Bytes aggregate_memory, double multiple = 30.0);
+
+/// Headroom rule: provision capacity so expected usage sits below the
+/// degradation knee (Lesson 10: "capacity targets 30% or more above
+/// aggregate user workload estimates").
+Bytes capacity_target_from_usage(Bytes expected_usage, double headroom = 0.30);
+
+// --- acquisition cost model (Section II / VII tradeoff discussion) ---------
+
+struct CostModel {
+  /// PFS cost as a fraction of a compute platform's acquisition cost under
+  /// the machine-exclusive model ("can easily exceed 10%").
+  double exclusive_pfs_fraction = 0.10;
+  /// One-time center-wide PFS cost, as a fraction of the flagship machine.
+  double datacentric_pfs_fraction = 0.12;
+  /// Extra data-movement infrastructure needed to link exclusive file
+  /// systems (fraction of flagship cost).
+  double movement_infra_fraction = 0.02;
+  /// Integration cost per attached platform under the data-centric model.
+  double attach_fraction = 0.005;
+};
+
+struct CostComparison {
+  double exclusive_total = 0.0;    ///< in flagship-machine cost units
+  double datacentric_total = 0.0;
+  double savings_fraction = 0.0;   ///< (excl - dc) / excl
+};
+
+/// Total storage cost across `platforms` compute systems of relative costs
+/// `platform_costs` (flagship = 1.0) under both models.
+CostComparison compare_acquisition_cost(std::span<const double> platform_costs,
+                                        const CostModel& model = {});
+
+}  // namespace spider::tools

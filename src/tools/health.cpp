@@ -1,0 +1,105 @@
+#include "tools/health.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace spider::tools {
+
+void HealthMonitor::ingest(HealthEvent ev) { events_.push_back(std::move(ev)); }
+
+std::vector<Incident> HealthMonitor::coalesce(sim::SimTime window) const {
+  std::vector<HealthEvent> sorted = events_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const HealthEvent& a, const HealthEvent& b) {
+                     return a.time < b.time;
+                   });
+  // Open incident per component.
+  std::map<std::string, Incident> open;
+  std::vector<Incident> done;
+  auto flush = [&done](Incident& inc) { done.push_back(std::move(inc)); };
+  for (const auto& ev : sorted) {
+    auto it = open.find(ev.component);
+    if (it != open.end() && ev.time - it->second.last > window) {
+      flush(it->second);
+      open.erase(it);
+      it = open.end();
+    }
+    if (it == open.end()) {
+      Incident inc;
+      inc.first = inc.last = ev.time;
+      inc.component = ev.component;
+      it = open.emplace(ev.component, std::move(inc)).first;
+    }
+    Incident& inc = it->second;
+    inc.last = ev.time;
+    if (ev.source == EventSource::kHardware) inc.hardware_related = true;
+    if (static_cast<int>(ev.severity) > static_cast<int>(inc.worst)) {
+      inc.worst = ev.severity;
+    }
+    inc.events.push_back(ev);
+  }
+  for (auto& [component, inc] : open) flush(inc);
+  std::sort(done.begin(), done.end(),
+            [](const Incident& a, const Incident& b) { return a.first < b.first; });
+  return done;
+}
+
+void CheckScheduler::add_check(Check check) { checks_.push_back(std::move(check)); }
+
+CheckScheduler::Report CheckScheduler::run_all() const {
+  Report report;
+  for (const auto& check : checks_) {
+    const CheckResult result = check.probe();
+    switch (result.status) {
+      case CheckStatus::kOk: ++report.ok; break;
+      case CheckStatus::kWarning: ++report.warning; break;
+      case CheckStatus::kCritical: ++report.critical; break;
+    }
+    if (result.status != CheckStatus::kOk) {
+      report.failing.emplace_back(check.name, result);
+    }
+  }
+  return report;
+}
+
+void DdnPoller::record(ControllerSample sample) {
+  samples_.push_back(sample);
+  while (samples_.size() > retention_) samples_.pop_front();
+}
+
+double DdnPoller::mean_write_bw(std::uint32_t controller, sim::SimTime since) const {
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (const auto& s : samples_) {
+    if (s.controller == controller && s.time >= since) {
+      acc += s.write_bw;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : acc / static_cast<double>(n);
+}
+
+double DdnPoller::mean_read_bw(std::uint32_t controller, sim::SimTime since) const {
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (const auto& s : samples_) {
+    if (s.controller == controller && s.time >= since) {
+      acc += s.read_bw;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : acc / static_cast<double>(n);
+}
+
+double DdnPoller::peak_total_bw(sim::SimTime since) const {
+  // Peak of per-timestamp totals.
+  std::map<sim::SimTime, double> totals;
+  for (const auto& s : samples_) {
+    if (s.time >= since) totals[s.time] += s.read_bw + s.write_bw;
+  }
+  double peak = 0.0;
+  for (const auto& [t, v] : totals) peak = std::max(peak, v);
+  return peak;
+}
+
+}  // namespace spider::tools

@@ -1,0 +1,102 @@
+#include "tools/iosi.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace spider::tools {
+
+namespace {
+double median_of(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid), v.end());
+  return v[mid];
+}
+}  // namespace
+
+std::vector<DetectedBurst> detect_bursts(std::span<const double> log,
+                                         double bin_s, const IosiConfig& cfg) {
+  std::vector<DetectedBurst> bursts;
+  if (log.empty()) return bursts;
+  // Robust threshold: median + k * MAD. Background noise stays below it;
+  // application bursts cross it.
+  std::vector<double> values(log.begin(), log.end());
+  const double med = median_of(values);
+  std::vector<double> dev(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    dev[i] = std::abs(values[i] - med);
+  }
+  const double mad = median_of(dev);
+  const double peak = *std::max_element(values.begin(), values.end());
+  const double threshold =
+      std::max(med + cfg.mad_multiplier * std::max(mad, 1e-9 * med),
+               cfg.min_fraction_of_peak * peak);
+
+  bool in_burst = false;
+  DetectedBurst cur;
+  std::size_t bins_in_burst = 0;
+  for (std::size_t i = 0; i <= log.size(); ++i) {
+    const bool hot = i < log.size() && log[i] > threshold;
+    if (hot && !in_burst) {
+      in_burst = true;
+      cur = DetectedBurst{static_cast<double>(i) * bin_s, 0.0, 0.0};
+      bins_in_burst = 0;
+    }
+    if (hot) {
+      cur.bytes += (log[i] - med) * bin_s;  // burst volume above background
+      ++bins_in_burst;
+    }
+    if (!hot && in_burst) {
+      in_burst = false;
+      cur.duration_s = static_cast<double>(bins_in_burst) * bin_s;
+      if (bins_in_burst >= cfg.min_burst_bins) bursts.push_back(cur);
+    }
+  }
+  return bursts;
+}
+
+IosiSignature extract_signature(std::span<const std::vector<double>> run_logs,
+                                double bin_s, const IosiConfig& cfg) {
+  IosiSignature sig;
+  std::vector<double> per_run_period;
+  std::vector<double> per_run_duration;
+  std::vector<double> per_run_bytes;
+  for (const auto& log : run_logs) {
+    const auto bursts = detect_bursts(log, bin_s, cfg);
+    sig.bursts_seen += bursts.size();
+    if (bursts.size() < 2) continue;
+    // Median gap between consecutive burst starts is this run's period.
+    std::vector<double> gaps;
+    for (std::size_t i = 1; i < bursts.size(); ++i) {
+      gaps.push_back(bursts[i].start_s - bursts[i - 1].start_s);
+    }
+    per_run_period.push_back(median_of(gaps));
+    std::vector<double> durs;
+    std::vector<double> vols;
+    for (const auto& b : bursts) {
+      durs.push_back(b.duration_s);
+      vols.push_back(b.bytes);
+    }
+    per_run_duration.push_back(median_of(durs));
+    per_run_bytes.push_back(median_of(vols));
+  }
+  if (per_run_period.empty()) return sig;
+
+  const double consensus = median_of(per_run_period);
+  std::size_t agree = 0;
+  for (double p : per_run_period) {
+    if (std::abs(p - consensus) <= 0.1 * consensus) ++agree;
+  }
+  sig.found = true;
+  sig.period_s = consensus;
+  sig.burst_duration_s = median_of(per_run_duration);
+  sig.burst_bytes = median_of(per_run_bytes);
+  sig.confidence =
+      static_cast<double>(agree) / static_cast<double>(per_run_period.size());
+  return sig;
+}
+
+}  // namespace spider::tools

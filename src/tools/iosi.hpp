@@ -1,0 +1,59 @@
+// IOSI: I/O Signature Identifier (Section VI-B).
+//
+// "IOSI characterizes per-application I/O behavior from the server-side
+// I/O throughput logs. We determined application I/O signatures by
+// observing multiple runs and identifying the common I/O pattern across
+// those runs. Note that most scientific applications have a bursty and
+// periodic I/O pattern with a repetitive behavior across runs." Input is
+// only what the servers already log (aggregate bandwidth per time bin) —
+// zero client-side cost — and the output is the application's burst
+// period, duration, and volume.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace spider::tools {
+
+struct IosiSignature {
+  bool found = false;
+  double period_s = 0.0;
+  double burst_duration_s = 0.0;
+  /// Mean bytes moved per burst.
+  double burst_bytes = 0.0;
+  /// Fraction of runs agreeing with the consensus period (within 10%).
+  double confidence = 0.0;
+  std::size_t bursts_seen = 0;
+};
+
+struct IosiConfig {
+  /// Bandwidth threshold for burst detection, as a multiple of the
+  /// median-absolute-deviation above the median.
+  double mad_multiplier = 4.0;
+  /// A burst must additionally clear this fraction of the log's peak;
+  /// filters low-intensity background traffic that also crosses the MAD
+  /// floor on a mostly-quiet log.
+  double min_fraction_of_peak = 0.30;
+  /// Minimum bins a burst must span.
+  std::size_t min_burst_bins = 1;
+};
+
+/// Bursts detected in one log.
+struct DetectedBurst {
+  double start_s = 0.0;
+  double duration_s = 0.0;
+  double bytes = 0.0;
+};
+
+/// Burst detection in a single server-side throughput log.
+std::vector<DetectedBurst> detect_bursts(std::span<const double> log,
+                                         double bin_s,
+                                         const IosiConfig& cfg = {});
+
+/// Extract the application signature common to multiple runs' logs.
+IosiSignature extract_signature(
+    std::span<const std::vector<double>> run_logs, double bin_s,
+    const IosiConfig& cfg = {});
+
+}  // namespace spider::tools

@@ -1,0 +1,118 @@
+#include "tools/libpio.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace spider::tools {
+
+LibPio::LibPio(StorageTopology topology, LibPioWeights weights)
+    : topology_(std::move(topology)), weights_(weights) {
+  if (topology_.ost_to_oss.empty() || topology_.oss_to_leaf.empty() ||
+      topology_.router_to_leaf.empty()) {
+    throw std::invalid_argument("LibPio: incomplete topology");
+  }
+  for (std::uint32_t oss : topology_.ost_to_oss) {
+    if (oss >= topology_.oss_to_leaf.size()) {
+      throw std::out_of_range("LibPio: ost_to_oss references unknown OSS");
+    }
+  }
+}
+
+double LibPio::ost_score(std::uint32_t ost, const LoadSnapshot& loads) const {
+  const std::uint32_t oss = topology_.ost_to_oss[ost];
+  double s = 0.0;
+  if (ost < loads.ost_load.size()) s += weights_.ost_weight * loads.ost_load[ost];
+  if (oss < loads.oss_load.size()) s += weights_.oss_weight * loads.oss_load[oss];
+  return s;
+}
+
+std::size_t LibPio::best_router_for_leaf(
+    std::size_t leaf, const LoadSnapshot& loads,
+    std::span<const double> extra_router_load) const {
+  std::size_t best = 0;
+  double best_score = std::numeric_limits<double>::infinity();
+  bool found = false;
+  for (std::size_t r = 0; r < topology_.router_to_leaf.size(); ++r) {
+    const bool on_leaf = topology_.router_to_leaf[r] == leaf;
+    double score = r < loads.router_load.size() ? loads.router_load[r] : 0.0;
+    score += extra_router_load[r];
+    // Routers not on the destination leaf cross the core: heavy penalty but
+    // still usable as overflow.
+    if (!on_leaf) score += 10.0;
+    if (score < best_score) {
+      best_score = score;
+      best = r;
+      found = true;
+    }
+  }
+  return found ? best : 0;
+}
+
+std::vector<PlacementSuggestion> LibPio::place_job(
+    std::size_t writers, const LoadSnapshot& loads) const {
+  const std::size_t n_ost = topology_.ost_to_oss.size();
+  // Rank OSTs by combined OST+OSS load, then deal writers across the ranked
+  // list while limiting how many land on the same OSS in one pass.
+  std::vector<std::uint32_t> order(n_ost);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> scores(n_ost);
+  for (std::uint32_t o = 0; o < n_ost; ++o) scores[o] = ost_score(o, loads);
+  std::stable_sort(order.begin(), order.end(), [&scores](auto a, auto b) {
+    return scores[a] < scores[b];
+  });
+
+  std::vector<double> oss_extra(topology_.oss_to_leaf.size(), 0.0);
+  std::vector<double> ost_extra(n_ost, 0.0);
+  std::vector<double> router_extra(topology_.router_to_leaf.size(), 0.0);
+
+  std::vector<PlacementSuggestion> out;
+  out.reserve(writers);
+  for (std::size_t w = 0; w < writers; ++w) {
+    // Re-rank lazily: pick the best OST accounting for what this job has
+    // already placed (self-interference matters at scale).
+    std::uint32_t best_ost = order.front();
+    double best = std::numeric_limits<double>::infinity();
+    for (std::uint32_t o : order) {
+      const std::uint32_t oss = topology_.ost_to_oss[o];
+      const double s = scores[o] + weights_.ost_weight * ost_extra[o] +
+                       weights_.oss_weight * oss_extra[oss];
+      if (s < best) {
+        best = s;
+        best_ost = o;
+      }
+    }
+    const std::uint32_t oss = topology_.ost_to_oss[best_ost];
+    const std::size_t leaf = topology_.oss_to_leaf[oss];
+    PlacementSuggestion sug;
+    sug.ost = best_ost;
+    sug.router = best_router_for_leaf(leaf, loads, router_extra);
+    out.push_back(sug);
+    ost_extra[best_ost] += 1.0;
+    oss_extra[oss] += 0.3;
+    router_extra[sug.router] += 0.2;
+  }
+  return out;
+}
+
+std::vector<PlacementSuggestion> LibPio::place_default(std::size_t writers,
+                                                       Rng& rng) const {
+  std::vector<PlacementSuggestion> out;
+  out.reserve(writers);
+  const std::size_t n_ost = topology_.ost_to_oss.size();
+  const std::size_t n_router = topology_.router_to_leaf.size();
+  std::size_t ost_cursor = rng.uniform_index(n_ost);
+  std::size_t router_cursor = rng.uniform_index(n_router);
+  for (std::size_t w = 0; w < writers; ++w) {
+    PlacementSuggestion sug;
+    sug.ost = static_cast<std::uint32_t>(ost_cursor);
+    sug.router = router_cursor;
+    out.push_back(sug);
+    ost_cursor = (ost_cursor + 1) % n_ost;
+    router_cursor = (router_cursor + 1) % n_router;
+  }
+  return out;
+}
+
+}  // namespace spider::tools

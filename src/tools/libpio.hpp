@@ -1,0 +1,79 @@
+// libPIO: the balanced data placement runtime library (Section VI-A).
+//
+// "Our placement library (libPIO) distributes the load on different storage
+// components based on their utilization and reduces the load imbalance. In
+// particular, it takes into account the load on clients, I/O routers,
+// OSSes, and OSTs and encapsulates these low-level infrastructure details
+// to provide I/O placement suggestions for user applications via a simple
+// interface." The paper measured >70% per-job bandwidth gain with synthetic
+// benchmarks at scale and 24% for S3D in production noise.
+//
+// The library is topology-aware but engine-agnostic: the caller feeds it a
+// load snapshot (utilizations in [0,1]) and it returns per-writer
+// placement suggestions. The simple interface mirrors the ~30-line
+// application integration the paper reports.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace spider::tools {
+
+/// Snapshot of component utilizations, indexed by component id.
+struct LoadSnapshot {
+  std::vector<double> ost_load;
+  std::vector<double> oss_load;
+  std::vector<double> router_load;
+};
+
+/// Static wiring libPIO needs: which OSS serves each OST, and which IB
+/// leaf each OSS and router sit on.
+struct StorageTopology {
+  std::vector<std::uint32_t> ost_to_oss;
+  std::vector<std::size_t> oss_to_leaf;
+  std::vector<std::size_t> router_to_leaf;
+};
+
+struct PlacementSuggestion {
+  std::uint32_t ost = 0;
+  std::size_t router = 0;
+};
+
+struct LibPioWeights {
+  double ost_weight = 1.0;
+  double oss_weight = 0.8;
+  double router_weight = 0.6;
+};
+
+class LibPio {
+ public:
+  LibPio(StorageTopology topology, LibPioWeights weights = {});
+
+  const StorageTopology& topology() const { return topology_; }
+
+  /// Load-aware placement for `writers` concurrent writers: picks the
+  /// least-loaded (OST + its OSS) targets, spreads writers across OSS
+  /// nodes, and pairs each with the least-loaded router on the destination
+  /// leaf.
+  std::vector<PlacementSuggestion> place_job(std::size_t writers,
+                                             const LoadSnapshot& loads) const;
+
+  /// Baseline: what an unaware application gets — OSTs assigned
+  /// round-robin from a random start, routers round-robin over all.
+  std::vector<PlacementSuggestion> place_default(std::size_t writers,
+                                                 Rng& rng) const;
+
+ private:
+  double ost_score(std::uint32_t ost, const LoadSnapshot& loads) const;
+  std::size_t best_router_for_leaf(std::size_t leaf,
+                                   const LoadSnapshot& loads,
+                                   std::span<const double> extra_router_load) const;
+
+  StorageTopology topology_;
+  LibPioWeights weights_;
+};
+
+}  // namespace spider::tools

@@ -1,0 +1,43 @@
+#include "tools/lustredu.hpp"
+
+#include <algorithm>
+
+namespace spider::tools {
+
+DuCost client_du(fs::FsNamespace& ns, std::uint32_t project,
+                 double background_util) {
+  DuCost cost;
+  const double before = ns.mds().accounted_load();
+  ns.for_each_file([&](const fs::FileRecord& rec) {
+    if (rec.project != project) {
+      // Directory traversal still pays a lookup to skip the entry.
+      ns.mds().account(fs::MetaOp::kLookup);
+      return;
+    }
+    ns.mds().account(fs::MetaOp::kLookup);
+    ns.mds().account(fs::MetaOp::kStat, rec.stripe_count);
+    cost.bytes_reported += rec.size;
+  });
+  cost.mds_ops = ns.mds().accounted_load() - before;
+  const double usable =
+      ns.mds().capacity_ops() * std::max(0.01, 1.0 - background_util);
+  cost.wall_s = cost.mds_ops / usable;
+  return cost;
+}
+
+void LustreDu::daily_scan(const fs::FsNamespace& ns, sim::SimTime now) {
+  usage_ = ns.usage_by_project();
+  last_scan_ = now;
+  scanned_ = true;
+}
+
+DuCost LustreDu::usage(std::uint32_t project) const {
+  DuCost cost;
+  cost.mds_ops = 0.0;
+  cost.wall_s = 10e-6;  // one indexed database lookup
+  auto it = usage_.find(project);
+  cost.bytes_reported = it == usage_.end() ? 0 : it->second;
+  return cost;
+}
+
+}  // namespace spider::tools

@@ -1,0 +1,52 @@
+// LustreDU and the cost of client-side `du` (Section VI-C, Lesson 19).
+//
+// "du imposes a heavy load on the Lustre MDS when run at this scale.
+// Therefore we developed the LustreDU tool, which gathers disk usage
+// metadata from the Lustre servers once per day." Client `du` stats every
+// file through the MDS; LustreDU answers from a daily server-side snapshot
+// at near-zero marginal cost.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/units.hpp"
+#include "fs/fs_namespace.hpp"
+#include "sim/time.hpp"
+
+namespace spider::tools {
+
+struct DuCost {
+  /// Weighted MDS ops the query itself consumed.
+  double mds_ops = 0.0;
+  /// Wall time as seen by the admin, assuming the MDS is otherwise at the
+  /// given background utilization.
+  double wall_s = 0.0;
+  Bytes bytes_reported = 0;
+};
+
+/// Client-side `du` over one project: lookup + stat per file through the
+/// MDS. `background_util` in [0,1) is competing MDS load.
+DuCost client_du(fs::FsNamespace& ns, std::uint32_t project,
+                 double background_util = 0.0);
+
+/// Server-side daily-snapshot usage tool.
+class LustreDu {
+ public:
+  /// Scan the namespace from the server side (once per day in production);
+  /// cost is independent of query volume and does not touch the MDS.
+  void daily_scan(const fs::FsNamespace& ns, sim::SimTime now);
+
+  sim::SimTime last_scan_time() const { return last_scan_; }
+  bool has_snapshot() const { return !usage_.empty() || scanned_; }
+
+  /// Query from the snapshot: O(1), zero MDS ops.
+  DuCost usage(std::uint32_t project) const;
+
+ private:
+  std::unordered_map<std::uint32_t, Bytes> usage_;
+  sim::SimTime last_scan_ = 0;
+  bool scanned_ = false;
+};
+
+}  // namespace spider::tools

@@ -1,0 +1,110 @@
+#include "tools/ptools.hpp"
+
+#include <algorithm>
+
+namespace spider::tools {
+
+namespace {
+
+std::uint64_t items_of(const TreeSpec& tree) {
+  return tree.files + tree.directories;
+}
+
+/// Serial metadata walk: one outstanding op at a time -> RTT-bound.
+double serial_walk_s(const TreeSpec& tree, const ToolEnvironment& env) {
+  return static_cast<double>(items_of(tree)) * env.ops_per_item *
+         env.metadata_rtt_s;
+}
+
+/// Parallel walk with `ranks` workers: each rank is RTT-bound, the fleet is
+/// capped by MDS throughput.
+double parallel_walk_s(const TreeSpec& tree, const ToolEnvironment& env,
+                       unsigned ranks) {
+  const double total_ops = static_cast<double>(items_of(tree)) * env.ops_per_item;
+  const double rank_rate = 1.0 / env.metadata_rtt_s;  // weighted ops/s/rank
+  const double fleet_rate =
+      std::min(static_cast<double>(ranks) * rank_rate, env.mds_ops_per_sec);
+  return total_ops / fleet_rate;
+}
+
+double parallel_walk_mds_util(const TreeSpec& tree, const ToolEnvironment& env,
+                              unsigned ranks, double wall_s) {
+  if (wall_s <= 0.0) return 0.0;
+  (void)ranks;
+  const double total_ops = static_cast<double>(items_of(tree)) * env.ops_per_item;
+  return std::min(1.0, total_ops / wall_s / env.mds_ops_per_sec);
+}
+
+}  // namespace
+
+ToolRunResult run_serial_find(const TreeSpec& tree, const ToolEnvironment& env) {
+  ToolRunResult r;
+  r.items = items_of(tree);
+  r.wall_s = serial_walk_s(tree, env);
+  r.mds_utilization = parallel_walk_mds_util(tree, env, 1, r.wall_s);
+  return r;
+}
+
+ToolRunResult run_dfind(const TreeSpec& tree, const ToolEnvironment& env,
+                        unsigned ranks) {
+  ToolRunResult r;
+  r.items = items_of(tree);
+  r.wall_s = parallel_walk_s(tree, env, ranks);
+  r.mds_utilization = parallel_walk_mds_util(tree, env, ranks, r.wall_s);
+  return r;
+}
+
+ToolRunResult run_serial_cp(const TreeSpec& tree, const ToolEnvironment& env) {
+  ToolRunResult r;
+  r.items = items_of(tree);
+  r.bytes_moved = tree.total_bytes();
+  // Walk and data movement interleave on one client; the copy reads and
+  // writes every byte through that client.
+  const double data_s =
+      2.0 * static_cast<double>(r.bytes_moved) / env.client_bw;
+  r.wall_s = serial_walk_s(tree, env) + data_s;
+  r.mds_utilization = parallel_walk_mds_util(tree, env, 1, r.wall_s);
+  return r;
+}
+
+ToolRunResult run_dcp(const TreeSpec& tree, const ToolEnvironment& env,
+                      unsigned ranks) {
+  ToolRunResult r;
+  r.items = items_of(tree);
+  r.bytes_moved = tree.total_bytes();
+  const double fleet_bw = std::min(
+      static_cast<double>(ranks) * env.client_bw, env.fs_bw / 2.0);
+  const double data_s = 2.0 * static_cast<double>(r.bytes_moved) / (2.0 * fleet_bw);
+  // Walk and copy phases overlap (work is distributed as found).
+  r.wall_s = std::max(parallel_walk_s(tree, env, ranks), data_s);
+  r.mds_utilization = parallel_walk_mds_util(tree, env, ranks, r.wall_s);
+  return r;
+}
+
+ToolRunResult run_serial_tar(const TreeSpec& tree, const ToolEnvironment& env) {
+  ToolRunResult r;
+  r.items = items_of(tree);
+  r.bytes_moved = tree.total_bytes();
+  // Read every byte and write the archive stream through one client.
+  const double data_s =
+      2.0 * static_cast<double>(r.bytes_moved) / env.client_bw;
+  r.wall_s = serial_walk_s(tree, env) + data_s;
+  r.mds_utilization = parallel_walk_mds_util(tree, env, 1, r.wall_s);
+  return r;
+}
+
+ToolRunResult run_dtar(const TreeSpec& tree, const ToolEnvironment& env,
+                       unsigned ranks) {
+  ToolRunResult r;
+  r.items = items_of(tree);
+  r.bytes_moved = tree.total_bytes();
+  const double fleet_bw = std::min(
+      static_cast<double>(ranks) * env.client_bw, env.fs_bw / 2.0);
+  // Parallel readers feed striped archive segments; reads dominate.
+  const double data_s = 2.0 * static_cast<double>(r.bytes_moved) / (2.0 * fleet_bw);
+  r.wall_s = std::max(parallel_walk_s(tree, env, ranks), data_s);
+  r.mds_utilization = parallel_walk_mds_util(tree, env, ranks, r.wall_s);
+  return r;
+}
+
+}  // namespace spider::tools

@@ -1,0 +1,69 @@
+// Scalable file tools: dcp / dfind / dtar vs their serial ancestors
+// (Section VI-C, Lesson 19).
+//
+// "Standard Linux tools do not work well at scale... cp, tar, find are
+// single threaded commands, designed to run on a single file system
+// client." The OLCF/LLNL/LANL/DDN collaboration produced parallel
+// replacements. The models here compute makespan for tree walks and data
+// movement as a function of tool parallelism, client bandwidth, MDS
+// capacity, and file-system bandwidth — showing both the parallel speedup
+// and where it saturates (the MDS for find, the FS for cp).
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace spider::tools {
+
+/// Synthetic dataset description the tool operates on.
+struct TreeSpec {
+  std::uint64_t files = 1'000'000;
+  std::uint64_t directories = 50'000;
+  Bytes mean_file_size = 8_MiB;
+
+  Bytes total_bytes() const { return files * mean_file_size; }
+};
+
+/// Capacities of the system the tool runs against.
+struct ToolEnvironment {
+  /// Metadata ops/sec the MDS can spend on this tool (after production
+  /// traffic).
+  double mds_ops_per_sec = 15e3;
+  /// Weighted op cost per item visited (lookup + stat).
+  double ops_per_item = 1.6;
+  /// One client node's data bandwidth.
+  Bandwidth client_bw = 1.2 * kGBps;
+  /// File-system aggregate bandwidth available to the tool.
+  Bandwidth fs_bw = 240.0 * kGBps;
+  /// Round-trip latency of one serial metadata op, seconds (a serial tool
+  /// is latency-bound long before it is throughput-bound).
+  double metadata_rtt_s = 400e-6;
+};
+
+struct ToolRunResult {
+  double wall_s = 0.0;
+  std::uint64_t items = 0;
+  Bytes bytes_moved = 0;
+  double mds_utilization = 0.0;  ///< during the run
+};
+
+/// find(1): serial, latency-bound tree walk.
+ToolRunResult run_serial_find(const TreeSpec& tree, const ToolEnvironment& env);
+/// dfind: `ranks` walkers; throughput-bound by min(rank capacity, MDS).
+ToolRunResult run_dfind(const TreeSpec& tree, const ToolEnvironment& env,
+                        unsigned ranks);
+
+/// cp -r: serial walk + single-client data funnel.
+ToolRunResult run_serial_cp(const TreeSpec& tree, const ToolEnvironment& env);
+/// dcp: parallel walk + `ranks` client nodes moving data.
+ToolRunResult run_dcp(const TreeSpec& tree, const ToolEnvironment& env,
+                      unsigned ranks);
+
+/// tar -c: serial walk + serial read + single output stream.
+ToolRunResult run_serial_tar(const TreeSpec& tree, const ToolEnvironment& env);
+/// dtar: parallel read, striped archive output.
+ToolRunResult run_dtar(const TreeSpec& tree, const ToolEnvironment& env,
+                       unsigned ranks);
+
+}  // namespace spider::tools

@@ -1,0 +1,51 @@
+#include "tools/release_testing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spider::tools {
+
+double detection_probability(const ScaleDefect& defect,
+                             std::uint32_t test_clients) {
+  if (test_clients < defect.threshold_clients) return 0.0;
+  // Manifestation odds grow with scale margin past the threshold and
+  // saturate at the defect's intrinsic probability.
+  const double margin = static_cast<double>(test_clients) /
+                        static_cast<double>(defect.threshold_clients);
+  const double ramp = 1.0 - std::exp(-(margin - 1.0) - 0.5);
+  return defect.manifest_prob * std::clamp(ramp, 0.1, 1.0);
+}
+
+CampaignResult simulate_campaign(std::size_t defects,
+                                 const ReleaseCampaign& campaign, Rng& rng) {
+  CampaignResult result;
+  result.defects = defects;
+  const double lo = std::log2(8.0);
+  const double hi = std::log2(static_cast<double>(campaign.full_scale_clients) * 2.0);
+  for (std::size_t d = 0; d < defects; ++d) {
+    ScaleDefect defect;
+    defect.threshold_clients =
+        static_cast<std::uint32_t>(std::exp2(rng.uniform(lo, hi)));
+    defect.manifest_prob = rng.uniform(0.4, 0.95);
+
+    auto stage_catches = [&](std::uint32_t clients, unsigned runs) {
+      const double p = detection_probability(defect, clients);
+      for (unsigned r = 0; r < runs; ++r) {
+        if (rng.chance(p)) return true;
+      }
+      return false;
+    };
+
+    if (stage_catches(campaign.testbed_clients, campaign.testbed_runs)) {
+      ++result.caught_on_testbed;
+    } else if (stage_catches(campaign.full_scale_clients,
+                             campaign.full_scale_runs)) {
+      ++result.caught_at_full_scale;
+    } else {
+      ++result.escaped_to_production;
+    }
+  }
+  return result;
+}
+
+}  // namespace spider::tools

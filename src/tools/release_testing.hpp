@@ -1,0 +1,55 @@
+// Full-scale release testing (Section IV-B, Lesson 9).
+//
+// "Titan is a unique resource that supports testing at extreme scale...
+// the OLCF allocates the Titan and the Spider PFS for full scale tests of
+// candidate Lustre releases. These tests identify edge cases and problems
+// that would not manifest themselves otherwise."
+//
+// The model: scale-dependent defects manifest only above a client-count
+// threshold (races, resource exhaustion, O(N^2) paths). A testbed sized at
+// a few hundred clients catches the small-scale tail; the full machine is
+// the only place the rest can be seen before production hits them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace spider::tools {
+
+/// One latent defect in a candidate release.
+struct ScaleDefect {
+  /// Clients needed before the defect can manifest at all.
+  std::uint32_t threshold_clients = 1000;
+  /// Probability of manifesting in one test run at >= threshold scale.
+  double manifest_prob = 0.8;
+};
+
+/// Probability one test run at `test_clients` exposes the defect: zero
+/// below threshold, ramping with scale margin above it (more clients, more
+/// chances for the race/exhaustion to trip).
+double detection_probability(const ScaleDefect& defect,
+                             std::uint32_t test_clients);
+
+struct ReleaseCampaign {
+  std::uint32_t testbed_clients = 512;
+  std::uint32_t full_scale_clients = 18688;
+  /// Test runs per stage.
+  unsigned testbed_runs = 10;
+  unsigned full_scale_runs = 2;
+};
+
+struct CampaignResult {
+  std::size_t defects = 0;
+  std::size_t caught_on_testbed = 0;
+  std::size_t caught_at_full_scale = 0;  ///< missed by the testbed
+  std::size_t escaped_to_production = 0;
+};
+
+/// Draw a defect population (log-uniform thresholds from 8 to max_scale)
+/// and run the two-stage campaign.
+CampaignResult simulate_campaign(std::size_t defects,
+                                 const ReleaseCampaign& campaign, Rng& rng);
+
+}  // namespace spider::tools

@@ -1,0 +1,85 @@
+#include "tools/rfp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spider::tools {
+
+namespace {
+std::size_t ceil_div(double need, double per_unit) {
+  if (per_unit <= 0.0) return SIZE_MAX;
+  return static_cast<std::size_t>(std::ceil(need / per_unit));
+}
+}  // namespace
+
+ProposalScore evaluate_proposal(const SowTargets& sow, const Proposal& p,
+                                const EvaluationWeights& w) {
+  ProposalScore s;
+  s.vendor = p.vendor;
+
+  // The SSU count is driven by whichever target is hardest to meet.
+  const std::size_t for_seq = ceil_div(sow.sequential_bw, p.ssu_sequential_bw);
+  const std::size_t for_rand = ceil_div(sow.random_bw, p.ssu_random_bw);
+  const std::size_t for_cap =
+      ceil_div(static_cast<double>(sow.capacity),
+               static_cast<double>(p.ssu_capacity));
+  s.ssus_needed = std::max({for_seq, for_rand, for_cap});
+  if (s.ssus_needed == SIZE_MAX) {
+    s.notes.push_back("degenerate SSU characteristics");
+    return s;
+  }
+
+  s.hardware_cost = p.price_per_ssu * static_cast<double>(s.ssus_needed);
+  const double overhead = p.model == ResponseModel::kBlockStorage
+                              ? w.block_integration_overhead
+                              : w.appliance_premium;
+  s.total_cost = s.hardware_cost * (1.0 + overhead);
+  s.within_budget = s.total_cost <= sow.budget;
+
+  const bool variance_ok = p.measured_variance <= sow.variance_envelope + 1e-12;
+  const bool schedule_ok = p.schedule_months <= sow.required_schedule_months;
+  s.meets_targets = variance_ok && s.within_budget && schedule_ok;
+  if (!variance_ok) s.notes.push_back("variance envelope exceeded");
+  if (!s.within_budget) s.notes.push_back("over budget");
+  if (!schedule_ok) s.notes.push_back("schedule too long");
+  if (p.model == ResponseModel::kBlockStorage) {
+    s.notes.push_back("integration risk carried by the buyer");
+  }
+
+  // Component scores, each in [0, 1].
+  s.technical = 0.5 * p.past_performance +
+                0.5 * std::clamp(sow.variance_envelope / std::max(1e-9, p.measured_variance),
+                                 0.0, 1.0);
+  // Performance margin above targets at the chosen SSU count.
+  const double seq_margin =
+      p.ssu_sequential_bw * static_cast<double>(s.ssus_needed) /
+      sow.sequential_bw;
+  const double rand_margin = p.ssu_random_bw *
+                             static_cast<double>(s.ssus_needed) /
+                             sow.random_bw;
+  s.performance = std::clamp(0.5 * (seq_margin + rand_margin) - 0.5, 0.0, 1.0);
+  s.schedule = std::clamp(2.0 - p.schedule_months / sow.required_schedule_months,
+                          0.0, 1.0);
+  s.cost = std::clamp(2.0 - 2.0 * s.total_cost / sow.budget, 0.0, 1.0);
+  s.total = w.technical * s.technical + w.performance * s.performance +
+            w.schedule * s.schedule + w.cost * s.cost;
+  return s;
+}
+
+std::size_t best_value(std::span<const Proposal> proposals,
+                       const SowTargets& sow, const EvaluationWeights& w,
+                       std::vector<ProposalScore>* scores) {
+  std::size_t winner = SIZE_MAX;
+  double best = -1.0;
+  for (std::size_t i = 0; i < proposals.size(); ++i) {
+    const auto score = evaluate_proposal(sow, proposals[i], w);
+    if (scores) scores->push_back(score);
+    if (score.meets_targets && score.total > best) {
+      best = score.total;
+      winner = i;
+    }
+  }
+  return winner;
+}
+
+}  // namespace spider::tools

@@ -1,0 +1,98 @@
+// RFP / SOW evaluation machinery (Section III, Lessons 3-5).
+//
+// The Spider II Statement of Work defined the SSU as "the unit of
+// configuration, pricing, benchmarking, and integration", set performance
+// targets (1 TB/s sequential, 240 GB/s random, capacity, a 5% variance
+// envelope), and invited both "block storage" and "appliance" response
+// models. Lesson 5: "The evaluation criteria must structure the evaluation
+// of all SOW requirements in a weighted manner such that every element of
+// the vendor proposal is correctly considered in the context of the entire
+// solution."
+//
+// This module turns that into code: SOW targets, vendor proposals
+// (characterized per-SSU by the fair-lio numbers), a weighted scoring
+// model across technical/performance/schedule/cost, response-model risk
+// handling (the block model shifts integration risk to the buyer — which
+// OLCF accepted, and the model prices), and best-value selection.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace spider::tools {
+
+struct SowTargets {
+  Bandwidth sequential_bw = 1.0 * kTBps;
+  Bandwidth random_bw = 240.0 * kGBps;
+  Bytes capacity = 32_PB;
+  /// Acceptance variance envelope across RAID groups.
+  double variance_envelope = 0.05;
+  /// Total budget, in arbitrary cost units.
+  double budget = 60.0;
+  /// Required delivery, months from award.
+  double required_schedule_months = 18.0;
+};
+
+enum class ResponseModel {
+  kBlockStorage,  ///< buyer integrates storage, servers, network (OLCF's pick)
+  kAppliance,     ///< vendor-integrated turnkey solution
+};
+
+struct Proposal {
+  std::string vendor;
+  ResponseModel model = ResponseModel::kBlockStorage;
+  // Per-SSU characteristics, as benchmarked with the released suite.
+  Bandwidth ssu_sequential_bw = 28.0 * kGBps;
+  Bandwidth ssu_random_bw = 7.0 * kGBps;
+  Bytes ssu_capacity = 896_TB;
+  double price_per_ssu = 1.0;
+  /// Measured variance across RAID groups in the benchmark response.
+  double measured_variance = 0.05;
+  double schedule_months = 15.0;
+  /// Past performance / corporate capability, 0..1 (Lesson 5's criteria).
+  double past_performance = 0.8;
+};
+
+struct EvaluationWeights {
+  double technical = 0.30;
+  double performance = 0.30;
+  double schedule = 0.15;
+  double cost = 0.25;
+  /// Buyer-side integration cost for a block-storage response, as a
+  /// fraction of hardware cost (the risk OLCF knowingly accepted).
+  double block_integration_overhead = 0.06;
+  /// Vendor margin typically embedded in appliance pricing.
+  double appliance_premium = 0.18;
+};
+
+struct ProposalScore {
+  std::string vendor;
+  std::size_t ssus_needed = 0;
+  double hardware_cost = 0.0;
+  double total_cost = 0.0;  ///< including model-specific overheads
+  bool meets_targets = false;
+  bool within_budget = false;
+  double technical = 0.0;
+  double performance = 0.0;
+  double schedule = 0.0;
+  double cost = 0.0;
+  double total = 0.0;
+  std::vector<std::string> notes;
+};
+
+/// Score one proposal against the SOW.
+ProposalScore evaluate_proposal(const SowTargets& sow, const Proposal& p,
+                                const EvaluationWeights& w = {});
+
+/// Best-value selection over all proposals; returns the winning index (or
+/// SIZE_MAX when nothing qualifies) and, optionally, every score.
+std::size_t best_value(std::span<const Proposal> proposals,
+                       const SowTargets& sow,
+                       const EvaluationWeights& w = {},
+                       std::vector<ProposalScore>* scores = nullptr);
+
+}  // namespace spider::tools

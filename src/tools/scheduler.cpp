@@ -1,0 +1,97 @@
+#include "tools/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace spider::tools {
+
+namespace {
+
+/// Add one app's bursts (period/duration/rate from its signature, shifted
+/// by `offset`) onto the timeline.
+void add_app(std::vector<double>& timeline, const IosiSignature& app,
+             double offset, const SchedulerConfig& cfg) {
+  if (!app.found || app.period_s <= 0.0 || app.burst_duration_s <= 0.0) return;
+  const double rate = app.burst_bytes / app.burst_duration_s;
+  for (double start = offset; start < cfg.horizon_s; start += app.period_s) {
+    const auto first = static_cast<std::size_t>(std::max(0.0, start) / cfg.grid_s);
+    const auto last = static_cast<std::size_t>(
+        std::max(0.0, start + app.burst_duration_s) / cfg.grid_s);
+    for (std::size_t b = first; b <= last && b < timeline.size(); ++b) {
+      timeline[b] += rate;
+    }
+  }
+}
+
+double peak_of(const std::vector<double>& timeline) {
+  double peak = 0.0;
+  for (double v : timeline) peak = std::max(peak, v);
+  return peak;
+}
+
+}  // namespace
+
+std::vector<double> aggregate_timeline(std::span<const IosiSignature> apps,
+                                       std::span<const double> offsets,
+                                       const SchedulerConfig& cfg) {
+  if (apps.size() != offsets.size()) {
+    throw std::invalid_argument("aggregate_timeline: size mismatch");
+  }
+  std::vector<double> timeline(
+      static_cast<std::size_t>(cfg.horizon_s / cfg.grid_s) + 1, 0.0);
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    add_app(timeline, apps[i], offsets[i], cfg);
+  }
+  return timeline;
+}
+
+ScheduleResult schedule_applications(std::span<const IosiSignature> apps,
+                                     const SchedulerConfig& cfg) {
+  ScheduleResult result;
+  result.offsets.assign(apps.size(), 0.0);
+  {
+    const auto naive = aggregate_timeline(apps, result.offsets, cfg);
+    result.naive_peak_bw = peak_of(naive);
+  }
+
+  // Biggest bursts first: they constrain the schedule the most.
+  std::vector<std::size_t> order(apps.size());
+  std::iota(order.begin(), order.end(), 0);
+  auto burst_rate = [&apps](std::size_t i) {
+    return apps[i].burst_duration_s > 0.0
+               ? apps[i].burst_bytes / apps[i].burst_duration_s
+               : 0.0;
+  };
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return burst_rate(a) > burst_rate(b);
+  });
+
+  std::vector<double> timeline(
+      static_cast<std::size_t>(cfg.horizon_s / cfg.grid_s) + 1, 0.0);
+  for (std::size_t idx : order) {
+    const auto& app = apps[idx];
+    if (!app.found || app.period_s <= 0.0) continue;
+    double best_offset = 0.0;
+    double best_peak = std::numeric_limits<double>::infinity();
+    for (double off = 0.0; off < app.period_s; off += cfg.offset_step_s) {
+      std::vector<double> candidate = timeline;
+      add_app(candidate, app, off, cfg);
+      const double peak = peak_of(candidate);
+      if (peak < best_peak) {
+        best_peak = peak;
+        best_offset = off;
+      }
+    }
+    result.offsets[idx] = best_offset;
+    add_app(timeline, app, best_offset, cfg);
+  }
+  result.scheduled_peak_bw = peak_of(timeline);
+  result.peak_reduction = result.scheduled_peak_bw > 0.0
+                              ? result.naive_peak_bw / result.scheduled_peak_bw
+                              : 1.0;
+  return result;
+}
+
+}  // namespace spider::tools

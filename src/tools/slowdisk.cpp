@@ -1,0 +1,162 @@
+#include "tools/slowdisk.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace spider::tools {
+
+namespace {
+
+struct GroupRef {
+  std::size_t ssu;
+  std::size_t group;
+  double bw;
+};
+
+std::vector<GroupRef> benchmark_fleet(std::span<const block::Ssu> ssus,
+                                      const CullingConfig& cfg) {
+  std::vector<GroupRef> refs;
+  for (std::size_t s = 0; s < ssus.size(); ++s) {
+    for (std::size_t g = 0; g < ssus[s].groups(); ++g) {
+      refs.push_back(GroupRef{
+          s, g,
+          ssus[s].group(g).bandwidth(block::IoMode::kSequential,
+                                     block::IoDir::kWrite, cfg.request_size)});
+    }
+  }
+  return refs;
+}
+
+CullingRound summarize(std::span<const block::Ssu> ssus,
+                       const std::vector<GroupRef>& refs) {
+  CullingRound round;
+  RunningStats fleet;
+  for (const auto& r : refs) fleet.add(r.bw);
+  round.fleet_mean_bw = fleet.mean();
+  // Fleet spread: max deviation from the mean, as a fraction of the mean.
+  double max_dev = 0.0;
+  for (const auto& r : refs) {
+    max_dev = std::max(max_dev, std::abs(r.bw - fleet.mean()) / fleet.mean());
+  }
+  round.fleet_spread = max_dev;
+  // Worst intra-SSU spread: (fastest - slowest) / fastest.
+  double worst = 0.0;
+  for (std::size_t s = 0; s < ssus.size(); ++s) {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = 0.0;
+    for (const auto& r : refs) {
+      if (r.ssu != s) continue;
+      lo = std::min(lo, r.bw);
+      hi = std::max(hi, r.bw);
+    }
+    if (hi > 0.0) worst = std::max(worst, (hi - lo) / hi);
+  }
+  round.worst_intra_ssu_spread = worst;
+  return round;
+}
+
+}  // namespace
+
+CullingRound measure_fleet(std::span<const block::Ssu> ssus,
+                           const CullingConfig& cfg) {
+  const auto refs = benchmark_fleet(ssus, cfg);
+  return summarize(ssus, refs);
+}
+
+MemberLatencyReport measure_member_latencies(const block::Raid6Group& group,
+                                             Bytes request_size,
+                                             std::size_t samples, Rng& rng) {
+  MemberLatencyReport report;
+  report.median_s.resize(group.width());
+  report.p99_s.resize(group.width());
+  std::vector<double> lat(samples);
+  for (std::size_t m = 0; m < group.width(); ++m) {
+    if (group.member_state(m) != block::MemberState::kOnline) {
+      report.median_s[m] = 0.0;
+      report.p99_s[m] = 0.0;
+      continue;
+    }
+    for (std::size_t s = 0; s < samples; ++s) {
+      lat[s] = group.member(m).sample_service_time_s(
+          request_size, block::IoMode::kSequential, block::IoDir::kWrite, rng);
+    }
+    report.median_s[m] = percentile(lat, 50.0);
+    report.p99_s[m] = percentile(lat, 99.0);
+  }
+  std::vector<double> medians;
+  for (double v : report.median_s) {
+    if (v > 0.0) medians.push_back(v);
+  }
+  report.group_median_s = medians.empty() ? 0.0 : percentile(medians, 50.0);
+  return report;
+}
+
+std::vector<std::size_t> flag_slow_members(const MemberLatencyReport& report,
+                                           double flag_factor) {
+  std::vector<std::size_t> flagged;
+  for (std::size_t m = 0; m < report.median_s.size(); ++m) {
+    if (report.median_s[m] > report.group_median_s * flag_factor) {
+      flagged.push_back(m);
+    }
+  }
+  return flagged;
+}
+
+CullingReport run_culling(std::span<block::Ssu> ssus, const CullingConfig& cfg,
+                          Rng& rng) {
+  CullingReport report;
+  for (std::size_t round_no = 0; round_no < cfg.max_rounds; ++round_no) {
+    auto refs = benchmark_fleet(ssus, cfg);
+    CullingRound round = summarize(ssus, refs);
+    round.round = round_no;
+    if (round_no == 0) report.initial_fleet_mean_bw = round.fleet_mean_bw;
+
+    const bool within =
+        round.worst_intra_ssu_spread <= cfg.intra_ssu_threshold &&
+        round.fleet_spread <= cfg.fleet_threshold;
+    if (within) {
+      report.rounds.push_back(round);
+      report.converged = true;
+      break;
+    }
+
+    // Bin groups by bandwidth; examine the lowest bin(s) at disk level.
+    std::sort(refs.begin(), refs.end(),
+              [](const GroupRef& a, const GroupRef& b) { return a.bw < b.bw; });
+    const std::size_t per_bin = std::max<std::size_t>(1, refs.size() / cfg.bins);
+    const auto examine =
+        static_cast<std::size_t>(static_cast<double>(per_bin) * cfg.examine_fraction);
+
+    std::size_t replaced = 0;
+    for (std::size_t i = 0; i < std::min(examine, refs.size()); ++i) {
+      auto& ssu = ssus[refs[i].ssu];
+      auto& grp = ssu.group(refs[i].group);
+      // Disk-level statistics, measured the way the paper did it: per-member
+      // service-latency sampling; members with outlying medians get pulled.
+      const auto report = measure_member_latencies(grp, cfg.request_size,
+                                                   cfg.latency_samples, rng);
+      for (std::size_t m :
+           flag_slow_members(report, cfg.latency_flag_factor)) {
+        ssu.replace_disk(refs[i].group, m, rng);
+        ++replaced;
+      }
+    }
+    round.disks_replaced = replaced;
+    report.total_disks_replaced += replaced;
+    report.rounds.push_back(round);
+    if (replaced == 0 && !within) {
+      // No more candidates under the current criteria; stop.
+      break;
+    }
+  }
+  if (!report.rounds.empty()) {
+    report.final_fleet_mean_bw = report.rounds.back().fleet_mean_bw;
+  }
+  return report;
+}
+
+}  // namespace spider::tools

@@ -1,0 +1,93 @@
+// Slow-disk identification and culling (Section V-A, Lesson 13).
+//
+// "Block-level benchmarks were run to ensure that the slowest RAID group
+// performance over a single SSU was within the 5% of the fastest and
+// across the 2,016 RAID groups the performance varied no more than the 5%
+// of the average. We conducted multiple rounds of these tests, eliminating
+// the slowest performing disks at each round. ... Overall, during the
+// deployment process we replaced around 1,500 of 20,160 fully functioning,
+// but slower, disks. After deployment, the same process was repeated at
+// the file system level and we eliminated approximately another 500 disks."
+// In production the 5% requirement was relaxed to 7.5%.
+//
+// The workflow here mirrors that process: benchmark groups, bin them,
+// pull disk-level statistics from the lowest bins, replace the disks with
+// outlying service latency, repeat until the variance envelope holds.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "block/ssu.hpp"
+#include "common/rng.hpp"
+
+namespace spider::tools {
+
+struct CullingConfig {
+  /// Intra-SSU envelope: slowest group within this fraction of the fastest.
+  double intra_ssu_threshold = 0.05;
+  /// Fleet envelope: every group within this fraction of the fleet mean.
+  double fleet_threshold = 0.05;
+  std::size_t max_rounds = 12;
+  Bytes request_size = 1_MiB;
+  /// Performance bins used to rank groups per round.
+  std::size_t bins = 10;
+  /// Fraction of lowest-bin groups examined at disk level each round.
+  double examine_fraction = 1.0;
+  /// A member whose measured median service latency exceeds the group's
+  /// median-of-medians by this factor is flagged for replacement ("Disks
+  /// accumulating higher I/O request service latencies were identified
+  /// and replaced").
+  double latency_flag_factor = 1.04;
+  /// Service-time samples drawn per member when examining a group.
+  std::size_t latency_samples = 200;
+};
+
+/// Measured per-member service-latency statistics for one RAID group —
+/// the disk-level evidence the culling workflow collects from the lowest
+/// performance bins.
+struct MemberLatencyReport {
+  std::vector<double> median_s;  ///< per member
+  std::vector<double> p99_s;     ///< per member
+  /// Median of the member medians (the group's healthy reference).
+  double group_median_s = 0.0;
+};
+
+/// Benchmark every member of a group with `samples` sequential-write
+/// requests of `request_size` and report latency statistics.
+MemberLatencyReport measure_member_latencies(const block::Raid6Group& group,
+                                             Bytes request_size,
+                                             std::size_t samples, Rng& rng);
+
+/// Members whose median latency exceeds group_median * flag_factor.
+std::vector<std::size_t> flag_slow_members(const MemberLatencyReport& report,
+                                           double flag_factor);
+
+struct CullingRound {
+  std::size_t round = 0;
+  double fleet_mean_bw = 0.0;          ///< bytes/s per group
+  double worst_intra_ssu_spread = 0.0; ///< (max-min)/max within worst SSU
+  double fleet_spread = 0.0;           ///< max |bw - mean| / mean
+  std::size_t disks_replaced = 0;
+};
+
+struct CullingReport {
+  std::vector<CullingRound> rounds;
+  std::size_t total_disks_replaced = 0;
+  bool converged = false;
+  double final_fleet_mean_bw = 0.0;
+  double initial_fleet_mean_bw = 0.0;
+};
+
+/// Run the iterative culling workflow over a fleet of SSUs (mutates them:
+/// slow disks get replaced with healthy units).
+CullingReport run_culling(std::span<block::Ssu> ssus, const CullingConfig& cfg,
+                          Rng& rng);
+
+/// One round of measurement only (no replacement): the production
+/// periodic re-check (the "repeat periodically for the lifetime" lesson).
+CullingRound measure_fleet(std::span<const block::Ssu> ssus,
+                           const CullingConfig& cfg);
+
+}  // namespace spider::tools

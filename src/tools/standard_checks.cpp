@@ -1,0 +1,113 @@
+#include "tools/standard_checks.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace spider::tools {
+
+void IbErrorCounters::add_symbol_errors(std::size_t port, std::uint64_t n) {
+  symbol_.at(port) += n;
+}
+
+void IbErrorCounters::add_link_down(std::size_t port) { ++down_.at(port); }
+
+void IbErrorCounters::clear() {
+  std::fill(symbol_.begin(), symbol_.end(), 0);
+  std::fill(down_.begin(), down_.end(), 0);
+}
+
+CheckScheduler make_standard_checks(core::CenterModel& center,
+                                    const IbErrorCounters& ib,
+                                    const std::vector<double>& mds_offered,
+                                    const CheckThresholds& thresholds) {
+  CheckScheduler sched;
+
+  // RAID group states, one check per SSU.
+  for (std::size_t s = 0; s < center.num_ssus(); ++s) {
+    sched.add_check({"raid-ssu" + std::to_string(s), [&center, s] {
+      std::size_t degraded = 0, rebuilding = 0, failed = 0;
+      auto& ssu = center.ssu(s);
+      for (std::size_t g = 0; g < ssu.groups(); ++g) {
+        switch (ssu.group(g).state()) {
+          case block::RaidState::kDegraded: ++degraded; break;
+          case block::RaidState::kRebuilding: ++rebuilding; break;
+          case block::RaidState::kFailed: ++failed; break;
+          case block::RaidState::kNormal: break;
+        }
+      }
+      if (failed > 0) {
+        return CheckResult{CheckStatus::kCritical,
+                           std::to_string(failed) + " groups failed"};
+      }
+      if (degraded + rebuilding > 0) {
+        return CheckResult{CheckStatus::kWarning,
+                           std::to_string(degraded) + " degraded, " +
+                               std::to_string(rebuilding) + " rebuilding"};
+      }
+      return CheckResult{};
+    }});
+    sched.add_check({"controller-ssu" + std::to_string(s), [&center, s] {
+      switch (center.ssu(s).controller().state()) {
+        case block::PairState::kActiveActive:
+          return CheckResult{};
+        case block::PairState::kFailedOver:
+          return CheckResult{CheckStatus::kWarning, "failed over"};
+        case block::PairState::kOffline:
+          return CheckResult{CheckStatus::kCritical, "pair offline"};
+      }
+      return CheckResult{};
+    }});
+  }
+
+  // IB cable checks (the OFED counter battery).
+  for (std::size_t port = 0; port < ib.ports(); ++port) {
+    sched.add_check({"ib-port" + std::to_string(port), [&ib, port, thresholds] {
+      if (ib.link_downs(port) > 0 ||
+          ib.symbol_errors(port) >= thresholds.symbol_critical) {
+        return CheckResult{CheckStatus::kCritical,
+                           "cable requires in-place diagnosis"};
+      }
+      if (ib.symbol_errors(port) >= thresholds.symbol_warning) {
+        return CheckResult{CheckStatus::kWarning, "symbol errors accumulating"};
+      }
+      return CheckResult{};
+    }});
+  }
+
+  // Fullness per namespace (the 70%/90% knees).
+  for (std::size_t n = 0; n < center.filesystem().namespaces(); ++n) {
+    sched.add_check({"fullness-ns" + std::to_string(n), [&center, n, thresholds] {
+      const double f = center.filesystem().ns(n).fullness();
+      if (f >= thresholds.fullness_critical) {
+        return CheckResult{CheckStatus::kCritical,
+                           "past severe degradation point"};
+      }
+      if (f >= thresholds.fullness_warning) {
+        return CheckResult{CheckStatus::kWarning, "past the 70% knee"};
+      }
+      return CheckResult{};
+    }});
+  }
+
+  // MDS saturation per namespace.
+  for (std::size_t n = 0; n < center.filesystem().namespaces() &&
+                          n < mds_offered.size();
+       ++n) {
+    sched.add_check({"mds-ns" + std::to_string(n),
+                     [&center, &mds_offered, n, thresholds] {
+      const auto& mds = center.filesystem().ns(n).mds();
+      const double util = mds_offered[n] / mds.capacity_ops();
+      if (util >= 1.0) {
+        return CheckResult{CheckStatus::kCritical, "MDS saturated"};
+      }
+      if (util >= thresholds.mds_warning_util) {
+        return CheckResult{CheckStatus::kWarning, "MDS near saturation"};
+      }
+      return CheckResult{};
+    }});
+  }
+
+  return sched;
+}
+
+}  // namespace spider::tools

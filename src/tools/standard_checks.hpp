@@ -1,0 +1,62 @@
+// The standard monitoring checks OLCF ran (Section IV-A "Monitoring").
+//
+// "To monitor the InfiniBand adapter and network, custom checks were
+// written around the standard OFED tools for HCA errors and network
+// errors... Single cable failures can cause performance degradation in
+// accessing the file system. OLCF has developed procedures for diagnosing
+// a cable in-place." Plus the Lustre Health Checker's view of RAID and
+// controller state, and capacity checks against the 70% degradation knee.
+//
+// make_standard_checks() loads a CheckScheduler with the whole battery,
+// bound to live center state and an IB error-counter store.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/center.hpp"
+#include "tools/health.hpp"
+
+namespace spider::tools {
+
+/// Per-port InfiniBand error counters (what `ibqueryerrors`/perfquery
+/// expose); fed by the fabric layer or injected by tests.
+class IbErrorCounters {
+ public:
+  explicit IbErrorCounters(std::size_t ports) : symbol_(ports, 0), down_(ports, 0) {}
+
+  std::size_t ports() const { return symbol_.size(); }
+  void add_symbol_errors(std::size_t port, std::uint64_t n);
+  void add_link_down(std::size_t port);
+  std::uint64_t symbol_errors(std::size_t port) const { return symbol_.at(port); }
+  std::uint64_t link_downs(std::size_t port) const { return down_.at(port); }
+  void clear();
+
+ private:
+  std::vector<std::uint64_t> symbol_;
+  std::vector<std::uint64_t> down_;
+};
+
+struct CheckThresholds {
+  /// Symbol errors before a cable is flagged for in-place diagnosis.
+  std::uint64_t symbol_warning = 100;
+  std::uint64_t symbol_critical = 10'000;
+  /// OST fullness knees (the paper's 50%/70% observations).
+  double fullness_warning = 0.70;
+  double fullness_critical = 0.90;
+  /// MDS offered load fraction that warrants a warning.
+  double mds_warning_util = 0.80;
+};
+
+/// Build the standard battery:
+///   - one RAID-state check per SSU (degraded/rebuilding/failed groups),
+///   - one controller-pair check per SSU,
+///   - IB cable checks over the counter store,
+///   - OST fullness checks against the degradation knees,
+///   - MDS saturation checks per namespace (given offered loads).
+CheckScheduler make_standard_checks(core::CenterModel& center,
+                                    const IbErrorCounters& ib,
+                                    const std::vector<double>& mds_offered,
+                                    const CheckThresholds& thresholds = {});
+
+}  // namespace spider::tools

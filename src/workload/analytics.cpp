@@ -1,0 +1,45 @@
+#include "workload/analytics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/distributions.hpp"
+
+namespace spider::workload {
+
+AnalyticsWorkload::AnalyticsWorkload(const AnalyticsParams& params)
+    : params_(params) {}
+
+std::vector<IoRequest> AnalyticsWorkload::generate(double duration_s,
+                                                   Rng& rng) const {
+  // Pareto with mean == think_time_s: scale = mean * (alpha-1)/alpha.
+  const double scale =
+      params_.think_time_s * (params_.think_alpha - 1.0) / params_.think_alpha;
+  const Pareto think(params_.think_alpha, scale);
+  const double lo = std::log2(static_cast<double>(params_.read_lo));
+  const double hi = std::log2(static_cast<double>(params_.read_hi));
+
+  std::vector<IoRequest> trace;
+  for (std::uint32_t c = 0; c < params_.clients; ++c) {
+    Rng local = rng.fork(1000 + c);
+    double t = think.sample(local);
+    while (t < duration_s) {
+      IoRequest req;
+      req.issue_time = sim::from_seconds(t);
+      req.client = c;
+      req.size = static_cast<Bytes>(std::exp2(local.uniform(lo, hi)));
+      req.dir = block::IoDir::kRead;
+      req.mode = block::IoMode::kRandom;  // scattered analysis reads
+      trace.push_back(req);
+      t += think.sample(local);
+    }
+  }
+  std::sort(trace.begin(), trace.end(),
+            [](const IoRequest& a, const IoRequest& b) {
+              if (a.issue_time != b.issue_time) return a.issue_time < b.issue_time;
+              return a.client < b.client;
+            });
+  return trace;
+}
+
+}  // namespace spider::workload

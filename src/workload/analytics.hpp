@@ -1,0 +1,43 @@
+// Analytics/visualization workload: the latency-bound reader.
+//
+// Section II: "the data analytics I/O workloads, such as visualization and
+// analysis, are latency constrained and read-heavy." Generated as a stream
+// of read requests with Pareto-tailed think times from a modest client
+// count (analysis clusters are much smaller than Titan); the interference
+// bench (C16) measures their latency while checkpoints slam the same OSTs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "workload/pattern.hpp"
+
+namespace spider::workload {
+
+struct AnalyticsParams {
+  std::uint32_t clients = 64;
+  /// Mean think time between a client's reads.
+  double think_time_s = 0.05;
+  /// Pareto tail on think time.
+  double think_alpha = 1.4;
+  /// Read sizes: mostly sub-MB chunks of reduced data.
+  Bytes read_lo = 64_KiB;
+  Bytes read_hi = 4_MiB;
+};
+
+class AnalyticsWorkload {
+ public:
+  explicit AnalyticsWorkload(const AnalyticsParams& params);
+
+  const AnalyticsParams& params() const { return params_; }
+
+  /// Request trace over `duration_s` (all reads).
+  std::vector<IoRequest> generate(double duration_s, Rng& rng) const;
+
+ private:
+  AnalyticsParams params_;
+};
+
+}  // namespace spider::workload

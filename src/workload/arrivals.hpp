@@ -1,0 +1,46 @@
+// Burst/idle arrival process with Pareto-tailed gaps.
+//
+// The Spider I study found both request inter-arrival times and idle-time
+// distributions to be long-tailed (Pareto). The process alternates busy
+// bursts (geometric number of requests with Pareto inter-arrival gaps) and
+// Pareto-tailed idle periods — the structure the IOSI signature extractor
+// later has to see through.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/distributions.hpp"
+#include "common/rng.hpp"
+#include "sim/time.hpp"
+#include "workload/pattern.hpp"
+
+namespace spider::workload {
+
+class ArrivalProcess {
+ public:
+  explicit ArrivalProcess(const WorkloadMixParams& mix);
+
+  /// Gap in seconds until the next request. Internally tracks the burst
+  /// state: within a burst gaps are Pareto(arrival); at burst end one
+  /// Pareto(idle) gap is inserted.
+  double next_gap_s(Rng& rng);
+
+  /// True when the last returned gap ended a burst (was an idle period).
+  bool last_gap_was_idle() const { return last_was_idle_; }
+
+ private:
+  WorkloadMixParams mix_;
+  Pareto arrival_;
+  Pareto idle_;
+  double requests_left_in_burst_ = 0.0;
+  bool last_was_idle_ = false;
+};
+
+/// Generate a full request trace: `clients` independent processes sampled
+/// for `duration_s`, merged and sorted by issue time.
+std::vector<IoRequest> generate_trace(const WorkloadMixParams& mix,
+                                      std::uint32_t clients, double duration_s,
+                                      Rng& rng);
+
+}  // namespace spider::workload

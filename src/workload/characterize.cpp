@@ -1,0 +1,67 @@
+#include "workload/characterize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+namespace spider::workload {
+
+double hill_tail_index(std::span<const double> samples, std::size_t k) {
+  if (samples.size() < k + 1 || k == 0) return 0.0;
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  const double x_k = sorted[k];  // (k+1)-th largest
+  if (x_k <= 0.0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    acc += std::log(sorted[i] / x_k);
+  }
+  return acc > 0.0 ? static_cast<double>(k) / acc : 0.0;
+}
+
+WorkloadStats characterize(std::span<const IoRequest> trace,
+                           double idle_threshold_s) {
+  WorkloadStats stats;
+  stats.requests = trace.size();
+  if (trace.empty()) return stats;
+
+  std::size_t writes = 0;
+  std::size_t small = 0;
+  std::size_t mb_mult = 0;
+  for (const auto& r : trace) {
+    if (r.dir == block::IoDir::kWrite) ++writes;
+    if (r.size < 16_KiB) ++small;
+    if (r.size >= 1_MB && r.size % 1_MB == 0) ++mb_mult;
+    stats.size_histogram.add(static_cast<double>(r.size));
+  }
+  const auto n = static_cast<double>(trace.size());
+  stats.write_fraction = static_cast<double>(writes) / n;
+  stats.small_fraction = static_cast<double>(small) / n;
+  stats.mb_multiple_fraction = static_cast<double>(mb_mult) / n;
+
+  // Per-client gap series (arrival process is per client).
+  std::map<std::uint32_t, sim::SimTime> last_by_client;
+  std::vector<double> burst_gaps;
+  std::vector<double> idle_gaps;
+  for (const auto& r : trace) {
+    auto [it, fresh] = last_by_client.try_emplace(r.client, r.issue_time);
+    if (!fresh) {
+      const double gap = sim::to_seconds(r.issue_time - it->second);
+      it->second = r.issue_time;
+      if (gap <= 0.0) continue;
+      if (gap >= idle_threshold_s) {
+        idle_gaps.push_back(gap);
+      } else {
+        burst_gaps.push_back(gap);
+      }
+    }
+  }
+  stats.interarrival_tail_alpha =
+      hill_tail_index(burst_gaps, std::max<std::size_t>(10, burst_gaps.size() / 20));
+  stats.idle_tail_alpha =
+      hill_tail_index(idle_gaps, std::max<std::size_t>(10, idle_gaps.size() / 10));
+  return stats;
+}
+
+}  // namespace spider::workload

@@ -1,0 +1,37 @@
+// Workload characterization: recovering the published statistics from a
+// generated trace (validates the generators, and is the analysis the paper
+// ran on Spider I server logs [14]).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "workload/pattern.hpp"
+
+namespace spider::workload {
+
+struct WorkloadStats {
+  std::size_t requests = 0;
+  double write_fraction = 0.0;
+  /// Fraction of requests under 16 KB.
+  double small_fraction = 0.0;
+  /// Fraction of requests that are exact multiples of 1 MB.
+  double mb_multiple_fraction = 0.0;
+  /// Hill tail-index estimate of inter-arrival gaps (Pareto alpha).
+  double interarrival_tail_alpha = 0.0;
+  /// Hill tail-index estimate of idle gaps (gaps above the idle threshold).
+  double idle_tail_alpha = 0.0;
+  Log2Histogram size_histogram{9, 25};  // 512 B .. 16 MiB
+};
+
+/// Hill estimator of the Pareto tail index over the top `k` order
+/// statistics. Returns 0 for insufficient data.
+double hill_tail_index(std::span<const double> samples, std::size_t k);
+
+/// Characterize a merged, time-sorted trace. `idle_threshold_s` separates
+/// in-burst gaps from idle periods.
+WorkloadStats characterize(std::span<const IoRequest> trace,
+                           double idle_threshold_s = 0.1);
+
+}  // namespace spider::workload

@@ -1,0 +1,43 @@
+#include "workload/checkpoint.hpp"
+
+#include <algorithm>
+
+namespace spider::workload {
+
+CheckpointWorkload::CheckpointWorkload(const CheckpointParams& params)
+    : params_(params) {}
+
+Bytes CheckpointWorkload::bytes_per_checkpoint() const {
+  return static_cast<Bytes>(static_cast<double>(params_.memory_bytes) *
+                            params_.checkpoint_fraction);
+}
+
+Bytes CheckpointWorkload::bytes_per_client() const {
+  return bytes_per_checkpoint() / std::max<std::uint32_t>(1, params_.clients);
+}
+
+Bandwidth CheckpointWorkload::required_bandwidth(double window_s) const {
+  return static_cast<double>(bytes_per_checkpoint()) / window_s;
+}
+
+std::vector<IoBurst> CheckpointWorkload::generate(double duration_s,
+                                                  Rng& rng) const {
+  std::vector<IoBurst> bursts;
+  double t = params_.period_s * rng.uniform(0.0, 1.0);  // random phase
+  while (t < duration_s) {
+    IoBurst b;
+    b.start = sim::from_seconds(t);
+    b.clients = params_.clients;
+    b.bytes_per_client = bytes_per_client();
+    b.request_size = params_.request_size;
+    b.dir = block::IoDir::kWrite;
+    b.files_per_client = params_.files_per_client;
+    bursts.push_back(b);
+    const double jitter =
+        1.0 + params_.period_jitter * (2.0 * rng.uniform() - 1.0);
+    t += params_.period_s * jitter;
+  }
+  return bursts;
+}
+
+}  // namespace spider::workload

@@ -1,0 +1,46 @@
+#include "workload/ior.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace spider::workload {
+
+IorResult run_ior(IoPathProvider& provider, const IorConfig& cfg) {
+  provider.reset_flows();
+  auto& solver = provider.solver();
+  const std::size_t clients = std::min(cfg.clients, provider.max_clients());
+  const std::size_t osts = provider.num_osts();
+  for (std::size_t c = 0; c < clients; ++c) {
+    DataFlow flow =
+        provider.data_flow(c, c % osts, cfg.dir, cfg.mode, cfg.transfer_size);
+    solver.add_flow(std::move(flow.path), flow.rate_cap);
+  }
+  solver.solve();
+
+  IorResult result;
+  result.aggregate_bw = solver.aggregate_rate();
+  result.bottleneck = solver.bottleneck();
+  double min_bw = std::numeric_limits<double>::infinity();
+  for (std::size_t f = 0; f < solver.flows(); ++f) {
+    min_bw = std::min(min_bw, solver.flow_rate(f));
+  }
+  result.min_client_bw = clients > 0 ? min_bw : 0.0;
+  result.mean_client_bw =
+      clients > 0 ? result.aggregate_bw / static_cast<double>(clients) : 0.0;
+  result.bytes_moved =
+      static_cast<Bytes>(result.aggregate_bw * cfg.stonewall_s);
+  return result;
+}
+
+double transfer_size_rate_cap(Bytes transfer_size, Bandwidth stream_bw,
+                              Bytes knee, Bytes max_rpc,
+                              double oversize_penalty) {
+  if (transfer_size == 0) return 0.0;
+  const double t_eff =
+      static_cast<double>(std::min<Bytes>(transfer_size, max_rpc));
+  double cap = stream_bw * t_eff / (t_eff + static_cast<double>(knee));
+  if (transfer_size > max_rpc) cap *= oversize_penalty;
+  return cap;
+}
+
+}  // namespace spider::workload

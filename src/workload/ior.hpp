@@ -1,0 +1,81 @@
+// IOR driver (Section V-C, Figures 3 and 4).
+//
+// "We used IOR, a common synthetic I/O benchmark tool. ... We used IOR in
+// the file-per-process mode" with a 30-second stonewall. The driver runs in
+// steady state: every client streams continuously against its OST through
+// the full center path, and the max-min solve gives the aggregate — the
+// quantity Figures 3 and 4 plot against transfer size and client count.
+//
+// The driver is decoupled from the center model through IoPathProvider so
+// it can run against anything that can produce solver flows (unit tests
+// use toy systems).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "block/disk.hpp"
+#include "common/units.hpp"
+#include "sim/steady_state.hpp"
+
+namespace spider::workload {
+
+/// One client's transfer: the resource path it crosses and its own rate
+/// ceiling (Lustre client pipeline + placement quality).
+struct DataFlow {
+  std::vector<sim::PathHop> path;
+  double rate_cap = sim::kUnbounded;
+};
+
+/// Source of solver resources and data flows; implemented by
+/// core::CenterModel.
+class IoPathProvider {
+ public:
+  virtual ~IoPathProvider() = default;
+
+  /// Maximum addressable clients (compute nodes x processes).
+  virtual std::size_t max_clients() const = 0;
+  /// OSTs reachable in the target namespace.
+  virtual std::size_t num_osts() const = 0;
+  /// Drop all flows from the solver (resources persist).
+  virtual void reset_flows() = 0;
+  virtual sim::SteadyStateSolver& solver() = 0;
+  /// Full path + rate cap for `client` transferring to `ost` (namespace-
+  /// local index) with the given request size and mode.
+  virtual DataFlow data_flow(std::size_t client, std::size_t ost,
+                             block::IoDir dir, block::IoMode mode,
+                             Bytes request_size) = 0;
+};
+
+struct IorConfig {
+  std::size_t clients = 1008;
+  Bytes transfer_size = 1_MiB;
+  block::IoDir dir = block::IoDir::kWrite;
+  block::IoMode mode = block::IoMode::kSequential;
+  /// Stonewall seconds (all numbers are steady-state, the stonewall only
+  /// scales the bytes-moved report).
+  double stonewall_s = 30.0;
+};
+
+struct IorResult {
+  Bandwidth aggregate_bw = 0.0;
+  Bandwidth mean_client_bw = 0.0;
+  Bandwidth min_client_bw = 0.0;
+  Bytes bytes_moved = 0;
+  std::string bottleneck;
+};
+
+/// File-per-process run: client i targets OST (i mod num_osts).
+IorResult run_ior(IoPathProvider& provider, const IorConfig& cfg);
+
+/// Per-process rate ceiling as a function of transfer size. Transfers are
+/// carried as RPCs of at most `max_rpc` bytes; the ceiling ramps with
+/// transfer size (half rate at `knee`), is flat above the RPC size, and
+/// transfers above it pay a small alignment penalty — together producing
+/// Figure 3's peak at the 1 MB RPC size.
+double transfer_size_rate_cap(Bytes transfer_size, Bandwidth stream_bw,
+                              Bytes knee = 192_KiB, Bytes max_rpc = 1_MiB,
+                              double oversize_penalty = 0.97);
+
+}  // namespace spider::workload

@@ -1,0 +1,44 @@
+#include "workload/mixed.hpp"
+
+#include <algorithm>
+
+namespace spider::workload {
+
+std::vector<IoRequest> merge_traces(std::vector<std::vector<IoRequest>> traces) {
+  std::vector<IoRequest> out;
+  std::size_t total = 0;
+  for (const auto& t : traces) total += t.size();
+  out.reserve(total);
+  for (auto& t : traces) {
+    out.insert(out.end(), t.begin(), t.end());
+  }
+  std::sort(out.begin(), out.end(), [](const IoRequest& a, const IoRequest& b) {
+    if (a.issue_time != b.issue_time) return a.issue_time < b.issue_time;
+    return a.client < b.client;
+  });
+  return out;
+}
+
+double offered_bandwidth(const std::vector<IoRequest>& trace) {
+  if (trace.empty()) return 0.0;
+  double bytes = 0.0;
+  for (const auto& r : trace) bytes += static_cast<double>(r.size);
+  const double span =
+      sim::to_seconds(trace.back().issue_time - trace.front().issue_time);
+  return span > 0.0 ? bytes / span : 0.0;
+}
+
+std::vector<double> bandwidth_timeline(const std::vector<IoRequest>& trace,
+                                       double bin_s, double duration_s) {
+  const auto bins = static_cast<std::size_t>(duration_s / bin_s) + 1;
+  std::vector<double> timeline(bins, 0.0);
+  for (const auto& r : trace) {
+    const double t = sim::to_seconds(r.issue_time);
+    if (t < 0.0 || t >= duration_s) continue;
+    timeline[static_cast<std::size_t>(t / bin_s)] += static_cast<double>(r.size);
+  }
+  for (auto& b : timeline) b /= bin_s;  // bytes -> bytes/sec
+  return timeline;
+}
+
+}  // namespace spider::workload

@@ -1,0 +1,27 @@
+// Mixed workload composition.
+//
+// "A shared scratch file system experiences these I/O workloads as a mix,
+// not as independent streams" (Section II). The composer merges traces
+// from multiple generators into the single stream a data-centric PFS
+// actually serves; Lesson 2 is that design must target this mix, not the
+// per-machine patterns.
+#pragma once
+
+#include <vector>
+
+#include "workload/pattern.hpp"
+
+namespace spider::workload {
+
+/// Merge pre-sorted traces into one time-ordered stream.
+std::vector<IoRequest> merge_traces(std::vector<std::vector<IoRequest>> traces);
+
+/// Offered load of a trace over its span, bytes/second.
+double offered_bandwidth(const std::vector<IoRequest>& trace);
+
+/// Split a trace into fixed-width bandwidth bins (server-side throughput
+/// log view, the IOSI input format).
+std::vector<double> bandwidth_timeline(const std::vector<IoRequest>& trace,
+                                       double bin_s, double duration_s);
+
+}  // namespace spider::workload

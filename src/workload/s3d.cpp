@@ -1,0 +1,29 @@
+#include "workload/s3d.hpp"
+
+namespace spider::workload {
+
+S3dWorkload::S3dWorkload(const S3dParams& params) : params_(params) {}
+
+Bytes S3dWorkload::bytes_per_output() const {
+  return static_cast<Bytes>(params_.ranks) * params_.bytes_per_rank;
+}
+
+std::vector<IoBurst> S3dWorkload::generate(double duration_s, Rng& rng) const {
+  std::vector<IoBurst> bursts;
+  double t = params_.output_interval_s * rng.uniform(0.05, 0.5);
+  while (t < duration_s) {
+    IoBurst b;
+    b.start = sim::from_seconds(t);
+    b.clients = params_.ranks;
+    b.bytes_per_client = params_.bytes_per_rank;
+    b.request_size = params_.request_size;
+    b.dir = block::IoDir::kWrite;
+    b.files_per_client = 1;
+    bursts.push_back(b);
+    // Solver time per step varies a little with physics.
+    t += params_.output_interval_s * rng.uniform(0.97, 1.03);
+  }
+  return bursts;
+}
+
+}  // namespace spider::workload

@@ -1,0 +1,44 @@
+// S3D: the direct numerical combustion solver used to validate libPIO
+// (Section VI-A).
+//
+// "S3D is I/O intensive and periodically outputs the state of the
+// simulation to the scratch file system" — POSIX file-per-process bursts.
+// The paper integrated libPIO with ~30 changed lines and measured up to
+// 24% POSIX I/O bandwidth improvement in a noisy production environment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "workload/checkpoint.hpp"
+
+namespace spider::workload {
+
+struct S3dParams {
+  /// MPI ranks performing I/O (a large production S3D run).
+  std::uint32_t ranks = 12288;
+  /// Restart-file bytes per rank per output step.
+  Bytes bytes_per_rank = 28_MiB;
+  /// Simulation steps between outputs, expressed as wall seconds.
+  double output_interval_s = 600.0;
+  /// POSIX transfer size used by the writer.
+  Bytes request_size = 1_MiB;
+};
+
+class S3dWorkload {
+ public:
+  explicit S3dWorkload(const S3dParams& params);
+
+  const S3dParams& params() const { return params_; }
+  Bytes bytes_per_output() const;
+
+  /// Output-burst schedule over `duration_s`.
+  std::vector<IoBurst> generate(double duration_s, Rng& rng) const;
+
+ private:
+  S3dParams params_;
+};
+
+}  // namespace spider::workload

@@ -1,0 +1,88 @@
+#include "workload/trace_io.hpp"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace spider::workload {
+
+namespace {
+constexpr const char* kHeader = "time_ns,client,size_bytes,dir,mode";
+
+template <typename T>
+T parse_number(const std::string& field, const char* what) {
+  T value{};
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc{} || ptr != field.data() + field.size()) {
+    throw std::runtime_error(std::string("trace csv: bad ") + what + " '" +
+                             field + "'");
+  }
+  return value;
+}
+}  // namespace
+
+void write_trace_csv(std::ostream& os, std::span<const IoRequest> trace) {
+  os << kHeader << "\n";
+  for (const auto& r : trace) {
+    os << r.issue_time << ',' << r.client << ',' << r.size << ','
+       << (r.dir == block::IoDir::kWrite ? 'W' : 'R') << ','
+       << (r.mode == block::IoMode::kSequential ? 'S' : 'R') << "\n";
+  }
+}
+
+std::vector<IoRequest> read_trace_csv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != kHeader) {
+    throw std::runtime_error("trace csv: missing or wrong header");
+  }
+  std::vector<IoRequest> trace;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::vector<std::string> fields;
+    std::stringstream ss(line);
+    std::string field;
+    while (std::getline(ss, field, ',')) fields.push_back(field);
+    if (fields.size() != 5) {
+      throw std::runtime_error("trace csv: line " + std::to_string(line_no) +
+                               ": expected 5 fields");
+    }
+    IoRequest r;
+    r.issue_time = parse_number<sim::SimTime>(fields[0], "time");
+    r.client = parse_number<std::uint32_t>(fields[1], "client");
+    r.size = parse_number<Bytes>(fields[2], "size");
+    if (fields[3] == "W") {
+      r.dir = block::IoDir::kWrite;
+    } else if (fields[3] == "R") {
+      r.dir = block::IoDir::kRead;
+    } else {
+      throw std::runtime_error("trace csv: bad dir '" + fields[3] + "'");
+    }
+    if (fields[4] == "S") {
+      r.mode = block::IoMode::kSequential;
+    } else if (fields[4] == "R") {
+      r.mode = block::IoMode::kRandom;
+    } else {
+      throw std::runtime_error("trace csv: bad mode '" + fields[4] + "'");
+    }
+    trace.push_back(r);
+  }
+  return trace;
+}
+
+std::string trace_to_string(std::span<const IoRequest> trace) {
+  std::ostringstream os;
+  write_trace_csv(os, trace);
+  return os.str();
+}
+
+std::vector<IoRequest> trace_from_string(const std::string& csv) {
+  std::istringstream is(csv);
+  return read_trace_csv(is);
+}
+
+}  // namespace spider::workload

@@ -1,0 +1,35 @@
+// Request-trace serialization.
+//
+// The paper's workload study [14] analyzed production server-side logs;
+// this module round-trips IoRequest traces through a simple CSV format so
+// the characterization pipeline (workload/characterize) and the generators
+// can exchange data with external tooling, and so benches can persist the
+// traces they analyzed.
+//
+// Format: one header line, then one line per request:
+//   time_ns,client,size_bytes,dir,mode
+// with dir in {R,W} and mode in {S,R}.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "workload/pattern.hpp"
+
+namespace spider::workload {
+
+/// Write a trace as CSV.
+void write_trace_csv(std::ostream& os, std::span<const IoRequest> trace);
+
+/// Parse a CSV trace. Throws std::runtime_error on malformed input
+/// (wrong column count, bad enum letters, non-numeric fields). The header
+/// line is required.
+std::vector<IoRequest> read_trace_csv(std::istream& is);
+
+/// Convenience: serialize to / parse from a string.
+std::string trace_to_string(std::span<const IoRequest> trace);
+std::vector<IoRequest> trace_from_string(const std::string& csv);
+
+}  // namespace spider::workload

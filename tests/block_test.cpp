@@ -1,0 +1,408 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "block/controller.hpp"
+#include "block/disk.hpp"
+#include "block/enclosure.hpp"
+#include "block/fairlio.hpp"
+#include "block/raid.hpp"
+#include "block/ssu.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace spider::block {
+namespace {
+
+Disk nominal_disk(double factor = 1.0) {
+  return Disk(DiskParams{}, 0, factor, 1e-4);
+}
+
+TEST(Disk, SequentialBandwidthMatchesParams) {
+  const Disk d = nominal_disk();
+  EXPECT_DOUBLE_EQ(d.effective_bw(IoMode::kSequential, IoDir::kRead),
+                   DiskParams{}.seq_read_bw);
+  EXPECT_DOUBLE_EQ(d.effective_bw(IoMode::kSequential, IoDir::kWrite),
+                   DiskParams{}.seq_write_bw);
+}
+
+TEST(Disk, RandomAt1MiBIsCalibratedFraction) {
+  // The paper: a single disk achieves 20-25% of peak under 1 MB random I/O.
+  const Disk d = nominal_disk();
+  const double ratio = d.effective_bw(IoMode::kRandom, IoDir::kRead, 1_MiB) /
+                       d.effective_bw(IoMode::kSequential, IoDir::kRead);
+  EXPECT_NEAR(ratio, DiskParams{}.random_fraction_1mb, 0.01);
+}
+
+TEST(Disk, SmallerRandomRequestsAreWorse) {
+  const Disk d = nominal_disk();
+  EXPECT_LT(d.effective_bw(IoMode::kRandom, IoDir::kRead, 64_KiB),
+            d.effective_bw(IoMode::kRandom, IoDir::kRead, 1_MiB));
+}
+
+TEST(Disk, PerfFactorScalesEverything) {
+  const Disk slow = nominal_disk(0.5);
+  const Disk fast = nominal_disk(1.0);
+  EXPECT_NEAR(slow.effective_bw(IoMode::kSequential, IoDir::kRead) * 2.0,
+              fast.effective_bw(IoMode::kSequential, IoDir::kRead), 1e-6);
+}
+
+TEST(Disk, ServiceTimeRandomIncludesPositioning) {
+  const Disk d = nominal_disk();
+  EXPECT_GT(d.service_time_s(4_KiB, IoMode::kRandom, IoDir::kRead),
+            d.service_time_s(4_KiB, IoMode::kSequential, IoDir::kRead) + 1e-3);
+}
+
+TEST(Disk, RejectsNonPositiveFactor) {
+  EXPECT_THROW(Disk(DiskParams{}, 0, 0.0, 0.0), std::invalid_argument);
+}
+
+TEST(Disk, PopulationHasConfiguredSlowTail) {
+  Rng rng(1);
+  PopulationModel pop;
+  pop.slow_fraction = 0.10;
+  const auto disks = make_population(20000, DiskParams{}, pop, rng);
+  std::size_t slow = 0;
+  for (const auto& d : disks) {
+    if (d.is_slow()) ++slow;
+  }
+  EXPECT_NEAR(static_cast<double>(slow) / 20000.0, 0.10, 0.02);
+}
+
+TEST(Disk, SampledServiceTimeJittersAroundMean) {
+  Rng rng(2);
+  const Disk d = nominal_disk();
+  const double mean = d.service_time_s(1_MiB, IoMode::kSequential, IoDir::kRead);
+  RunningStats rs;
+  for (int i = 0; i < 5000; ++i) {
+    rs.add(d.sample_service_time_s(1_MiB, IoMode::kSequential, IoDir::kRead, rng));
+  }
+  EXPECT_NEAR(rs.mean(), mean, 0.05 * mean);
+}
+
+// --- RAID --------------------------------------------------------------------
+
+std::vector<Disk> members(std::size_t n, double factor = 1.0) {
+  std::vector<Disk> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.emplace_back(DiskParams{}, static_cast<std::uint32_t>(i), factor, 1e-4);
+  }
+  return out;
+}
+
+TEST(Raid, RequiresExactWidth) {
+  EXPECT_THROW(Raid6Group(RaidParams{}, members(9)), std::invalid_argument);
+  EXPECT_NO_THROW(Raid6Group(RaidParams{}, members(10)));
+}
+
+TEST(Raid, CapacityIsDataDisksTimesDiskCapacity) {
+  Raid6Group g(RaidParams{}, members(10));
+  EXPECT_EQ(g.capacity(), 8 * DiskParams{}.capacity);
+}
+
+TEST(Raid, SlowestMemberPacesTheStripe) {
+  auto m = members(10);
+  m[3] = Disk(DiskParams{}, 3, 0.5, 1e-4);
+  Raid6Group g(RaidParams{}, std::move(m));
+  Raid6Group healthy(RaidParams{}, members(10));
+  const double ratio =
+      g.bandwidth(IoMode::kSequential, IoDir::kRead) /
+      healthy.bandwidth(IoMode::kSequential, IoDir::kRead);
+  EXPECT_NEAR(ratio, 0.5, 0.01);
+  EXPECT_NEAR(g.min_member_factor(), 0.5, 1e-9);
+}
+
+TEST(Raid, SubStripeWritePaysReadModifyWrite) {
+  Raid6Group g(RaidParams{}, members(10));
+  const double full = g.bandwidth(IoMode::kSequential, IoDir::kWrite, 1_MiB);
+  const double sub = g.bandwidth(IoMode::kSequential, IoDir::kWrite, 64_KiB);
+  EXPECT_LT(sub, 0.5 * full);
+}
+
+TEST(Raid, ReadsDoNotPayParityOverhead) {
+  Raid6Group g(RaidParams{}, members(10));
+  EXPECT_GT(g.bandwidth(IoMode::kSequential, IoDir::kRead, 1_MiB),
+            g.bandwidth(IoMode::kSequential, IoDir::kWrite, 1_MiB));
+}
+
+TEST(Raid, StateMachineNormalDegradedRebuilding) {
+  Raid6Group g(RaidParams{}, members(10));
+  EXPECT_EQ(g.state(), RaidState::kNormal);
+  g.fail_member(2);
+  EXPECT_EQ(g.state(), RaidState::kDegraded);
+  g.start_rebuild(2);
+  EXPECT_EQ(g.state(), RaidState::kRebuilding);
+  g.finish_rebuild(2);
+  EXPECT_EQ(g.state(), RaidState::kNormal);
+  EXPECT_FALSE(g.data_lost());
+}
+
+TEST(Raid, DegradedAndRebuildingBandwidthPenalties) {
+  Raid6Group normal(RaidParams{}, members(10));
+  Raid6Group g(RaidParams{}, members(10));
+  const double base = normal.bandwidth(IoMode::kSequential, IoDir::kRead);
+  g.fail_member(0);
+  EXPECT_LT(g.bandwidth(IoMode::kSequential, IoDir::kRead), base);
+  g.start_rebuild(0);
+  EXPECT_LT(g.bandwidth(IoMode::kSequential, IoDir::kRead),
+            base * RaidParams{}.degraded_factor + 1.0);
+}
+
+TEST(Raid, TwoFailuresSurviveThirdLosesData) {
+  Raid6Group g(RaidParams{}, members(10));
+  g.fail_member(0);
+  g.fail_member(1);
+  EXPECT_FALSE(g.data_lost());
+  g.fail_member(2);
+  EXPECT_TRUE(g.data_lost());
+  EXPECT_EQ(g.state(), RaidState::kFailed);
+  EXPECT_DOUBLE_EQ(g.bandwidth(IoMode::kSequential, IoDir::kRead), 0.0);
+  // Loss is sticky.
+  g.restore_member(0);
+  EXPECT_TRUE(g.data_lost());
+}
+
+TEST(Raid, RestoreBeforeThirdFailureRecovers) {
+  Raid6Group g(RaidParams{}, members(10));
+  g.fail_member(0);
+  g.fail_member(1);
+  g.restore_member(1);
+  g.fail_member(2);
+  EXPECT_FALSE(g.data_lost());
+}
+
+TEST(Raid, RebuildTimeAndDeclusteringSpeedup) {
+  RaidParams classic;
+  Raid6Group g1(classic, members(10));
+  RaidParams declustered;
+  declustered.rebuild_speedup = 4.0;
+  Raid6Group g2(declustered, members(10));
+  EXPECT_NEAR(g1.rebuild_time_s() / g2.rebuild_time_s(), 4.0, 1e-9);
+  // 2 TB at 50 MB/s ~ 11.1 hours.
+  EXPECT_NEAR(g1.rebuild_time_s() / 3600.0, 11.1, 0.2);
+}
+
+TEST(Raid, ReplaceMemberRestoresSpeed) {
+  auto m = members(10);
+  m[0] = Disk(DiskParams{}, 0, 0.6, 1e-4);
+  Raid6Group g(RaidParams{}, std::move(m));
+  const double before = g.bandwidth(IoMode::kSequential, IoDir::kRead);
+  g.replace_member(0, nominal_disk());
+  EXPECT_GT(g.bandwidth(IoMode::kSequential, IoDir::kRead), before * 1.5);
+}
+
+TEST(Raid, InvalidRebuildTransitionsThrow) {
+  Raid6Group g(RaidParams{}, members(10));
+  EXPECT_THROW(g.start_rebuild(0), std::logic_error);   // not failed
+  EXPECT_THROW(g.finish_rebuild(0), std::logic_error);  // not rebuilding
+}
+
+// --- enclosure layout --------------------------------------------------------
+
+class EnclosureLayoutP
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(EnclosureLayoutP, EveryMemberMappedAndBalanced) {
+  const auto [members_per_group, enclosures] = GetParam();
+  EnclosureLayout layout(8, members_per_group, enclosures);
+  for (std::size_t g = 0; g < 8; ++g) {
+    std::size_t total = 0;
+    for (std::uint32_t e = 0; e < enclosures; ++e) {
+      const auto in_e = layout.members_in(g, e);
+      total += in_e.size();
+      EXPECT_LE(in_e.size(), layout.max_members_per_enclosure());
+      for (std::size_t m : in_e) EXPECT_EQ(layout.enclosure_of(g, m), e);
+    }
+    EXPECT_EQ(total, members_per_group);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, EnclosureLayoutP,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{10, 5},
+                      std::pair<std::size_t, std::size_t>{10, 10},
+                      std::pair<std::size_t, std::size_t>{10, 2},
+                      std::pair<std::size_t, std::size_t>{8, 4}));
+
+TEST(EnclosureLayout, FiveEnclosuresHouseTwoMembersEach) {
+  EnclosureLayout l(1, 10, 5);
+  EXPECT_EQ(l.max_members_per_enclosure(), 2u);
+  EXPECT_EQ(l.members_in(0, 0).size(), 2u);
+}
+
+TEST(EnclosureLayout, TenEnclosuresHouseOneMemberEach) {
+  EnclosureLayout l(1, 10, 10);
+  EXPECT_EQ(l.max_members_per_enclosure(), 1u);
+  EXPECT_EQ(l.members_in(0, 3).size(), 1u);
+}
+
+// --- controller pair ---------------------------------------------------------
+
+TEST(Controller, ActiveActiveDeliversDouble) {
+  ControllerPair p(ControllerParams{});
+  EXPECT_DOUBLE_EQ(p.delivered_bw(), 2.0 * ControllerParams{}.per_controller_bw);
+}
+
+TEST(Controller, FailoverHalvesAndRecovers) {
+  ControllerPair p(ControllerParams{});
+  p.fail_one();
+  EXPECT_EQ(p.state(), PairState::kFailedOver);
+  EXPECT_DOUBLE_EQ(p.delivered_bw(), ControllerParams{}.per_controller_bw);
+  p.recover();
+  EXPECT_EQ(p.state(), PairState::kActiveActive);
+}
+
+TEST(Controller, GracefulOfflineFlushesJournal) {
+  ControllerPair p(ControllerParams{});
+  p.journal_add(1000);
+  EXPECT_EQ(p.take_offline(/*graceful=*/true), 0u);
+  EXPECT_EQ(p.journal_entries(), 0u);
+  EXPECT_EQ(p.journal_lost_total(), 0u);
+}
+
+TEST(Controller, UngracefulOfflineDropsJournal) {
+  ControllerPair p(ControllerParams{});
+  p.journal_add(1'200'000);
+  EXPECT_EQ(p.take_offline(/*graceful=*/false), 1'200'000u);
+  EXPECT_EQ(p.journal_lost_total(), 1'200'000u);
+  EXPECT_DOUBLE_EQ(p.delivered_bw(), 0.0);
+  p.bring_online();
+  EXPECT_GT(p.delivered_bw(), 0.0);
+}
+
+TEST(Controller, UpgradeRaisesBandwidth) {
+  ControllerPair p(ControllerParams{});
+  const double before = p.delivered_bw();
+  p.upgrade(upgraded_controller_params());
+  EXPECT_GT(p.delivered_bw(), before * 1.5);
+}
+
+// --- SSU -----------------------------------------------------------------------
+
+TEST(Ssu, InventoryMatchesParams) {
+  Rng rng(3);
+  SsuParams params;
+  Ssu ssu(params, 0, rng);
+  EXPECT_EQ(ssu.groups(), 56u);
+  EXPECT_EQ(ssu.total_disks(), 560u);
+  // 56 groups x 8 data disks x 2 TB.
+  EXPECT_EQ(ssu.capacity(), 56u * 8u * 2_TB);
+}
+
+TEST(Ssu, DeliveredBwIsMinOfDisksAndController) {
+  Rng rng(4);
+  SsuParams params;
+  Ssu ssu(params, 0, rng);
+  double disk_side = 0.0;
+  for (const auto bw :
+       ssu.group_bandwidths(IoMode::kSequential, IoDir::kWrite)) {
+    disk_side += bw;
+  }
+  const double delivered =
+      ssu.delivered_bw(IoMode::kSequential, IoDir::kWrite);
+  EXPECT_NEAR(delivered,
+              std::min(disk_side, ssu.controller().delivered_bw()), 1.0);
+}
+
+TEST(Ssu, EnclosureDownDegradesAllGroups) {
+  Rng rng(5);
+  SsuParams params;
+  params.enclosures = 10;
+  Ssu ssu(params, 0, rng);
+  ssu.enclosure_down(0);
+  for (std::size_t g = 0; g < ssu.groups(); ++g) {
+    EXPECT_EQ(ssu.group(g).unavailable_members(), 1u);
+    EXPECT_FALSE(ssu.group(g).data_lost());
+  }
+  ssu.enclosure_up(0);
+  for (std::size_t g = 0; g < ssu.groups(); ++g) {
+    EXPECT_EQ(ssu.group(g).state(), RaidState::kNormal);
+  }
+}
+
+TEST(Ssu, ReplaceDiskDrawsHealthyUnit) {
+  Rng rng(6);
+  SsuParams params;
+  Ssu ssu(params, 0, rng);
+  ssu.replace_disk(0, 0, rng);
+  EXPECT_GT(ssu.group(0).member(0).perf_factor(), 0.9);
+}
+
+// --- fair-lio ------------------------------------------------------------------
+
+TEST(FairLio, SequentialBandwidthNearDiskRate) {
+  Rng rng(7);
+  const Disk d = nominal_disk();
+  FairLioConfig cfg;
+  cfg.mode = IoMode::kSequential;
+  cfg.write_fraction = 0.0;
+  cfg.duration_s = 5.0;
+  const auto res = run_fairlio(d, cfg, rng);
+  EXPECT_NEAR(res.bandwidth, DiskParams{}.seq_read_bw,
+              0.05 * DiskParams{}.seq_read_bw);
+  EXPECT_GT(res.requests, 100u);
+}
+
+TEST(FairLio, RandomMuchSlowerThanSequential) {
+  Rng rng(8);
+  const Disk d = nominal_disk();
+  FairLioConfig seq;
+  seq.duration_s = 3.0;
+  FairLioConfig rnd = seq;
+  rnd.mode = IoMode::kRandom;
+  rnd.queue_depth = 1;
+  const auto s = run_fairlio(d, seq, rng);
+  const auto r = run_fairlio(d, rnd, rng);
+  EXPECT_LT(r.bandwidth, 0.35 * s.bandwidth);
+}
+
+TEST(FairLio, QueueDepthImprovesRandomThroughput) {
+  Rng rng(9);
+  const Disk d = nominal_disk();
+  FairLioConfig shallow;
+  shallow.mode = IoMode::kRandom;
+  shallow.queue_depth = 1;
+  shallow.duration_s = 3.0;
+  FairLioConfig deep = shallow;
+  deep.queue_depth = 32;
+  const auto a = run_fairlio(d, shallow, rng);
+  const auto b = run_fairlio(d, deep, rng);
+  EXPECT_GT(b.bandwidth, a.bandwidth * 1.3);
+  EXPECT_GT(b.p99_latency_s, a.p99_latency_s);  // latency pays for depth
+}
+
+TEST(FairLio, GroupRunPacedBySlowestMember) {
+  Rng rng(10);
+  auto slow_members = members(10);
+  slow_members[5] = Disk(DiskParams{}, 5, 0.6, 1e-4);
+  Raid6Group slow(RaidParams{}, std::move(slow_members));
+  Raid6Group fast(RaidParams{}, members(10));
+  FairLioConfig cfg;
+  cfg.duration_s = 2.0;
+  cfg.write_fraction = 0.0;
+  const auto a = run_fairlio(slow, cfg, rng);
+  const auto b = run_fairlio(fast, cfg, rng);
+  EXPECT_LT(a.bandwidth, 0.75 * b.bandwidth);
+}
+
+TEST(FairLio, MixedReadWriteBetweenPureRates) {
+  Rng rng(11);
+  const Disk d = nominal_disk();
+  FairLioConfig cfg;
+  cfg.duration_s = 3.0;
+  FairLioConfig reads = cfg;
+  reads.write_fraction = 0.0;
+  FairLioConfig writes = cfg;
+  writes.write_fraction = 1.0;
+  FairLioConfig mixed = cfg;
+  mixed.write_fraction = 0.6;  // the paper's production mix
+  const auto r = run_fairlio(d, reads, rng);
+  const auto w = run_fairlio(d, writes, rng);
+  const auto m = run_fairlio(d, mixed, rng);
+  EXPECT_LE(m.bandwidth, std::max(r.bandwidth, w.bandwidth) * 1.02);
+  EXPECT_GE(m.bandwidth, std::min(r.bandwidth, w.bandwidth) * 0.98);
+}
+
+}  // namespace
+}  // namespace spider::block

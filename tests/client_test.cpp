@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "fs/client.hpp"
+
+namespace spider::fs {
+namespace {
+
+TEST(LustreClient, CeilingIsMinOfWindowDirtyAndLink) {
+  LustreClientParams p;
+  // Defaults: window = 8 x 1 MiB / 4 ms ≈ 2.1 GB/s; dirty = 32 MiB / 4 ms
+  // ≈ 8.4 GB/s; link = 5 GB/s -> window-bound.
+  EXPECT_NEAR(client_stream_ceiling(p),
+              8.0 * static_cast<double>(1_MiB) / 4e-3, 1.0);
+}
+
+TEST(LustreClient, MoreRpcsInFlightRaisesCeilingUntilLink) {
+  LustreClientParams p;
+  p.max_dirty_bytes = 1_GiB;  // not binding
+  LustreClientParams deep = p;
+  deep.max_rpcs_in_flight = 16;
+  EXPECT_NEAR(client_stream_ceiling(deep) / client_stream_ceiling(p), 2.0,
+              1e-9);
+  LustreClientParams very_deep = p;
+  very_deep.max_rpcs_in_flight = 256;  // would exceed the NIC
+  EXPECT_DOUBLE_EQ(client_stream_ceiling(very_deep), p.link_bw);
+}
+
+TEST(LustreClient, DirtyBudgetCanBind) {
+  LustreClientParams p;
+  p.max_dirty_bytes = 4_MiB;  // tighter than the 8-RPC window
+  EXPECT_NEAR(client_stream_ceiling(p),
+              static_cast<double>(4_MiB) / p.rpc_rtt_s, 1.0);
+}
+
+TEST(LustreClient, SubRpcTransfersLoseThroughput) {
+  LustreClientParams p;
+  const double full = client_transfer_ceiling(p, 1_MiB);
+  const double half = client_transfer_ceiling(p, 512_KiB);
+  const double tiny = client_transfer_ceiling(p, 4_KiB);
+  EXPECT_NEAR(half, 0.5 * full, 1.0);
+  EXPECT_LT(tiny, 0.01 * full);
+  EXPECT_DOUBLE_EQ(client_transfer_ceiling(p, 16_MiB), full);
+  EXPECT_DOUBLE_EQ(client_transfer_ceiling(p, 0), 0.0);
+}
+
+TEST(LustreClient, StripingMultipliesUpToTheLink) {
+  LustreClientParams p;
+  const double one = client_striped_ceiling(p, 1);
+  EXPECT_NEAR(client_striped_ceiling(p, 2), 2.0 * one, 1.0);
+  // Wide stripes saturate the NIC.
+  EXPECT_DOUBLE_EQ(client_striped_ceiling(p, 64), p.link_bw);
+  EXPECT_DOUBLE_EQ(client_striped_ceiling(p, 0), 0.0);
+}
+
+TEST(LustreClient, RttDegradesThroughput) {
+  LustreClientParams near;
+  LustreClientParams far = near;
+  far.rpc_rtt_s = 16e-3;  // congested path / remote mount
+  EXPECT_NEAR(client_stream_ceiling(near) / client_stream_ceiling(far), 4.0,
+              1e-9);
+}
+
+}  // namespace
+}  // namespace spider::fs

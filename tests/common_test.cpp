@@ -1,0 +1,303 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+#include "common/distributions.hpp"
+#include "common/histogram.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace spider {
+namespace {
+
+TEST(Units, BinaryAndDecimalLiterals) {
+  EXPECT_EQ(1_KiB, 1024u);
+  EXPECT_EQ(1_MiB, 1024u * 1024u);
+  EXPECT_EQ(1_GiB, 1024ull * 1024 * 1024);
+  EXPECT_EQ(1_MB, 1000000u);
+  EXPECT_EQ(2_TB, 2000000000000ull);
+  EXPECT_DOUBLE_EQ(to_gbps(1.0 * kTBps), 1000.0);
+  EXPECT_DOUBLE_EQ(to_pb(1000_TB), 1.0);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIndexUnbiasedCoverage) {
+  Rng rng(9);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[rng.uniform_index(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, 9000);
+    EXPECT_LT(c, 11000);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsRoughlyCorrect) {
+  Rng rng(13);
+  RunningStats rs;
+  for (int i = 0; i < 100000; ++i) rs.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(rs.mean(), 5.0, 0.05);
+  EXPECT_NEAR(rs.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(17);
+  RunningStats rs;
+  for (int i = 0; i < 100000; ++i) rs.add(rng.exponential(4.0));
+  EXPECT_NEAR(rs.mean(), 0.25, 0.01);
+}
+
+TEST(Rng, ForkIsIndependentAndDeterministic) {
+  Rng a(5);
+  Rng child1 = a.fork(1);
+  Rng b(5);
+  Rng child2 = b.fork(1);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(child1(), child2());
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Distributions, ParetoSamplesAboveScale) {
+  Rng rng(23);
+  Pareto p(1.5, 2.0);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(p.sample(rng), 2.0);
+}
+
+TEST(Distributions, ParetoEmpiricalMeanMatchesAnalytic) {
+  Rng rng(29);
+  Pareto p(2.5, 1.0);
+  RunningStats rs;
+  for (int i = 0; i < 200000; ++i) rs.add(p.sample(rng));
+  EXPECT_NEAR(rs.mean(), p.mean(), 0.05 * p.mean());
+}
+
+TEST(Distributions, ParetoInfiniteMeanForSmallAlpha) {
+  Pareto p(0.9, 1.0);
+  EXPECT_TRUE(std::isinf(p.mean()));
+}
+
+TEST(Distributions, ParetoRejectsBadParams) {
+  EXPECT_THROW(Pareto(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Pareto(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(Distributions, BoundedParetoStaysInBounds) {
+  Rng rng(31);
+  BoundedPareto p(1.2, 1.0, 100.0);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = p.sample(rng);
+    EXPECT_GE(x, 1.0);
+    EXPECT_LE(x, 100.0);
+  }
+}
+
+TEST(Distributions, LogNormalMeanMatchesAnalytic) {
+  Rng rng(37);
+  LogNormal ln(0.5, 0.4);
+  RunningStats rs;
+  for (int i = 0; i < 200000; ++i) rs.add(ln.sample(rng));
+  EXPECT_NEAR(rs.mean(), ln.mean(), 0.03 * ln.mean());
+}
+
+TEST(Distributions, ZipfPrefersLowRanks) {
+  Rng rng(41);
+  Zipf z(100, 1.2);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[z.sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[99]);
+}
+
+TEST(Distributions, DiscreteMixtureProbabilities) {
+  const double weights[] = {1.0, 3.0};
+  DiscreteMixture mix({weights, 2});
+  EXPECT_NEAR(mix.probability(0), 0.25, 1e-12);
+  EXPECT_NEAR(mix.probability(1), 0.75, 1e-12);
+  Rng rng(43);
+  int first = 0;
+  for (int i = 0; i < 40000; ++i) {
+    if (mix.sample(rng) == 0) ++first;
+  }
+  EXPECT_NEAR(first / 40000.0, 0.25, 0.02);
+}
+
+TEST(Distributions, EmpiricalSamplesFromValues) {
+  Rng rng(47);
+  Empirical e({1.0, 2.0, 4.0});
+  for (int i = 0; i < 1000; ++i) {
+    const double v = e.sample(rng);
+    EXPECT_TRUE(v == 1.0 || v == 2.0 || v == 4.0);
+  }
+}
+
+TEST(Stats, WelfordMatchesDirectComputation) {
+  Rng rng(53);
+  std::vector<double> xs;
+  RunningStats rs;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-5, 5);
+    xs.push_back(x);
+    rs.add(x);
+  }
+  const double mean = std::accumulate(xs.begin(), xs.end(), 0.0) / 1000.0;
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= 999.0;
+  EXPECT_NEAR(rs.mean(), mean, 1e-9);
+  EXPECT_NEAR(rs.variance(), var, 1e-9);
+}
+
+TEST(Stats, MergeEqualsSequential) {
+  Rng rng(59);
+  RunningStats all, a, b;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal();
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Stats, PercentileInterpolation) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 2.5);
+}
+
+TEST(Stats, PercentilesBatchMatchesSingle) {
+  const std::vector<double> v{5.0, 1.0, 9.0, 3.0, 7.0};
+  const std::vector<double> ps{10.0, 50.0, 90.0};
+  const auto batch = percentiles(v, ps);
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], percentile(v, ps[i]));
+  }
+}
+
+TEST(Stats, SpreadAndImbalance) {
+  const std::vector<double> v{90.0, 100.0, 110.0};
+  EXPECT_NEAR(spread_fraction(v), 0.2, 1e-12);
+  EXPECT_NEAR(imbalance_of(v), 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(spread_fraction({}), 0.0);
+}
+
+TEST(Histogram, LinearBinningAndClamping) {
+  LinearHistogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-100.0);  // clamps into the first bin
+  h.add(100.0);   // clamps into the last bin
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, Log2FractionBelow) {
+  Log2Histogram h(0, 20);
+  h.add(2.0);      // 2^1 bin
+  h.add(1024.0);   // 2^10 bin
+  h.add(1_MiB / 2.0);
+  EXPECT_NEAR(h.fraction_below(512.0), 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_FALSE(h.to_string().empty());
+}
+
+TEST(Table, FormatsAndQueriesCells) {
+  Table t("demo");
+  t.set_columns({"name", "count", "rate"});
+  t.set_precision(2, 1);
+  t.add_row({std::string("x"), std::int64_t{3}, 1.25});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_DOUBLE_EQ(t.number_at(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(t.number_at(0, 2), 1.25);
+  EXPECT_THROW(t.number_at(0, 0), std::invalid_argument);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("demo"), std::string::npos);
+  EXPECT_NE(os.str().find("1.2"), std::string::npos);
+  std::ostringstream csv;
+  t.print_csv(csv);
+  EXPECT_NE(csv.str().find("x,3,1.2"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t;
+  t.set_columns({"a", "b"});
+  EXPECT_THROW(t.add_row({std::int64_t{1}}), std::invalid_argument);
+}
+
+TEST(Parallel, ParallelForCoversAllIndices) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(1000, [&](std::size_t i) { hits[i]++; }, 8);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, ThreadPoolRunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(Parallel, InlineWhenSingleThread) {
+  int sum = 0;  // no synchronization needed: must run inline
+  parallel_for(10, [&](std::size_t i) { sum += static_cast<int>(i); }, 1);
+  EXPECT_EQ(sum, 45);
+}
+
+}  // namespace
+}  // namespace spider

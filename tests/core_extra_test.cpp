@@ -1,0 +1,216 @@
+// Second round of center-model tests: path composition details, config
+// presets, scaled-config invariants, determinism.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "core/center.hpp"
+#include "core/spider_config.hpp"
+#include "workload/arrivals.hpp"
+#include "workload/ior.hpp"
+#include "workload/trace_io.hpp"
+
+namespace spider::core {
+namespace {
+
+CenterConfig tiny() { return scaled_config(spider2_config(), 0.08); }
+
+TEST(CenterPaths, FgrFlowsStayOffTheCore) {
+  Rng rng(1);
+  CenterModel c(tiny(), rng);
+  c.set_routing_policy(RoutingPolicy::kFgr);
+  c.set_client_placement(ClientPlacement::kRandom, rng);
+  const auto& map = c.steady_map();
+  const std::set<sim::ResourceId> core_ids(map.ib_core.begin(),
+                                           map.ib_core.end());
+  for (std::size_t cl = 0; cl < 64; ++cl) {
+    auto df = c.data_flow(cl, cl % c.num_osts(), block::IoDir::kWrite,
+                          block::IoMode::kSequential, 1_MiB);
+    for (const auto& hop : df.path) {
+      EXPECT_FALSE(core_ids.contains(hop.resource))
+          << "FGR flow crossed the IB core";
+    }
+  }
+}
+
+TEST(CenterPaths, RoundRobinFlowsOftenCrossTheCore) {
+  Rng rng(2);
+  CenterModel c(tiny(), rng);
+  c.set_routing_policy(RoutingPolicy::kRoundRobin);
+  c.set_client_placement(ClientPlacement::kRandom, rng);
+  const auto& map = c.steady_map();
+  const std::set<sim::ResourceId> core_ids(map.ib_core.begin(),
+                                           map.ib_core.end());
+  std::size_t crossings = 0;
+  for (std::size_t cl = 0; cl < 64; ++cl) {
+    auto df = c.data_flow(cl, cl % c.num_osts(), block::IoDir::kWrite,
+                          block::IoMode::kSequential, 1_MiB);
+    for (const auto& hop : df.path) {
+      if (core_ids.contains(hop.resource)) {
+        ++crossings;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(crossings, 32u);  // most leaves won't match by luck
+}
+
+TEST(CenterPaths, PathStartsAtNicAndEndsAtOst) {
+  Rng rng(3);
+  CenterModel c(tiny(), rng);
+  c.set_client_placement(ClientPlacement::kRandom, rng);
+  const auto& map = c.steady_map();
+  auto df = c.data_flow(5, 7, block::IoDir::kRead, block::IoMode::kRandom,
+                        512_KiB);
+  ASSERT_GE(df.path.size(), 5u);
+  const int node = c.node_of_client(5);
+  EXPECT_EQ(df.path.front().resource,
+            map.node_nic[static_cast<std::size_t>(node)]);
+  EXPECT_EQ(df.path.back().resource, map.ost[7]);
+  // Random-mode read pays an OST cost factor > 1.
+  EXPECT_GT(df.path.back().cost, 1.5);
+}
+
+TEST(CenterPaths, TorusLinksAppearOnlyWhenRegistered) {
+  Rng rng(4);
+  CenterModel c(tiny(), rng);
+  c.set_client_placement(ClientPlacement::kRandom, rng);
+  sim::Simulator sim;
+  sim::FlowNetwork with_links(sim), without_links(sim);
+  const auto map_with = c.register_into(with_links, true);
+  const auto map_without = c.register_into(without_links, false);
+  EXPECT_TRUE(map_with.has_torus_links);
+  EXPECT_FALSE(map_without.has_torus_links);
+  EXPECT_EQ(map_with.torus_link.size(),
+            static_cast<std::size_t>(c.torus().num_links()));
+  EXPECT_TRUE(map_without.torus_link.empty());
+  auto a = c.make_flow(map_with, 9, 3, block::IoDir::kWrite,
+                       block::IoMode::kSequential, 1_MiB);
+  auto b = c.make_flow(map_without, 9, 3, block::IoDir::kWrite,
+                       block::IoMode::kSequential, 1_MiB);
+  EXPECT_GE(a.path.size(), b.path.size());
+  EXPECT_DOUBLE_EQ(a.rate_cap, b.rate_cap);  // penalty uses hops either way
+}
+
+TEST(CenterPaths, FlowsAreDeterministic) {
+  Rng rng(5);
+  CenterModel c(tiny(), rng);
+  c.set_client_placement(ClientPlacement::kRandom, rng);
+  auto a = c.data_flow(11, 13, block::IoDir::kWrite,
+                       block::IoMode::kSequential, 1_MiB);
+  auto b = c.data_flow(11, 13, block::IoDir::kWrite,
+                       block::IoMode::kSequential, 1_MiB);
+  ASSERT_EQ(a.path.size(), b.path.size());
+  for (std::size_t i = 0; i < a.path.size(); ++i) {
+    EXPECT_EQ(a.path[i].resource, b.path[i].resource);
+    EXPECT_DOUBLE_EQ(a.path[i].cost, b.path[i].cost);
+  }
+  EXPECT_DOUBLE_EQ(a.rate_cap, b.rate_cap);
+}
+
+TEST(CenterConfigs, Spider1Preset) {
+  const auto cfg = spider1_config();
+  EXPECT_EQ(cfg.namespaces, 4u);
+  EXPECT_EQ(cfg.ssu.enclosures, 5u);  // the incident design
+  EXPECT_EQ(cfg.ssus, 48u);
+  Rng rng(6);
+  CenterModel c(cfg, rng);
+  EXPECT_EQ(c.filesystem().namespaces(), 4u);
+  // 10 PB class.
+  EXPECT_NEAR(to_pb(c.filesystem().capacity()), 10.0, 2.0);
+}
+
+class ScaledConfigP : public ::testing::TestWithParam<double> {};
+
+TEST_P(ScaledConfigP, BuildsAndStaysProportional) {
+  const double f = GetParam();
+  const auto cfg = scaled_config(spider2_config(), f);
+  Rng rng(7);
+  CenterModel c(cfg, rng);
+  // OST count scales with SSUs.
+  EXPECT_EQ(c.total_osts(), cfg.ssus * cfg.ssu.raid_groups);
+  // Everything maps in range.
+  for (std::size_t o : {std::size_t{0}, c.total_osts() - 1}) {
+    EXPECT_LT(c.oss_of_ost(o), c.num_oss());
+    EXPECT_LT(c.leaf_of_ost(o), cfg.fabric.leaf_switches);
+    EXPECT_LT(c.namespace_of_ost(o), cfg.namespaces);
+  }
+  // A solve works and delivers something sane.
+  c.set_client_placement(ClientPlacement::kOptimal, rng);
+  c.set_target_namespace(SIZE_MAX);
+  workload::IorConfig ior;
+  ior.clients = std::min<std::size_t>(cfg.clients, c.total_osts() * 2);
+  const auto r = workload::run_ior(c, ior);
+  EXPECT_GT(r.aggregate_bw, 0.0);
+  const auto prof =
+      c.layer_profile(block::IoMode::kSequential, block::IoDir::kWrite);
+  EXPECT_LE(r.aggregate_bw, prof.end_to_end * 1.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, ScaledConfigP,
+                         ::testing::Values(0.05, 0.1, 0.25, 0.5));
+
+TEST(CenterKnobs2, RefreshPicksUpControllerFailover) {
+  Rng rng(8);
+  auto cfg = tiny();
+  cfg.ssu.controller.per_controller_bw = 20.0 * kGBps;  // controller-bound
+  CenterModel c(cfg, rng);
+  c.set_target_namespace(SIZE_MAX);
+  c.set_client_placement(ClientPlacement::kOptimal, rng);
+  workload::IorConfig ior;
+  ior.clients = c.total_osts() * 2;
+  const auto before = workload::run_ior(c, ior);
+  c.ssu(0).controller().fail_one();
+  c.refresh_capacities();
+  const auto failed = workload::run_ior(c, ior);
+  EXPECT_LT(failed.aggregate_bw, before.aggregate_bw);
+  c.ssu(0).controller().recover();
+  c.refresh_capacities();
+  const auto recovered = workload::run_ior(c, ior);
+  EXPECT_NEAR(recovered.aggregate_bw, before.aggregate_bw,
+              1e-9 * before.aggregate_bw);
+}
+
+// --- trace round trip --------------------------------------------------------------
+
+TEST(TraceIo, RoundTripPreservesEverything) {
+  Rng rng(9);
+  const auto trace =
+      workload::generate_trace(workload::WorkloadMixParams{}, 4, 5.0, rng);
+  const auto csv = workload::trace_to_string(trace);
+  const auto back = workload::trace_from_string(csv);
+  ASSERT_EQ(back.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(back[i].issue_time, trace[i].issue_time);
+    EXPECT_EQ(back[i].client, trace[i].client);
+    EXPECT_EQ(back[i].size, trace[i].size);
+    EXPECT_EQ(back[i].dir, trace[i].dir);
+    EXPECT_EQ(back[i].mode, trace[i].mode);
+  }
+}
+
+TEST(TraceIo, RejectsMalformedInput) {
+  EXPECT_THROW(workload::trace_from_string("not,a,header\n"),
+               std::runtime_error);
+  EXPECT_THROW(workload::trace_from_string(
+                   "time_ns,client,size_bytes,dir,mode\n1,2,3,W\n"),
+               std::runtime_error);
+  EXPECT_THROW(workload::trace_from_string(
+                   "time_ns,client,size_bytes,dir,mode\n1,2,3,X,S\n"),
+               std::runtime_error);
+  EXPECT_THROW(workload::trace_from_string(
+                   "time_ns,client,size_bytes,dir,mode\nx,2,3,W,S\n"),
+               std::runtime_error);
+}
+
+TEST(TraceIo, EmptyTraceIsJustAHeader) {
+  const auto csv = workload::trace_to_string({});
+  EXPECT_EQ(csv, "time_ns,client,size_bytes,dir,mode\n");
+  EXPECT_TRUE(workload::trace_from_string(csv).empty());
+}
+
+}  // namespace
+}  // namespace spider::core

@@ -1,0 +1,112 @@
+// Final coverage pass: small public-API corners not exercised elsewhere.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "block/ssu.hpp"
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "fs/fs_namespace.hpp"
+#include "workload/checkpoint.hpp"
+#include "workload/s3d.hpp"
+
+namespace spider {
+namespace {
+
+TEST(SsuExtras, GroupBandwidthsMatchGroupQueries) {
+  Rng rng(1);
+  block::SsuParams params;
+  params.raid_groups = 6;
+  block::Ssu ssu(params, 0, rng);
+  const auto bws =
+      ssu.group_bandwidths(block::IoMode::kSequential, block::IoDir::kRead);
+  ASSERT_EQ(bws.size(), 6u);
+  for (std::size_t g = 0; g < 6; ++g) {
+    EXPECT_DOUBLE_EQ(bws[g], ssu.group(g).bandwidth(block::IoMode::kSequential,
+                                                    block::IoDir::kRead, 1_MiB));
+  }
+}
+
+TEST(SsuExtras, RandomDeliveredBelowSequential) {
+  Rng rng(2);
+  block::Ssu ssu(block::SsuParams{}, 0, rng);
+  EXPECT_LT(ssu.delivered_bw(block::IoMode::kRandom, block::IoDir::kWrite),
+            ssu.delivered_bw(block::IoMode::kSequential, block::IoDir::kWrite));
+}
+
+TEST(DiskExtras, IsSlowThreshold) {
+  const block::Disk healthy(block::DiskParams{}, 0, 1.0, 1e-4);
+  const block::Disk slow(block::DiskParams{}, 1, 0.8, 1e-3);
+  EXPECT_FALSE(healthy.is_slow());
+  EXPECT_TRUE(slow.is_slow());
+  EXPECT_FALSE(slow.is_slow(/*threshold=*/0.7));
+}
+
+TEST(HistogramExtras, CountForExpAndOutOfRange) {
+  Log2Histogram h(4, 10);
+  h.add(20.0);  // 2^4 bin
+  h.add(100.0); // 2^6 bin
+  EXPECT_EQ(h.count_for_exp(4), 1u);
+  EXPECT_EQ(h.count_for_exp(6), 1u);
+  EXPECT_EQ(h.count_for_exp(20), 0u);
+  EXPECT_EQ(h.count_for_exp(-3), 0u);
+}
+
+TEST(StatsExtras, EmptyAccumulatorsAreSafe) {
+  RunningStats rs;
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.cv(), 0.0);
+  RunningStats other;
+  rs.merge(other);
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+}
+
+TEST(NamespaceExtras, AggregateOstBandwidthSums) {
+  std::vector<std::unique_ptr<block::Raid6Group>> groups;
+  std::vector<std::unique_ptr<fs::Ost>> osts;
+  std::vector<fs::Ost*> ptrs;
+  for (int i = 0; i < 3; ++i) {
+    std::vector<block::Disk> members;
+    for (int m = 0; m < 10; ++m) {
+      members.emplace_back(block::DiskParams{}, m, 1.0, 1e-4);
+    }
+    groups.push_back(std::make_unique<block::Raid6Group>(block::RaidParams{},
+                                                         std::move(members)));
+    osts.push_back(std::make_unique<fs::Ost>(i, groups.back().get()));
+    ptrs.push_back(osts.back().get());
+  }
+  fs::FsNamespace ns("x", ptrs);
+  double sum = 0.0;
+  for (auto* o : ptrs) {
+    sum += o->bandwidth(block::IoMode::kSequential, block::IoDir::kWrite, 1_MiB);
+  }
+  EXPECT_NEAR(
+      ns.aggregate_ost_bw(block::IoMode::kSequential, block::IoDir::kWrite),
+      sum, 1.0);
+}
+
+TEST(WorkloadExtras, ZeroDurationGeneratesNothing) {
+  Rng rng(3);
+  const workload::CheckpointWorkload cp{workload::CheckpointParams{}};
+  EXPECT_TRUE(cp.generate(0.0, rng).empty());
+  const workload::S3dWorkload s3d{workload::S3dParams{}};
+  EXPECT_TRUE(s3d.generate(0.0, rng).empty());
+}
+
+TEST(WorkloadExtras, S3dBurstVolumeConsistent) {
+  Rng rng(4);
+  workload::S3dParams p;
+  p.ranks = 100;
+  p.bytes_per_rank = 10_MiB;
+  const workload::S3dWorkload s3d(p);
+  for (const auto& b : s3d.generate(2000.0, rng)) {
+    EXPECT_EQ(static_cast<Bytes>(b.clients) * b.bytes_per_client,
+              s3d.bytes_per_output());
+  }
+}
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "block/failure.hpp"
+#include "common/rng.hpp"
+
+namespace spider::block {
+namespace {
+
+TEST(Incident2010, FiveEnclosureDesignLosesData) {
+  Rng rng(1);
+  IncidentConfig cfg;
+  cfg.enclosures = 5;
+  const auto out = replay_incident_2010(cfg, rng);
+  EXPECT_TRUE(out.data_lost);
+  EXPECT_GE(out.groups_lost, 1u);
+  EXPECT_EQ(out.journal_files_lost, cfg.journal_files);
+  EXPECT_NEAR(out.recovered_fraction, 0.95, 1e-9);
+  EXPECT_GT(out.recovery_days, 14.0);
+  EXPECT_GE(out.timeline.size(), 4u);
+}
+
+TEST(Incident2010, TenEnclosureDesignTolerates) {
+  Rng rng(1);
+  IncidentConfig cfg;
+  cfg.enclosures = 10;
+  const auto out = replay_incident_2010(cfg, rng);
+  EXPECT_FALSE(out.data_lost);
+  EXPECT_EQ(out.groups_lost, 0u);
+  EXPECT_DOUBLE_EQ(out.recovered_fraction, 1.0);
+}
+
+TEST(Incident2010, DeterministicAcrossSeedsForConclusion) {
+  // The conclusion (loss vs no loss) is a geometry property, not luck.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed);
+    IncidentConfig five;
+    five.enclosures = 5;
+    EXPECT_TRUE(replay_incident_2010(five, rng).data_lost) << seed;
+    Rng rng2(seed);
+    IncidentConfig ten;
+    ten.enclosures = 10;
+    EXPECT_FALSE(replay_incident_2010(ten, rng2).data_lost) << seed;
+  }
+}
+
+TEST(RandomFailures, PromptRebuildsPreventLoss) {
+  Rng rng(2);
+  SsuParams params;
+  params.raid_groups = 8;  // keep the sweep fast
+  Ssu ssu(params, 0, rng);
+  // 3% AFR over half a year of operation.
+  const auto stats = inject_random_failures(ssu, 0.5, 0.03, rng);
+  EXPECT_GT(stats.disk_failures, 0u);
+  EXPECT_EQ(stats.groups_lost, 0u);
+}
+
+TEST(RandomFailures, AbsurdFailureRateEventuallyLosesGroups) {
+  Rng rng(3);
+  SsuParams params;
+  params.raid_groups = 4;
+  params.raid.rebuild_rate = 0.5 * kMBps;  // pathologically slow rebuild
+  Ssu ssu(params, 0, rng);
+  const auto stats = inject_random_failures(ssu, 1.0, 40.0, rng);
+  EXPECT_GT(stats.double_failures, 0u);
+  EXPECT_GT(stats.groups_lost, 0u);
+}
+
+}  // namespace
+}  // namespace spider::block

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/flow_network.hpp"
+#include "sim/simulator.hpp"
+
+namespace spider::sim {
+namespace {
+
+struct Fixture : ::testing::Test {
+  Simulator sim;
+  FlowNetwork net{sim};
+};
+
+TEST_F(Fixture, SingleFlowCompletesAtCapacityTime) {
+  const auto r = net.add_resource("link", 100.0);
+  SimTime done_at = -1;
+  FlowDesc d;
+  d.path = {{r, 1.0}};
+  d.size = 1000.0;
+  d.on_complete = [&](FlowId, SimTime t) { done_at = t; };
+  net.start_flow(std::move(d));
+  sim.run();
+  EXPECT_NEAR(to_seconds(done_at), 10.0, 1e-3);
+  EXPECT_NEAR(net.total_delivered(), 1000.0, 1e-6);
+}
+
+TEST_F(Fixture, RateCapSlowsFlow) {
+  const auto r = net.add_resource("link", 100.0);
+  SimTime done_at = -1;
+  FlowDesc d;
+  d.path = {{r, 1.0}};
+  d.size = 100.0;
+  d.rate_cap = 10.0;
+  d.on_complete = [&](FlowId, SimTime t) { done_at = t; };
+  net.start_flow(std::move(d));
+  sim.run();
+  EXPECT_NEAR(to_seconds(done_at), 10.0, 1e-3);
+}
+
+TEST_F(Fixture, TwoFlowsShareThenSpeedUp) {
+  // Two equal flows share 100 u/s; after the first finishes at t=2 (100
+  // units each at 50 u/s), the second's remaining 100 units run at full
+  // rate, finishing at t=3.
+  const auto r = net.add_resource("link", 100.0);
+  std::vector<double> done;
+  for (double size : {100.0, 200.0}) {
+    FlowDesc d;
+    d.path = {{r, 1.0}};
+    d.size = size;
+    d.on_complete = [&](FlowId, SimTime t) { done.push_back(to_seconds(t)); };
+    net.start_flow(std::move(d));
+  }
+  sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0], 2.0, 1e-3);
+  EXPECT_NEAR(done[1], 3.0, 1e-3);
+}
+
+TEST_F(Fixture, LatencyDelaysActivation) {
+  const auto r = net.add_resource("link", 100.0);
+  SimTime done_at = -1;
+  FlowDesc d;
+  d.path = {{r, 1.0}};
+  d.size = 100.0;
+  d.latency = 5 * kSecond;
+  d.on_complete = [&](FlowId, SimTime t) { done_at = t; };
+  net.start_flow(std::move(d));
+  EXPECT_EQ(net.active_flows(), 0u);  // not yet activated
+  sim.run();
+  EXPECT_NEAR(to_seconds(done_at), 6.0, 1e-3);
+}
+
+TEST_F(Fixture, CapacityChangeMidFlight) {
+  const auto r = net.add_resource("link", 100.0);
+  SimTime done_at = -1;
+  FlowDesc d;
+  d.path = {{r, 1.0}};
+  d.size = 1000.0;  // 10 s at full rate
+  d.on_complete = [&](FlowId, SimTime t) { done_at = t; };
+  net.start_flow(std::move(d));
+  // Halve capacity at t=5: 500 units left at 50 u/s -> 10 more seconds.
+  sim.schedule_in(5 * kSecond, [&] { net.set_capacity(r, 50.0); });
+  sim.run();
+  EXPECT_NEAR(to_seconds(done_at), 15.0, 1e-2);
+}
+
+TEST_F(Fixture, CancelFlowSkipsCallback) {
+  const auto r = net.add_resource("link", 10.0);
+  bool fired = false;
+  FlowDesc d;
+  d.path = {{r, 1.0}};
+  d.size = 100.0;
+  d.on_complete = [&](FlowId, SimTime) { fired = true; };
+  const FlowId id = net.start_flow(std::move(d));
+  sim.schedule_in(kSecond, [&] { net.cancel_flow(id); });
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(net.active_flows(), 0u);
+}
+
+TEST_F(Fixture, CompletionCallbackCanStartNewFlow) {
+  const auto r = net.add_resource("link", 100.0);
+  int completions = 0;
+  FlowDesc first;
+  first.path = {{r, 1.0}};
+  first.size = 100.0;
+  first.on_complete = [&](FlowId, SimTime) {
+    ++completions;
+    FlowDesc second;
+    second.path = {{r, 1.0}};
+    second.size = 100.0;
+    second.on_complete = [&](FlowId, SimTime) { ++completions; };
+    net.start_flow(std::move(second));
+  };
+  net.start_flow(std::move(first));
+  sim.run();
+  EXPECT_EQ(completions, 2);
+  EXPECT_NEAR(to_seconds(sim.now()), 2.0, 1e-3);
+}
+
+TEST_F(Fixture, TelemetryAccumulatesServedUnits) {
+  const auto r = net.add_resource("link", 100.0);
+  FlowDesc d;
+  d.path = {{r, 2.0}};  // cost 2: consumes 2 units per delivered unit
+  d.size = 100.0;
+  net.start_flow(std::move(d));
+  sim.run();
+  EXPECT_NEAR(net.stats(r).served, 200.0, 1e-3);
+  EXPECT_EQ(net.stats(r).flows_seen, 1u);
+}
+
+TEST_F(Fixture, AggregateRateReflectsActiveFlows) {
+  const auto r = net.add_resource("link", 100.0);
+  FlowDesc d;
+  d.path = {{r, 1.0}};
+  d.size = 500.0;
+  net.start_flow(std::move(d));
+  sim.run(kSecond);  // mid-flight
+  EXPECT_NEAR(net.aggregate_rate(), 100.0, 1e-6);
+  sim.run();
+  EXPECT_NEAR(net.aggregate_rate(), 0.0, 1e-9);
+}
+
+TEST_F(Fixture, StarvedFlowWakesOnCapacityRestore) {
+  const auto r = net.add_resource("link", 0.0);
+  SimTime done_at = -1;
+  FlowDesc d;
+  d.path = {{r, 1.0}};
+  d.size = 100.0;
+  d.on_complete = [&](FlowId, SimTime t) { done_at = t; };
+  net.start_flow(std::move(d));
+  sim.schedule_in(10 * kSecond, [&] { net.set_capacity(r, 100.0); });
+  sim.run();
+  EXPECT_NEAR(to_seconds(done_at), 11.0, 1e-2);
+}
+
+TEST_F(Fixture, RejectsInvalidFlows) {
+  const auto r = net.add_resource("link", 10.0);
+  FlowDesc bad_size;
+  bad_size.path = {{r, 1.0}};
+  bad_size.size = 0.0;
+  EXPECT_THROW(net.start_flow(std::move(bad_size)), std::invalid_argument);
+  FlowDesc bad_path;
+  bad_path.path = {{42, 1.0}};
+  bad_path.size = 1.0;
+  EXPECT_THROW(net.start_flow(std::move(bad_path)), std::out_of_range);
+}
+
+TEST_F(Fixture, ManyFlowsConserveBytes) {
+  const auto a = net.add_resource("a", 250.0);
+  const auto b = net.add_resource("b", 400.0);
+  double expected = 0.0;
+  int completions = 0;
+  for (int i = 0; i < 50; ++i) {
+    FlowDesc d;
+    d.path = i % 2 ? std::vector<PathHop>{{a, 1.0}}
+                   : std::vector<PathHop>{{a, 1.0}, {b, 1.0}};
+    d.size = 10.0 * (i + 1);
+    expected += d.size;
+    d.on_complete = [&](FlowId, SimTime) { ++completions; };
+    net.start_flow(std::move(d));
+  }
+  sim.run();
+  EXPECT_EQ(completions, 50);
+  EXPECT_NEAR(net.total_delivered(), expected, expected * 1e-5);
+  EXPECT_NEAR(net.stats(a).served, expected, expected * 2e-5);
+}
+
+}  // namespace
+}  // namespace spider::sim

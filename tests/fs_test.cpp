@@ -1,0 +1,385 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "block/raid.hpp"
+#include "common/rng.hpp"
+#include "fs/filesystem.hpp"
+#include "fs/fs_namespace.hpp"
+#include "fs/journal.hpp"
+#include "fs/mds.hpp"
+#include "fs/obdsurvey.hpp"
+#include "fs/oss.hpp"
+#include "fs/ost.hpp"
+#include "fs/purge.hpp"
+#include "fs/striping.hpp"
+
+namespace spider::fs {
+namespace {
+
+std::vector<block::Disk> healthy_members(std::size_t n = 10) {
+  std::vector<block::Disk> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.emplace_back(block::DiskParams{}, static_cast<std::uint32_t>(i), 1.0,
+                     1e-4);
+  }
+  return out;
+}
+
+/// A small self-owning OST fleet for namespace tests.
+struct Fleet {
+  std::vector<std::unique_ptr<block::Raid6Group>> groups;
+  std::vector<std::unique_ptr<Ost>> osts;
+  std::vector<Ost*> ptrs;
+
+  explicit Fleet(std::size_t n, const OstParams& params = {}) {
+    for (std::size_t i = 0; i < n; ++i) {
+      groups.push_back(std::make_unique<block::Raid6Group>(
+          block::RaidParams{}, healthy_members()));
+      osts.push_back(std::make_unique<Ost>(static_cast<std::uint32_t>(i),
+                                           groups.back().get(), params));
+      ptrs.push_back(osts.back().get());
+    }
+  }
+};
+
+// --- journal ------------------------------------------------------------------
+
+TEST(Journal, ModesOrderedByEfficiency) {
+  JournalModel sync{JournalMode::kSyncOnData};
+  JournalModel async{JournalMode::kAsync};
+  JournalModel hp{JournalMode::kHighPerformance};
+  EXPECT_LT(sync.write_efficiency(), async.write_efficiency());
+  EXPECT_LT(async.write_efficiency(), hp.write_efficiency());
+  EXPECT_GT(sync.commit_latency_s(), hp.commit_latency_s());
+}
+
+// --- OST ----------------------------------------------------------------------
+
+TEST(Ost, AllocateReleaseTracksUsage) {
+  Fleet fleet(1);
+  Ost& o = *fleet.ptrs[0];
+  EXPECT_TRUE(o.allocate(1_GiB));
+  EXPECT_EQ(o.used(), 1_GiB);
+  EXPECT_EQ(o.object_count(), 1u);
+  o.release(1_GiB);
+  EXPECT_EQ(o.used(), 0u);
+  EXPECT_FALSE(o.allocate(o.capacity() + 1));
+}
+
+TEST(Ost, FullnessFactorKnees) {
+  Fleet fleet(1);
+  Ost& o = *fleet.ptrs[0];
+  auto at = [&](double f) {
+    o.set_used(static_cast<Bytes>(static_cast<double>(o.capacity()) * f));
+    return o.fullness_factor();
+  };
+  EXPECT_DOUBLE_EQ(at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(at(0.49), 1.0);      // below the 50% knee: no loss
+  EXPECT_LT(at(0.6), 1.0);              // gentle decline
+  EXPECT_GT(at(0.6), 0.9);
+  EXPECT_NEAR(at(0.7), 0.9, 1e-9);      // the paper's severe-degradation knee
+  EXPECT_LT(at(0.85), at(0.7) - 0.05);  // steep beyond 70%
+  EXPECT_GE(at(1.0), OstParams{}.factor_floor - 1e-9);
+}
+
+TEST(Ost, BandwidthIncludesFsOverheads) {
+  Fleet fleet(1);
+  Ost& o = *fleet.ptrs[0];
+  const double block_bw = o.group().bandwidth(block::IoMode::kSequential,
+                                              block::IoDir::kWrite, 1_MiB);
+  const double fs_bw =
+      o.bandwidth(block::IoMode::kSequential, block::IoDir::kWrite, 1_MiB);
+  EXPECT_LT(fs_bw, block_bw);
+  EXPECT_GT(fs_bw, 0.8 * block_bw);  // high-performance journaling: small tax
+}
+
+TEST(Ost, RejectsNullGroup) {
+  EXPECT_THROW(Ost(0, nullptr), std::invalid_argument);
+}
+
+// --- OSS ----------------------------------------------------------------------
+
+TEST(Oss, DeliveredBwCappedByNode) {
+  Fleet fleet(8);
+  Oss oss(0, OssParams{}, 0);
+  for (Ost* o : fleet.ptrs) oss.attach(o);
+  const double delivered =
+      oss.delivered_bw(block::IoMode::kSequential, block::IoDir::kWrite);
+  EXPECT_NEAR(delivered, oss.node_bw(), 1.0);  // 8 OSTs exceed one node
+  EXPECT_DOUBLE_EQ(oss.node_bw(),
+                   std::min(OssParams{}.net_bw, OssParams{}.cpu_bw));
+}
+
+TEST(Oss, FewOstsAreOstBound) {
+  Fleet fleet(1);
+  Oss oss(0, OssParams{}, 0);
+  oss.attach(fleet.ptrs[0]);
+  EXPECT_LT(oss.delivered_bw(block::IoMode::kSequential, block::IoDir::kWrite),
+            oss.node_bw());
+}
+
+// --- striping allocator ---------------------------------------------------------
+
+TEST(Allocator, AllocatesDistinctOsts) {
+  Fleet fleet(8);
+  OstAllocator alloc(fleet.ptrs, AllocatorMode::kRoundRobin);
+  Rng rng(1);
+  const auto chosen = alloc.allocate(4, 4_GiB, rng);
+  ASSERT_EQ(chosen.size(), 4u);
+  std::set<std::uint32_t> unique(chosen.begin(), chosen.end());
+  EXPECT_EQ(unique.size(), 4u);
+}
+
+TEST(Allocator, RoundRobinCoversAllOsts) {
+  Fleet fleet(4);
+  OstAllocator alloc(fleet.ptrs, AllocatorMode::kRoundRobin);
+  Rng rng(2);
+  for (int i = 0; i < 4; ++i) alloc.allocate(1, 1_GiB, rng);
+  for (Ost* o : fleet.ptrs) EXPECT_EQ(o->used(), 1_GiB);
+}
+
+TEST(Allocator, QosAvoidsFullOsts) {
+  Fleet fleet(4);
+  // Fill OST 0 to 90%.
+  fleet.ptrs[0]->set_used(
+      static_cast<Bytes>(static_cast<double>(fleet.ptrs[0]->capacity()) * 0.9));
+  OstAllocator alloc(fleet.ptrs, AllocatorMode::kQosWeighted);
+  Rng rng(3);
+  for (int i = 0; i < 30; ++i) alloc.allocate(1, 1_GiB, rng);
+  // The full OST received (almost) nothing beyond its initial fill.
+  EXPECT_LT(fleet.ptrs[0]->object_count(), 3u);
+}
+
+TEST(Allocator, ReleaseRestoresSpace) {
+  Fleet fleet(2);
+  OstAllocator alloc(fleet.ptrs, AllocatorMode::kRoundRobin);
+  Rng rng(4);
+  const auto chosen = alloc.allocate(2, 2_GiB, rng);
+  alloc.release(chosen, 2_GiB);
+  EXPECT_EQ(fleet.ptrs[0]->used(), 0u);
+  EXPECT_EQ(fleet.ptrs[1]->used(), 0u);
+}
+
+TEST(Allocator, FailsCleanlyWhenFull) {
+  Fleet fleet(2);
+  for (Ost* o : fleet.ptrs) o->set_used(o->capacity());
+  OstAllocator alloc(fleet.ptrs, AllocatorMode::kRoundRobin);
+  Rng rng(5);
+  EXPECT_TRUE(alloc.allocate(1, 1_GiB, rng).empty());
+  // And the failure didn't leak reservations.
+  for (Ost* o : fleet.ptrs) EXPECT_EQ(o->used(), o->capacity());
+}
+
+// --- MDS -------------------------------------------------------------------------
+
+TEST(Mds, DneScalesCapacity) {
+  MdsParams single;
+  MdsParams dne = single;
+  dne.dne_shards = 4;
+  EXPECT_NEAR(Mds(dne).capacity_ops() / Mds(single).capacity_ops(),
+              1.0 + 3.0 * single.dne_efficiency, 1e-9);
+}
+
+TEST(Mds, StatCostGrowsWithStripeCount) {
+  Mds mds;
+  // The paper's best practice: stat on a wide-striped file touches every
+  // OST, so small files should use stripe count 1.
+  EXPECT_GT(mds.op_cost(MetaOp::kStat, 8), 2.0 * mds.op_cost(MetaOp::kStat, 1));
+}
+
+TEST(Mds, LatencyExplodesNearSaturation) {
+  Mds mds;
+  const double cap = mds.capacity_ops();
+  EXPECT_LT(mds.mean_latency_s(0.1 * cap), mds.mean_latency_s(0.9 * cap));
+  EXPECT_GT(mds.mean_latency_s(0.999 * cap), 100.0 * mds.mean_latency_s(0.1 * cap));
+  EXPECT_DOUBLE_EQ(mds.throughput(2.0 * cap), cap);
+}
+
+TEST(Mds, AccountingAccumulates) {
+  Mds mds;
+  mds.account(MetaOp::kCreate);
+  mds.account(MetaOp::kStat, 4);
+  EXPECT_EQ(mds.ops_seen(), 2u);
+  EXPECT_GT(mds.accounted_load(), 0.0);
+  mds.reset_accounting();
+  EXPECT_EQ(mds.ops_seen(), 0u);
+}
+
+// --- namespace --------------------------------------------------------------------
+
+struct NamespaceFixture : ::testing::Test {
+  Fleet fleet{8};
+  FsNamespace ns{"test-ns", fleet.ptrs, MdsParams{},
+                 AllocatorMode::kRoundRobin, StripePolicy{2, 1_MiB}};
+  Rng rng{7};
+};
+
+TEST_F(NamespaceFixture, CreateStatReadUnlinkLifecycle) {
+  const FileId id = ns.create_file(/*project=*/1, 4_GiB, sim::kHour, rng);
+  ASSERT_NE(id, kNoFile);
+  EXPECT_TRUE(ns.exists(id));
+  EXPECT_EQ(ns.live_files(), 1u);
+  EXPECT_EQ(ns.file(id).size, 4_GiB);
+  EXPECT_EQ(ns.stripes_of(ns.file(id)).size(), 2u);
+  EXPECT_EQ(ns.used(), 4_GiB);
+
+  ns.read_file(id, 2 * sim::kHour);
+  EXPECT_EQ(ns.file(id).atime, 2 * sim::kHour);
+  EXPECT_TRUE(ns.unlink(id, 3 * sim::kHour));
+  EXPECT_FALSE(ns.exists(id));
+  EXPECT_EQ(ns.used(), 0u);
+  EXPECT_FALSE(ns.unlink(id, 3 * sim::kHour));  // double unlink
+}
+
+TEST_F(NamespaceFixture, StaleIdsNeverAliasAfterSlotReuse) {
+  const FileId a = ns.create_file(1, 1_GiB, 0, rng);
+  ns.unlink(a, 0);
+  const FileId b = ns.create_file(1, 1_GiB, 0, rng);
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(ns.exists(a));
+  EXPECT_TRUE(ns.exists(b));
+}
+
+TEST_F(NamespaceFixture, PerProjectUsage) {
+  ns.create_file(1, 1_GiB, 0, rng);
+  ns.create_file(1, 1_GiB, 0, rng);
+  ns.create_file(2, 2_GiB, 0, rng);
+  const auto usage = ns.usage_by_project();
+  EXPECT_EQ(usage.at(1), 2_GiB);
+  EXPECT_EQ(usage.at(2), 2_GiB);
+}
+
+TEST_F(NamespaceFixture, MetadataOpsAccountedOnMds) {
+  const double before = ns.mds().accounted_load();
+  const FileId id = ns.create_file(1, 1_GiB, 0, rng);
+  ns.stat_file(id);
+  ns.read_file(id, 0);
+  ns.touch_file(id, 0);
+  EXPECT_GT(ns.mds().accounted_load(), before + 3.0);
+}
+
+TEST_F(NamespaceFixture, StripePolicyOverride) {
+  const FileId id =
+      ns.create_file(1, 1_GiB, 0, rng, StripePolicy{1, 1_MiB});
+  EXPECT_EQ(ns.stripes_of(ns.file(id)).size(), 1u);
+}
+
+TEST_F(NamespaceFixture, CreateFailsWhenNoSpace) {
+  for (Ost* o : fleet.ptrs) o->set_used(o->capacity());
+  EXPECT_EQ(ns.create_file(1, 1_GiB, 0, rng), kNoFile);
+}
+
+TEST_F(NamespaceFixture, ForEachFileVisitsLiveOnly) {
+  const FileId a = ns.create_file(1, 1_GiB, 0, rng);
+  ns.create_file(1, 1_GiB, 0, rng);
+  ns.unlink(a, 0);
+  std::size_t count = 0;
+  ns.for_each_file([&](const FileRecord&) { ++count; });
+  EXPECT_EQ(count, 1u);
+}
+
+// --- filesystem ---------------------------------------------------------------------
+
+TEST(FileSystem, RoutesProjectsToAssignedNamespaces) {
+  Fleet fleet_a(4), fleet_b(4);
+  FileSystem fs("spider");
+  fs.add_namespace(std::make_unique<FsNamespace>("ns0", fleet_a.ptrs));
+  fs.add_namespace(std::make_unique<FsNamespace>("ns1", fleet_b.ptrs));
+  fs.assign_project(7, 1);
+  Rng rng(8);
+  fs.create_file(7, 1_GiB, 0, rng);
+  EXPECT_EQ(fs.ns(1).live_files(), 1u);
+  EXPECT_EQ(fs.ns(0).live_files(), 0u);
+  EXPECT_EQ(fs.live_files(), 1u);
+  EXPECT_NE(fs.find("ns1"), nullptr);
+  EXPECT_EQ(fs.find("nope"), nullptr);
+  EXPECT_THROW(fs.assign_project(1, 5), std::out_of_range);
+}
+
+TEST(FileSystem, UnassignedProjectsHashAcrossNamespaces) {
+  Fleet fleet_a(2), fleet_b(2);
+  FileSystem fs("spider");
+  fs.add_namespace(std::make_unique<FsNamespace>("ns0", fleet_a.ptrs));
+  fs.add_namespace(std::make_unique<FsNamespace>("ns1", fleet_b.ptrs));
+  EXPECT_EQ(fs.namespace_of(4), 0u);
+  EXPECT_EQ(fs.namespace_of(5), 1u);
+}
+
+// --- purge ------------------------------------------------------------------------
+
+TEST(Purge, DeletesOnlyFilesOutsideWindow) {
+  Fleet fleet(4);
+  FsNamespace ns("scratch", fleet.ptrs);
+  Rng rng(9);
+  const FileId old_file = ns.create_file(1, 1_GiB, 0, rng);
+  const FileId recent = ns.create_file(1, 1_GiB, 20 * sim::kDay, rng);
+  const FileId touched = ns.create_file(1, 1_GiB, 0, rng);
+  ns.read_file(touched, 19 * sim::kDay);  // read access protects it
+
+  const auto report = run_purge(ns, 21 * sim::kDay, PurgePolicy{14.0});
+  EXPECT_EQ(report.purged, 1u);
+  EXPECT_EQ(report.freed, 1_GiB);
+  EXPECT_FALSE(ns.exists(old_file));
+  EXPECT_TRUE(ns.exists(recent));
+  EXPECT_TRUE(ns.exists(touched));
+  EXPECT_GT(report.mds_ops, 0.0);
+}
+
+TEST(Purge, ExemptProjectSurvives) {
+  Fleet fleet(2);
+  FsNamespace ns("scratch", fleet.ptrs);
+  Rng rng(10);
+  ns.create_file(42, 1_GiB, 0, rng);
+  PurgePolicy policy;
+  policy.exempt_project = 42;
+  const auto report = run_purge(ns, 30 * sim::kDay, policy);
+  EXPECT_EQ(report.purged, 0u);
+  EXPECT_EQ(ns.live_files(), 1u);
+}
+
+TEST(Purge, KeepsFullnessBoundedOverTime) {
+  // 60 simulated days of steady creation with a daily 14-day purge: usage
+  // must plateau at ~14 days of production instead of growing.
+  Fleet fleet(8);
+  FsNamespace ns("scratch", fleet.ptrs);
+  Rng rng(11);
+  Bytes peak = 0;
+  for (int day = 0; day < 60; ++day) {
+    const auto now = static_cast<sim::SimTime>(day) * sim::kDay;
+    for (int f = 0; f < 20; ++f) ns.create_file(1 + f % 3, 2_GiB, now, rng);
+    run_purge(ns, now, PurgePolicy{14.0});
+    peak = std::max(peak, ns.used());
+  }
+  // Steady state: 15 days x 20 files x 2 GiB.
+  EXPECT_LE(peak, 15u * 20u * 2_GiB);
+  EXPECT_GE(ns.live_files(), 14u * 20u);
+}
+
+// --- obdfilter survey -----------------------------------------------------------
+
+TEST(ObdSurvey, ThroughputRampsWithThreads) {
+  Fleet fleet(1);
+  Rng rng(12);
+  const auto rows = run_obdfilter_survey(*fleet.ptrs[0], ObdSurveyConfig{}, rng);
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_LT(rows[0].write_bw, rows[2].write_bw);  // 1 -> 4 threads ramps
+  // Saturated region is flat-ish.
+  EXPECT_NEAR(rows[3].write_bw, rows[2].write_bw, 0.15 * rows[2].write_bw);
+  for (const auto& r : rows) {
+    EXPECT_GT(r.read_bw, r.write_bw);  // reads skip parity + journal
+    EXPECT_GT(r.rewrite_bw, 0.9 * r.write_bw);
+  }
+}
+
+TEST(ObdSurvey, OverheadFractionIsSmallButPositive) {
+  Fleet fleet(1);
+  const double overhead =
+      fs_overhead_fraction(*fleet.ptrs[0], block::IoDir::kWrite);
+  EXPECT_GT(overhead, 0.02);
+  EXPECT_LT(overhead, 0.25);
+}
+
+}  // namespace
+}  // namespace spider::fs

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "infra/config_mgmt.hpp"
+#include "infra/gedi.hpp"
+
+namespace spider::infra {
+namespace {
+
+// --- GeDI ---------------------------------------------------------------------
+
+GediProvisioner spider_gedi() {
+  GediProvisioner gedi;
+  NodeImage image;
+  image.name = "spider-oss";
+  image.version = 3;
+  gedi.set_image(image);
+  // The paper's examples: network config, srp_daemon, subnet manager —
+  // registered out of order to exercise the integer-order contract.
+  gedi.add_boot_script({30, "S30-subnet-manager", {"/etc/opensm/opensm.conf"}, 1.0});
+  gedi.add_boot_script({10, "S10-network", {"/etc/sysconfig/network"}, 0.5});
+  gedi.add_boot_script({20, "S20-srp-daemon", {"/etc/srp_daemon.conf"}, 0.5});
+  return gedi;
+}
+
+TEST(Gedi, ScriptsRunInIntegerOrder) {
+  const auto gedi = spider_gedi();
+  Rng rng(1);
+  const auto rec = gedi.boot_node(17, rng);
+  ASSERT_EQ(rec.script_order.size(), 3u);
+  EXPECT_EQ(rec.script_order[0], "S10-network");
+  EXPECT_EQ(rec.script_order[1], "S20-srp-daemon");
+  EXPECT_EQ(rec.script_order[2], "S30-subnet-manager");
+}
+
+TEST(Gedi, ConfigFilesGeneratedBeforeServicesStart) {
+  const auto gedi = spider_gedi();
+  Rng rng(2);
+  const auto rec = gedi.boot_node(0, rng);
+  EXPECT_EQ(rec.generated_files.size(), 3u);
+  EXPECT_EQ(rec.image_version, 3u);
+}
+
+TEST(Gedi, BootTimeComposition) {
+  const auto gedi = spider_gedi();
+  Rng rng(3);
+  const auto rec = gedi.boot_node(0, rng);
+  // POST (~45) + 2 GiB image at 100 MB/s (~21.5) + kernel (20) + scripts (2).
+  EXPECT_GT(rec.boot_time_s, 80.0);
+  EXPECT_LT(rec.boot_time_s, 100.0);
+}
+
+TEST(Gedi, SameImageEveryBootIsRepeatable) {
+  const auto gedi = spider_gedi();
+  Rng a(4), b(4);
+  const auto r1 = gedi.boot_node(5, a);
+  const auto r2 = gedi.boot_node(5, b);
+  EXPECT_EQ(r1.script_order, r2.script_order);
+  EXPECT_DOUBLE_EQ(r1.boot_time_s, r2.boot_time_s);
+}
+
+TEST(Gedi, FleetBootScalesInWaves) {
+  const auto gedi = spider_gedi();
+  const double one_wave = gedi.fleet_boot_time_s(64);
+  const double two_waves = gedi.fleet_boot_time_s(128);
+  const double still_two = gedi.fleet_boot_time_s(100);
+  EXPECT_GT(two_waves, one_wave);
+  EXPECT_DOUBLE_EQ(two_waves, still_two);
+  EXPECT_DOUBLE_EQ(gedi.fleet_boot_time_s(0), 0.0);
+}
+
+TEST(Gedi, DisklessSavingsScaleWithFleet) {
+  // Spider II's server plane: 288 OSS + 440 routers + 4 MDS class nodes.
+  const auto savings = diskless_savings(288 + 440 + 4);
+  EXPECT_GT(savings.per_node_acquisition, 500.0);
+  EXPECT_NEAR(savings.fleet_acquisition,
+              savings.per_node_acquisition * 732.0, 1e-6);
+  EXPECT_GT(savings.fleet_annual_maintenance, 0.0);
+}
+
+TEST(Gedi, DisklessMttrIsOneBoot) {
+  const auto gedi = spider_gedi();
+  const auto mttr = repair_mttr(gedi);
+  EXPECT_LT(mttr.diskless_s, 120.0);
+  EXPECT_GT(mttr.diskful_s, mttr.diskless_s + 3000.0);
+}
+
+// --- configuration management ---------------------------------------------------
+
+TEST(ConfigMgmt, SpecVersionsAdvance) {
+  ConfigSpec spec;
+  spec.set("lustre/version", "2.4.1");
+  spec.set("lnet/networks", "o2ib0");
+  EXPECT_EQ(spec.entries(), 2u);
+  EXPECT_EQ(spec.version(), 2u);
+  ASSERT_NE(spec.get("lustre/version"), nullptr);
+  EXPECT_EQ(*spec.get("lustre/version"), "2.4.1");
+  EXPECT_EQ(spec.get("missing"), nullptr);
+}
+
+TEST(ConfigMgmt, FreshNodesDriftUntilConverged) {
+  ConfigManager mgr("spider-oss", 8);
+  mgr.spec().set("a", "1");
+  mgr.spec().set("b", "2");
+  auto report = mgr.audit();
+  EXPECT_EQ(report.drifted_nodes, 8u);
+  EXPECT_EQ(report.drifted_entries, 16u);
+  EXPECT_EQ(mgr.converge(), 16u);
+  report = mgr.audit();
+  EXPECT_EQ(report.drifted_nodes, 0u);
+}
+
+TEST(ConfigMgmt, AuditCatchesOutOfBandMutation) {
+  ConfigManager mgr("spider-routers", 4);
+  mgr.spec().set("lnet/routes", "o2ib0 1");
+  mgr.converge();
+  mgr.node(2).mutate("lnet/routes", "hand-edited");
+  const auto report = mgr.audit();
+  EXPECT_EQ(report.drifted_nodes, 1u);
+  EXPECT_EQ(report.drifted_entries, 1u);
+}
+
+TEST(ConfigMgmt, StagedRolloutSucceedsAndConvergesFleet) {
+  ConfigManager mgr("spider-oss", 100);
+  mgr.spec().set("kernel", "2.6.32-279");
+  mgr.converge();
+  ConfigSpec next = mgr.spec();
+  next.set("kernel", "2.6.32-358");
+  Rng rng(5);
+  const auto result = mgr.staged_rollout(next, 0.05, /*failure_prob=*/0.0, rng);
+  EXPECT_TRUE(result.success);
+  EXPECT_FALSE(result.rolled_back);
+  EXPECT_EQ(result.converged_nodes, 100u);
+  EXPECT_EQ(mgr.audit().drifted_nodes, 0u);
+  EXPECT_EQ(*mgr.spec().get("kernel"), "2.6.32-358");
+}
+
+TEST(ConfigMgmt, CanaryFailureRollsBackWithoutFleetExposure) {
+  ConfigManager mgr("spider-oss", 100);
+  mgr.spec().set("kernel", "good");
+  mgr.converge();
+  ConfigSpec bad = mgr.spec();
+  bad.set("kernel", "bad");
+  Rng rng(6);
+  const auto result = mgr.staged_rollout(bad, 0.05, /*failure_prob=*/1.0, rng);
+  EXPECT_FALSE(result.success);
+  EXPECT_TRUE(result.rolled_back);
+  // Spec unchanged; no node drifts from the good spec.
+  EXPECT_EQ(*mgr.spec().get("kernel"), "good");
+  EXPECT_EQ(mgr.audit().drifted_nodes, 0u);
+}
+
+TEST(ConfigMgmt, CentralizationEliminatesInconsistencyAndEffort) {
+  Rng rng(7);
+  const auto cmp = compare_centralization(/*fleets=*/5, /*edits=*/200,
+                                          /*miss_prob=*/0.03, rng);
+  EXPECT_EQ(cmp.specs_centralized, 1u);
+  EXPECT_EQ(cmp.specs_separate, 5u);
+  EXPECT_EQ(cmp.edits_separate, 5.0 * cmp.edits_centralized);
+  EXPECT_GT(cmp.inconsistent_entries, 0u);  // separate instances drift
+}
+
+class CentralizationP : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CentralizationP, MoreFleetsMeansMoreDrift) {
+  Rng rng(GetParam());
+  const auto few = compare_centralization(2, 300, 0.05, rng);
+  Rng rng2(GetParam());
+  const auto many = compare_centralization(8, 300, 0.05, rng2);
+  EXPECT_GE(many.inconsistent_entries, few.inconsistent_entries);
+  EXPECT_GT(many.edits_separate, few.edits_separate);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CentralizationP, ::testing::Range<std::size_t>(0, 5));
+
+}  // namespace
+}  // namespace spider::infra

@@ -1,0 +1,291 @@
+// Cross-module integration tests: the subsystems working together the way
+// the benches and examples use them.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "core/center.hpp"
+#include "core/scenario.hpp"
+#include "core/spider_config.hpp"
+#include "fs/purge.hpp"
+#include "infra/config_mgmt.hpp"
+#include "infra/gedi.hpp"
+#include "sim/flow_network.hpp"
+#include "sim/simulator.hpp"
+#include "tools/capacity_planner.hpp"
+#include "tools/iosi.hpp"
+#include "tools/libpio.hpp"
+#include "tools/scheduler.hpp"
+#include "tools/slowdisk.hpp"
+#include "workload/ior.hpp"
+
+namespace spider {
+namespace {
+
+core::CenterConfig small_config() {
+  return core::scaled_config(core::spider2_config(), 0.1);
+}
+
+// --- steady-state vs DES cross-validation ----------------------------------------
+
+TEST(Integration, SteadySolverAndFlowNetworkAgree) {
+  // The same static flow population must get identical rates from the
+  // steady solver and from the dynamic network at t=0+.
+  Rng rng(1);
+  core::CenterModel center(small_config(), rng);
+  center.set_client_placement(core::ClientPlacement::kRandom, rng);
+
+  // Steady side.
+  center.reset_flows();
+  auto& solver = center.solver();
+  std::vector<workload::DataFlow> flows;
+  for (std::size_t c = 0; c < 200; ++c) {
+    flows.push_back(center.data_flow(c, c % center.num_osts(),
+                                     block::IoDir::kWrite,
+                                     block::IoMode::kSequential, 1_MiB));
+  }
+  for (const auto& f : flows) {
+    solver.add_flow(f.path, f.rate_cap);
+  }
+  solver.solve();
+  const double steady_aggregate = solver.aggregate_rate();
+
+  // DES side: same flows via make_flow against a network WITH torus links
+  // (same fidelity as the steady map).
+  sim::Simulator sim;
+  sim::FlowNetwork net(sim);
+  const auto map = center.register_into(net, /*include_torus_links=*/true);
+  for (std::size_t c = 0; c < 200; ++c) {
+    auto df = center.make_flow(map, c, c % center.num_osts(),
+                               block::IoDir::kWrite,
+                               block::IoMode::kSequential, 1_MiB);
+    sim::FlowDesc desc;
+    desc.path = std::move(df.path);
+    desc.size = 1e12;  // long-running
+    desc.rate_cap = df.rate_cap;
+    net.start_flow(std::move(desc));
+  }
+  sim.run(sim::kMillisecond);  // let the initial resolve land
+  EXPECT_NEAR(net.aggregate_rate(), steady_aggregate,
+              1e-6 * steady_aggregate);
+}
+
+// --- culling improves the center end to end ----------------------------------------
+
+TEST(Integration, CullingRaisesCenterPeak) {
+  Rng rng(2);
+  auto cfg = small_config();
+  // Make the storage layer the only bottleneck so culling is visible end
+  // to end (at 0.1 scale, optimal placement concentrates clients on few
+  // router-node NICs otherwise).
+  cfg.ssu.controller.per_controller_bw = 30.0 * kGBps;
+  cfg.node_injection_bw = 12.0 * kGBps;
+  cfg.router_bw = 12.0 * kGBps;
+  cfg.oss.net_bw = 12.0 * kGBps;
+  cfg.oss.cpu_bw = 12.0 * kGBps;
+  core::CenterModel center(cfg, rng);
+  center.set_target_namespace(SIZE_MAX);
+  center.set_client_placement(core::ClientPlacement::kOptimal, rng);
+
+  workload::IorConfig ior;
+  ior.clients = center.total_osts() * 2;
+  const auto before = workload::run_ior(center, ior);
+
+  // Cull through the center's own SSUs: replace members lagging their
+  // group's best (the disk-level signal the culling tools key on).
+  std::size_t replaced = 0;
+  for (std::size_t s = 0; s < center.num_ssus(); ++s) {
+    auto& ssu = center.ssu(s);
+    for (std::size_t g = 0; g < ssu.groups(); ++g) {
+      auto& grp = ssu.group(g);
+      double best = 0.0;
+      for (std::size_t m = 0; m < grp.width(); ++m) {
+        best = std::max(best, grp.member(m).perf_factor());
+      }
+      for (std::size_t m = 0; m < grp.width(); ++m) {
+        if (grp.member(m).perf_factor() < best - 0.05) {
+          ssu.replace_disk(g, m, rng);
+          ++replaced;
+        }
+      }
+    }
+  }
+  center.refresh_capacities();
+  const auto after = workload::run_ior(center, ior);
+
+  EXPECT_GT(replaced, 0u);
+  EXPECT_GT(after.aggregate_bw, before.aggregate_bw * 1.05);
+}
+
+// --- enclosure failure propagates to delivered bandwidth ---------------------------
+
+TEST(Integration, EnclosureLossDegradesAndRestores) {
+  Rng rng(3);
+  auto cfg = small_config();
+  cfg.ssu.controller.per_controller_bw = 30.0 * kGBps;  // storage-bound
+  cfg.node_injection_bw = 12.0 * kGBps;
+  cfg.router_bw = 12.0 * kGBps;
+  cfg.oss.net_bw = 12.0 * kGBps;
+  cfg.oss.cpu_bw = 12.0 * kGBps;
+  core::CenterModel center(cfg, rng);
+  center.set_target_namespace(SIZE_MAX);
+  center.set_client_placement(core::ClientPlacement::kOptimal, rng);
+  workload::IorConfig ior;
+  ior.clients = center.total_osts() * 2;
+  const auto healthy = workload::run_ior(center, ior);
+
+  center.ssu(0).enclosure_down(3);
+  center.refresh_capacities();
+  const auto degraded = workload::run_ior(center, ior);
+  EXPECT_LT(degraded.aggregate_bw, healthy.aggregate_bw);
+
+  center.ssu(0).enclosure_up(3);
+  center.refresh_capacities();
+  const auto restored = workload::run_ior(center, ior);
+  EXPECT_NEAR(restored.aggregate_bw, healthy.aggregate_bw,
+              1e-6 * healthy.aggregate_bw);
+}
+
+// --- capacity planner drives the file system ---------------------------------------
+
+TEST(Integration, PlannerBalancesProjectUsageAcrossNamespaces) {
+  Rng rng(4);
+  core::CenterModel center(small_config(), rng);
+  auto& fs = center.filesystem();
+
+  std::vector<tools::ProjectRequirement> projects;
+  for (std::uint32_t p = 0; p < 30; ++p) {
+    tools::ProjectRequirement req;
+    req.id = p;
+    req.capacity = static_cast<Bytes>(rng.uniform(5.0, 80.0)) * 1_TiB;
+    req.bandwidth = rng.uniform(1.0, 20.0) * kGBps;
+    projects.push_back(req);
+  }
+  const auto plan = tools::plan_namespaces(projects, fs.namespaces());
+  for (std::size_t i = 0; i < projects.size(); ++i) {
+    fs.assign_project(projects[i].id, plan.assignment[i]);
+  }
+  // Create each project's capacity worth of files; namespaces should end up
+  // with balanced usage.
+  for (const auto& req : projects) {
+    const Bytes file_size = 10_GiB;
+    const auto files = req.capacity / file_size;
+    for (Bytes f = 0; f < files; ++f) {
+      fs.create_file(req.id, file_size, 0, rng);
+    }
+  }
+  const double a = static_cast<double>(fs.ns(0).used());
+  const double b = static_cast<double>(fs.ns(1).used());
+  EXPECT_LT(std::abs(a - b) / std::max(a, b), 0.15);
+}
+
+// --- libPIO consumes live DES telemetry --------------------------------------------
+
+TEST(Integration, LibPioReadsNetworkLoads) {
+  Rng rng(5);
+  core::CenterModel center(small_config(), rng);
+  center.set_client_placement(core::ClientPlacement::kOptimal, rng);
+  sim::Simulator sim;
+  core::ScenarioRunner runner(center, sim);
+
+  // Load the first quarter of the OSTs.
+  workload::IoBurst burst;
+  burst.start = sim::kSecond;
+  burst.clients = 512;
+  burst.bytes_per_client = 4_GiB;
+  const std::size_t hot = center.total_osts() / 4;
+  runner.submit_burst(burst, [hot](std::size_t f) { return f % hot; },
+                      nullptr, 16);
+  sim.run(5 * sim::kSecond);
+
+  const auto loads = center.loads_from_network(runner.network(), runner.map());
+  tools::LibPio pio(center.storage_topology());
+  const auto placement = pio.place_job(center.total_osts() / 4, loads);
+  // Every suggested OST should be outside (or at worst lightly inside) the
+  // hot zone.
+  std::size_t in_hot = 0;
+  for (const auto& s : placement) {
+    if (s.ost < hot) ++in_hot;
+  }
+  EXPECT_LT(in_hot, placement.size() / 4);
+}
+
+// --- IOSI + scheduler round trip ----------------------------------------------------
+
+TEST(Integration, IosiSignatureFeedsScheduler) {
+  // Extract a signature from synthetic periodic logs, then let the
+  // scheduler de-overlap two instances of the discovered application.
+  Rng rng(6);
+  std::vector<std::vector<double>> logs;
+  for (int run = 0; run < 3; ++run) {
+    std::vector<double> log;
+    for (int bin = 0; bin < 720; ++bin) {
+      const double t = bin * 5.0;
+      double v = 1e8 * (0.5 + rng.uniform());
+      if (std::fmod(t, 300.0) < 20.0) v += 2e10;
+      log.push_back(v);
+    }
+    logs.push_back(std::move(log));
+  }
+  const auto sig = tools::extract_signature(logs, 5.0);
+  ASSERT_TRUE(sig.found);
+  EXPECT_NEAR(sig.period_s, 300.0, 15.0);
+
+  const std::vector<tools::IosiSignature> apps{sig, sig};
+  const auto schedule = tools::schedule_applications(apps);
+  EXPECT_NEAR(schedule.peak_reduction, 2.0, 0.1);
+}
+
+// --- provisioning + config management lifecycle ------------------------------------
+
+TEST(Integration, FleetUpgradeLifecycle) {
+  // A Lustre version bump: staged config rollout, then a rolling reboot of
+  // the diskless fleet; every node converges with zero drift.
+  infra::GediProvisioner gedi;
+  gedi.add_boot_script({10, "S10-network", {"/etc/sysconfig/network"}, 0.5});
+  infra::ConfigManager mgr("spider-oss", 288);
+  mgr.spec().set("lustre", "2.3.0");
+  mgr.converge();
+
+  infra::ConfigSpec next = mgr.spec();
+  next.set("lustre", "2.4.1");
+  Rng rng(7);
+  const auto rollout = mgr.staged_rollout(next, 0.05, 0.0, rng);
+  ASSERT_TRUE(rollout.success);
+
+  infra::NodeImage image;
+  image.version = 2;  // image rebuilt with the new Lustre
+  gedi.set_image(image);
+  const double reboot = gedi.fleet_boot_time_s(288);
+  EXPECT_LT(reboot / 60.0, 30.0);  // the whole fleet cycles within a shift
+  EXPECT_EQ(mgr.audit().drifted_nodes, 0u);
+}
+
+// --- purge keeps a live center below the knee ---------------------------------------
+
+TEST(Integration, PurgeKeepsCenterNamespaceHealthy) {
+  Rng rng(8);
+  core::CenterModel center(small_config(), rng);
+  auto& ns = center.filesystem().ns(0);
+  // Aggressive creation sized to cross 50% in ~10 days without purge.
+  const Bytes daily = ns.capacity() / 20;
+  const Bytes file_size = 20_GiB;
+  for (int day = 0; day < 40; ++day) {
+    const auto now = static_cast<sim::SimTime>(day) * sim::kDay;
+    for (Bytes b = 0; b + file_size <= daily; b += file_size) {
+      ns.create_file(1 + day % 5, file_size, now, rng);
+    }
+    fs::run_purge(ns, now, fs::PurgePolicy{14.0});
+    EXPECT_LT(ns.fullness(), 0.80) << "day " << day;
+  }
+  // Steady state: ~15 days of production.
+  EXPECT_NEAR(ns.fullness(), 0.75, 0.10);
+}
+
+}  // namespace
+}  // namespace spider

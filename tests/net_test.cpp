@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "net/fabric.hpp"
+#include "net/fgr.hpp"
+#include "net/placement.hpp"
+#include "net/torus.hpp"
+
+namespace spider::net {
+namespace {
+
+TEST(Torus, NodeIdCoordRoundTrip) {
+  Torus3D t({5, 4, 3});
+  for (int n = 0; n < t.num_nodes(); ++n) {
+    EXPECT_EQ(t.node_id(t.coord_of(n)), n);
+  }
+  EXPECT_EQ(t.num_nodes(), 60);
+  EXPECT_EQ(t.num_links(), 360);
+}
+
+TEST(Torus, HopCountSymmetricAndWraps) {
+  Torus3D t({10, 10, 10});
+  const int a = t.node_id({0, 0, 0});
+  const int b = t.node_id({9, 0, 0});
+  EXPECT_EQ(t.hop_count(a, b), 1);  // wraparound
+  EXPECT_EQ(t.hop_count(b, a), 1);
+  const int c = t.node_id({5, 5, 5});
+  EXPECT_EQ(t.hop_count(a, c), 15);
+  EXPECT_EQ(t.hop_count(a, a), 0);
+}
+
+TEST(Torus, NeighborInverse) {
+  Torus3D t({4, 5, 6});
+  for (int n = 0; n < t.num_nodes(); ++n) {
+    for (int d = 0; d < 6; ++d) {
+      const int back = d % 2 == 0 ? d + 1 : d - 1;
+      EXPECT_EQ(t.neighbor(t.neighbor(n, d), back), n);
+    }
+  }
+}
+
+class TorusRouteP : public ::testing::TestWithParam<int> {};
+
+TEST_P(TorusRouteP, RouteLengthMatchesHopCountAndArrives) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  Torus3D t({7, 6, 5});
+  for (int trial = 0; trial < 50; ++trial) {
+    const int from = static_cast<int>(rng.uniform_index(
+        static_cast<std::uint64_t>(t.num_nodes())));
+    const int to = static_cast<int>(rng.uniform_index(
+        static_cast<std::uint64_t>(t.num_nodes())));
+    const auto links = t.route(from, to);
+    EXPECT_EQ(static_cast<int>(links.size()), t.hop_count(from, to));
+    // Walk the links and land on `to`.
+    int cur = from;
+    for (LinkId l : links) {
+      EXPECT_EQ(Torus3D::link_node(l), cur);
+      cur = t.neighbor(cur, Torus3D::link_dir(l));
+    }
+    EXPECT_EQ(cur, to);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TorusRouteP, ::testing::Range(0, 5));
+
+TEST(Torus, RejectsBadDims) {
+  EXPECT_THROW(Torus3D({0, 1, 1}), std::invalid_argument);
+}
+
+TEST(Fabric, OssLeafAssignmentBlocked) {
+  IbFabric f(FabricParams{});
+  // 288 OSS over 36 leaves -> 8 per leaf, block-assigned.
+  EXPECT_EQ(f.leaf_of_oss(0, 288), 0u);
+  EXPECT_EQ(f.leaf_of_oss(7, 288), 0u);
+  EXPECT_EQ(f.leaf_of_oss(8, 288), 1u);
+  EXPECT_EQ(f.leaf_of_oss(287, 288), 35u);
+}
+
+TEST(Fabric, PathCrossesCoreOnlyBetweenLeaves) {
+  IbFabric f(FabricParams{});
+  EXPECT_FALSE(f.path(3, 3).crosses_core);
+  const auto p = f.path(3, 4);
+  EXPECT_TRUE(p.crosses_core);
+  EXPECT_LT(p.core_index, FabricParams{}.core_switches);
+  EXPECT_THROW(f.path(99, 0), std::out_of_range);
+}
+
+// --- placement ----------------------------------------------------------------
+
+PlacementConfig titan_cfg() {
+  PlacementConfig cfg;
+  cfg.modules = 110;
+  cfg.routers_per_module = 4;
+  cfg.num_groups = 36;
+  cfg.leaf_switches = 36;
+  return cfg;
+}
+
+TEST(Placement, RouterCountAndDistinctCabinets) {
+  Torus3D t({25, 16, 24});
+  for (auto strategy : {PlacementStrategy::kClustered,
+                        PlacementStrategy::kUniformSpread,
+                        PlacementStrategy::kFgrZoned}) {
+    const auto routers = place_routers(t, titan_cfg(), strategy);
+    EXPECT_EQ(routers.size(), 440u);
+    std::set<std::pair<int, int>> cabinets;
+    for (const auto& r : routers) {
+      const Coord c = t.coord_of(r.node);
+      cabinets.insert({c.x, c.y});
+    }
+    EXPECT_EQ(cabinets.size(), 110u);  // one cabinet per module
+  }
+}
+
+TEST(Placement, ModuleRoutersUseDistinctLeaves) {
+  Torus3D t({25, 16, 24});
+  const auto routers =
+      place_routers(t, titan_cfg(), PlacementStrategy::kFgrZoned);
+  for (std::size_t m = 0; m < 110; ++m) {
+    std::set<std::size_t> leaves;
+    for (const auto& r : routers) {
+      if (r.module == static_cast<int>(m)) leaves.insert(r.ib_leaf);
+    }
+    EXPECT_EQ(leaves.size(), 4u) << "module " << m;
+  }
+}
+
+TEST(Placement, UniformSpreadBeatsClusteredOnMeanHops) {
+  Torus3D t({25, 16, 24});
+  const auto clustered = evaluate_placement(
+      t, place_routers(t, titan_cfg(), PlacementStrategy::kClustered));
+  const auto uniform = evaluate_placement(
+      t, place_routers(t, titan_cfg(), PlacementStrategy::kUniformSpread));
+  EXPECT_LT(uniform.mean_hops_to_router, clustered.mean_hops_to_router);
+  EXPECT_LT(uniform.max_hops_to_router, clustered.max_hops_to_router);
+}
+
+TEST(Placement, AllGroupsRepresented) {
+  Torus3D t({25, 16, 24});
+  const auto routers =
+      place_routers(t, titan_cfg(), PlacementStrategy::kFgrZoned);
+  std::set<int> groups;
+  for (const auto& r : routers) groups.insert(r.group);
+  EXPECT_GE(groups.size(), 30u);  // zones cover nearly all 36 groups
+}
+
+TEST(Placement, XyMapHasOneRowPerY) {
+  Torus3D t({25, 16, 24});
+  const auto routers =
+      place_routers(t, titan_cfg(), PlacementStrategy::kFgrZoned);
+  const std::string map = render_xy_map(t, routers);
+  EXPECT_EQ(std::count(map.begin(), map.end(), '\n'), 16);
+  EXPECT_NE(map.find('A'), std::string::npos);
+}
+
+TEST(Placement, OptimizerBeatsOrMatchesUniformStride) {
+  Torus3D t({25, 16, 24});
+  Rng rng(7);
+  const auto uniform =
+      place_routers(t, titan_cfg(), PlacementStrategy::kUniformSpread);
+  const auto optimized = place_routers_optimized(t, titan_cfg(), rng, 300);
+  EXPECT_EQ(optimized.size(), uniform.size());
+  const auto qu = evaluate_placement(t, uniform);
+  const auto qo = evaluate_placement(t, optimized);
+  EXPECT_LE(qo.mean_hops_to_router, qu.mean_hops_to_router + 1e-9);
+  // Modules still occupy distinct cabinets.
+  std::set<std::pair<int, int>> cabinets;
+  for (const auto& r : optimized) {
+    const Coord c = t.coord_of(r.node);
+    cabinets.insert({c.x, c.y});
+  }
+  EXPECT_EQ(cabinets.size(), 110u);
+}
+
+TEST(Placement, OptimizerIsDeterministicPerSeed) {
+  Torus3D t({12, 8, 10});
+  PlacementConfig cfg;
+  cfg.modules = 20;
+  cfg.num_groups = 8;
+  cfg.leaf_switches = 8;
+  Rng a(3), b(3);
+  const auto r1 = place_routers_optimized(t, cfg, a, 100);
+  const auto r2 = place_routers_optimized(t, cfg, b, 100);
+  ASSERT_EQ(r1.size(), r2.size());
+  for (std::size_t i = 0; i < r1.size(); ++i) {
+    EXPECT_EQ(r1[i].node, r2[i].node);
+    EXPECT_EQ(r1[i].ib_leaf, r2[i].ib_leaf);
+  }
+}
+
+TEST(Placement, RejectsTooManyModules) {
+  Torus3D t({3, 3, 3});
+  PlacementConfig cfg;
+  cfg.modules = 100;
+  EXPECT_THROW(place_routers(t, cfg, PlacementStrategy::kUniformSpread),
+               std::invalid_argument);
+}
+
+// --- FGR ------------------------------------------------------------------------
+
+struct FgrFixture : ::testing::Test {
+  Torus3D torus{{25, 16, 24}};
+  std::vector<PlacedRouter> routers =
+      place_routers(torus, titan_cfg(), PlacementStrategy::kFgrZoned);
+  FgrPolicy policy{torus, routers, 36};
+};
+
+TEST_F(FgrFixture, FgrSelectsRouterOnDestinationLeaf) {
+  Rng rng(1);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int node = static_cast<int>(
+        rng.uniform_index(static_cast<std::uint64_t>(torus.num_nodes())));
+    const std::size_t leaf = rng.uniform_index(36);
+    const std::size_t r = policy.select_fgr(node, leaf);
+    EXPECT_EQ(policy.router(r).ib_leaf, leaf);
+  }
+}
+
+TEST_F(FgrFixture, FgrPicksClosestAmongLeafRouters) {
+  Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int node = static_cast<int>(
+        rng.uniform_index(static_cast<std::uint64_t>(torus.num_nodes())));
+    const std::size_t leaf = rng.uniform_index(36);
+    const std::size_t chosen = policy.select_fgr(node, leaf);
+    const int chosen_hops = torus.hop_count(node, policy.router(chosen).node);
+    for (std::size_t idx : policy.routers_for_leaf(leaf)) {
+      EXPECT_LE(chosen_hops, torus.hop_count(node, policy.router(idx).node));
+    }
+  }
+}
+
+TEST_F(FgrFixture, NearestIsLowerBoundOnFgrDistance) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int node = static_cast<int>(
+        rng.uniform_index(static_cast<std::uint64_t>(torus.num_nodes())));
+    const std::size_t leaf = rng.uniform_index(36);
+    const int nearest_hops =
+        torus.hop_count(node, policy.router(policy.select_nearest(node)).node);
+    const int fgr_hops =
+        torus.hop_count(node, policy.router(policy.select_fgr(node, leaf)).node);
+    EXPECT_LE(nearest_hops, fgr_hops);
+  }
+}
+
+TEST_F(FgrFixture, RoundRobinCycles) {
+  const std::size_t n = policy.num_routers();
+  EXPECT_EQ(policy.select_round_robin(0), 0u);
+  EXPECT_EQ(policy.select_round_robin(n), 0u);
+  EXPECT_EQ(policy.select_round_robin(n + 1), 1u);
+}
+
+TEST(Fgr, RejectsEmptyRouterSet) {
+  Torus3D t({2, 2, 2});
+  EXPECT_THROW(FgrPolicy(t, {}, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spider::net

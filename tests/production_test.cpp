@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "core/production.hpp"
+#include "core/spider_config.hpp"
+
+namespace spider::core {
+namespace {
+
+struct MixFixture : ::testing::Test {
+  Rng rng{1};
+  CenterModel center{scaled_config(spider2_config(), 0.1), rng};
+  sim::Simulator sim;
+
+  void SetUp() override {
+    center.set_client_placement(ClientPlacement::kRandom, rng);
+  }
+};
+
+TEST_F(MixFixture, CheckpointAppsCompleteAllBursts) {
+  ScenarioRunner runner(center, sim);
+  workload::S3dParams app;
+  app.ranks = 512;
+  app.bytes_per_rank = 32_MiB;
+  app.output_interval_s = 300.0;
+  ProductionMix mix(1800.0);
+  mix.add_checkpoint_app(app);
+  const auto outcome = mix.deploy(runner, rng);
+  sim.run();
+  EXPECT_GE(outcome->bursts_completed, 5u);
+  EXPECT_EQ(outcome->checkpoint_bytes,
+            outcome->bursts_completed * 512ull * 32_MiB);
+  EXPECT_EQ(outcome->burst_bandwidths.size(), outcome->bursts_completed);
+  for (double bw : outcome->burst_bandwidths) EXPECT_GT(bw, 1.0 * kGBps);
+}
+
+TEST_F(MixFixture, AnalyticsLatenciesCollected) {
+  ScenarioRunner runner(center, sim);
+  workload::AnalyticsParams ap;
+  ap.clients = 8;
+  ap.think_time_s = 1.0;
+  ProductionMix mix(120.0);
+  mix.add_analytics(ap, 0, 16);
+  const auto outcome = mix.deploy(runner, rng);
+  sim.run();
+  EXPECT_GT(outcome->analytics_latencies_s.size(), 400u);
+  EXPECT_LT(mean_of(outcome->analytics_latencies_s), 0.5);
+}
+
+TEST_F(MixFixture, FullMixRunsTogether) {
+  ScenarioRunner runner(center, sim);
+  workload::S3dParams app;
+  app.ranks = 512;
+  app.bytes_per_rank = 32_MiB;
+  app.output_interval_s = 240.0;
+  workload::AnalyticsParams ap;
+  ap.clients = 8;
+  ap.think_time_s = 2.0;
+  ProductionMix mix(900.0);
+  mix.add_checkpoint_app(app, 0)
+      .add_checkpoint_app(app, 37)
+      .add_analytics(ap, 5, 32)
+      .add_noise(64, 256_MiB, 120.0);
+  EXPECT_EQ(mix.checkpoint_apps(), 2u);
+  EXPECT_EQ(mix.analytics_streams(), 1u);
+  const auto outcome = mix.deploy(runner, rng);
+  sim.run();
+  EXPECT_GE(outcome->bursts_completed, 6u);
+  EXPECT_FALSE(outcome->analytics_latencies_s.empty());
+}
+
+TEST_F(MixFixture, DeterministicAcrossRuns) {
+  auto run_once = [this](std::uint64_t seed) {
+    Rng local(seed);
+    sim::Simulator local_sim;
+    ScenarioRunner runner(center, local_sim);
+    workload::S3dParams app;
+    app.ranks = 256;
+    app.bytes_per_rank = 16_MiB;
+    app.output_interval_s = 200.0;
+    ProductionMix mix(600.0);
+    mix.add_checkpoint_app(app);
+    const auto outcome = mix.deploy(runner, local);
+    local_sim.run();
+    return outcome->burst_bandwidths;
+  };
+  const auto a = run_once(9);
+  const auto b = run_once(9);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+}  // namespace
+}  // namespace spider::core

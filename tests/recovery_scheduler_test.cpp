@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "fs/recovery.hpp"
+#include "tools/scheduler.hpp"
+
+namespace spider {
+namespace {
+
+// --- Lustre failover recovery (Section IV-D) -----------------------------------
+
+TEST(Recovery, ClassicRecoveryGatedByTimeoutAndStragglers) {
+  fs::RecoveryParams params;
+  const auto out = fs::simulate_oss_failover(params);
+  EXPECT_GT(out.detection_s, params.rpc_timeout_s * 0.9);
+  EXPECT_NEAR(out.straggler_wait_s, params.recovery_window_s, 1e-9);
+  EXPECT_GT(out.total_outage_s, 400.0);  // minutes of outage at Titan scale
+}
+
+TEST(Recovery, ImperativeRecoveryCutsDetectionAndWindow) {
+  fs::RecoveryParams classic;
+  fs::RecoveryParams imperative = classic;
+  imperative.imperative_recovery = true;
+  const auto a = fs::simulate_oss_failover(classic);
+  const auto b = fs::simulate_oss_failover(imperative);
+  EXPECT_LT(b.detection_s, 0.2 * a.detection_s);
+  EXPECT_LT(b.straggler_wait_s, 0.1 * a.straggler_wait_s);
+  EXPECT_LT(b.total_outage_s, 0.3 * a.total_outage_s);
+}
+
+TEST(Recovery, RouterNotificationRemovesRpcTimeout) {
+  fs::RecoveryParams params;
+  params.imperative_recovery = true;
+  params.asymmetric_router_notification = true;
+  const auto out = fs::simulate_oss_failover(params);
+  EXPECT_NEAR(out.detection_s, params.notification_s, 1e-9);
+}
+
+TEST(Recovery, ReconnectStormScalesWithClients) {
+  fs::RecoveryParams small;
+  small.clients = 1000;
+  fs::RecoveryParams big;
+  big.clients = 18688;
+  EXPECT_NEAR(fs::simulate_oss_failover(big).reconnect_s /
+                  fs::simulate_oss_failover(small).reconnect_s,
+              18.688, 0.01);
+}
+
+TEST(Recovery, AllFeaturesOutageIsSeconds) {
+  fs::RecoveryParams params;
+  params.imperative_recovery = true;
+  params.asymmetric_router_notification = true;
+  params.reconnect_rate = 5000.0;
+  const auto out = fs::simulate_oss_failover(params);
+  EXPECT_LT(out.total_outage_s, 30.0);
+}
+
+// --- IOSI-driven scheduling (Lesson 18) ------------------------------------------
+
+tools::IosiSignature app(double period_s, double burst_s, double burst_gb) {
+  tools::IosiSignature sig;
+  sig.found = true;
+  sig.period_s = period_s;
+  sig.burst_duration_s = burst_s;
+  sig.burst_bytes = burst_gb * 1e9;
+  sig.confidence = 1.0;
+  return sig;
+}
+
+TEST(Scheduler, TwoIdenticalAppsDeoverlapPerfectly) {
+  const std::vector<tools::IosiSignature> apps{app(600, 60, 300),
+                                               app(600, 60, 300)};
+  const auto result = tools::schedule_applications(apps);
+  // Naive: both burst together (peak = 2x rate); scheduled: disjoint.
+  EXPECT_NEAR(result.peak_reduction, 2.0, 0.05);
+  EXPECT_GT(std::abs(result.offsets[0] - result.offsets[1]), 60.0);
+}
+
+TEST(Scheduler, FourAppsFlattenTheTimeline) {
+  std::vector<tools::IosiSignature> apps;
+  for (int i = 0; i < 4; ++i) apps.push_back(app(1200, 90, 400));
+  const auto result = tools::schedule_applications(apps);
+  EXPECT_GT(result.peak_reduction, 3.0);
+}
+
+TEST(Scheduler, TimelineConservesBurstVolume) {
+  const std::vector<tools::IosiSignature> apps{app(600, 60, 300)};
+  const std::vector<double> offsets{0.0};
+  tools::SchedulerConfig cfg;
+  const auto timeline = tools::aggregate_timeline(apps, offsets, cfg);
+  double integral = 0.0;
+  for (double v : timeline) integral += v * cfg.grid_s;
+  // 12 bursts in the 7200 s horizon x 300 GB each (grid quantization adds
+  // one extra bin per burst).
+  EXPECT_NEAR(integral, 12.0 * 300e9, 0.15 * 12.0 * 300e9);
+}
+
+TEST(Scheduler, MismatchedPeriodsStillImprove) {
+  const std::vector<tools::IosiSignature> apps{
+      app(600, 60, 300), app(900, 120, 200), app(450, 30, 150)};
+  const auto result = tools::schedule_applications(apps);
+  EXPECT_GE(result.peak_reduction, 1.3);
+  EXPECT_LE(result.scheduled_peak_bw, result.naive_peak_bw);
+}
+
+TEST(Scheduler, UnfoundSignaturesAreIgnored) {
+  std::vector<tools::IosiSignature> apps{app(600, 60, 300)};
+  apps.push_back(tools::IosiSignature{});  // not found
+  const auto result = tools::schedule_applications(apps);
+  EXPECT_EQ(result.offsets.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.offsets[1], 0.0);
+  EXPECT_GT(result.naive_peak_bw, 0.0);
+}
+
+TEST(Scheduler, RejectsMismatchedSpans) {
+  const std::vector<tools::IosiSignature> apps{app(600, 60, 300)};
+  const std::vector<double> offsets{0.0, 1.0};
+  EXPECT_THROW(tools::aggregate_timeline(apps, offsets, {}),
+               std::invalid_argument);
+}
+
+class SchedulerSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchedulerSweep, NeverWorseThanNaive) {
+  const int n = GetParam();
+  std::vector<tools::IosiSignature> apps;
+  for (int i = 0; i < n; ++i) {
+    apps.push_back(app(300.0 + 150.0 * i, 30.0 + 10.0 * i, 100.0 + 50.0 * i));
+  }
+  const auto result = tools::schedule_applications(apps);
+  EXPECT_GE(result.peak_reduction, 1.0 - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AppCounts, SchedulerSweep, ::testing::Range(1, 8));
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tools/release_testing.hpp"
+#include "tools/rfp.hpp"
+
+namespace spider::tools {
+namespace {
+
+// --- RFP / SOW evaluation --------------------------------------------------------
+
+Proposal good_block_offer() {
+  Proposal p;
+  p.vendor = "BlockCo";
+  p.model = ResponseModel::kBlockStorage;
+  p.ssu_sequential_bw = 28.4 * kGBps;
+  p.ssu_random_bw = 8.9 * kGBps;
+  p.ssu_capacity = 896_TB;
+  p.price_per_ssu = 1.2;
+  p.measured_variance = 0.045;
+  p.schedule_months = 15.0;
+  p.past_performance = 0.85;
+  return p;
+}
+
+TEST(Rfp, SsuCountDrivenByHardestTarget) {
+  const SowTargets sow;
+  const auto score = evaluate_proposal(sow, good_block_offer());
+  // 1 TB/s / 28.4 GB/s = 36 SSUs; capacity 32 PB / 896 TB = 36; random
+  // 240 / 8.9 = 27 — sequential/capacity dominate.
+  EXPECT_EQ(score.ssus_needed, 36u);
+  EXPECT_TRUE(score.meets_targets);
+  EXPECT_TRUE(score.within_budget);
+}
+
+TEST(Rfp, RandomTargetCanDominate) {
+  SowTargets sow;
+  auto p = good_block_offer();
+  p.ssu_random_bw = 2.0 * kGBps;  // weak random performance
+  const auto score = evaluate_proposal(sow, p);
+  EXPECT_EQ(score.ssus_needed, 120u);  // 240 GB/s / 2 GB/s
+  EXPECT_FALSE(score.within_budget);
+}
+
+TEST(Rfp, VarianceEnvelopeDisqualifies) {
+  const SowTargets sow;
+  auto p = good_block_offer();
+  p.measured_variance = 0.09;
+  const auto score = evaluate_proposal(sow, p);
+  EXPECT_FALSE(score.meets_targets);
+  EXPECT_NE(std::find(score.notes.begin(), score.notes.end(),
+                      "variance envelope exceeded"),
+            score.notes.end());
+}
+
+TEST(Rfp, AppliancePremiumVsBlockIntegrationOverhead) {
+  const SowTargets sow;
+  auto block = good_block_offer();
+  auto appliance = good_block_offer();
+  appliance.vendor = "TurnkeyCo";
+  appliance.model = ResponseModel::kAppliance;
+  const auto bs = evaluate_proposal(sow, block);
+  const auto as = evaluate_proposal(sow, appliance);
+  // Same hardware; the appliance premium exceeds the buyer's integration
+  // overhead, so the block model is cheaper in total (the OLCF outcome).
+  EXPECT_DOUBLE_EQ(bs.hardware_cost, as.hardware_cost);
+  EXPECT_LT(bs.total_cost, as.total_cost);
+}
+
+TEST(Rfp, BestValuePicksQualifiedHighScore) {
+  const SowTargets sow;
+  auto cheap_but_bad = good_block_offer();
+  cheap_but_bad.vendor = "CheapCo";
+  cheap_but_bad.price_per_ssu = 0.7;
+  cheap_but_bad.measured_variance = 0.12;  // disqualified
+  auto solid = good_block_offer();
+  auto pricey = good_block_offer();
+  pricey.vendor = "GoldCo";
+  pricey.price_per_ssu = 1.6;
+  const std::vector<Proposal> proposals{cheap_but_bad, solid, pricey};
+  std::vector<ProposalScore> scores;
+  const std::size_t winner = best_value(proposals, sow, {}, &scores);
+  ASSERT_EQ(scores.size(), 3u);
+  EXPECT_EQ(winner, 1u);
+  EXPECT_FALSE(scores[0].meets_targets);
+  EXPECT_GT(scores[1].total, scores[2].total);
+}
+
+TEST(Rfp, NothingQualifiesReturnsSentinel) {
+  SowTargets sow;
+  sow.budget = 1.0;  // impossible
+  const std::vector<Proposal> proposals{good_block_offer()};
+  EXPECT_EQ(best_value(proposals, sow), SIZE_MAX);
+}
+
+// --- release testing (Lesson 9) ----------------------------------------------------
+
+TEST(ReleaseTesting, NoDetectionBelowThreshold) {
+  ScaleDefect defect;
+  defect.threshold_clients = 4096;
+  EXPECT_DOUBLE_EQ(detection_probability(defect, 512), 0.0);
+  EXPECT_GT(detection_probability(defect, 8192), 0.0);
+}
+
+TEST(ReleaseTesting, DetectionGrowsWithScale) {
+  ScaleDefect defect;
+  defect.threshold_clients = 1000;
+  EXPECT_LT(detection_probability(defect, 1100),
+            detection_probability(defect, 18688));
+  EXPECT_LE(detection_probability(defect, 1 << 30), defect.manifest_prob);
+}
+
+TEST(ReleaseTesting, FullScaleStageCatchesWhatTestbedCannot) {
+  Rng rng(1);
+  ReleaseCampaign campaign;
+  const auto result = simulate_campaign(400, campaign, rng);
+  EXPECT_EQ(result.defects, 400u);
+  EXPECT_GT(result.caught_on_testbed, 0u);
+  // The paper's point: a meaningful share of defects only manifests at
+  // full scale.
+  EXPECT_GT(result.caught_at_full_scale, result.defects / 10);
+  EXPECT_EQ(result.caught_on_testbed + result.caught_at_full_scale +
+                result.escaped_to_production,
+            result.defects);
+}
+
+TEST(ReleaseTesting, BiggerTestbedCatchesMore) {
+  Rng a(2), b(2);
+  ReleaseCampaign small;
+  small.testbed_clients = 128;
+  ReleaseCampaign big;
+  big.testbed_clients = 8192;
+  const auto rs = simulate_campaign(400, small, a);
+  const auto rb = simulate_campaign(400, big, b);
+  EXPECT_GT(rb.caught_on_testbed, rs.caught_on_testbed);
+}
+
+}  // namespace
+}  // namespace spider::tools

@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulator.hpp"
+#include "sim/steady_state.hpp"
+#include "sim/time.hpp"
+
+namespace spider::sim {
+namespace {
+
+TEST(SimTime, Conversions) {
+  EXPECT_EQ(from_seconds(1.5), 1500 * kMillisecond);
+  EXPECT_DOUBLE_EQ(to_seconds(2 * kSecond), 2.0);
+  EXPECT_DOUBLE_EQ(to_hours(kDay), 24.0);
+  EXPECT_DOUBLE_EQ(to_days(36 * kHour), 1.5);
+}
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoForSimultaneousEvents) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(5, [&] { order.push_back(1); });
+  q.schedule(5, [&] { order.push_back(2); });
+  q.schedule(5, [&] { order.push_back(3); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, CancelSkipsEvent) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1, [&] { order.push_back(1); });
+  const EventId id = q.schedule(2, [&] { order.push_back(2); });
+  q.schedule(3, [&] { order.push_back(3); });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));  // double-cancel is a no-op
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  const EventId a = q.schedule(1, [] {});
+  q.schedule(2, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.next_time(), 2);
+}
+
+TEST(Simulator, RunAdvancesClockAndCounts) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_in(5 * kSecond, [&] { ++fired; });
+  sim.schedule_in(10 * kSecond, [&] { ++fired; });
+  const auto ran = sim.run();
+  EXPECT_EQ(ran, 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 10 * kSecond);
+}
+
+TEST(Simulator, RunUntilHorizonStopsEarly) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_in(5, [&] { ++fired; });
+  sim.schedule_in(500, [&] { ++fired; });
+  sim.run(100);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 100);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int chain = 0;
+  std::function<void()> next = [&] {
+    if (++chain < 5) sim.schedule_in(10, next);
+  };
+  sim.schedule_in(10, next);
+  sim.run();
+  EXPECT_EQ(chain, 5);
+  EXPECT_EQ(sim.now(), 50);
+}
+
+TEST(Simulator, RejectsPastAndNegative) {
+  Simulator sim;
+  sim.schedule_in(10, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(5, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule_in(-1, [] {}), std::invalid_argument);
+}
+
+// --- max-min solver ---------------------------------------------------------
+
+TEST(Solver, SingleFlowTakesFullCapacity) {
+  const std::vector<double> cap{100.0};
+  const std::vector<PathHop> path{{0, 1.0}};
+  const std::vector<SolverFlow> flows{{path, kUnbounded}};
+  const auto res = solve_max_min(cap, flows);
+  EXPECT_NEAR(res.rate[0], 100.0, 1e-6);
+  EXPECT_NEAR(res.utilization[0], 1.0, 1e-6);
+}
+
+TEST(Solver, EqualShareOnOneResource) {
+  const std::vector<double> cap{90.0};
+  const std::vector<PathHop> path{{0, 1.0}};
+  std::vector<SolverFlow> flows(3, SolverFlow{path, kUnbounded});
+  const auto res = solve_max_min(cap, flows);
+  for (double r : res.rate) EXPECT_NEAR(r, 30.0, 1e-6);
+}
+
+TEST(Solver, RateCapFreesCapacityForOthers) {
+  const std::vector<double> cap{100.0};
+  const std::vector<PathHop> path{{0, 1.0}};
+  const std::vector<SolverFlow> flows{{path, 10.0}, {path, kUnbounded}};
+  const auto res = solve_max_min(cap, flows);
+  EXPECT_NEAR(res.rate[0], 10.0, 1e-6);
+  EXPECT_NEAR(res.rate[1], 90.0, 1e-6);
+}
+
+TEST(Solver, ClassicMaxMinTwoBottlenecks) {
+  // Flow A crosses r0 (cap 10) and r1 (cap 100); flow B crosses only r1.
+  // A is pinned at 10 by r0; B takes the remaining 90 of r1.
+  const std::vector<double> cap{10.0, 100.0};
+  const std::vector<PathHop> path_a{{0, 1.0}, {1, 1.0}};
+  const std::vector<PathHop> path_b{{1, 1.0}};
+  const std::vector<SolverFlow> flows{{path_a, kUnbounded}, {path_b, kUnbounded}};
+  const auto res = solve_max_min(cap, flows);
+  EXPECT_NEAR(res.rate[0], 10.0, 1e-6);
+  EXPECT_NEAR(res.rate[1], 90.0, 1e-6);
+}
+
+TEST(Solver, CostFactorScalesConsumption) {
+  // Cost 4 random-I/O flow: consumes 4 units of disk capacity per byte.
+  const std::vector<double> cap{100.0};
+  const std::vector<PathHop> expensive{{0, 4.0}};
+  const std::vector<SolverFlow> flows{{expensive, kUnbounded}};
+  const auto res = solve_max_min(cap, flows);
+  EXPECT_NEAR(res.rate[0], 25.0, 1e-6);
+}
+
+TEST(Solver, ZeroCapacityResourcePinsFlows) {
+  const std::vector<double> cap{0.0, 50.0};
+  const std::vector<PathHop> dead{{0, 1.0}, {1, 1.0}};
+  const std::vector<PathHop> alive{{1, 1.0}};
+  const std::vector<SolverFlow> flows{{dead, kUnbounded}, {alive, kUnbounded}};
+  const auto res = solve_max_min(cap, flows);
+  EXPECT_NEAR(res.rate[0], 0.0, 1e-9);
+  EXPECT_NEAR(res.rate[1], 50.0, 1e-6);
+}
+
+TEST(Solver, PathlessFlowGetsItsCap) {
+  const std::vector<double> cap{};
+  const std::vector<SolverFlow> flows{{{}, 42.0}, {{}, kUnbounded}};
+  const auto res = solve_max_min(cap, flows);
+  EXPECT_DOUBLE_EQ(res.rate[0], 42.0);
+  EXPECT_DOUBLE_EQ(res.rate[1], 0.0);
+}
+
+TEST(Solver, EmptyInputs) {
+  const auto res = solve_max_min({}, {});
+  EXPECT_TRUE(res.rate.empty());
+}
+
+// Property sweep: random networks must satisfy feasibility and max-min
+// optimality conditions.
+class SolverProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverProperty, FeasibleAndMaxMinOptimal) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t nr = 3 + rng.uniform_index(10);
+  const std::size_t nf = 1 + rng.uniform_index(30);
+  std::vector<double> cap(nr);
+  for (auto& c : cap) c = rng.uniform(10.0, 1000.0);
+  std::vector<std::vector<PathHop>> paths(nf);
+  std::vector<SolverFlow> flows;
+  std::vector<double> caps(nf);
+  for (std::size_t f = 0; f < nf; ++f) {
+    const std::size_t hops = 1 + rng.uniform_index(4);
+    for (std::size_t h = 0; h < hops; ++h) {
+      paths[f].push_back({static_cast<ResourceId>(rng.uniform_index(nr)),
+                          rng.uniform(0.5, 3.0)});
+    }
+    caps[f] = rng.chance(0.5) ? rng.uniform(1.0, 400.0) : kUnbounded;
+  }
+  for (std::size_t f = 0; f < nf; ++f) flows.push_back({paths[f], caps[f]});
+  const auto res = solve_max_min(cap, flows);
+
+  // Feasibility: rates non-negative, caps respected, resources within
+  // capacity (small numeric slack).
+  std::vector<double> used(nr, 0.0);
+  for (std::size_t f = 0; f < nf; ++f) {
+    EXPECT_GE(res.rate[f], -1e-9);
+    if (!std::isinf(caps[f])) {
+      EXPECT_LE(res.rate[f], caps[f] * (1 + 1e-9));
+    }
+    for (const auto& hop : paths[f]) used[hop.resource] += res.rate[f] * hop.cost;
+  }
+  for (std::size_t r = 0; r < nr; ++r) {
+    EXPECT_LE(used[r], cap[r] * (1.0 + 1e-6));
+  }
+  // Max-min optimality: every flow is either at its own cap or crosses a
+  // saturated resource.
+  for (std::size_t f = 0; f < nf; ++f) {
+    const bool at_cap =
+        !std::isinf(caps[f]) && res.rate[f] >= caps[f] * (1 - 1e-6);
+    bool at_bottleneck = false;
+    for (const auto& hop : paths[f]) {
+      if (used[hop.resource] >= cap[hop.resource] * (1 - 1e-5)) {
+        at_bottleneck = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(at_cap || at_bottleneck) << "flow " << f << " is not limited";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomNetworks, SolverProperty,
+                         ::testing::Range(0, 25));
+
+TEST(SteadyStateSolver, AggregateAndBottleneckReporting) {
+  SteadyStateSolver s;
+  const auto a = s.add_resource("narrow", 50.0);
+  const auto b = s.add_resource("wide", 500.0);
+  s.add_flow({{a, 1.0}, {b, 1.0}});
+  s.add_flow({{b, 1.0}});
+  s.solve();
+  EXPECT_NEAR(s.flow_rate(0), 50.0, 1e-6);
+  EXPECT_NEAR(s.flow_rate(1), 450.0, 1e-6);
+  EXPECT_NEAR(s.aggregate_rate(), 500.0, 1e-6);
+  // Both saturate; the bottleneck is whichever hits 1.0 (max element).
+  EXPECT_FALSE(s.bottleneck().empty());
+  EXPECT_NEAR(s.utilization(a), 1.0, 1e-9);
+}
+
+TEST(SteadyStateSolver, ClearFlowsKeepsResources) {
+  SteadyStateSolver s;
+  const auto a = s.add_resource("r", 10.0);
+  s.add_flow({{a, 1.0}});
+  s.solve();
+  s.clear_flows();
+  EXPECT_EQ(s.flows(), 0u);
+  EXPECT_EQ(s.resources(), 1u);
+  s.add_flow({{a, 1.0}}, 4.0);
+  s.solve();
+  EXPECT_NEAR(s.flow_rate(0), 4.0, 1e-9);
+}
+
+TEST(SteadyStateSolver, RejectsBadFlow) {
+  SteadyStateSolver s;
+  s.add_resource("r", 10.0);
+  EXPECT_THROW(s.add_flow({{5, 1.0}}), std::out_of_range);
+  EXPECT_THROW(s.add_resource("bad", -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spider::sim

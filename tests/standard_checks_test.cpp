@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/spider_config.hpp"
+#include "sim/resource.hpp"
+#include "tools/standard_checks.hpp"
+
+namespace spider::tools {
+namespace {
+
+struct ChecksFixture : ::testing::Test {
+  Rng rng{1};
+  core::CenterModel center{core::scaled_config(core::spider2_config(), 0.08),
+                           rng};
+  IbErrorCounters ib{16};
+  std::vector<double> mds_offered{5e3, 5e3};
+};
+
+TEST_F(ChecksFixture, HealthySystemAllGreen) {
+  auto sched = make_standard_checks(center, ib, mds_offered);
+  const auto report = sched.run_all();
+  EXPECT_EQ(report.warning, 0u);
+  EXPECT_EQ(report.critical, 0u);
+  // 2 checks per SSU + 16 IB ports + 2 fullness + 2 MDS.
+  EXPECT_EQ(sched.checks(),
+            2 * center.num_ssus() + 16 + 2 * center.filesystem().namespaces());
+}
+
+TEST_F(ChecksFixture, DegradedRaidGroupWarns) {
+  center.ssu(1).group(2).fail_member(0);
+  auto sched = make_standard_checks(center, ib, mds_offered);
+  const auto report = sched.run_all();
+  ASSERT_EQ(report.failing.size(), 1u);
+  EXPECT_EQ(report.failing[0].first, "raid-ssu1");
+  EXPECT_EQ(report.failing[0].second.status, CheckStatus::kWarning);
+  center.ssu(1).group(2).restore_member(0);
+}
+
+TEST_F(ChecksFixture, DataLossIsCritical) {
+  auto& grp = center.ssu(0).group(0);
+  grp.fail_member(0);
+  grp.fail_member(1);
+  grp.fail_member(2);
+  auto sched = make_standard_checks(center, ib, mds_offered);
+  const auto report = sched.run_all();
+  EXPECT_EQ(report.critical, 1u);
+}
+
+TEST_F(ChecksFixture, CableDiagnosisEscalation) {
+  ib.add_symbol_errors(5, 500);  // accumulating -> warning
+  ib.add_symbol_errors(9, 20000);  // storm -> critical
+  ib.add_link_down(11);            // flap -> critical
+  auto sched = make_standard_checks(center, ib, mds_offered);
+  const auto report = sched.run_all();
+  EXPECT_EQ(report.warning, 1u);
+  EXPECT_EQ(report.critical, 2u);
+  ib.clear();
+  EXPECT_EQ(make_standard_checks(center, ib, mds_offered).run_all().critical, 0u);
+}
+
+TEST_F(ChecksFixture, FullnessKneeChecks) {
+  for (std::size_t o = 0; o < center.total_osts(); ++o) {
+    auto& ost = center.ost_at(o);
+    if (center.namespace_of_ost(o) == 0) {
+      ost.set_used(static_cast<Bytes>(
+          static_cast<double>(ost.capacity()) * 0.75));
+    }
+  }
+  auto sched = make_standard_checks(center, ib, mds_offered);
+  const auto report = sched.run_all();
+  ASSERT_EQ(report.failing.size(), 1u);
+  EXPECT_EQ(report.failing[0].first, "fullness-ns0");
+  EXPECT_EQ(report.failing[0].second.status, CheckStatus::kWarning);
+  center.set_fleet_fullness(0.0);
+}
+
+TEST_F(ChecksFixture, MdsSaturationCheck) {
+  mds_offered[1] = 50e3;  // above a single MDS's 20 kops/s
+  auto sched = make_standard_checks(center, ib, mds_offered);
+  const auto report = sched.run_all();
+  bool found = false;
+  for (const auto& [name, result] : report.failing) {
+    if (name == "mds-ns1") {
+      found = true;
+      EXPECT_EQ(result.status, CheckStatus::kCritical);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// --- brute-force solver cross-check -------------------------------------------------
+
+// Independent reference implementation of progressive filling: raise all
+// rates together in tiny steps, freezing flows as constraints bind. Slow
+// but obviously correct; the production solver must match it.
+sim::SolveResult reference_solve(const std::vector<double>& cap,
+                                 const std::vector<std::vector<sim::PathHop>>& paths,
+                                 const std::vector<double>& caps) {
+  const std::size_t nf = paths.size();
+  sim::SolveResult out;
+  out.rate.assign(nf, 0.0);
+  std::vector<char> frozen(nf, 0);
+  std::vector<double> used(cap.size(), 0.0);
+  const double step = 1e-4;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    // Freeze flows that can no longer grow.
+    for (std::size_t f = 0; f < nf; ++f) {
+      if (frozen[f]) continue;
+      bool blocked = out.rate[f] >= caps[f] - 1e-12;
+      for (const auto& hop : paths[f]) {
+        if (used[hop.resource] + hop.cost * step > cap[hop.resource]) {
+          blocked = true;
+        }
+      }
+      if (blocked) frozen[f] = 1;
+    }
+    for (std::size_t f = 0; f < nf; ++f) {
+      if (frozen[f]) continue;
+      out.rate[f] += step;
+      for (const auto& hop : paths[f]) used[hop.resource] += hop.cost * step;
+      progress = true;
+    }
+  }
+  return out;
+}
+
+TEST(SolverCrossCheck, MatchesBruteForceReference) {
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t nr = 2 + rng.uniform_index(4);
+    const std::size_t nf = 1 + rng.uniform_index(6);
+    std::vector<double> cap(nr);
+    for (auto& c : cap) c = rng.uniform(1.0, 10.0);
+    std::vector<std::vector<sim::PathHop>> paths(nf);
+    std::vector<double> caps(nf);
+    for (std::size_t f = 0; f < nf; ++f) {
+      const std::size_t hops = 1 + rng.uniform_index(3);
+      for (std::size_t h = 0; h < hops; ++h) {
+        paths[f].push_back({static_cast<sim::ResourceId>(rng.uniform_index(nr)),
+                            rng.uniform(0.5, 2.0)});
+      }
+      caps[f] = rng.chance(0.5) ? rng.uniform(0.5, 8.0) : 1e9;
+    }
+    std::vector<sim::SolverFlow> flows;
+    for (std::size_t f = 0; f < nf; ++f) flows.push_back({paths[f], caps[f]});
+    const auto fast = sim::solve_max_min(cap, flows);
+    const auto slow = reference_solve(cap, paths, caps);
+    for (std::size_t f = 0; f < nf; ++f) {
+      EXPECT_NEAR(fast.rate[f], slow.rate[f], 0.02) << "trial " << trial
+                                                    << " flow " << f;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spider::tools

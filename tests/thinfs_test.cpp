@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "block/raid.hpp"
+#include "common/rng.hpp"
+#include "fs/thinfs.hpp"
+
+namespace spider::fs {
+namespace {
+
+struct ThinFixture : ::testing::Test {
+  std::vector<std::unique_ptr<block::Raid6Group>> groups;
+  std::vector<std::unique_ptr<Ost>> osts;
+  std::vector<Ost*> ptrs;
+  Rng rng{1};
+
+  void SetUp() override {
+    for (int i = 0; i < 8; ++i) {
+      std::vector<block::Disk> members;
+      for (int m = 0; m < 10; ++m) {
+        members.emplace_back(block::DiskParams{}, m, 1.0, 1e-4);
+      }
+      groups.push_back(std::make_unique<block::Raid6Group>(
+          block::RaidParams{}, std::move(members)));
+      osts.push_back(std::make_unique<Ost>(i, groups.back().get()));
+      ptrs.push_back(osts.back().get());
+    }
+  }
+};
+
+TEST_F(ThinFixture, ReservedCapacityIsSmallFraction) {
+  ThinFs thin(ptrs);
+  Bytes total = 0;
+  for (const Ost* o : ptrs) total += o->capacity();
+  EXPECT_NEAR(static_cast<double>(thin.reserved_capacity()),
+              0.01 * static_cast<double>(total),
+              0.001 * static_cast<double>(total));
+}
+
+TEST_F(ThinFixture, BaselineRecordsEveryOst) {
+  ThinFs thin(ptrs);
+  const auto report = thin.baseline(0, rng);
+  EXPECT_EQ(report.osts_tested, 8u);
+  EXPECT_TRUE(thin.has_baseline());
+  EXPECT_GT(thin.baseline_write_bw(3), 100.0 * kMBps);
+  EXPECT_TRUE(report.regressed_osts.empty());
+}
+
+TEST_F(ThinFixture, HealthyFleetShowsNoRegression) {
+  ThinFs thin(ptrs);
+  thin.baseline(0, rng);
+  const auto qa = thin.run_qa(sim::kDay, rng);
+  EXPECT_TRUE(qa.regressed_osts.empty());
+}
+
+TEST_F(ThinFixture, HardwareDegradationIsCaught) {
+  ThinFs thin(ptrs);
+  thin.baseline(0, rng);
+  // OST 2's group loses a member: degraded hardware the thin QA must see.
+  ptrs[2]->group().fail_member(4);
+  const auto qa = thin.run_qa(sim::kDay, rng);
+  ASSERT_EQ(qa.regressed_osts.size(), 1u);
+  EXPECT_EQ(qa.regressed_osts[0], 2u);
+}
+
+TEST_F(ThinFixture, QaSeesThroughProductionFullness) {
+  // The paper's point: the thin region is always freshly formatted, so QA
+  // measures hardware, not the production file system's fill state.
+  ThinFs thin(ptrs);
+  thin.baseline(0, rng);
+  for (Ost* o : ptrs) {
+    o->set_used(static_cast<Bytes>(static_cast<double>(o->capacity()) * 0.9));
+  }
+  const auto qa = thin.run_qa(sim::kDay, rng);
+  // No false regressions from fullness...
+  EXPECT_TRUE(qa.regressed_osts.empty());
+  // ...and the fresh-vs-production comparison now shows the aging gap.
+  EXPECT_GT(qa.fresh_over_production, 1.3);
+}
+
+TEST_F(ThinFixture, FreshEqualsProductionOnEmptySystem) {
+  ThinFs thin(ptrs);
+  const auto report = thin.baseline(0, rng);
+  EXPECT_NEAR(report.fresh_over_production, 1.0, 0.02);
+}
+
+TEST_F(ThinFixture, RunQaWithoutBaselineBootstraps) {
+  ThinFs thin(ptrs);
+  const auto report = thin.run_qa(5 * sim::kDay, rng);
+  EXPECT_EQ(report.when, 5 * sim::kDay);
+  EXPECT_TRUE(thin.has_baseline());
+}
+
+TEST_F(ThinFixture, RejectsBadParams) {
+  ThinFsParams bad;
+  bad.reserve_fraction = 0.9;
+  EXPECT_THROW(ThinFs(ptrs, bad), std::invalid_argument);
+  EXPECT_THROW(ThinFs({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spider::fs
