@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_declustered_rebuild.dir/bench_a1_declustered_rebuild.cpp.o"
+  "CMakeFiles/bench_a1_declustered_rebuild.dir/bench_a1_declustered_rebuild.cpp.o.d"
+  "bench_a1_declustered_rebuild"
+  "bench_a1_declustered_rebuild.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_declustered_rebuild.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_journaling.dir/bench_a2_journaling.cpp.o"
+  "CMakeFiles/bench_a2_journaling.dir/bench_a2_journaling.cpp.o.d"
+  "bench_a2_journaling"
+  "bench_a2_journaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_journaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

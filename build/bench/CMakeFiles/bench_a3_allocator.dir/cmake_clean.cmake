@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_allocator.dir/bench_a3_allocator.cpp.o"
+  "CMakeFiles/bench_a3_allocator.dir/bench_a3_allocator.cpp.o.d"
+  "bench_a3_allocator"
+  "bench_a3_allocator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_allocator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

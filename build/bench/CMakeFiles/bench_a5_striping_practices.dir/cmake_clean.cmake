@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a5_striping_practices.dir/bench_a5_striping_practices.cpp.o"
+  "CMakeFiles/bench_a5_striping_practices.dir/bench_a5_striping_practices.cpp.o.d"
+  "bench_a5_striping_practices"
+  "bench_a5_striping_practices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a5_striping_practices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

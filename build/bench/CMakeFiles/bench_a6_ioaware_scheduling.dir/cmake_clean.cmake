@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a6_ioaware_scheduling.dir/bench_a6_ioaware_scheduling.cpp.o"
+  "CMakeFiles/bench_a6_ioaware_scheduling.dir/bench_a6_ioaware_scheduling.cpp.o.d"
+  "bench_a6_ioaware_scheduling"
+  "bench_a6_ioaware_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a6_ioaware_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

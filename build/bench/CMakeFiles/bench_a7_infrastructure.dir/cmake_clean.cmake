@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a7_infrastructure.dir/bench_a7_infrastructure.cpp.o"
+  "CMakeFiles/bench_a7_infrastructure.dir/bench_a7_infrastructure.cpp.o.d"
+  "bench_a7_infrastructure"
+  "bench_a7_infrastructure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a7_infrastructure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

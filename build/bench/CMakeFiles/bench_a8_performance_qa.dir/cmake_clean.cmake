@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a8_performance_qa.dir/bench_a8_performance_qa.cpp.o"
+  "CMakeFiles/bench_a8_performance_qa.dir/bench_a8_performance_qa.cpp.o.d"
+  "bench_a8_performance_qa"
+  "bench_a8_performance_qa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a8_performance_qa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

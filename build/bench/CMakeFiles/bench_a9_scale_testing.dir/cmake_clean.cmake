@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a9_scale_testing.dir/bench_a9_scale_testing.cpp.o"
+  "CMakeFiles/bench_a9_scale_testing.dir/bench_a9_scale_testing.cpp.o.d"
+  "bench_a9_scale_testing"
+  "bench_a9_scale_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a9_scale_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c10_metadata_scaling.dir/bench_c10_metadata_scaling.cpp.o"
+  "CMakeFiles/bench_c10_metadata_scaling.dir/bench_c10_metadata_scaling.cpp.o.d"
+  "bench_c10_metadata_scaling"
+  "bench_c10_metadata_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c10_metadata_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c11_datacentric_vs_exclusive.dir/bench_c11_datacentric_vs_exclusive.cpp.o"
+  "CMakeFiles/bench_c11_datacentric_vs_exclusive.dir/bench_c11_datacentric_vs_exclusive.cpp.o.d"
+  "bench_c11_datacentric_vs_exclusive"
+  "bench_c11_datacentric_vs_exclusive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c11_datacentric_vs_exclusive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_c11_datacentric_vs_exclusive.
+# This may be replaced when dependencies are built.

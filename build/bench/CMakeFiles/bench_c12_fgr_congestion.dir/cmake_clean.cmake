@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c12_fgr_congestion.dir/bench_c12_fgr_congestion.cpp.o"
+  "CMakeFiles/bench_c12_fgr_congestion.dir/bench_c12_fgr_congestion.cpp.o.d"
+  "bench_c12_fgr_congestion"
+  "bench_c12_fgr_congestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c12_fgr_congestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c13_incident_replay.dir/bench_c13_incident_replay.cpp.o"
+  "CMakeFiles/bench_c13_incident_replay.dir/bench_c13_incident_replay.cpp.o.d"
+  "bench_c13_incident_replay"
+  "bench_c13_incident_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c13_incident_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c14_scalable_tools.dir/bench_c14_scalable_tools.cpp.o"
+  "CMakeFiles/bench_c14_scalable_tools.dir/bench_c14_scalable_tools.cpp.o.d"
+  "bench_c14_scalable_tools"
+  "bench_c14_scalable_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c14_scalable_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_c14_scalable_tools.
+# This may be replaced when dependencies are built.

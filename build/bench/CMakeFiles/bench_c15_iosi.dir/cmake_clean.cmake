@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c15_iosi.dir/bench_c15_iosi.cpp.o"
+  "CMakeFiles/bench_c15_iosi.dir/bench_c15_iosi.cpp.o.d"
+  "bench_c15_iosi"
+  "bench_c15_iosi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c15_iosi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

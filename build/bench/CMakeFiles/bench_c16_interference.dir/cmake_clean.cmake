@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c16_interference.dir/bench_c16_interference.cpp.o"
+  "CMakeFiles/bench_c16_interference.dir/bench_c16_interference.cpp.o.d"
+  "bench_c16_interference"
+  "bench_c16_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c16_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c17_layer_profile.dir/bench_c17_layer_profile.cpp.o"
+  "CMakeFiles/bench_c17_layer_profile.dir/bench_c17_layer_profile.cpp.o.d"
+  "bench_c17_layer_profile"
+  "bench_c17_layer_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c17_layer_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

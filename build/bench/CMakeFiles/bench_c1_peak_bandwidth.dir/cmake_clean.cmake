@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c1_peak_bandwidth.dir/bench_c1_peak_bandwidth.cpp.o"
+  "CMakeFiles/bench_c1_peak_bandwidth.dir/bench_c1_peak_bandwidth.cpp.o.d"
+  "bench_c1_peak_bandwidth"
+  "bench_c1_peak_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c1_peak_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c2_disk_envelope.dir/bench_c2_disk_envelope.cpp.o"
+  "CMakeFiles/bench_c2_disk_envelope.dir/bench_c2_disk_envelope.cpp.o.d"
+  "bench_c2_disk_envelope"
+  "bench_c2_disk_envelope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c2_disk_envelope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c5_slow_disk_culling.dir/bench_c5_slow_disk_culling.cpp.o"
+  "CMakeFiles/bench_c5_slow_disk_culling.dir/bench_c5_slow_disk_culling.cpp.o.d"
+  "bench_c5_slow_disk_culling"
+  "bench_c5_slow_disk_culling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c5_slow_disk_culling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

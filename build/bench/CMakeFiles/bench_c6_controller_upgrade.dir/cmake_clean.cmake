@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c6_controller_upgrade.dir/bench_c6_controller_upgrade.cpp.o"
+  "CMakeFiles/bench_c6_controller_upgrade.dir/bench_c6_controller_upgrade.cpp.o.d"
+  "bench_c6_controller_upgrade"
+  "bench_c6_controller_upgrade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c6_controller_upgrade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c7_libpio.dir/bench_c7_libpio.cpp.o"
+  "CMakeFiles/bench_c7_libpio.dir/bench_c7_libpio.cpp.o.d"
+  "bench_c7_libpio"
+  "bench_c7_libpio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c7_libpio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

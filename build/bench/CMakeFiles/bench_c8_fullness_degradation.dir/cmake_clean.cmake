@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c8_fullness_degradation.dir/bench_c8_fullness_degradation.cpp.o"
+  "CMakeFiles/bench_c8_fullness_degradation.dir/bench_c8_fullness_degradation.cpp.o.d"
+  "bench_c8_fullness_degradation"
+  "bench_c8_fullness_degradation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c8_fullness_degradation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c9_purge_policy.dir/bench_c9_purge_policy.cpp.o"
+  "CMakeFiles/bench_c9_purge_policy.dir/bench_c9_purge_policy.cpp.o.d"
+  "bench_c9_purge_policy"
+  "bench_c9_purge_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c9_purge_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_router_placement.dir/bench_fig2_router_placement.cpp.o"
+  "CMakeFiles/bench_fig2_router_placement.dir/bench_fig2_router_placement.cpp.o.d"
+  "bench_fig2_router_placement"
+  "bench_fig2_router_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_router_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_g1_generations.dir/bench_g1_generations.cpp.o"
+  "CMakeFiles/bench_g1_generations.dir/bench_g1_generations.cpp.o.d"
+  "bench_g1_generations"
+  "bench_g1_generations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_g1_generations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

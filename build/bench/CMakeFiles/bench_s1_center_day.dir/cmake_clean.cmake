@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s1_center_day.dir/bench_s1_center_day.cpp.o"
+  "CMakeFiles/bench_s1_center_day.dir/bench_s1_center_day.cpp.o.d"
+  "bench_s1_center_day"
+  "bench_s1_center_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s1_center_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

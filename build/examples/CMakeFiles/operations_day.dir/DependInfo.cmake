@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/operations_day.cpp" "examples/CMakeFiles/operations_day.dir/operations_day.cpp.o" "gcc" "examples/CMakeFiles/operations_day.dir/operations_day.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spider_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spider_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spider_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spider_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spider_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spider_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spider_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spider_infra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spider_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/block/controller.cpp" "src/CMakeFiles/spider_block.dir/block/controller.cpp.o" "gcc" "src/CMakeFiles/spider_block.dir/block/controller.cpp.o.d"
+  "/root/repo/src/block/disk.cpp" "src/CMakeFiles/spider_block.dir/block/disk.cpp.o" "gcc" "src/CMakeFiles/spider_block.dir/block/disk.cpp.o.d"
+  "/root/repo/src/block/enclosure.cpp" "src/CMakeFiles/spider_block.dir/block/enclosure.cpp.o" "gcc" "src/CMakeFiles/spider_block.dir/block/enclosure.cpp.o.d"
+  "/root/repo/src/block/failure.cpp" "src/CMakeFiles/spider_block.dir/block/failure.cpp.o" "gcc" "src/CMakeFiles/spider_block.dir/block/failure.cpp.o.d"
+  "/root/repo/src/block/fairlio.cpp" "src/CMakeFiles/spider_block.dir/block/fairlio.cpp.o" "gcc" "src/CMakeFiles/spider_block.dir/block/fairlio.cpp.o.d"
+  "/root/repo/src/block/raid.cpp" "src/CMakeFiles/spider_block.dir/block/raid.cpp.o" "gcc" "src/CMakeFiles/spider_block.dir/block/raid.cpp.o.d"
+  "/root/repo/src/block/ssu.cpp" "src/CMakeFiles/spider_block.dir/block/ssu.cpp.o" "gcc" "src/CMakeFiles/spider_block.dir/block/ssu.cpp.o.d"
+  "/root/repo/src/block/sweep.cpp" "src/CMakeFiles/spider_block.dir/block/sweep.cpp.o" "gcc" "src/CMakeFiles/spider_block.dir/block/sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spider_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spider_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_block.dir/block/controller.cpp.o"
+  "CMakeFiles/spider_block.dir/block/controller.cpp.o.d"
+  "CMakeFiles/spider_block.dir/block/disk.cpp.o"
+  "CMakeFiles/spider_block.dir/block/disk.cpp.o.d"
+  "CMakeFiles/spider_block.dir/block/enclosure.cpp.o"
+  "CMakeFiles/spider_block.dir/block/enclosure.cpp.o.d"
+  "CMakeFiles/spider_block.dir/block/failure.cpp.o"
+  "CMakeFiles/spider_block.dir/block/failure.cpp.o.d"
+  "CMakeFiles/spider_block.dir/block/fairlio.cpp.o"
+  "CMakeFiles/spider_block.dir/block/fairlio.cpp.o.d"
+  "CMakeFiles/spider_block.dir/block/raid.cpp.o"
+  "CMakeFiles/spider_block.dir/block/raid.cpp.o.d"
+  "CMakeFiles/spider_block.dir/block/ssu.cpp.o"
+  "CMakeFiles/spider_block.dir/block/ssu.cpp.o.d"
+  "CMakeFiles/spider_block.dir/block/sweep.cpp.o"
+  "CMakeFiles/spider_block.dir/block/sweep.cpp.o.d"
+  "libspider_block.a"
+  "libspider_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

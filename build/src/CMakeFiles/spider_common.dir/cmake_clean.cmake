@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_common.dir/common/distributions.cpp.o"
+  "CMakeFiles/spider_common.dir/common/distributions.cpp.o.d"
+  "CMakeFiles/spider_common.dir/common/histogram.cpp.o"
+  "CMakeFiles/spider_common.dir/common/histogram.cpp.o.d"
+  "CMakeFiles/spider_common.dir/common/parallel.cpp.o"
+  "CMakeFiles/spider_common.dir/common/parallel.cpp.o.d"
+  "CMakeFiles/spider_common.dir/common/rng.cpp.o"
+  "CMakeFiles/spider_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/spider_common.dir/common/stats.cpp.o"
+  "CMakeFiles/spider_common.dir/common/stats.cpp.o.d"
+  "CMakeFiles/spider_common.dir/common/table.cpp.o"
+  "CMakeFiles/spider_common.dir/common/table.cpp.o.d"
+  "libspider_common.a"
+  "libspider_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

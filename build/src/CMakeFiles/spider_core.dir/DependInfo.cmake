@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/center.cpp" "src/CMakeFiles/spider_core.dir/core/center.cpp.o" "gcc" "src/CMakeFiles/spider_core.dir/core/center.cpp.o.d"
+  "/root/repo/src/core/exclusive_model.cpp" "src/CMakeFiles/spider_core.dir/core/exclusive_model.cpp.o" "gcc" "src/CMakeFiles/spider_core.dir/core/exclusive_model.cpp.o.d"
+  "/root/repo/src/core/production.cpp" "src/CMakeFiles/spider_core.dir/core/production.cpp.o" "gcc" "src/CMakeFiles/spider_core.dir/core/production.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/CMakeFiles/spider_core.dir/core/scenario.cpp.o" "gcc" "src/CMakeFiles/spider_core.dir/core/scenario.cpp.o.d"
+  "/root/repo/src/core/spider_config.cpp" "src/CMakeFiles/spider_core.dir/core/spider_config.cpp.o" "gcc" "src/CMakeFiles/spider_core.dir/core/spider_config.cpp.o.d"
+  "/root/repo/src/tools/standard_checks.cpp" "src/CMakeFiles/spider_core.dir/tools/standard_checks.cpp.o" "gcc" "src/CMakeFiles/spider_core.dir/tools/standard_checks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spider_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spider_infra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spider_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spider_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spider_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spider_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spider_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spider_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

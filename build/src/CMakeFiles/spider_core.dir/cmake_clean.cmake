@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_core.dir/core/center.cpp.o"
+  "CMakeFiles/spider_core.dir/core/center.cpp.o.d"
+  "CMakeFiles/spider_core.dir/core/exclusive_model.cpp.o"
+  "CMakeFiles/spider_core.dir/core/exclusive_model.cpp.o.d"
+  "CMakeFiles/spider_core.dir/core/production.cpp.o"
+  "CMakeFiles/spider_core.dir/core/production.cpp.o.d"
+  "CMakeFiles/spider_core.dir/core/scenario.cpp.o"
+  "CMakeFiles/spider_core.dir/core/scenario.cpp.o.d"
+  "CMakeFiles/spider_core.dir/core/spider_config.cpp.o"
+  "CMakeFiles/spider_core.dir/core/spider_config.cpp.o.d"
+  "CMakeFiles/spider_core.dir/tools/standard_checks.cpp.o"
+  "CMakeFiles/spider_core.dir/tools/standard_checks.cpp.o.d"
+  "libspider_core.a"
+  "libspider_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

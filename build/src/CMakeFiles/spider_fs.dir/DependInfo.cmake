@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/client.cpp" "src/CMakeFiles/spider_fs.dir/fs/client.cpp.o" "gcc" "src/CMakeFiles/spider_fs.dir/fs/client.cpp.o.d"
+  "/root/repo/src/fs/dne.cpp" "src/CMakeFiles/spider_fs.dir/fs/dne.cpp.o" "gcc" "src/CMakeFiles/spider_fs.dir/fs/dne.cpp.o.d"
+  "/root/repo/src/fs/filesystem.cpp" "src/CMakeFiles/spider_fs.dir/fs/filesystem.cpp.o" "gcc" "src/CMakeFiles/spider_fs.dir/fs/filesystem.cpp.o.d"
+  "/root/repo/src/fs/fs_namespace.cpp" "src/CMakeFiles/spider_fs.dir/fs/fs_namespace.cpp.o" "gcc" "src/CMakeFiles/spider_fs.dir/fs/fs_namespace.cpp.o.d"
+  "/root/repo/src/fs/journal.cpp" "src/CMakeFiles/spider_fs.dir/fs/journal.cpp.o" "gcc" "src/CMakeFiles/spider_fs.dir/fs/journal.cpp.o.d"
+  "/root/repo/src/fs/mds.cpp" "src/CMakeFiles/spider_fs.dir/fs/mds.cpp.o" "gcc" "src/CMakeFiles/spider_fs.dir/fs/mds.cpp.o.d"
+  "/root/repo/src/fs/obdsurvey.cpp" "src/CMakeFiles/spider_fs.dir/fs/obdsurvey.cpp.o" "gcc" "src/CMakeFiles/spider_fs.dir/fs/obdsurvey.cpp.o.d"
+  "/root/repo/src/fs/oss.cpp" "src/CMakeFiles/spider_fs.dir/fs/oss.cpp.o" "gcc" "src/CMakeFiles/spider_fs.dir/fs/oss.cpp.o.d"
+  "/root/repo/src/fs/ost.cpp" "src/CMakeFiles/spider_fs.dir/fs/ost.cpp.o" "gcc" "src/CMakeFiles/spider_fs.dir/fs/ost.cpp.o.d"
+  "/root/repo/src/fs/purge.cpp" "src/CMakeFiles/spider_fs.dir/fs/purge.cpp.o" "gcc" "src/CMakeFiles/spider_fs.dir/fs/purge.cpp.o.d"
+  "/root/repo/src/fs/recovery.cpp" "src/CMakeFiles/spider_fs.dir/fs/recovery.cpp.o" "gcc" "src/CMakeFiles/spider_fs.dir/fs/recovery.cpp.o.d"
+  "/root/repo/src/fs/striping.cpp" "src/CMakeFiles/spider_fs.dir/fs/striping.cpp.o" "gcc" "src/CMakeFiles/spider_fs.dir/fs/striping.cpp.o.d"
+  "/root/repo/src/fs/thinfs.cpp" "src/CMakeFiles/spider_fs.dir/fs/thinfs.cpp.o" "gcc" "src/CMakeFiles/spider_fs.dir/fs/thinfs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spider_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spider_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spider_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spider_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

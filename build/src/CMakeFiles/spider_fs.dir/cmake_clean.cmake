@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_fs.dir/fs/client.cpp.o"
+  "CMakeFiles/spider_fs.dir/fs/client.cpp.o.d"
+  "CMakeFiles/spider_fs.dir/fs/dne.cpp.o"
+  "CMakeFiles/spider_fs.dir/fs/dne.cpp.o.d"
+  "CMakeFiles/spider_fs.dir/fs/filesystem.cpp.o"
+  "CMakeFiles/spider_fs.dir/fs/filesystem.cpp.o.d"
+  "CMakeFiles/spider_fs.dir/fs/fs_namespace.cpp.o"
+  "CMakeFiles/spider_fs.dir/fs/fs_namespace.cpp.o.d"
+  "CMakeFiles/spider_fs.dir/fs/journal.cpp.o"
+  "CMakeFiles/spider_fs.dir/fs/journal.cpp.o.d"
+  "CMakeFiles/spider_fs.dir/fs/mds.cpp.o"
+  "CMakeFiles/spider_fs.dir/fs/mds.cpp.o.d"
+  "CMakeFiles/spider_fs.dir/fs/obdsurvey.cpp.o"
+  "CMakeFiles/spider_fs.dir/fs/obdsurvey.cpp.o.d"
+  "CMakeFiles/spider_fs.dir/fs/oss.cpp.o"
+  "CMakeFiles/spider_fs.dir/fs/oss.cpp.o.d"
+  "CMakeFiles/spider_fs.dir/fs/ost.cpp.o"
+  "CMakeFiles/spider_fs.dir/fs/ost.cpp.o.d"
+  "CMakeFiles/spider_fs.dir/fs/purge.cpp.o"
+  "CMakeFiles/spider_fs.dir/fs/purge.cpp.o.d"
+  "CMakeFiles/spider_fs.dir/fs/recovery.cpp.o"
+  "CMakeFiles/spider_fs.dir/fs/recovery.cpp.o.d"
+  "CMakeFiles/spider_fs.dir/fs/striping.cpp.o"
+  "CMakeFiles/spider_fs.dir/fs/striping.cpp.o.d"
+  "CMakeFiles/spider_fs.dir/fs/thinfs.cpp.o"
+  "CMakeFiles/spider_fs.dir/fs/thinfs.cpp.o.d"
+  "libspider_fs.a"
+  "libspider_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

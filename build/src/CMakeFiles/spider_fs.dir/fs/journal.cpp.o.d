@@ -1,0 +1,3 @@
+src/CMakeFiles/spider_fs.dir/fs/journal.cpp.o: \
+ /root/repo/src/fs/journal.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/fs/journal.hpp

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/infra/config_mgmt.cpp" "src/CMakeFiles/spider_infra.dir/infra/config_mgmt.cpp.o" "gcc" "src/CMakeFiles/spider_infra.dir/infra/config_mgmt.cpp.o.d"
+  "/root/repo/src/infra/gedi.cpp" "src/CMakeFiles/spider_infra.dir/infra/gedi.cpp.o" "gcc" "src/CMakeFiles/spider_infra.dir/infra/gedi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spider_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

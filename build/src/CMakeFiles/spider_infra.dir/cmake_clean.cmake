@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_infra.dir/infra/config_mgmt.cpp.o"
+  "CMakeFiles/spider_infra.dir/infra/config_mgmt.cpp.o.d"
+  "CMakeFiles/spider_infra.dir/infra/gedi.cpp.o"
+  "CMakeFiles/spider_infra.dir/infra/gedi.cpp.o.d"
+  "libspider_infra.a"
+  "libspider_infra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_infra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

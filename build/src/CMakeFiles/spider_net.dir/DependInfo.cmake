@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/congestion.cpp" "src/CMakeFiles/spider_net.dir/net/congestion.cpp.o" "gcc" "src/CMakeFiles/spider_net.dir/net/congestion.cpp.o.d"
+  "/root/repo/src/net/fabric.cpp" "src/CMakeFiles/spider_net.dir/net/fabric.cpp.o" "gcc" "src/CMakeFiles/spider_net.dir/net/fabric.cpp.o.d"
+  "/root/repo/src/net/fgr.cpp" "src/CMakeFiles/spider_net.dir/net/fgr.cpp.o" "gcc" "src/CMakeFiles/spider_net.dir/net/fgr.cpp.o.d"
+  "/root/repo/src/net/placement.cpp" "src/CMakeFiles/spider_net.dir/net/placement.cpp.o" "gcc" "src/CMakeFiles/spider_net.dir/net/placement.cpp.o.d"
+  "/root/repo/src/net/torus.cpp" "src/CMakeFiles/spider_net.dir/net/torus.cpp.o" "gcc" "src/CMakeFiles/spider_net.dir/net/torus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spider_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spider_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

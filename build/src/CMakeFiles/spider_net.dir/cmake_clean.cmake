@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_net.dir/net/congestion.cpp.o"
+  "CMakeFiles/spider_net.dir/net/congestion.cpp.o.d"
+  "CMakeFiles/spider_net.dir/net/fabric.cpp.o"
+  "CMakeFiles/spider_net.dir/net/fabric.cpp.o.d"
+  "CMakeFiles/spider_net.dir/net/fgr.cpp.o"
+  "CMakeFiles/spider_net.dir/net/fgr.cpp.o.d"
+  "CMakeFiles/spider_net.dir/net/placement.cpp.o"
+  "CMakeFiles/spider_net.dir/net/placement.cpp.o.d"
+  "CMakeFiles/spider_net.dir/net/torus.cpp.o"
+  "CMakeFiles/spider_net.dir/net/torus.cpp.o.d"
+  "libspider_net.a"
+  "libspider_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/spider_sim.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/spider_sim.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/flow_network.cpp" "src/CMakeFiles/spider_sim.dir/sim/flow_network.cpp.o" "gcc" "src/CMakeFiles/spider_sim.dir/sim/flow_network.cpp.o.d"
+  "/root/repo/src/sim/resource.cpp" "src/CMakeFiles/spider_sim.dir/sim/resource.cpp.o" "gcc" "src/CMakeFiles/spider_sim.dir/sim/resource.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/spider_sim.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/spider_sim.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/steady_state.cpp" "src/CMakeFiles/spider_sim.dir/sim/steady_state.cpp.o" "gcc" "src/CMakeFiles/spider_sim.dir/sim/steady_state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spider_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

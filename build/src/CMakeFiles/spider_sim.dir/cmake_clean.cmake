@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/spider_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/spider_sim.dir/sim/flow_network.cpp.o"
+  "CMakeFiles/spider_sim.dir/sim/flow_network.cpp.o.d"
+  "CMakeFiles/spider_sim.dir/sim/resource.cpp.o"
+  "CMakeFiles/spider_sim.dir/sim/resource.cpp.o.d"
+  "CMakeFiles/spider_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/spider_sim.dir/sim/simulator.cpp.o.d"
+  "CMakeFiles/spider_sim.dir/sim/steady_state.cpp.o"
+  "CMakeFiles/spider_sim.dir/sim/steady_state.cpp.o.d"
+  "libspider_sim.a"
+  "libspider_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

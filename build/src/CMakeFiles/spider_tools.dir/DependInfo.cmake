@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tools/capacity_planner.cpp" "src/CMakeFiles/spider_tools.dir/tools/capacity_planner.cpp.o" "gcc" "src/CMakeFiles/spider_tools.dir/tools/capacity_planner.cpp.o.d"
+  "/root/repo/src/tools/health.cpp" "src/CMakeFiles/spider_tools.dir/tools/health.cpp.o" "gcc" "src/CMakeFiles/spider_tools.dir/tools/health.cpp.o.d"
+  "/root/repo/src/tools/iosi.cpp" "src/CMakeFiles/spider_tools.dir/tools/iosi.cpp.o" "gcc" "src/CMakeFiles/spider_tools.dir/tools/iosi.cpp.o.d"
+  "/root/repo/src/tools/libpio.cpp" "src/CMakeFiles/spider_tools.dir/tools/libpio.cpp.o" "gcc" "src/CMakeFiles/spider_tools.dir/tools/libpio.cpp.o.d"
+  "/root/repo/src/tools/lustredu.cpp" "src/CMakeFiles/spider_tools.dir/tools/lustredu.cpp.o" "gcc" "src/CMakeFiles/spider_tools.dir/tools/lustredu.cpp.o.d"
+  "/root/repo/src/tools/ptools.cpp" "src/CMakeFiles/spider_tools.dir/tools/ptools.cpp.o" "gcc" "src/CMakeFiles/spider_tools.dir/tools/ptools.cpp.o.d"
+  "/root/repo/src/tools/release_testing.cpp" "src/CMakeFiles/spider_tools.dir/tools/release_testing.cpp.o" "gcc" "src/CMakeFiles/spider_tools.dir/tools/release_testing.cpp.o.d"
+  "/root/repo/src/tools/rfp.cpp" "src/CMakeFiles/spider_tools.dir/tools/rfp.cpp.o" "gcc" "src/CMakeFiles/spider_tools.dir/tools/rfp.cpp.o.d"
+  "/root/repo/src/tools/scheduler.cpp" "src/CMakeFiles/spider_tools.dir/tools/scheduler.cpp.o" "gcc" "src/CMakeFiles/spider_tools.dir/tools/scheduler.cpp.o.d"
+  "/root/repo/src/tools/slowdisk.cpp" "src/CMakeFiles/spider_tools.dir/tools/slowdisk.cpp.o" "gcc" "src/CMakeFiles/spider_tools.dir/tools/slowdisk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spider_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spider_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spider_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spider_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spider_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spider_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

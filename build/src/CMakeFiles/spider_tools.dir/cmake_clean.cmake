@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_tools.dir/tools/capacity_planner.cpp.o"
+  "CMakeFiles/spider_tools.dir/tools/capacity_planner.cpp.o.d"
+  "CMakeFiles/spider_tools.dir/tools/health.cpp.o"
+  "CMakeFiles/spider_tools.dir/tools/health.cpp.o.d"
+  "CMakeFiles/spider_tools.dir/tools/iosi.cpp.o"
+  "CMakeFiles/spider_tools.dir/tools/iosi.cpp.o.d"
+  "CMakeFiles/spider_tools.dir/tools/libpio.cpp.o"
+  "CMakeFiles/spider_tools.dir/tools/libpio.cpp.o.d"
+  "CMakeFiles/spider_tools.dir/tools/lustredu.cpp.o"
+  "CMakeFiles/spider_tools.dir/tools/lustredu.cpp.o.d"
+  "CMakeFiles/spider_tools.dir/tools/ptools.cpp.o"
+  "CMakeFiles/spider_tools.dir/tools/ptools.cpp.o.d"
+  "CMakeFiles/spider_tools.dir/tools/release_testing.cpp.o"
+  "CMakeFiles/spider_tools.dir/tools/release_testing.cpp.o.d"
+  "CMakeFiles/spider_tools.dir/tools/rfp.cpp.o"
+  "CMakeFiles/spider_tools.dir/tools/rfp.cpp.o.d"
+  "CMakeFiles/spider_tools.dir/tools/scheduler.cpp.o"
+  "CMakeFiles/spider_tools.dir/tools/scheduler.cpp.o.d"
+  "CMakeFiles/spider_tools.dir/tools/slowdisk.cpp.o"
+  "CMakeFiles/spider_tools.dir/tools/slowdisk.cpp.o.d"
+  "libspider_tools.a"
+  "libspider_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/analytics.cpp" "src/CMakeFiles/spider_workload.dir/workload/analytics.cpp.o" "gcc" "src/CMakeFiles/spider_workload.dir/workload/analytics.cpp.o.d"
+  "/root/repo/src/workload/arrivals.cpp" "src/CMakeFiles/spider_workload.dir/workload/arrivals.cpp.o" "gcc" "src/CMakeFiles/spider_workload.dir/workload/arrivals.cpp.o.d"
+  "/root/repo/src/workload/characterize.cpp" "src/CMakeFiles/spider_workload.dir/workload/characterize.cpp.o" "gcc" "src/CMakeFiles/spider_workload.dir/workload/characterize.cpp.o.d"
+  "/root/repo/src/workload/checkpoint.cpp" "src/CMakeFiles/spider_workload.dir/workload/checkpoint.cpp.o" "gcc" "src/CMakeFiles/spider_workload.dir/workload/checkpoint.cpp.o.d"
+  "/root/repo/src/workload/ior.cpp" "src/CMakeFiles/spider_workload.dir/workload/ior.cpp.o" "gcc" "src/CMakeFiles/spider_workload.dir/workload/ior.cpp.o.d"
+  "/root/repo/src/workload/mixed.cpp" "src/CMakeFiles/spider_workload.dir/workload/mixed.cpp.o" "gcc" "src/CMakeFiles/spider_workload.dir/workload/mixed.cpp.o.d"
+  "/root/repo/src/workload/pattern.cpp" "src/CMakeFiles/spider_workload.dir/workload/pattern.cpp.o" "gcc" "src/CMakeFiles/spider_workload.dir/workload/pattern.cpp.o.d"
+  "/root/repo/src/workload/s3d.cpp" "src/CMakeFiles/spider_workload.dir/workload/s3d.cpp.o" "gcc" "src/CMakeFiles/spider_workload.dir/workload/s3d.cpp.o.d"
+  "/root/repo/src/workload/trace_io.cpp" "src/CMakeFiles/spider_workload.dir/workload/trace_io.cpp.o" "gcc" "src/CMakeFiles/spider_workload.dir/workload/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spider_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spider_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spider_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spider_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spider_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_workload.dir/workload/analytics.cpp.o"
+  "CMakeFiles/spider_workload.dir/workload/analytics.cpp.o.d"
+  "CMakeFiles/spider_workload.dir/workload/arrivals.cpp.o"
+  "CMakeFiles/spider_workload.dir/workload/arrivals.cpp.o.d"
+  "CMakeFiles/spider_workload.dir/workload/characterize.cpp.o"
+  "CMakeFiles/spider_workload.dir/workload/characterize.cpp.o.d"
+  "CMakeFiles/spider_workload.dir/workload/checkpoint.cpp.o"
+  "CMakeFiles/spider_workload.dir/workload/checkpoint.cpp.o.d"
+  "CMakeFiles/spider_workload.dir/workload/ior.cpp.o"
+  "CMakeFiles/spider_workload.dir/workload/ior.cpp.o.d"
+  "CMakeFiles/spider_workload.dir/workload/mixed.cpp.o"
+  "CMakeFiles/spider_workload.dir/workload/mixed.cpp.o.d"
+  "CMakeFiles/spider_workload.dir/workload/pattern.cpp.o"
+  "CMakeFiles/spider_workload.dir/workload/pattern.cpp.o.d"
+  "CMakeFiles/spider_workload.dir/workload/s3d.cpp.o"
+  "CMakeFiles/spider_workload.dir/workload/s3d.cpp.o.d"
+  "CMakeFiles/spider_workload.dir/workload/trace_io.cpp.o"
+  "CMakeFiles/spider_workload.dir/workload/trace_io.cpp.o.d"
+  "libspider_workload.a"
+  "libspider_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

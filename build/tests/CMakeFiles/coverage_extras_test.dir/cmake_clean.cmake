@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coverage_extras_test.dir/coverage_extras_test.cpp.o"
+  "CMakeFiles/coverage_extras_test.dir/coverage_extras_test.cpp.o.d"
+  "coverage_extras_test"
+  "coverage_extras_test.pdb"
+  "coverage_extras_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coverage_extras_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/production_test.dir/production_test.cpp.o"
+  "CMakeFiles/production_test.dir/production_test.cpp.o.d"
+  "production_test"
+  "production_test.pdb"
+  "production_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/production_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recovery_scheduler_test.dir/recovery_scheduler_test.cpp.o"
+  "CMakeFiles/recovery_scheduler_test.dir/recovery_scheduler_test.cpp.o.d"
+  "recovery_scheduler_test"
+  "recovery_scheduler_test.pdb"
+  "recovery_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

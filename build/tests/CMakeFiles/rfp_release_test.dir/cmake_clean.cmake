@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfp_release_test.dir/rfp_release_test.cpp.o"
+  "CMakeFiles/rfp_release_test.dir/rfp_release_test.cpp.o.d"
+  "rfp_release_test"
+  "rfp_release_test.pdb"
+  "rfp_release_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfp_release_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

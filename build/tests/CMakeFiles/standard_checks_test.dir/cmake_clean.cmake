@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/standard_checks_test.dir/standard_checks_test.cpp.o"
+  "CMakeFiles/standard_checks_test.dir/standard_checks_test.cpp.o.d"
+  "standard_checks_test"
+  "standard_checks_test.pdb"
+  "standard_checks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/standard_checks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

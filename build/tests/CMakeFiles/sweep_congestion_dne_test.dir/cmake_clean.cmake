@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_congestion_dne_test.dir/sweep_congestion_dne_test.cpp.o"
+  "CMakeFiles/sweep_congestion_dne_test.dir/sweep_congestion_dne_test.cpp.o.d"
+  "sweep_congestion_dne_test"
+  "sweep_congestion_dne_test.pdb"
+  "sweep_congestion_dne_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_congestion_dne_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

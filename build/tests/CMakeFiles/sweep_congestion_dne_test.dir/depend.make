@@ -1,0 +1,2 @@
+# Empty dependencies file for sweep_congestion_dne_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thinfs_test.dir/thinfs_test.cpp.o"
+  "CMakeFiles/thinfs_test.dir/thinfs_test.cpp.o.d"
+  "thinfs_test"
+  "thinfs_test.pdb"
+  "thinfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thinfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

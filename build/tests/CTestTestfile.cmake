@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/flow_network_test[1]_include.cmake")
+include("/root/repo/build/tests/block_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/fs_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/tools_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/infra_test[1]_include.cmake")
+include("/root/repo/build/tests/recovery_scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/sweep_congestion_dne_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/thinfs_test[1]_include.cmake")
+include("/root/repo/build/tests/core_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/rfp_release_test[1]_include.cmake")
+include("/root/repo/build/tests/standard_checks_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/production_test[1]_include.cmake")
+include("/root/repo/build/tests/dynamic_property_test[1]_include.cmake")
+include("/root/repo/build/tests/client_test[1]_include.cmake")
+include("/root/repo/build/tests/coverage_extras_test[1]_include.cmake")
