@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Correctness gate: sanitized builds + deterministic-replay verification.
+#
+# Builds the address and undefined sanitizer presets, runs the full test
+# suite under each, then runs the deterministic-replay test twice in fresh
+# processes and diffs the replay hashes — proving the simulation core is
+# reproducible across process boundaries, not just within one.
+#
+# Usage: scripts/check.sh [build-root]   (default: build-check/)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_ROOT="${1:-build-check}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+run_preset() {
+  local preset="$1"
+  local dir="${BUILD_ROOT}/${preset}"
+  echo "=== [${preset}] configure + build ==="
+  cmake -B "${dir}" -S . -DSPIDER_SANITIZE="${preset}" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "=== [${preset}] ctest (label: sanitized) ==="
+  ctest --test-dir "${dir}" -L sanitized --output-on-failure -j "${JOBS}"
+}
+
+run_preset address
+run_preset undefined
+
+# Cross-process replay determinism: the replay test prints a
+# "replay-hash: ..." line; two fresh processes must print the same value.
+# This catches cross-process nondeterminism (ASLR-dependent hashing,
+# uninitialized reads) that in-process same-seed comparison cannot see.
+REPLAY_BIN="${BUILD_ROOT}/address/tests/replay_test"
+echo "=== cross-process replay determinism ==="
+"${REPLAY_BIN}" --gtest_filter='Replay.SameSeedRunsAreBitIdentical' \
+    | tee "${BUILD_ROOT}/replay_run1.log"
+"${REPLAY_BIN}" --gtest_filter='Replay.SameSeedRunsAreBitIdentical' \
+    | tee "${BUILD_ROOT}/replay_run2.log"
+if ! diff <(grep '^replay-hash:' "${BUILD_ROOT}/replay_run1.log") \
+          <(grep '^replay-hash:' "${BUILD_ROOT}/replay_run2.log"); then
+  echo "FAIL: replay hashes diverged across processes" >&2
+  exit 1
+fi
+if ! grep -q '^replay-hash:' "${BUILD_ROOT}/replay_run1.log"; then
+  echo "FAIL: replay test emitted no hash line" >&2
+  exit 1
+fi
+
+echo "OK: sanitized suites passed and replay hashes are stable"

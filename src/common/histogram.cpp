@@ -8,17 +8,31 @@
 namespace spider {
 
 LinearHistogram::LinearHistogram(double lo, double hi, std::size_t bins)
-    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+    : lo_(lo), hi_(hi) {
+  // Validate BEFORE deriving width_: with bins == 0 the old initializer-list
+  // division executed 1/0.0 before the check could throw.
   if (bins == 0 || hi <= lo) {
     throw std::invalid_argument("LinearHistogram requires bins > 0, hi > lo");
   }
+  width_ = (hi - lo) / static_cast<double>(bins);
+  counts_.assign(bins, 0);
 }
 
 void LinearHistogram::add(double x, std::uint64_t weight) {
-  auto idx = static_cast<std::int64_t>((x - lo_) / width_);
-  idx = std::clamp<std::int64_t>(idx, 0, static_cast<std::int64_t>(counts_.size()) - 1);
-  counts_[static_cast<std::size_t>(idx)] += weight;
   total_ += weight;
+  if (x < lo_) {
+    underflow_ += weight;
+    return;
+  }
+  if (x >= hi_) {
+    overflow_ += weight;
+    return;
+  }
+  // In-range by construction; the clamp only guards float edge cases where
+  // (x - lo_) / width_ rounds up to bins().
+  auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  idx = std::min(idx, counts_.size() - 1);
+  counts_[idx] += weight;
 }
 
 double LinearHistogram::bin_center(std::size_t bin) const {
@@ -42,15 +56,30 @@ Log2Histogram::Log2Histogram(int min_exp, int max_exp) : min_exp_(min_exp) {
   counts_.assign(static_cast<std::size_t>(max_exp - min_exp), 0);
 }
 
-int Log2Histogram::bin_index(double x) const {
+int Log2Histogram::clamped_bin_index(double x) const {
   if (x <= 0.0) return 0;
   const int exp = static_cast<int>(std::floor(std::log2(x)));
   return std::clamp(exp - min_exp_, 0, static_cast<int>(counts_.size()) - 1);
 }
 
 void Log2Histogram::add(double x, std::uint64_t weight) {
-  counts_[static_cast<std::size_t>(bin_index(x))] += weight;
   total_ += weight;
+  // x <= 0 has no binary exponent; treat it as underflow rather than folding
+  // it into the lowest bin (which misreported zero-size requests as 2^min).
+  if (x <= 0.0) {
+    underflow_ += weight;
+    return;
+  }
+  const int exp = static_cast<int>(std::floor(std::log2(x)));
+  if (exp < min_exp_) {
+    underflow_ += weight;
+    return;
+  }
+  if (exp >= min_exp_ + static_cast<int>(counts_.size())) {
+    overflow_ += weight;
+    return;
+  }
+  counts_[static_cast<std::size_t>(exp - min_exp_)] += weight;
 }
 
 std::uint64_t Log2Histogram::count_for_exp(int exp) const {
@@ -61,18 +90,24 @@ std::uint64_t Log2Histogram::count_for_exp(int exp) const {
 
 double Log2Histogram::fraction_below(double threshold) const {
   if (total_ == 0) return 0.0;
-  const int limit = bin_index(threshold);
-  std::uint64_t acc = 0;
+  const int limit = clamped_bin_index(threshold);
+  std::uint64_t acc = underflow_;  // underflow is below every bin
   for (int i = 0; i < limit; ++i) acc += counts_[static_cast<std::size_t>(i)];
   return static_cast<double>(acc) / static_cast<double>(total_);
 }
 
 std::string Log2Histogram::to_string() const {
   std::ostringstream os;
+  if (underflow_ > 0) {
+    os << "[-inf, 2^" << min_exp_ << "): " << underflow_ << "\n";
+  }
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     if (counts_[i] == 0) continue;
     const int exp = min_exp_ + static_cast<int>(i);
     os << "[2^" << exp << ", 2^" << exp + 1 << "): " << counts_[i] << "\n";
+  }
+  if (overflow_ > 0) {
+    os << "[2^" << max_exp() << ", inf): " << overflow_ << "\n";
   }
   return os.str();
 }

@@ -11,8 +11,9 @@
 
 namespace spider {
 
-/// Uniform-width bins over [lo, hi); out-of-range samples clamp into the
-/// first/last bin so totals are conserved.
+/// Uniform-width bins over [lo, hi). Out-of-range samples are counted in
+/// explicit underflow/overflow counters — NOT folded into the edge bins —
+/// so totals are conserved without skewing the distribution shape.
 class LinearHistogram {
  public:
   LinearHistogram(double lo, double hi, std::size_t bins);
@@ -21,23 +22,33 @@ class LinearHistogram {
 
   std::size_t bins() const { return counts_.size(); }
   std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  /// All samples added, including out-of-range ones.
   std::uint64_t total() const { return total_; }
+  /// Samples below lo / at-or-above hi.
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
   /// Center value of a bin.
   double bin_center(std::size_t bin) const;
-  /// Fraction of all samples in [lo_bound, hi_bound).
+  /// Fraction of all samples in [lo_bound, hi_bound), bin-granular. The
+  /// denominator is total(): out-of-range samples dilute the fraction but
+  /// never masquerade as edge-bin mass.
   double fraction_between(double lo_bound, double hi_bound) const;
 
  private:
   double lo_;
+  double hi_;
   double width_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
 };
 
 /// Power-of-two bins: bin k holds values in [2^k, 2^(k+1)).
 class Log2Histogram {
  public:
-  /// Bins cover [2^min_exp, 2^max_exp); values outside clamp.
+  /// Bins cover [2^min_exp, 2^max_exp); values outside — including x <= 0,
+  /// which has no binary exponent at all — land in underflow/overflow.
   Log2Histogram(int min_exp, int max_exp);
 
   void add(double x, std::uint64_t weight = 1);
@@ -45,19 +56,25 @@ class Log2Histogram {
   int min_exp() const { return min_exp_; }
   int max_exp() const { return min_exp_ + static_cast<int>(counts_.size()); }
   std::uint64_t count_for_exp(int exp) const;
+  /// All samples added, including out-of-range ones.
   std::uint64_t total() const { return total_; }
+  /// Samples with x < 2^min_exp (including x <= 0) / x >= 2^max_exp.
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
   /// Fraction of samples with value < threshold (bin-granular: counts all
-  /// bins whose lower edge is below the threshold's bin).
+  /// bins whose lower edge is below the threshold's bin, plus underflow).
   double fraction_below(double threshold) const;
   /// Render a compact ASCII summary, one line per non-empty bin.
   std::string to_string() const;
 
  private:
-  int bin_index(double x) const;
+  int clamped_bin_index(double x) const;
 
   int min_exp_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
 };
 
 }  // namespace spider

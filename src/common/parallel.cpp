@@ -1,6 +1,8 @@
 #include "common/parallel.hpp"
 
 #include <atomic>
+#include <cassert>
+#include <utility>
 
 namespace spider {
 
@@ -30,8 +32,13 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mu_);
-  cv_idle_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
+  std::exception_ptr err;
+  {
+    std::unique_lock lock(mu_);
+    cv_idle_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
+    err = std::exchange(first_error_, nullptr);
+  }
+  if (err) std::rethrow_exception(err);
 }
 
 void ThreadPool::worker_loop() {
@@ -45,10 +52,19 @@ void ThreadPool::worker_loop() {
       tasks_.pop();
       ++in_flight_;
     }
-    task();
+    std::exception_ptr err;
+    try {
+      task();
+    } catch (...) {
+      err = std::current_exception();
+    }
     {
       std::lock_guard lock(mu_);
+      assert(in_flight_ > 0);  // accounting must balance or wait_idle hangs
       --in_flight_;
+      if (err && !first_error_) first_error_ = std::move(err);
+      // Notify under the mutex: wait_idle()'s predicate check and this
+      // notification are serialized, so the wakeup cannot be lost.
       if (tasks_.empty() && in_flight_ == 0) cv_idle_.notify_all();
     }
   }
@@ -63,18 +79,32 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
   }
   const std::size_t workers = std::min(threads, n);
   std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex err_mu;
   std::vector<std::thread> pool;
   pool.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) {
     pool.emplace_back([&] {
       for (;;) {
+        if (failed.load(std::memory_order_relaxed)) return;
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= n) return;
-        fn(i);
+        try {
+          fn(i);
+        } catch (...) {
+          {
+            std::lock_guard lock(err_mu);
+            if (!first_error) first_error = std::current_exception();
+          }
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
       }
     });
   }
   for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace spider

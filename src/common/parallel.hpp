@@ -8,6 +8,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -16,8 +17,10 @@
 
 namespace spider {
 
-/// Fixed-size worker pool. Tasks are void() callables; exceptions escaping a
-/// task terminate (tasks are expected to handle their own errors).
+/// Fixed-size worker pool. Tasks are void() callables. An exception escaping
+/// a task does not kill the worker: the first exception per batch is
+/// captured and rethrown from the next wait_idle() call; later exceptions in
+/// the same batch are dropped.
 class ThreadPool {
  public:
   explicit ThreadPool(std::size_t threads = std::thread::hardware_concurrency());
@@ -27,7 +30,9 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   void submit(std::function<void()> task);
-  /// Block until every submitted task has finished.
+  /// Block until every submitted task has finished, then rethrow the first
+  /// exception any task in the batch raised (clearing it, so the pool stays
+  /// usable for the next batch).
   void wait_idle();
 
   std::size_t size() const { return workers_.size(); }
@@ -40,13 +45,16 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
+  std::exception_ptr first_error_;  // guarded by mu_
   std::size_t in_flight_ = 0;
   bool stop_ = false;
 };
 
 /// Run fn(i) for i in [0, n) across up to `threads` workers. Blocks until
 /// all iterations complete. With threads <= 1 (or n <= 1) runs inline, which
-/// keeps single-threaded determinism trivially available.
+/// keeps single-threaded determinism trivially available. If any iteration
+/// throws, remaining un-started iterations are skipped and the first
+/// exception is rethrown on the calling thread after all workers join.
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                   std::size_t threads = std::thread::hardware_concurrency());
 

@@ -49,15 +49,23 @@ void RunningStats::merge(const RunningStats& other) {
   max_ = std::max(max_, other.max_);
 }
 
-double percentile(std::span<const double> values, double p) {
-  if (values.empty()) return 0.0;
-  std::vector<double> sorted(values.begin(), values.end());
-  std::sort(sorted.begin(), sorted.end());
+namespace {
+// Shared closest-ranks interpolation over an already-sorted sample; the
+// single definition keeps percentile() and percentiles() bit-identical.
+double sorted_rank(std::span<const double> sorted, double p) {
   const double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
   const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = rank - static_cast<double>(lo);
   return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+}  // namespace
+
+double percentile(std::span<const double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return sorted_rank(sorted, p);
 }
 
 std::vector<double> percentiles(std::span<const double> values,
@@ -70,13 +78,7 @@ std::vector<double> percentiles(std::span<const double> values,
   }
   std::vector<double> sorted(values.begin(), values.end());
   std::sort(sorted.begin(), sorted.end());
-  for (double p : ps) {
-    const double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
-    const auto lo = static_cast<std::size_t>(rank);
-    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-    const double frac = rank - static_cast<double>(lo);
-    out.push_back(sorted[lo] + frac * (sorted[hi] - sorted[lo]));
-  }
+  for (double p : ps) out.push_back(sorted_rank(sorted, p));
   return out;
 }
 

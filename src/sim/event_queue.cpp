@@ -1,13 +1,21 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace spider::sim {
 
-EventId EventQueue::schedule(SimTime when, EventFn fn) {
+namespace {
+// Below this heap size compaction is pointless; the lazy pop path handles
+// small queues fine and the threshold keeps compact() out of microbenchmarks.
+constexpr std::size_t kCompactMinHeap = 64;
+}  // namespace
+
+EventId EventQueue::schedule(SimTime when, EventFn fn, std::uint64_t site) {
   const EventId id = next_id_++;
-  heap_.push(Entry{when, id});
-  callbacks_.emplace(id, std::move(fn));
+  heap_.push_back(Entry{when, id});
+  std::push_heap(heap_.begin(), heap_.end(), later);
+  callbacks_.emplace(id, Pending{std::move(fn), site});
   ++live_;
   return id;
 }
@@ -17,31 +25,47 @@ bool EventQueue::cancel(EventId id) {
   if (it == callbacks_.end()) return false;
   callbacks_.erase(it);
   --live_;
+  // The heap entry stays behind; once stale entries dominate, sweep them all
+  // so memory stays proportional to live events.
+  if (heap_.size() >= kCompactMinHeap && heap_.size() > 2 * live_) compact();
   return true;
 }
 
+void EventQueue::compact() {
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [this](const Entry& e) {
+                               return !callbacks_.contains(e.id);
+                             }),
+              heap_.end());
+  heap_.shrink_to_fit();
+  std::make_heap(heap_.begin(), heap_.end(), later);
+}
+
 void EventQueue::drop_cancelled() const {
-  while (!heap_.empty() && !callbacks_.contains(heap_.top().id)) {
-    heap_.pop();
+  while (!heap_.empty() && !callbacks_.contains(heap_.front().id)) {
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    heap_.pop_back();
   }
 }
 
 SimTime EventQueue::next_time() const {
   drop_cancelled();
   assert(!heap_.empty());
-  return heap_.top().when;
+  return heap_.front().when;
 }
 
-std::pair<SimTime, EventFn> EventQueue::pop() {
+EventQueue::Fired EventQueue::pop() {
   drop_cancelled();
   assert(!heap_.empty());
-  const Entry e = heap_.top();
-  heap_.pop();
+  const Entry e = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  heap_.pop_back();
   auto it = callbacks_.find(e.id);
-  EventFn fn = std::move(it->second);
+  assert(it != callbacks_.end());
+  Fired fired{e.when, e.id, it->second.site, std::move(it->second.fn)};
   callbacks_.erase(it);
   --live_;
-  return {e.when, std::move(fn)};
+  return fired;
 }
 
 }  // namespace spider::sim

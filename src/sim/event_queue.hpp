@@ -1,14 +1,23 @@
 // Cancellable discrete-event queue.
 //
 // A binary heap keyed on (time, sequence) gives deterministic FIFO ordering
-// for simultaneous events. Cancellation is lazy: cancelled ids are skipped
-// at pop time, which keeps cancel O(1) — important because the flow network
-// cancels and reschedules its next-completion event on every arrival.
+// for simultaneous events. Cancellation is lazy for the heap entry but eager
+// for the callback map: cancel() frees the callback immediately (so captured
+// state is released right away) and stale heap entries are skipped at pop
+// time. When stale entries outnumber live ones the heap is compacted in
+// place, which bounds memory even under cancel-heavy flow rescheduling —
+// the flow network cancels and reschedules its next-completion event on
+// every arrival, so without compaction the heap grows with every reschedule
+// whose cancelled time lies beyond the simulation clock.
+//
+// Each event additionally carries a `site` hash identifying the scheduling
+// call site; the replay harness (sim/replay.hpp) folds it into the event
+// stream hash so divergent runs are localized to the first mismatching
+// (time, id, site) triple.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -21,37 +30,57 @@ using EventFn = std::function<void()>;
 
 class EventQueue {
  public:
-  /// Schedule fn at absolute time `when`. Returns an id usable with cancel().
-  EventId schedule(SimTime when, EventFn fn);
+  /// An event popped for execution.
+  struct Fired {
+    SimTime when = 0;
+    EventId id = 0;
+    std::uint64_t site = 0;  ///< hash of the scheduling call site
+    EventFn fn;
+  };
 
-  /// Cancel a pending event. Cancelling an already-fired or unknown id is a
-  /// harmless no-op (returns false).
+  /// Schedule fn at absolute time `when`. Returns an id usable with cancel().
+  /// `site` is an opaque call-site hash recorded for replay (0 if untracked).
+  EventId schedule(SimTime when, EventFn fn, std::uint64_t site = 0);
+
+  /// Cancel a pending event. The callback is destroyed immediately; the heap
+  /// entry is dropped lazily (or at the next compaction). Cancelling an
+  /// already-fired or unknown id is a harmless no-op (returns false).
   bool cancel(EventId id);
 
   bool empty() const { return live_ == 0; }
   std::size_t size() const { return live_; }
+  /// Heap entries currently held, including cancelled-but-not-yet-dropped
+  /// ones. Exposed so tests can bound memory under cancel-heavy load.
+  std::size_t heap_size() const { return heap_.size(); }
 
   /// Earliest pending event time; only valid when !empty().
   SimTime next_time() const;
 
-  /// Pop the earliest event. Only valid when !empty(). Returns its time and
-  /// callback.
-  std::pair<SimTime, EventFn> pop();
+  /// Pop the earliest event. Only valid when !empty().
+  Fired pop();
 
  private:
   struct Entry {
     SimTime when;
     EventId id;
-    bool operator>(const Entry& o) const {
-      if (when != o.when) return when > o.when;
-      return id > o.id;
-    }
+  };
+  struct Pending {
+    EventFn fn;
+    std::uint64_t site = 0;
   };
 
-  void drop_cancelled() const;
+  static bool later(const Entry& a, const Entry& b) {
+    if (a.when != b.when) return a.when > b.when;
+    return a.id > b.id;
+  }
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  std::unordered_map<EventId, EventFn> callbacks_;
+  void drop_cancelled() const;
+  /// Drop every stale heap entry and re-heapify. Called when stale entries
+  /// outnumber live ones, so total work stays amortized O(log n) per event.
+  void compact();
+
+  mutable std::vector<Entry> heap_;  // min-heap via `later` comparator
+  std::unordered_map<EventId, Pending> callbacks_;
   EventId next_id_ = 1;
   std::size_t live_ = 0;
 };

@@ -5,25 +5,43 @@
 
 namespace spider::sim {
 
-EventId Simulator::schedule_at(SimTime when, EventFn fn) {
-  if (when < now_) throw std::invalid_argument("schedule_at: time in the past");
-  return queue_.schedule(when, std::move(fn));
+std::uint64_t site_hash(const std::source_location& loc) {
+  // FNV-1a over the file name, then fold in the line. The file-name pointer
+  // is stable per translation unit but the *contents* are what we hash, so
+  // the value is reproducible across runs and builds of the same source.
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char* p = loc.file_name(); *p; ++p) {
+    h ^= static_cast<unsigned char>(*p);
+    h *= 1099511628211ull;
+  }
+  h ^= loc.line();
+  h *= 1099511628211ull;
+  return h;
 }
 
-EventId Simulator::schedule_in(SimTime dt, EventFn fn) {
+EventId Simulator::schedule_at(SimTime when, EventFn fn, std::source_location loc) {
+  if (when < now_) throw std::invalid_argument("schedule_at: time in the past");
+  return queue_.schedule(when, std::move(fn), site_hash(loc));
+}
+
+EventId Simulator::schedule_in(SimTime dt, EventFn fn, std::source_location loc) {
   if (dt < 0) throw std::invalid_argument("schedule_in: negative delay");
-  return queue_.schedule(now_ + dt, std::move(fn));
+  return queue_.schedule(now_ + dt, std::move(fn), site_hash(loc));
+}
+
+void Simulator::dispatch(EventQueue::Fired fired) {
+  assert(fired.when >= now_);
+  now_ = fired.when;
+  if (observer_) observer_(fired.when, fired.id, fired.site);
+  fired.fn();
+  ++executed_;
 }
 
 std::uint64_t Simulator::run(SimTime until) {
   std::uint64_t ran = 0;
   while (!queue_.empty() && queue_.next_time() <= until) {
-    auto [when, fn] = queue_.pop();
-    assert(when >= now_);
-    now_ = when;
-    fn();
+    dispatch(queue_.pop());
     ++ran;
-    ++executed_;
   }
   if (queue_.empty()) return ran;
   // Cut off: advance the clock to the horizon so callers can resume.
@@ -33,10 +51,7 @@ std::uint64_t Simulator::run(SimTime until) {
 
 bool Simulator::step() {
   if (queue_.empty()) return false;
-  auto [when, fn] = queue_.pop();
-  now_ = when;
-  fn();
-  ++executed_;
+  dispatch(queue_.pop());
   return true;
 }
 

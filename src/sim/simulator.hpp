@@ -2,21 +2,34 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <limits>
+#include <source_location>
 
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 
 namespace spider::sim {
 
+/// Called for every executed event, before its callback runs: (time, event
+/// id, scheduling-site hash). Used by the deterministic-replay harness
+/// (sim/replay.hpp); keep it cheap — it sits on the hot dispatch path.
+using EventObserver = std::function<void(SimTime, EventId, std::uint64_t)>;
+
+/// Stable hash of a scheduling call site (file name + line), folded into the
+/// replay stream so a divergence names the code that scheduled the event.
+std::uint64_t site_hash(const std::source_location& loc);
+
 class Simulator {
  public:
   SimTime now() const { return now_; }
 
   /// Schedule at an absolute time (must be >= now()).
-  EventId schedule_at(SimTime when, EventFn fn);
+  EventId schedule_at(SimTime when, EventFn fn,
+                      std::source_location loc = std::source_location::current());
   /// Schedule `dt` after now (dt >= 0).
-  EventId schedule_in(SimTime dt, EventFn fn);
+  EventId schedule_in(SimTime dt, EventFn fn,
+                      std::source_location loc = std::source_location::current());
   bool cancel(EventId id) { return queue_.cancel(id); }
 
   /// Run until the queue drains or `until` is reached, whichever is first.
@@ -27,12 +40,18 @@ class Simulator {
   /// Execute exactly one event, if any. Returns true if one ran.
   bool step();
 
+  /// Install (or clear, with nullptr) the per-event observer.
+  void set_observer(EventObserver obs) { observer_ = std::move(obs); }
+
   bool idle() const { return queue_.empty(); }
   std::size_t pending_events() const { return queue_.size(); }
   std::uint64_t executed_events() const { return executed_; }
 
  private:
+  void dispatch(EventQueue::Fired fired);
+
   EventQueue queue_;
+  EventObserver observer_;
   SimTime now_ = 0;
   std::uint64_t executed_ = 0;
 };

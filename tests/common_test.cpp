@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <numeric>
 #include <sstream>
+#include <stdexcept>
 #include <vector>
 
 #include "common/distributions.hpp"
@@ -234,15 +236,69 @@ TEST(Stats, SpreadAndImbalance) {
   EXPECT_DOUBLE_EQ(spread_fraction({}), 0.0);
 }
 
-TEST(Histogram, LinearBinningAndClamping) {
+TEST(Histogram, LinearBinningTracksOutOfRangeExplicitly) {
   LinearHistogram h(0.0, 10.0, 10);
   h.add(0.5);
   h.add(9.5);
-  h.add(-100.0);  // clamps into the first bin
-  h.add(100.0);   // clamps into the last bin
-  EXPECT_EQ(h.count(0), 2u);
-  EXPECT_EQ(h.count(9), 2u);
-  EXPECT_EQ(h.total(), 4u);
+  h.add(-100.0);  // below lo: underflow, NOT folded into bin 0
+  h.add(100.0);   // at/above hi: overflow, NOT folded into bin 9
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 4u);  // totals still conserved
+  // hi itself is outside the half-open range.
+  h.add(10.0);
+  EXPECT_EQ(h.overflow(), 2u);
+}
+
+TEST(Histogram, LinearFractionBetweenIgnoresOutOfRangeMass) {
+  // Regression: out-of-range samples used to clamp into the edge bins and
+  // masquerade as in-range mass, skewing fraction_between (and the figure
+  // regeneration built on it).
+  LinearHistogram h(0.0, 10.0, 10);
+  h.add(2.5);
+  h.add(-1000.0);
+  h.add(1000.0);
+  EXPECT_NEAR(h.fraction_between(0.0, 10.0), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(h.fraction_between(0.0, 1.0), 0.0, 1e-12);
+  EXPECT_NEAR(h.fraction_between(9.0, 10.0), 0.0, 1e-12);
+}
+
+TEST(Histogram, ConstructorValidatesBeforeComputingWidth) {
+  // bins == 0 must throw, not divide by zero while initializing width_.
+  EXPECT_THROW(LinearHistogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(LinearHistogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(LinearHistogram(2.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Log2Histogram(5, 5), std::invalid_argument);
+}
+
+TEST(Histogram, Log2OutOfRangeAndNonPositive) {
+  Log2Histogram h(4, 10);  // bins cover [16, 1024)
+  h.add(20.0);             // in range: 2^4 bin
+  h.add(0.0);              // no binary exponent: underflow
+  h.add(-5.0);             // negative: underflow
+  h.add(1.0);              // 2^0 < 2^4: underflow
+  h.add(4096.0);           // 2^12 >= 2^10: overflow
+  EXPECT_EQ(h.count_for_exp(4), 1u);
+  EXPECT_EQ(h.count_for_exp(9), 0u);  // overflow no longer folded in
+  EXPECT_EQ(h.underflow(), 3u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 5u);
+  // to_string reports the out-of-range mass so it can't silently vanish.
+  const std::string s = h.to_string();
+  EXPECT_NE(s.find("[-inf, 2^4): 3"), std::string::npos);
+  EXPECT_NE(s.find("[2^10, inf): 1"), std::string::npos);
+}
+
+TEST(Histogram, Log2FractionBelowCountsUnderflow) {
+  Log2Histogram h(4, 10);
+  h.add(1.0);     // underflow
+  h.add(20.0);    // 2^4
+  h.add(100.0);   // 2^6
+  h.add(4096.0);  // overflow
+  // Below 64 = 2^6: the underflow sample and the 2^4 sample.
+  EXPECT_NEAR(h.fraction_below(64.0), 2.0 / 4.0, 1e-12);
 }
 
 TEST(Histogram, Log2FractionBelow) {
@@ -297,6 +353,125 @@ TEST(Parallel, InlineWhenSingleThread) {
   int sum = 0;  // no synchronization needed: must run inline
   parallel_for(10, [&](std::size_t i) { sum += static_cast<int>(i); }, 1);
   EXPECT_EQ(sum, 45);
+}
+
+TEST(Parallel, ThreadPoolPropagatesTaskException) {
+  // Regression: an exception escaping a task used to std::terminate the
+  // whole process. Now the first one per batch is rethrown from wait_idle.
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&ran, i] {
+      ++ran;
+      if (i == 25) throw std::runtime_error("task 25 failed");
+    });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 50);  // the failing task didn't kill any worker
+}
+
+TEST(Parallel, ThreadPoolErrorIsClearedPerBatch) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("first batch"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The pool stays usable and the stale error does not resurface.
+  std::atomic<int> ok{0};
+  for (int i = 0; i < 10; ++i) pool.submit([&ok] { ++ok; });
+  EXPECT_NO_THROW(pool.wait_idle());
+  EXPECT_EQ(ok.load(), 10);
+}
+
+TEST(Parallel, ParallelForPropagatesException) {
+  EXPECT_THROW(
+      parallel_for(1000, [](std::size_t i) {
+        if (i == 123) throw std::invalid_argument("boom");
+      }, 8),
+      std::invalid_argument);
+  // Inline path throws too.
+  EXPECT_THROW(
+      parallel_for(10, [](std::size_t i) {
+        if (i == 3) throw std::invalid_argument("boom");
+      }, 1),
+      std::invalid_argument);
+}
+
+// --- stats property tests ---------------------------------------------------
+
+TEST(StatsProperty, PercentileMatchesPercentilesOnRandomInputs) {
+  Rng rng(7001);
+  for (int iter = 0; iter < 50; ++iter) {
+    const std::size_t n = 1 + rng.uniform_index(200);
+    std::vector<double> v(n);
+    for (auto& x : v) x = rng.uniform(-1e6, 1e6);
+    std::vector<double> ps;
+    for (int k = 0; k < 8; ++k) ps.push_back(rng.uniform(0.0, 100.0));
+    ps.insert(ps.end(), {0.0, 50.0, 100.0});
+    const auto batch = percentiles(v, ps);
+    ASSERT_EQ(batch.size(), ps.size());
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+      // Same shared helper underneath -> bit-identical, not just close.
+      EXPECT_DOUBLE_EQ(batch[i], percentile(v, ps[i]))
+          << "iter " << iter << " p=" << ps[i];
+    }
+  }
+}
+
+TEST(StatsProperty, PercentileEdgeCases) {
+  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+  EXPECT_TRUE(percentiles({}, std::vector<double>{25.0, 75.0}) ==
+              (std::vector<double>{0.0, 0.0}));
+  const std::vector<double> one{3.5};
+  EXPECT_DOUBLE_EQ(percentile(one, 0.0), 3.5);
+  EXPECT_DOUBLE_EQ(percentile(one, 37.0), 3.5);
+  EXPECT_DOUBLE_EQ(percentile(one, 100.0), 3.5);
+}
+
+TEST(StatsProperty, MergeMatchesSinglePassOnRandomSplits) {
+  Rng rng(7002);
+  for (int iter = 0; iter < 30; ++iter) {
+    const std::size_t n = rng.uniform_index(300);  // includes n == 0
+    std::vector<double> v(n);
+    for (auto& x : v) x = rng.uniform(-100.0, 100.0);
+    RunningStats all;
+    for (double x : v) all.add(x);
+    // Split at a random point (possibly 0 or n: empty-side merges).
+    const std::size_t cut = rng.uniform_index(n + 1);
+    RunningStats left, right;
+    for (std::size_t i = 0; i < cut; ++i) left.add(v[i]);
+    for (std::size_t i = cut; i < n; ++i) right.add(v[i]);
+    left.merge(right);
+    EXPECT_EQ(left.count(), all.count());
+    EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(left.variance(), all.variance(), 1e-7);
+    EXPECT_DOUBLE_EQ(left.min(), all.min());
+    EXPECT_DOUBLE_EQ(left.max(), all.max());
+    EXPECT_NEAR(left.sum(), all.sum(), 1e-7);
+  }
+}
+
+TEST(StatsProperty, MergeEdgeCases) {
+  // empty.merge(empty)
+  RunningStats a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  // merge into empty
+  RunningStats c, d;
+  d.add(2.0);
+  d.add(4.0);
+  c.merge(d);
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_DOUBLE_EQ(c.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(c.min(), 2.0);
+  EXPECT_DOUBLE_EQ(c.max(), 4.0);
+  // merge of one-element accumulators
+  RunningStats e, f;
+  e.add(1.0);
+  f.add(5.0);
+  e.merge(f);
+  EXPECT_EQ(e.count(), 2u);
+  EXPECT_DOUBLE_EQ(e.mean(), 3.0);
+  EXPECT_NEAR(e.variance(), 8.0, 1e-12);  // sample variance of {1, 5}
 }
 
 }  // namespace

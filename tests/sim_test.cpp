@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
+#include <source_location>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -26,7 +29,7 @@ TEST(EventQueue, FiresInTimeOrder) {
   q.schedule(30, [&] { order.push_back(3); });
   q.schedule(10, [&] { order.push_back(1); });
   q.schedule(20, [&] { order.push_back(2); });
-  while (!q.empty()) q.pop().second();
+  while (!q.empty()) q.pop().fn();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
@@ -36,7 +39,7 @@ TEST(EventQueue, FifoForSimultaneousEvents) {
   q.schedule(5, [&] { order.push_back(1); });
   q.schedule(5, [&] { order.push_back(2); });
   q.schedule(5, [&] { order.push_back(3); });
-  while (!q.empty()) q.pop().second();
+  while (!q.empty()) q.pop().fn();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
@@ -48,7 +51,7 @@ TEST(EventQueue, CancelSkipsEvent) {
   q.schedule(3, [&] { order.push_back(3); });
   EXPECT_TRUE(q.cancel(id));
   EXPECT_FALSE(q.cancel(id));  // double-cancel is a no-op
-  while (!q.empty()) q.pop().second();
+  while (!q.empty()) q.pop().fn();
   EXPECT_EQ(order, (std::vector<int>{1, 3}));
 }
 
@@ -60,6 +63,56 @@ TEST(EventQueue, SizeTracksLiveEvents) {
   q.cancel(a);
   EXPECT_EQ(q.size(), 1u);
   EXPECT_EQ(q.next_time(), 2);
+}
+
+TEST(EventQueue, CancelFreesCallbackStateEagerly) {
+  // The callback (and anything it captures) must be destroyed at cancel
+  // time, not when the stale heap entry finally pops.
+  EventQueue q;
+  auto token = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = token;
+  const EventId id = q.schedule(1000, [token] { (void)*token; });
+  token.reset();
+  EXPECT_FALSE(watch.expired());
+  q.cancel(id);
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(EventQueue, CancelHeavyLoadBoundsMemory) {
+  // Regression: the flow network cancels + reschedules its next-completion
+  // event on every arrival. Stale heap entries whose times lie beyond the
+  // clock used to accumulate without bound; compaction must keep both the
+  // callback map and the heap proportional to *live* events.
+  EventQueue q;
+  q.schedule(1, [] {});  // one live event that never fires
+  constexpr std::size_t kRounds = 1'000'000;
+  for (std::size_t i = 0; i < kRounds; ++i) {
+    // Far-future time: lazy top-of-heap dropping alone never reaches these.
+    const EventId id = q.schedule(static_cast<SimTime>(1'000'000 + i), [] {});
+    ASSERT_TRUE(q.cancel(id));
+  }
+  EXPECT_EQ(q.size(), 1u);        // callbacks_ holds only the live event
+  EXPECT_LE(q.heap_size(), 64u);  // stale entries were compacted away
+  EXPECT_EQ(q.next_time(), 1);
+}
+
+TEST(EventQueue, CompactionPreservesOrderingAndCallbacks) {
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventId> doomed;
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 100; ++i) {
+      doomed.push_back(
+          q.schedule(static_cast<SimTime>(10'000 + round * 100 + i), [] {}));
+    }
+    q.schedule(static_cast<SimTime>(10 * round + 5),
+               [&order, round] { order.push_back(round); });
+    for (const EventId id : doomed) q.cancel(id);
+    doomed.clear();
+  }
+  EXPECT_EQ(q.size(), 10u);
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
 }
 
 TEST(Simulator, RunAdvancesClockAndCounts) {
@@ -95,6 +148,32 @@ TEST(Simulator, EventsCanScheduleMoreEvents) {
   sim.run();
   EXPECT_EQ(chain, 5);
   EXPECT_EQ(sim.now(), 50);
+}
+
+TEST(Simulator, ObserverSeesEveryDispatchedEvent) {
+  Simulator sim;
+  std::vector<std::pair<SimTime, EventId>> seen;
+  sim.set_observer([&](SimTime t, EventId id, std::uint64_t site) {
+    EXPECT_NE(site, 0u);  // scheduling sites are always hashed
+    seen.emplace_back(t, id);
+  });
+  const EventId a = sim.schedule_in(10, [] {});
+  const EventId b = sim.schedule_in(5, [] {});
+  sim.run();
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], (std::pair<SimTime, EventId>{5, b}));
+  EXPECT_EQ(seen[1], (std::pair<SimTime, EventId>{10, a}));
+}
+
+TEST(Simulator, SiteHashIsStablePerLineAndDistinctAcrossLines) {
+  const auto here = std::source_location::current();
+  const auto copy = here;
+  const auto other_line = std::source_location::current();
+  EXPECT_NE(site_hash(here), 0u);
+  // Hashing is content-based (file name chars + line): identical locations
+  // agree, different lines differ — that is what localizes a divergence.
+  EXPECT_EQ(site_hash(here), site_hash(copy));
+  EXPECT_NE(site_hash(here), site_hash(other_line));
 }
 
 TEST(Simulator, RejectsPastAndNegative) {
