@@ -37,9 +37,9 @@ int main() {
                                   0.80, 0.90, 0.95};
   for (double f : fills) {
     center.set_fleet_fullness(f);
-    workload::IorConfig cfg;
-    cfg.clients = center.total_osts() * 2;
-    const auto r = workload::run_ior(center, cfg);
+    workload::IorConfig ior_cfg;
+    ior_cfg.clients = center.total_osts() * 2;
+    const auto r = workload::run_ior(center, ior_cfg);
     agg.push_back(r.aggregate_bw);
     table.add_row({f * 100.0, to_gbps(r.aggregate_bw), r.aggregate_bw / agg[0]});
   }

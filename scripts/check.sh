@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
-# Correctness gate: sanitized builds + deterministic-replay verification.
+# Correctness gate: lint + sanitized builds + deterministic-replay
+# verification.
 #
-# Builds the address and undefined sanitizer presets, runs the full test
-# suite under each, then runs the deterministic-replay test twice in fresh
-# processes and diffs the replay hashes — proving the simulation core is
-# reproducible across process boundaries, not just within one.
+# Stage 0 runs the static-analysis pass (spiderlint, plus clang-tidy when
+# installed — see docs/static-analysis.md); it is the cheapest stage, so it
+# goes first. Then the address and undefined sanitizer presets build and run
+# the full test suite, and finally the deterministic-replay test runs twice
+# in fresh processes and the replay hashes are diffed — proving the
+# simulation core is reproducible across process boundaries, not just
+# within one.
 #
 # Usage: scripts/check.sh [build-root]   (default: build-check/)
 set -euo pipefail
@@ -12,6 +16,9 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_ROOT="${1:-build-check}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "=== [lint] spiderlint + clang-tidy ==="
+BUILD_DIR="${BUILD_ROOT}/lint" scripts/lint.sh
 
 run_preset() {
   local preset="$1"

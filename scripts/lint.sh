@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Static-analysis driver: spiderlint (always) + clang-tidy (when installed).
+#
+# spiderlint is the in-tree determinism & unit-safety pass (rules L1-L4,
+# see docs/static-analysis.md); clang-tidy adds the generic bugprone /
+# concurrency / performance checks configured in .clang-tidy.
+#
+# Usage: scripts/lint.sh [--fix-hints] [--json] [path...]
+#   --fix-hints   print spiderlint fix-it hints and the per-rule digest
+#   --json        spiderlint emits machine-readable JSON instead of text
+#   path...       files or directories to lint (default: src/)
+#
+# Exit codes: 0 clean, 1 findings (either tool), 2 environment/usage error.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+SPIDERLINT_ARGS=()
+PATHS=()
+for arg in "$@"; do
+  case "$arg" in
+    --fix-hints) SPIDERLINT_ARGS+=(--fix-hints) ;;
+    --json)      SPIDERLINT_ARGS+=(--format=json) ;;
+    --*)         echo "unknown option: $arg" >&2; exit 2 ;;
+    *)           PATHS+=("$arg") ;;
+  esac
+done
+if [ "${#PATHS[@]}" -eq 0 ]; then PATHS=(src); fi
+
+# Build (or refresh) the spiderlint binary; export compile commands so a
+# clang-tidy pass can piggyback on the same build tree.
+if [ ! -f "${BUILD_DIR}/CMakeCache.txt" ]; then
+  cmake -B "${BUILD_DIR}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+fi
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target spiderlint > /dev/null
+
+echo "=== spiderlint ==="
+status=0
+"${BUILD_DIR}/tools/spiderlint" "${SPIDERLINT_ARGS[@]+"${SPIDERLINT_ARGS[@]}"}" \
+    "${PATHS[@]}" || status=$?
+if [ "$status" -ge 2 ]; then exit "$status"; fi
+
+# clang-tidy is optional tooling (not in every container image): run it when
+# present, note the skip when not — never fail for a missing binary.
+if command -v clang-tidy > /dev/null 2>&1; then
+  if [ ! -f "${BUILD_DIR}/compile_commands.json" ]; then
+    cmake -B "${BUILD_DIR}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+  fi
+  echo "=== clang-tidy ==="
+  mapfile -t tidy_sources < <(find "${PATHS[@]}" -name '*.cpp' ! -path '*/lint_fixtures/*' | sort)
+  if [ "${#tidy_sources[@]}" -gt 0 ]; then
+    clang-tidy -p "${BUILD_DIR}" --quiet "${tidy_sources[@]}" || status=1
+  fi
+else
+  echo "=== clang-tidy: not installed, skipping (spiderlint still ran) ==="
+fi
+
+if [ "$status" -eq 0 ]; then
+  echo "OK: lint clean"
+else
+  echo "FAIL: lint findings above" >&2
+fi
+exit "$status"

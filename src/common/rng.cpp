@@ -42,15 +42,20 @@ double Rng::uniform() {
 double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
 
 std::uint64_t Rng::uniform_index(std::uint64_t n) {
-  // Lemire's multiply-shift rejection method.
+  // Lemire's multiply-shift rejection method. __int128 is a GNU extension,
+  // hence the pedantic-warning escape hatch around it.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wpedantic"
+  using U128 = unsigned __int128;
+#pragma GCC diagnostic pop
   std::uint64_t x = (*this)();
-  unsigned __int128 m = static_cast<unsigned __int128>(x) * n;
+  U128 m = static_cast<U128>(x) * n;
   auto l = static_cast<std::uint64_t>(m);
   if (l < n) {
     const std::uint64_t t = -n % n;
     while (l < t) {
       x = (*this)();
-      m = static_cast<unsigned __int128>(x) * n;
+      m = static_cast<U128>(x) * n;
       l = static_cast<std::uint64_t>(m);
     }
   }

@@ -30,6 +30,16 @@ inline constexpr Bytes operator""_PB(unsigned long long v) { return v * 1000ULL 
 /// Bandwidth in bytes per second.
 using Bandwidth = double;
 
+/// Fractional byte volume (averages, rate×time integrals) where the exact
+/// integer `Bytes` is not meaningful. Still bytes — the name carries the
+/// unit so spiderlint rule L3 (raw-unit-double) can hold declarations to it.
+using ByteVolume = double;
+
+/// A duration in seconds, for quantities outside the simulator's integer
+/// nanosecond clock (sim/time.hpp) — wall-time estimates, measured
+/// latencies, statistical summaries.
+using Seconds = double;
+
 inline constexpr Bandwidth kMiBps = 1024.0 * 1024.0;
 inline constexpr Bandwidth kMBps = 1e6;
 inline constexpr Bandwidth kGBps = 1e9;

@@ -6,10 +6,10 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "fs/fs_namespace.hpp"
@@ -45,7 +45,7 @@ class FileSystem {
  private:
   std::string name_;
   std::vector<std::unique_ptr<FsNamespace>> namespaces_;
-  std::unordered_map<std::uint32_t, std::size_t> project_ns_;
+  std::map<std::uint32_t, std::size_t> project_ns_;
 };
 
 }  // namespace spider::fs

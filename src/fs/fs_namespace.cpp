@@ -134,8 +134,8 @@ double FsNamespace::fullness() const {
   return cap == 0 ? 1.0 : static_cast<double>(used()) / static_cast<double>(cap);
 }
 
-std::unordered_map<std::uint32_t, Bytes> FsNamespace::usage_by_project() const {
-  std::unordered_map<std::uint32_t, Bytes> usage;
+std::map<std::uint32_t, Bytes> FsNamespace::usage_by_project() const {
+  std::map<std::uint32_t, Bytes> usage;
   for_each_file([&usage](const FileRecord& rec) { usage[rec.project] += rec.size; });
   return usage;
 }

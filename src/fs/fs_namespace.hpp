@@ -9,10 +9,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <optional>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -79,7 +79,9 @@ class FsNamespace {
   double fullness() const;
   std::uint64_t live_files() const { return live_files_; }
   std::uint64_t total_created() const { return total_created_; }
-  std::unordered_map<std::uint32_t, Bytes> usage_by_project() const;
+  /// Per-project usage, ordered by project id so reports and snapshot
+  /// consumers (LustreDU) see a canonical order.
+  std::map<std::uint32_t, Bytes> usage_by_project() const;
 
   /// Aggregate OST-side bandwidth (server-side ceiling is the center
   /// model's business).

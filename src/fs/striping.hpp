@@ -10,8 +10,8 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -55,7 +55,7 @@ class OstAllocator {
   bool qos_eligible(const Ost& o, double mean_fullness) const;
 
   std::vector<Ost*> osts_;
-  std::unordered_map<std::uint32_t, std::size_t> index_of_id_;
+  std::map<std::uint32_t, std::size_t> index_of_id_;
   AllocatorMode mode_;
   std::size_t rr_cursor_ = 0;
 };

@@ -46,7 +46,7 @@ struct QaMeasurement {
 struct QaReport {
   sim::SimTime when = 0;
   std::size_t osts_tested = 0;
-  double fleet_write_bw = 0.0;  ///< aggregate of per-OST results
+  Bandwidth fleet_write_bw = 0.0;  ///< aggregate of per-OST results
   std::vector<std::uint32_t> regressed_osts;
   /// Mean ratio of thin-region (fresh) to production-region bandwidth —
   /// the paper's full-vs-fresh comparison.

@@ -80,6 +80,10 @@ class EventQueue {
   void compact();
 
   mutable std::vector<Entry> heap_;  // min-heap via `later` comparator
+  // Pure lookup table: only find/contains/erase by id, never iterated, and
+  // pop order is fixed by `later`'s total order on (when, id) — so hash
+  // layout cannot leak into simulation results.
+  // spiderlint: ordered-ok
   std::unordered_map<EventId, Pending> callbacks_;
   EventId next_id_ = 1;
   std::size_t live_ = 0;

@@ -97,25 +97,20 @@ void FlowNetwork::resolve() {
     completion_scheduled_ = false;
   }
 
-  // Stable ordering: solve over flows sorted by id for determinism.
-  std::vector<FlowId> ids;
-  ids.reserve(flows_.size());
-  for (const auto& [id, f] : flows_) ids.push_back(id);
-  std::sort(ids.begin(), ids.end());
-
+  // flows_ is id-ordered, so the solver sees flows in a canonical sequence
+  // and rate/float-sum results depend only on the live flow set.
   std::vector<SolverFlow> sf;
-  sf.reserve(ids.size());
-  for (FlowId id : ids) {
-    const ActiveFlow& f = flows_.at(id);
+  sf.reserve(flows_.size());
+  for (const auto& [id, f] : flows_) {
     sf.push_back(SolverFlow{f.path, f.rate_cap});
   }
   const SolveResult res = solve_max_min(capacity_, sf);
 
   aggregate_rate_ = 0.0;
   double min_completion_s = kUnbounded;
-  for (std::size_t i = 0; i < ids.size(); ++i) {
-    ActiveFlow& f = flows_.at(ids[i]);
-    f.rate = res.rate[i];
+  std::size_t i = 0;
+  for (auto& [id, f] : flows_) {
+    f.rate = res.rate[i++];
     aggregate_rate_ += f.rate;
     if (f.rate > 0.0) {
       min_completion_s = std::min(min_completion_s, f.remaining / f.rate);
@@ -137,7 +132,8 @@ void FlowNetwork::on_completion_event() {
   completion_scheduled_ = false;
   advance_progress();
   // Collect finished flows (remaining ~ 0), fire callbacks after erasing so
-  // callbacks may start new flows re-entrantly.
+  // callbacks may start new flows re-entrantly. The id-ordered walk makes
+  // both the total_delivered_ sum and the callback order canonical.
   std::vector<std::pair<FlowId, std::function<void(FlowId, SimTime)>>> done;
   for (auto it = flows_.begin(); it != flows_.end();) {
     if (it->second.remaining <= kRemainingEps * (1.0 + it->second.remaining)) {
@@ -148,9 +144,6 @@ void FlowNetwork::on_completion_event() {
       ++it;
     }
   }
-  // Deterministic callback order.
-  std::sort(done.begin(), done.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
   const SimTime now = sim_.now();
   for (auto& [id, cb] : done) {
     if (cb) cb(id, now);

@@ -12,8 +12,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/resource.hpp"
@@ -88,7 +88,11 @@ class FlowNetwork {
   std::vector<std::string> names_;
   std::vector<double> capacity_;
   std::vector<ResourceStats> stats_;
-  std::unordered_map<FlowId, ActiveFlow> flows_;
+  /// Ordered by FlowId so every walk — progress integration, solver input,
+  /// completion collection — visits flows in the same sequence regardless of
+  /// insertion/cancellation history. Float accumulation order is therefore a
+  /// function of the live flow set alone, never of hash-table state.
+  std::map<FlowId, ActiveFlow> flows_;
   FlowId next_flow_id_ = 1;
   SimTime last_update_ = 0;
   EventId completion_event_ = 0;

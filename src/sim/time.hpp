@@ -25,6 +25,7 @@ inline constexpr SimTime from_seconds(double s) {
 }
 
 /// Convert SimTime to fractional seconds.
+// spiderlint: units-ok — this IS the unit boundary: SimTime -> raw seconds
 inline constexpr double to_seconds(SimTime t) {
   return static_cast<double>(t) / static_cast<double>(kSecond);
 }

@@ -67,7 +67,7 @@ void DdnPoller::record(ControllerSample sample) {
   while (samples_.size() > retention_) samples_.pop_front();
 }
 
-double DdnPoller::mean_write_bw(std::uint32_t controller, sim::SimTime since) const {
+Bandwidth DdnPoller::mean_write_bw(std::uint32_t controller, sim::SimTime since) const {
   double acc = 0.0;
   std::size_t n = 0;
   for (const auto& s : samples_) {
@@ -79,7 +79,7 @@ double DdnPoller::mean_write_bw(std::uint32_t controller, sim::SimTime since) co
   return n == 0 ? 0.0 : acc / static_cast<double>(n);
 }
 
-double DdnPoller::mean_read_bw(std::uint32_t controller, sim::SimTime since) const {
+Bandwidth DdnPoller::mean_read_bw(std::uint32_t controller, sim::SimTime since) const {
   double acc = 0.0;
   std::size_t n = 0;
   for (const auto& s : samples_) {
@@ -91,7 +91,7 @@ double DdnPoller::mean_read_bw(std::uint32_t controller, sim::SimTime since) con
   return n == 0 ? 0.0 : acc / static_cast<double>(n);
 }
 
-double DdnPoller::peak_total_bw(sim::SimTime since) const {
+Bandwidth DdnPoller::peak_total_bw(sim::SimTime since) const {
   // Peak of per-timestamp totals.
   std::map<sim::SimTime, double> totals;
   for (const auto& s : samples_) {

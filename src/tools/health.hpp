@@ -111,9 +111,9 @@ class DdnPoller {
   std::size_t samples() const { return samples_.size(); }
 
   /// Standardized queries (the "reports" admins pull from the database).
-  double mean_write_bw(std::uint32_t controller, sim::SimTime since) const;
-  double mean_read_bw(std::uint32_t controller, sim::SimTime since) const;
-  double peak_total_bw(sim::SimTime since) const;
+  Bandwidth mean_write_bw(std::uint32_t controller, sim::SimTime since) const;
+  Bandwidth mean_read_bw(std::uint32_t controller, sim::SimTime since) const;
+  Bandwidth peak_total_bw(sim::SimTime since) const;
 
  private:
   std::deque<ControllerSample> samples_;

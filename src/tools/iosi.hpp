@@ -14,6 +14,8 @@
 #include <span>
 #include <vector>
 
+#include "common/units.hpp"
+
 namespace spider::tools {
 
 struct IosiSignature {
@@ -21,7 +23,7 @@ struct IosiSignature {
   double period_s = 0.0;
   double burst_duration_s = 0.0;
   /// Mean bytes moved per burst.
-  double burst_bytes = 0.0;
+  ByteVolume burst_bytes = 0.0;
   /// Fraction of runs agreeing with the consensus period (within 10%).
   double confidence = 0.0;
   std::size_t bursts_seen = 0;
@@ -43,7 +45,7 @@ struct IosiConfig {
 struct DetectedBurst {
   double start_s = 0.0;
   double duration_s = 0.0;
-  double bytes = 0.0;
+  ByteVolume bytes = 0.0;
 };
 
 /// Burst detection in a single server-side throughput log.

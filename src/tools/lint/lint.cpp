@@ -1,0 +1,108 @@
+#include "tools/lint/lint.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace spider::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool lintable_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h" ||
+         ext == ".hh";
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+std::vector<std::string> collect_sources(const std::vector<std::string>& paths,
+                                         std::vector<std::string>& errors) {
+  std::vector<std::string> files;
+  for (const std::string& p : paths) {
+    std::error_code ec;
+    const fs::file_status st = fs::status(p, ec);
+    if (ec || st.type() == fs::file_type::not_found) {
+      errors.push_back("cannot access: " + p);
+      continue;
+    }
+    if (fs::is_directory(st)) {
+      for (fs::recursive_directory_iterator it(p, ec), end; it != end;
+           it.increment(ec)) {
+        if (ec) break;
+        if (it->is_regular_file() && lintable_extension(it->path())) {
+          files.push_back(it->path().generic_string());
+        }
+      }
+      if (ec) errors.push_back("error walking: " + p + " (" + ec.message() + ")");
+    } else {
+      files.push_back(fs::path(p).generic_string());
+    }
+  }
+  // Sorted + deduplicated so runs are reproducible regardless of readdir
+  // order — a lint about determinism had better be deterministic itself.
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+std::vector<Finding> lint_scanned(const SourceFile& file,
+                                  const LintOptions& opts,
+                                  const SourceFile* paired_header) {
+  const FileClass cls = opts.forced_class.has_value()
+                            ? *opts.forced_class
+                            : classify_path(file.path);
+  return lint_file(file, cls, paired_header, opts.rules);
+}
+
+LintReport lint_paths(const std::vector<std::string>& paths,
+                      const LintOptions& opts,
+                      std::vector<std::string>& errors) {
+  LintReport report;
+  for (const std::string& path : collect_sources(paths, errors)) {
+    const std::optional<std::string> contents = read_file(path);
+    if (!contents.has_value()) {
+      errors.push_back("cannot read: " + path);
+      continue;
+    }
+    const SourceFile file = scan_source(path, *contents);
+    ++report.files_scanned;
+
+    // Pair foo.cpp with a sibling foo.hpp (or .h/.hh) for L1 tracking.
+    SourceFile header;
+    const SourceFile* paired = nullptr;
+    const fs::path p(path);
+    if (p.extension() == ".cpp" || p.extension() == ".cc") {
+      for (const char* ext : {".hpp", ".h", ".hh"}) {
+        fs::path candidate = p;
+        candidate.replace_extension(ext);
+        const std::optional<std::string> header_text =
+            read_file(candidate.generic_string());
+        if (header_text.has_value()) {
+          header = scan_source(candidate.generic_string(), *header_text);
+          paired = &header;
+          break;
+        }
+      }
+    }
+
+    std::vector<Finding> found = lint_scanned(file, opts, paired);
+    report.findings.insert(report.findings.end(),
+                           std::make_move_iterator(found.begin()),
+                           std::make_move_iterator(found.end()));
+  }
+  return report;
+}
+
+}  // namespace spider::lint

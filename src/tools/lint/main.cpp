@@ -1,0 +1,128 @@
+// spiderlint CLI — determinism & unit-safety static analysis for spiderpfs.
+//
+// Usage: spiderlint [options] <path>...
+//   --format=text|json   output format (default text)
+//   --fix-hints          include fix-it hints and a per-rule digest (text)
+//   --rules=L1,L3        run only the listed rules (default: all)
+//   --treat-as=CLASS     force file classification: sim-critical, src,
+//                        header (repeatable; for linting fixtures that live
+//                        outside src/)
+//   --list-rules         print the rule table and exit
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tools/lint/lint.hpp"
+
+namespace {
+
+void print_rule_table() {
+  for (const spider::lint::RuleInfo& r : spider::lint::rules()) {
+    std::printf("%s %-20s %-7s %s\n    suppress: // spiderlint: %s\n",
+                std::string(r.id).c_str(), std::string(r.name).c_str(),
+                std::string(to_string(r.severity)).c_str(),
+                std::string(r.summary).c_str(),
+                std::string(r.suppression).c_str());
+  }
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--format=text|json] [--fix-hints] [--rules=L1,..]\n"
+               "       [--treat-as=sim-critical|src|header]... [--list-rules]"
+               " <path>...\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace spider::lint;
+
+  LintOptions opts;
+  bool json = false;
+  bool fix_hints = false;
+  std::vector<std::string> paths;
+  FileClass forced;
+  bool have_forced = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--list-rules") {
+      print_rule_table();
+      return 0;
+    } else if (arg == "--fix-hints") {
+      fix_hints = true;
+    } else if (arg.starts_with("--format=")) {
+      const std::string_view fmt = arg.substr(9);
+      if (fmt == "json") {
+        json = true;
+      } else if (fmt != "text") {
+        std::fprintf(stderr, "spiderlint: unknown format '%.*s'\n",
+                     static_cast<int>(fmt.size()), fmt.data());
+        return usage(argv[0]);
+      }
+    } else if (arg.starts_with("--rules=")) {
+      opts.rules = RuleSet{false, false, false, false};
+      std::string_view list = arg.substr(8);
+      while (!list.empty()) {
+        const std::size_t comma = list.find(',');
+        const std::string_view id = list.substr(0, comma);
+        if (id == "L1") {
+          opts.rules.l1 = true;
+        } else if (id == "L2") {
+          opts.rules.l2 = true;
+        } else if (id == "L3") {
+          opts.rules.l3 = true;
+        } else if (id == "L4") {
+          opts.rules.l4 = true;
+        } else {
+          std::fprintf(stderr, "spiderlint: unknown rule '%.*s'\n",
+                       static_cast<int>(id.size()), id.data());
+          return usage(argv[0]);
+        }
+        if (comma == std::string_view::npos) break;
+        list.remove_prefix(comma + 1);
+      }
+    } else if (arg.starts_with("--treat-as=")) {
+      const std::string_view cls = arg.substr(11);
+      if (cls == "sim-critical") {
+        forced.sim_critical = true;
+        forced.in_src = true;
+      } else if (cls == "src") {
+        forced.in_src = true;
+      } else if (cls == "header") {
+        forced.is_header = true;
+      } else {
+        std::fprintf(stderr, "spiderlint: unknown class '%.*s'\n",
+                     static_cast<int>(cls.size()), cls.data());
+        return usage(argv[0]);
+      }
+      have_forced = true;
+    } else if (arg.starts_with("--")) {
+      std::fprintf(stderr, "spiderlint: unknown option '%s'\n", argv[i]);
+      return usage(argv[0]);
+    } else {
+      paths.emplace_back(arg);
+    }
+  }
+  if (paths.empty()) return usage(argv[0]);
+  if (have_forced) opts.forced_class = forced;
+
+  std::vector<std::string> errors;
+  const LintReport report = lint_paths(paths, opts, errors);
+  for (const std::string& err : errors) {
+    std::fprintf(stderr, "spiderlint: %s\n", err.c_str());
+  }
+
+  const std::string rendered =
+      json ? render_json(report) : render_text(report, fix_hints);
+  std::fputs(rendered.c_str(), stdout);
+
+  if (!errors.empty()) return 2;
+  return report.clean() ? 0 : 1;
+}

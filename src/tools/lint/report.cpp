@@ -1,0 +1,93 @@
+#include "tools/lint/report.hpp"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace spider::lint {
+
+std::size_t LintReport::errors() const {
+  std::size_t n = 0;
+  for (const Finding& f : findings) {
+    if (f.severity == Severity::kError) ++n;
+  }
+  return n;
+}
+
+std::size_t LintReport::warnings() const {
+  return findings.size() - errors();
+}
+
+std::string render_text(const LintReport& report, bool fix_hints) {
+  std::ostringstream out;
+  for (const Finding& f : report.findings) {
+    out << f.file << ':' << f.line << ':' << f.column << ": "
+        << to_string(f.severity) << ": [" << f.rule << "] " << f.message
+        << '\n';
+    if (fix_hints && !f.hint.empty()) {
+      out << "    hint: " << f.hint << '\n';
+    }
+  }
+  if (report.clean()) {
+    out << "spiderlint: clean (" << report.files_scanned << " files)\n";
+  } else {
+    out << "spiderlint: " << report.findings.size() << " finding"
+        << (report.findings.size() == 1 ? "" : "s") << " ("
+        << report.errors() << " errors, " << report.warnings()
+        << " warnings) in " << report.files_scanned << " files\n";
+    if (fix_hints) {
+      // Per-rule digest so a long report still ends with the fix story.
+      std::map<std::string, std::size_t> by_rule;
+      for (const Finding& f : report.findings) ++by_rule[f.rule];
+      for (const auto& [id, count] : by_rule) {
+        const RuleInfo* info = rule(id);
+        out << "  " << id << " (" << count << "): "
+            << (info != nullptr ? info->hint : std::string_view("")) << '\n';
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string render_json(const LintReport& report) {
+  std::ostringstream out;
+  out << "{\"version\": 1, \"files_scanned\": " << report.files_scanned
+      << ", \"counts\": {\"error\": " << report.errors()
+      << ", \"warning\": " << report.warnings() << "}, \"findings\": [";
+  for (std::size_t i = 0; i < report.findings.size(); ++i) {
+    const Finding& f = report.findings[i];
+    if (i > 0) out << ", ";
+    out << "{\"rule\": \"" << json_escape(f.rule) << "\", \"severity\": \""
+        << to_string(f.severity) << "\", \"file\": \"" << json_escape(f.file)
+        << "\", \"line\": " << f.line << ", \"column\": " << f.column
+        << ", \"message\": \"" << json_escape(f.message)
+        << "\", \"hint\": \"" << json_escape(f.hint) << "\"}";
+  }
+  out << "]}\n";
+  return out.str();
+}
+
+}  // namespace spider::lint

@@ -1,0 +1,36 @@
+// spiderlint output rendering: human text and machine JSON.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tools/lint/rules.hpp"
+
+namespace spider::lint {
+
+/// Aggregate result of a lint run.
+struct LintReport {
+  std::vector<Finding> findings;
+  std::size_t files_scanned = 0;
+  std::size_t errors() const;
+  std::size_t warnings() const;
+  bool clean() const { return findings.empty(); }
+};
+
+/// gcc-style text: `file:line:col: severity: [Lx] message`, one per
+/// finding, followed by a summary line. With `fix_hints`, each finding's
+/// hint is printed indented underneath and a per-rule hint digest closes
+/// the report.
+std::string render_text(const LintReport& report, bool fix_hints);
+
+/// Stable machine-readable JSON for CI:
+/// {"version":1,"files_scanned":N,
+///  "counts":{"error":E,"warning":W},
+///  "findings":[{"rule","severity","file","line","column","message","hint"}]}
+std::string render_json(const LintReport& report);
+
+/// Escape a string for embedding in a JSON string literal.
+std::string json_escape(std::string_view s);
+
+}  // namespace spider::lint

@@ -1,0 +1,416 @@
+#include "tools/lint/rules.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace spider::lint {
+
+namespace {
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+const std::vector<RuleInfo> kRules = {
+    {"L1", "unordered-iteration", Severity::kError,
+     "unordered_map/unordered_set in sim-critical directories "
+     "(src/sim, src/block, src/fs, src/net): iteration and float-sum order "
+     "depend on hash/rehash history",
+     "ordered-ok",
+     "use std::map or sorted-key iteration; a pure lookup table whose order "
+     "never leaks may be justified with // spiderlint: ordered-ok"},
+    {"L2", "nondet-source", Severity::kError,
+     "wall-clock or ambient randomness in src/ (std::random_device, rand, "
+     "time(), *_clock, mt19937 outside common/rng)",
+     "nondet-ok",
+     "draw randomness from a seeded spider::Rng (common/rng.hpp) and time "
+     "from Simulator::now(); justify true host-time uses with "
+     "// spiderlint: nondet-ok"},
+    {"L3", "raw-unit-double", Severity::kWarning,
+     "raw double in a public header whose name carries a unit "
+     "(*_bytes, *_seconds, *_bw, latency*)",
+     "units-ok",
+     "use the units.hpp vocabulary (Bytes, ByteVolume, Bandwidth, Seconds) "
+     "so the unit lives in the type; dimensionless factors may be justified "
+     "with // spiderlint: units-ok"},
+    {"L4", "replay-site", Severity::kError,
+     "schedule()/reschedule() without a scheduling site: replay divergence "
+     "cannot be localized to the call site",
+     "site-ok",
+     "pass a std::source_location (or site hash) through the scheduling "
+     "call, or use Simulator::schedule_at/schedule_in which capture it "
+     "automatically"},
+};
+
+/// Extract the text between the '(' at (line_index, col) and its matching
+/// ')', spanning lines if necessary. Returns what was collected even if the
+/// file ends first.
+std::string balanced_args(const SourceFile& file, std::size_t line_index,
+                          std::size_t open_col) {
+  std::string args;
+  int depth = 0;
+  const std::size_t max_lines = 40;
+  for (std::size_t l = line_index;
+       l < file.lines.size() && l < line_index + max_lines; ++l) {
+    const std::string& code = file.lines[l].code;
+    std::size_t i = (l == line_index) ? open_col : 0;
+    for (; i < code.size(); ++i) {
+      const char c = code[i];
+      if (c == '(') {
+        ++depth;
+        if (depth == 1) continue;  // skip the outer '('
+      } else if (c == ')') {
+        --depth;
+        if (depth == 0) return args;
+      }
+      if (depth >= 1) args.push_back(c);
+    }
+    args.push_back(' ');  // line break inside the argument list
+  }
+  return args;
+}
+
+void add_finding(std::vector<Finding>& out, const RuleInfo& info,
+                 const SourceFile& file, std::size_t line_index,
+                 std::size_t col, std::string message) {
+  Finding f;
+  f.rule = std::string(info.id);
+  f.severity = info.severity;
+  f.file = file.path;
+  f.line = line_index + 1;
+  f.column = col + 1;
+  f.message = std::move(message);
+  f.hint = std::string(info.hint);
+  out.push_back(std::move(f));
+}
+
+// --- L1: unordered containers in sim-critical code -------------------------
+
+/// Names of variables (members, locals, params) declared with an unordered
+/// container type in `file`.
+std::set<std::string> unordered_idents(const SourceFile& file) {
+  std::set<std::string> idents;
+  for (const Line& line : file.lines) {
+    const std::string& code = line.code;
+    for (std::string_view tok : {"unordered_map", "unordered_set"}) {
+      std::size_t pos = find_word(code, tok);
+      while (pos != std::string::npos) {
+        std::size_t i = pos + tok.size();
+        if (i < code.size() && code[i] == '<') {
+          // Balance template args on this line to find the declared name.
+          int depth = 0;
+          for (; i < code.size(); ++i) {
+            if (code[i] == '<') ++depth;
+            if (code[i] == '>' && --depth == 0) {
+              ++i;
+              break;
+            }
+          }
+          while (i < code.size() && (code[i] == ' ' || code[i] == '&')) ++i;
+          std::size_t j = i;
+          while (j < code.size() && ident_char(code[j])) ++j;
+          if (j > i && ident_start(code[i])) {
+            std::size_t k = j;
+            while (k < code.size() && code[k] == ' ') ++k;
+            // `name(` is a function returning the container, not a variable.
+            if (k >= code.size() || code[k] != '(') {
+              idents.insert(std::string(code.substr(i, j - i)));
+            }
+          }
+        }
+        pos = find_word(code, tok, pos + 1);
+      }
+    }
+  }
+  return idents;
+}
+
+void run_l1(const SourceFile& file, const SourceFile* paired_header,
+            std::vector<Finding>& out) {
+  const RuleInfo& info = *rule("L1");
+  std::set<std::string> tracked = unordered_idents(file);
+  if (paired_header != nullptr) {
+    std::set<std::string> from_header = unordered_idents(*paired_header);
+    tracked.insert(from_header.begin(), from_header.end());
+  }
+
+  for (std::size_t l = 0; l < file.lines.size(); ++l) {
+    const Line& line = file.lines[l];
+    if (is_preprocessor(line)) continue;  // #include <unordered_map> et al.
+    const std::string& code = line.code;
+
+    // Any use of the type itself.
+    for (std::string_view tok : {"unordered_map", "unordered_set"}) {
+      const std::size_t pos = find_word(code, tok);
+      if (pos == std::string::npos) continue;
+      if (has_suppression(file, l, info.suppression)) continue;
+      add_finding(out, info, file, l, pos,
+                  "std::" + std::string(tok) + " in sim-critical code");
+    }
+
+    // Iteration over a tracked identifier: range-for (`: ident`) or an
+    // explicit iterator walk (`ident.begin()`).
+    for (const std::string& ident : tracked) {
+      std::size_t pos = find_word(code, ident);
+      while (pos != std::string::npos) {
+        bool iterates = false;
+        // `for (... : ident)` — previous non-space is a lone ':'.
+        std::size_t p = pos;
+        while (p > 0 && code[p - 1] == ' ') --p;
+        if (p > 0 && code[p - 1] == ':' && (p < 2 || code[p - 2] != ':') &&
+            find_word(code, "for") != std::string::npos) {
+          iterates = true;
+        }
+        // `ident.begin()` / `.cbegin()` / `.rbegin()`.
+        const std::string_view after =
+            std::string_view(code).substr(pos + ident.size());
+        if (after.starts_with(".begin(") || after.starts_with(".cbegin(") ||
+            after.starts_with(".rbegin(")) {
+          iterates = true;
+        }
+        if (iterates && !has_suppression(file, l, info.suppression)) {
+          add_finding(out, info, file, l, pos,
+                      "iteration over unordered container '" + ident + "'");
+          break;  // one finding per line per identifier is enough
+        }
+        pos = find_word(code, ident, pos + 1);
+      }
+    }
+  }
+}
+
+// --- L2: nondeterminism sources --------------------------------------------
+
+void run_l2(const SourceFile& file, const FileClass& cls,
+            std::vector<Finding>& out) {
+  const RuleInfo& info = *rule("L2");
+  struct Token {
+    std::string_view text;
+    bool needs_call;  // must be followed by '('
+  };
+  static const Token kTokens[] = {
+      {"random_device", false}, {"rand", true},
+      {"srand", true},          {"time", true},
+      {"clock", true},          {"gettimeofday", false},
+      {"clock_gettime", false}, {"system_clock", false},
+      {"steady_clock", false},  {"high_resolution_clock", false},
+  };
+
+  for (std::size_t l = 0; l < file.lines.size(); ++l) {
+    const Line& line = file.lines[l];
+    if (is_preprocessor(line)) continue;
+    const std::string& code = line.code;
+
+    for (const Token& tok : kTokens) {
+      std::size_t pos = find_word(code, tok.text);
+      while (pos != std::string::npos) {
+        std::size_t i = pos + tok.text.size();
+        while (i < code.size() && code[i] == ' ') ++i;
+        const bool is_call = i < code.size() && code[i] == '(';
+        if ((!tok.needs_call || is_call) &&
+            !has_suppression(file, l, info.suppression)) {
+          add_finding(out, info, file, l, pos,
+                      "nondeterminism source '" + std::string(tok.text) +
+                          "' — simulations must not read ambient "
+                          "randomness or wall-clock time");
+          break;
+        }
+        pos = find_word(code, tok.text, pos + 1);
+      }
+    }
+
+    // mt19937 / mt19937_64: allowed only inside common/rng (the one place
+    // engines may live); elsewhere RNGs must come through spider::Rng.
+    if (!cls.rng_home) {
+      std::size_t pos = code.find("mt19937");
+      while (pos != std::string::npos) {
+        if ((pos == 0 || !ident_char(code[pos - 1])) &&
+            !has_suppression(file, l, info.suppression)) {
+          add_finding(out, info, file, l, pos,
+                      "mt19937 constructed outside common/rng — use "
+                      "spider::Rng so seeding stays explicit");
+          break;
+        }
+        pos = code.find("mt19937", pos + 1);
+      }
+    }
+  }
+}
+
+// --- L3: raw unit-bearing doubles in public headers ------------------------
+
+bool unit_bearing_name(std::string_view ident) {
+  return ident.ends_with("_bytes") || ident.ends_with("_seconds") ||
+         ident.ends_with("_bw") || ident.starts_with("latency") ||
+         ident == "bytes" || ident == "seconds" || ident == "bw";
+}
+
+void run_l3(const SourceFile& file, std::vector<Finding>& out) {
+  const RuleInfo& info = *rule("L3");
+  for (std::size_t l = 0; l < file.lines.size(); ++l) {
+    const Line& line = file.lines[l];
+    if (is_preprocessor(line)) continue;
+    const std::string& code = line.code;
+
+    std::size_t pos = find_word(code, "double");
+    while (pos != std::string::npos) {
+      std::size_t i = pos + 6;
+      while (i < code.size() && code[i] == ' ') ++i;
+      std::size_t j = i;
+      while (j < code.size() && ident_char(code[j])) ++j;
+      if (j > i && ident_start(code[i])) {
+        const std::string_view ident = std::string_view(code).substr(i, j - i);
+        if (unit_bearing_name(ident) &&
+            !has_suppression(file, l, info.suppression)) {
+          add_finding(out, info, file, l, pos,
+                      "raw double '" + std::string(ident) +
+                          "' carries a unit in its name");
+        }
+      }
+      pos = find_word(code, "double", pos + 1);
+    }
+  }
+}
+
+// --- L4: scheduling sites ---------------------------------------------------
+
+bool args_carry_site(std::string_view args) {
+  return args.find("site") != std::string_view::npos ||
+         args.find("source_location") != std::string_view::npos ||
+         find_word(args, "loc") != std::string_view::npos;
+}
+
+void run_l4(const SourceFile& file, std::vector<Finding>& out) {
+  const RuleInfo& info = *rule("L4");
+  for (std::size_t l = 0; l < file.lines.size(); ++l) {
+    const Line& line = file.lines[l];
+    if (is_preprocessor(line)) continue;
+    const std::string& code = line.code;
+
+    // Call sites: obj.schedule(...) / obj->reschedule(...).
+    for (std::string_view tok : {"schedule", "reschedule"}) {
+      std::size_t pos = find_word(code, tok);
+      while (pos != std::string::npos) {
+        const bool member_call =
+            (pos >= 1 && code[pos - 1] == '.') ||
+            (pos >= 2 && code[pos - 2] == '-' && code[pos - 1] == '>');
+        std::size_t i = pos + tok.size();
+        if (member_call && i < code.size() && code[i] == '(') {
+          const std::string args = balanced_args(file, l, i);
+          if (!args_carry_site(args) &&
+              !has_suppression(file, l, info.suppression)) {
+            add_finding(out, info, file, l, pos,
+                        "call to " + std::string(tok) +
+                            "() drops the scheduling site");
+          }
+        }
+        pos = find_word(code, tok, pos + 1);
+      }
+    }
+
+    // Declarations/definitions of scheduling entry points taking a callback:
+    // the parameter list must carry a source_location or site hash.
+    for (std::string_view tok :
+         {"schedule", "reschedule", "schedule_at", "schedule_in"}) {
+      std::size_t pos = find_word(code, tok);
+      while (pos != std::string::npos) {
+        const bool qualified =
+            pos >= 2 && code[pos - 1] == ':' && code[pos - 2] == ':';
+        const bool after_type = pos >= 2 && code[pos - 1] == ' ' &&
+                                ident_char(code[pos - 2]);
+        std::size_t i = pos + tok.size();
+        if ((qualified || after_type) && i < code.size() && code[i] == '(') {
+          const std::string args = balanced_args(file, l, i);
+          const bool takes_callback =
+              args.find("EventFn") != std::string::npos ||
+              args.find("std::function") != std::string::npos;
+          if (takes_callback && !args_carry_site(args) &&
+              !has_suppression(file, l, info.suppression)) {
+            add_finding(out, info, file, l, pos,
+                        std::string(tok) +
+                            "() takes a callback but no scheduling site "
+                            "parameter");
+          }
+        }
+        pos = find_word(code, tok, pos + 1);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::string_view to_string(Severity s) {
+  return s == Severity::kError ? "error" : "warning";
+}
+
+const std::vector<RuleInfo>& rules() { return kRules; }
+
+const RuleInfo* rule(std::string_view id) {
+  for (const RuleInfo& r : kRules) {
+    if (r.id == id) return &r;
+  }
+  return nullptr;
+}
+
+bool RuleSet::enabled(std::string_view id) const {
+  if (id == "L1") return l1;
+  if (id == "L2") return l2;
+  if (id == "L3") return l3;
+  if (id == "L4") return l4;
+  return false;
+}
+
+FileClass classify_path(std::string_view path) {
+  FileClass cls;
+  // Split on '/' and look for the "src" component.
+  std::vector<std::string_view> parts;
+  std::size_t start = 0;
+  while (start <= path.size()) {
+    std::size_t slash = path.find('/', start);
+    if (slash == std::string_view::npos) slash = path.size();
+    if (slash > start) parts.push_back(path.substr(start, slash - start));
+    start = slash + 1;
+  }
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (parts[i] != "src") continue;
+    cls.in_src = true;
+    if (i + 1 < parts.size()) {
+      const std::string_view sub = parts[i + 1];
+      cls.sim_critical =
+          sub == "sim" || sub == "block" || sub == "fs" || sub == "net";
+      cls.rng_home = sub == "common" && i + 2 < parts.size() &&
+                     (parts[i + 2] == "rng.cpp" || parts[i + 2] == "rng.hpp");
+    }
+    break;
+  }
+  if (!parts.empty()) {
+    const std::string_view base = parts.back();
+    cls.is_header = base.ends_with(".hpp") || base.ends_with(".h") ||
+                    base.ends_with(".hh");
+  }
+  return cls;
+}
+
+std::vector<Finding> lint_file(const SourceFile& file, const FileClass& cls,
+                               const SourceFile* paired_header,
+                               const RuleSet& enabled) {
+  std::vector<Finding> out;
+  if (enabled.l1 && cls.sim_critical) run_l1(file, paired_header, out);
+  if (enabled.l2 && cls.in_src) run_l2(file, cls, out);
+  if (enabled.l3 && cls.in_src && cls.is_header) run_l3(file, out);
+  if (enabled.l4 && cls.in_src) run_l4(file, out);
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    if (a.line != b.line) return a.line < b.line;
+    if (a.column != b.column) return a.column < b.column;
+    return a.rule < b.rule;
+  });
+  return out;
+}
+
+}  // namespace spider::lint

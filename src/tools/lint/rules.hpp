@@ -1,0 +1,95 @@
+// spiderlint rules: project-specific determinism & unit-safety checks.
+//
+// The simulator's claims (fair-share splits, congestion envelopes, slow-disk
+// culling distributions) are only meaningful if runs are reproducible.
+// PR 1 made divergence observable (sim/replay.hpp); these rules make the
+// usual sources of divergence unmergeable:
+//
+//   L1 unordered-iteration  (error)   no unordered_map/unordered_set in
+//       sim-critical directories (src/sim, src/block, src/fs, src/net):
+//       iteration order — and therefore float-sum order — depends on
+//       hash/rehash history. Suppress: // spiderlint: ordered-ok
+//   L2 nondet-source        (error)   no wall-clock or ambient randomness
+//       anywhere in src/ (std::random_device, rand, time(), system_clock,
+//       mt19937 outside common/rng). Suppress: // spiderlint: nondet-ok
+//   L3 raw-unit-double      (warning) a raw `double` in a public header
+//       whose name carries a unit (*_bytes, *_seconds, *_bw, latency*)
+//       must use the units.hpp vocabulary types instead.
+//       Suppress: // spiderlint: units-ok
+//   L4 replay-site          (error)   bare schedule()/reschedule() entry
+//       points must carry the scheduling site (std::source_location or a
+//       site hash) so replay divergence stays localizable.
+//       Suppress: // spiderlint: site-ok
+//
+// A suppression is a trailing comment on the flagged line (or a comment-only
+// line directly above): `// spiderlint: <token> — <reason>`. Reasons are
+// required by policy (docs/static-analysis.md), not by the tool.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tools/lint/scan.hpp"
+
+namespace spider::lint {
+
+enum class Severity { kWarning, kError };
+
+std::string_view to_string(Severity s);
+
+/// One rule violation.
+struct Finding {
+  std::string rule;        ///< "L1".."L4"
+  Severity severity = Severity::kError;
+  std::string file;
+  std::size_t line = 0;    ///< 1-based
+  std::size_t column = 0;  ///< 1-based
+  std::string message;
+  std::string hint;        ///< fix-it hint
+};
+
+/// Static metadata for one rule.
+struct RuleInfo {
+  std::string_view id;
+  std::string_view name;
+  Severity severity;
+  std::string_view summary;
+  std::string_view suppression;  ///< suppression token, e.g. "ordered-ok"
+  std::string_view hint;
+};
+
+/// All rules, in id order.
+const std::vector<RuleInfo>& rules();
+/// Lookup by id ("L1"); nullptr when unknown.
+const RuleInfo* rule(std::string_view id);
+
+/// Which rules run.
+struct RuleSet {
+  bool l1 = true;
+  bool l2 = true;
+  bool l3 = true;
+  bool l4 = true;
+  bool enabled(std::string_view id) const;
+};
+
+/// How a file is scoped for rule applicability.
+struct FileClass {
+  bool in_src = false;        ///< under src/: L2, L4 apply
+  bool sim_critical = false;  ///< under src/{sim,block,fs,net}: L1 applies
+  bool is_header = false;     ///< *.hpp/*.h: L3 applies
+  bool rng_home = false;      ///< src/common/rng.*: mt19937 exempt from L2
+};
+
+/// Classify a path by its directory components and extension.
+FileClass classify_path(std::string_view path);
+
+/// Run the enabled rules over one scanned file. `paired_header`, when given,
+/// seeds L1's identifier tracking with the file's own header (so a .cpp
+/// iterating a member declared unordered in its .hpp is caught).
+std::vector<Finding> lint_file(const SourceFile& file, const FileClass& cls,
+                               const SourceFile* paired_header = nullptr,
+                               const RuleSet& enabled = {});
+
+}  // namespace spider::lint

@@ -1,0 +1,194 @@
+#include "tools/lint/scan.hpp"
+
+#include <cctype>
+
+namespace spider::lint {
+
+namespace {
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Lexer mode carried across lines.
+enum class Mode {
+  kNormal,
+  kBlockComment,
+  kRawString,  // inside R"delim( ... )delim"
+};
+
+}  // namespace
+
+SourceFile scan_source(std::string path, std::string_view contents) {
+  SourceFile out;
+  out.path = std::move(path);
+
+  Mode mode = Mode::kNormal;
+  std::string raw_delim;  // the `)delim"` terminator of an open raw string
+
+  std::size_t start = 0;
+  while (start <= contents.size()) {
+    const std::size_t nl = contents.find('\n', start);
+    std::string_view text = contents.substr(
+        start, nl == std::string_view::npos ? std::string_view::npos
+                                            : nl - start);
+    if (!text.empty() && text.back() == '\r') text.remove_suffix(1);
+
+    Line line;
+    line.raw.assign(text);
+    line.code.assign(text.size(), ' ');
+
+    std::size_t i = 0;
+    while (i < text.size()) {
+      if (mode == Mode::kBlockComment) {
+        const std::size_t end = text.find("*/", i);
+        const std::size_t stop = end == std::string_view::npos ? text.size() : end;
+        line.comment.append(text.substr(i, stop - i));
+        if (end == std::string_view::npos) {
+          i = text.size();
+        } else {
+          i = end + 2;
+          mode = Mode::kNormal;
+        }
+        continue;
+      }
+      if (mode == Mode::kRawString) {
+        const std::size_t end = text.find(raw_delim, i);
+        if (end == std::string_view::npos) {
+          i = text.size();
+        } else {
+          i = end + raw_delim.size();
+          line.code[i - 1] = '"';  // keep the closing quote as code
+          mode = Mode::kNormal;
+        }
+        continue;
+      }
+
+      const char c = text[i];
+      // Line comment.
+      if (c == '/' && i + 1 < text.size() && text[i + 1] == '/') {
+        line.comment.append(text.substr(i + 2));
+        i = text.size();
+        continue;
+      }
+      // Block comment.
+      if (c == '/' && i + 1 < text.size() && text[i + 1] == '*') {
+        i += 2;
+        mode = Mode::kBlockComment;
+        continue;
+      }
+      // Raw string literal: R"delim( ... )delim".
+      if (c == '"' && i >= 1 && text[i - 1] == 'R' &&
+          !(i >= 2 && ident_char(text[i - 2]))) {
+        line.code[i] = '"';
+        std::size_t j = i + 1;
+        std::string delim;
+        while (j < text.size() && text[j] != '(') delim.push_back(text[j++]);
+        raw_delim = ")" + delim + "\"";
+        i = j + 1;
+        mode = Mode::kRawString;
+        continue;
+      }
+      // String / char literal (contents blanked, delimiters kept).
+      if (c == '"' || c == '\'') {
+        line.code[i] = c;
+        std::size_t j = i + 1;
+        while (j < text.size()) {
+          if (text[j] == '\\' && j + 1 < text.size()) {
+            j += 2;
+            continue;
+          }
+          if (text[j] == c) break;
+          ++j;
+        }
+        if (j < text.size()) {
+          line.code[j] = c;
+          i = j + 1;
+        } else {
+          i = text.size();  // unterminated: blank to end of line
+        }
+        continue;
+      }
+      line.code[i] = c;
+      ++i;
+    }
+
+    out.lines.push_back(std::move(line));
+    if (nl == std::string_view::npos) break;
+    start = nl + 1;
+  }
+  return out;
+}
+
+bool is_preprocessor(const Line& line) {
+  for (char c : line.code) {
+    if (c == ' ' || c == '\t') continue;
+    return c == '#';
+  }
+  return false;
+}
+
+namespace {
+
+/// True when `comment` contains `spiderlint:` followed (comma/space
+/// separated) by `token`.
+bool comment_has_token(std::string_view comment, std::string_view token) {
+  std::size_t pos = comment.find("spiderlint:");
+  while (pos != std::string_view::npos) {
+    std::string_view rest = comment.substr(pos + 11);
+    // Tokens run until something that is neither ident-ish nor '-'/','/' '.
+    std::size_t i = 0;
+    while (i < rest.size()) {
+      while (i < rest.size() && (rest[i] == ' ' || rest[i] == ',')) ++i;
+      std::size_t j = i;
+      while (j < rest.size() && (ident_char(rest[j]) || rest[j] == '-')) ++j;
+      if (j == i) break;
+      if (rest.substr(i, j - i) == token) return true;
+      i = j;
+    }
+    pos = comment.find("spiderlint:", pos + 11);
+  }
+  return false;
+}
+
+/// A line whose code is blank (only whitespace) but which has comment text.
+bool comment_only(const Line& line) {
+  if (line.comment.empty()) return false;
+  for (char c : line.code) {
+    if (c != ' ' && c != '\t') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool has_suppression(const SourceFile& file, std::size_t index,
+                     std::string_view token) {
+  if (index >= file.lines.size()) return false;
+  if (comment_has_token(file.lines[index].comment, token)) return true;
+  // A standalone suppression comment immediately above also applies.
+  if (index > 0 && comment_only(file.lines[index - 1]) &&
+      comment_has_token(file.lines[index - 1].comment, token)) {
+    return true;
+  }
+  return false;
+}
+
+bool is_word_at(std::string_view text, std::size_t pos, std::size_t len) {
+  if (pos + len > text.size()) return false;
+  if (pos > 0 && ident_char(text[pos - 1])) return false;
+  if (pos + len < text.size() && ident_char(text[pos + len])) return false;
+  return true;
+}
+
+std::size_t find_word(std::string_view text, std::string_view word,
+                      std::size_t from) {
+  std::size_t pos = text.find(word, from);
+  while (pos != std::string_view::npos) {
+    if (is_word_at(text, pos, word.size())) return pos;
+    pos = text.find(word, pos + 1);
+  }
+  return std::string_view::npos;
+}
+
+}  // namespace spider::lint

@@ -1,0 +1,64 @@
+// spiderlint source scanner: a lightweight, line-oriented C++ lexer.
+//
+// spiderlint deliberately avoids libclang: the rules it enforces (see
+// rules.hpp) are lexical properties — "this token appears on this line in
+// this directory" — so a comment/string-aware line scanner is sufficient,
+// builds in milliseconds, and has no dependency the CI image must carry.
+//
+// The scanner splits each physical line into:
+//   - `code`: the line with comment bodies and string/char-literal contents
+//     blanked out (replaced by spaces, preserving column positions), so
+//     rules never fire on prose or on tokens quoted inside literals;
+//   - `comment`: the concatenated comment text of the line, where
+//     suppression directives (`spiderlint: <token>`) live.
+//
+// Handled lexical forms: `//` and `/* */` (including multi-line), string
+// and character literals with escapes, and raw strings `R"delim(...)delim"`.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spider::lint {
+
+/// One physical source line after lexical classification.
+struct Line {
+  std::string raw;      ///< original text (no trailing newline)
+  std::string code;     ///< literals/comments blanked; columns preserved
+  std::string comment;  ///< concatenated comment text on this line
+};
+
+/// A scanned source file.
+struct SourceFile {
+  std::string path;
+  std::vector<Line> lines;
+};
+
+/// Lex `contents` into classified lines. Never fails: unterminated
+/// constructs are treated as extending to end-of-file.
+SourceFile scan_source(std::string path, std::string_view contents);
+
+/// True when the line's first non-space code character is `#`.
+bool is_preprocessor(const Line& line);
+
+/// True when line `index` (0-based) carries the suppression `token`
+/// (e.g. "ordered-ok"), either in a trailing comment on the line itself or
+/// in a comment-only line immediately above:
+///   flagged_code();             // spiderlint: ordered-ok — reason
+///   // spiderlint: ordered-ok — reason
+///   flagged_code();
+bool has_suppression(const SourceFile& file, std::size_t index,
+                     std::string_view token);
+
+/// True when `text[pos, pos+len)` is a whole identifier-like token: the
+/// characters on both sides are not `[A-Za-z0-9_]`.
+bool is_word_at(std::string_view text, std::size_t pos, std::size_t len);
+
+/// Find the next whole-word occurrence of `word` in `text` at or after
+/// `from`; npos when absent.
+std::size_t find_word(std::string_view text, std::string_view word,
+                      std::size_t from = 0);
+
+}  // namespace spider::lint

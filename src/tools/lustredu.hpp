@@ -8,7 +8,7 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 
 #include "common/units.hpp"
 #include "fs/fs_namespace.hpp"
@@ -44,7 +44,8 @@ class LustreDu {
   DuCost usage(std::uint32_t project) const;
 
  private:
-  std::unordered_map<std::uint32_t, Bytes> usage_;
+  /// Ordered by project id: the daily snapshot enumerates deterministically.
+  std::map<std::uint32_t, Bytes> usage_;
   sim::SimTime last_scan_ = 0;
   bool scanned_ = false;
 };

@@ -21,9 +21,9 @@ struct ScheduleResult {
   /// Chosen phase offset (seconds) per application, parallel to the input.
   std::vector<double> offsets;
   /// Peak aggregate burst bandwidth with everything at phase 0.
-  double naive_peak_bw = 0.0;
+  Bandwidth naive_peak_bw = 0.0;
   /// Peak aggregate burst bandwidth with the chosen offsets.
-  double scheduled_peak_bw = 0.0;
+  Bandwidth scheduled_peak_bw = 0.0;
   /// naive/scheduled peak ratio (>1 means the schedule helped).
   double peak_reduction = 1.0;
 };

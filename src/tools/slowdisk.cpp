@@ -137,10 +137,10 @@ CullingReport run_culling(std::span<block::Ssu> ssus, const CullingConfig& cfg,
       auto& grp = ssu.group(refs[i].group);
       // Disk-level statistics, measured the way the paper did it: per-member
       // service-latency sampling; members with outlying medians get pulled.
-      const auto report = measure_member_latencies(grp, cfg.request_size,
-                                                   cfg.latency_samples, rng);
+      const auto latencies = measure_member_latencies(grp, cfg.request_size,
+                                                      cfg.latency_samples, rng);
       for (std::size_t m :
-           flag_slow_members(report, cfg.latency_flag_factor)) {
+           flag_slow_members(latencies, cfg.latency_flag_factor)) {
         ssu.replace_disk(refs[i].group, m, rng);
         ++replaced;
       }

@@ -21,6 +21,7 @@
 
 #include "block/ssu.hpp"
 #include "common/rng.hpp"
+#include "common/units.hpp"
 
 namespace spider::tools {
 
@@ -39,7 +40,7 @@ struct CullingConfig {
   /// median-of-medians by this factor is flagged for replacement ("Disks
   /// accumulating higher I/O request service latencies were identified
   /// and replaced").
-  double latency_flag_factor = 1.04;
+  double latency_flag_factor = 1.04;  // spiderlint: units-ok — dimensionless multiplier
   /// Service-time samples drawn per member when examining a group.
   std::size_t latency_samples = 200;
 };
@@ -66,7 +67,7 @@ std::vector<std::size_t> flag_slow_members(const MemberLatencyReport& report,
 
 struct CullingRound {
   std::size_t round = 0;
-  double fleet_mean_bw = 0.0;          ///< bytes/s per group
+  Bandwidth fleet_mean_bw = 0.0;       ///< bytes/s per group
   double worst_intra_ssu_spread = 0.0; ///< (max-min)/max within worst SSU
   double fleet_spread = 0.0;           ///< max |bw - mean| / mean
   std::size_t disks_replaced = 0;
@@ -76,8 +77,8 @@ struct CullingReport {
   std::vector<CullingRound> rounds;
   std::size_t total_disks_replaced = 0;
   bool converged = false;
-  double final_fleet_mean_bw = 0.0;
-  double initial_fleet_mean_bw = 0.0;
+  Bandwidth final_fleet_mean_bw = 0.0;
+  Bandwidth initial_fleet_mean_bw = 0.0;
 };
 
 /// Run the iterative culling workflow over a fleet of SSUs (mutates them:

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "sim/flow_network.hpp"
+#include "sim/replay.hpp"
 #include "sim/simulator.hpp"
 
 namespace spider::sim {
@@ -186,6 +188,151 @@ TEST_F(Fixture, ManyFlowsConserveBytes) {
   EXPECT_EQ(completions, 50);
   EXPECT_NEAR(net.total_delivered(), expected, expected * 1e-5);
   EXPECT_NEAR(net.stats(a).served, expected, expected * 2e-5);
+}
+
+// --- insertion-order / hash-order regression (spiderlint rule L1) ----------
+//
+// FlowNetwork used to keep active flows in an unordered_map and walk it on
+// the progress-integration path, so float-sum order — and therefore the
+// telemetry feeding slow-disk culling and congestion envelopes — depended
+// on hash-table history (bucket growth from long-gone flows). These tests
+// pin the fix: every walk is id-ordered, so results are a function of the
+// live flow set alone.
+
+/// Everything observable about one scenario run, keyed by flow description
+/// index (not by FlowId, which depends on start order/history).
+struct ScenarioResult {
+  std::vector<double> rate_at_start;  ///< per desc, right after activation
+  std::vector<SimTime> completed_at;  ///< per desc
+  std::vector<ResourceStats> stats;   ///< per measured resource
+};
+
+/// Start `sizes[i]` over a 4-resource network (description index i keeps a
+/// fixed path/cap shape). With `churn`, batches of short-lived flows on a
+/// separate resource are started and cancelled around the real starts; the
+/// batch sizes are tuned so real flow ids land far apart and collide modulo
+/// a typical hash-table bucket count (121 and 248 mod 127), the situation
+/// that visibly reordered the old unordered_map's iteration. The surviving
+/// real flows must not care about any of it.
+ScenarioResult run_scenario(const std::vector<double>& sizes, bool churn) {
+  Simulator sim;
+  FlowNetwork net(sim);
+  const ResourceId r0 = net.add_resource("r0", 100.0 / 3.0);
+  const ResourceId r1 = net.add_resource("r1", 70.0 / 3.0);
+  const ResourceId r2 = net.add_resource("r2", 55.0 / 7.0);
+  const ResourceId r3 = net.add_resource("r3", 41.0 / 9.0);
+  const ResourceId chaff_r = net.add_resource("chaff", 1024.0);
+
+  auto churn_flows = [&](int count) {
+    std::vector<FlowId> chaff_ids;
+    for (int i = 0; i < count; ++i) {
+      FlowDesc d;
+      d.path = {{chaff_r, 1.0}};
+      d.size = 1.0;
+      chaff_ids.push_back(net.start_flow(std::move(d)));
+    }
+    for (FlowId id : chaff_ids) net.cancel_flow(id);
+  };
+
+  ScenarioResult result;
+  result.rate_at_start.resize(sizes.size());
+  result.completed_at.resize(sizes.size(), -1);
+
+  std::vector<FlowId> id_of(sizes.size());
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    if (churn && i == 0) churn_flows(120);  // real ids start at 121
+    if (churn && i == 5) churn_flows(122);  // 6th real id = 248 = 121 + 127
+    FlowDesc d;
+    // Path shape cycles through the measured resources; every flow crosses
+    // at least two so fair-share coupling is real.
+    switch (i % 4) {
+      case 0: d.path = {{r0, 1.0}, {r1, 1.0}}; break;
+      case 1: d.path = {{r1, 1.0}, {r2, 1.0}}; break;
+      case 2: d.path = {{r2, 1.0}, {r3, 1.0}}; break;
+      default: d.path = {{r3, 1.0}, {r0, 1.0}}; break;
+    }
+    d.size = sizes[i];
+    // Distinct inexact cap per flow: fair-share ties would give every flow
+    // on a bottleneck the *same* rate, and reordered sums of equal values
+    // round identically — hiding iteration-order bugs. Distinct rates make
+    // per-resource telemetry sums sensitive to walk order.
+    d.rate_cap = (7.0 + static_cast<double>(i)) / 3.0;
+    d.on_complete = [&result, i](FlowId, SimTime t) {
+      result.completed_at[i] = t;
+    };
+    id_of[i] = net.start_flow(std::move(d));
+  }
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    result.rate_at_start[i] = net.flow_rate(id_of[i]);
+  }
+  sim.run();
+  for (ResourceId r : {r0, r1, r2, r3}) result.stats.push_back(net.stats(r));
+  return result;
+}
+
+/// Bitwise comparison of two runs (EXPECT_EQ on doubles, no tolerance):
+/// determinism means identical, not merely close.
+void expect_identical(const ScenarioResult& a, const ScenarioResult& b) {
+  ASSERT_EQ(a.rate_at_start.size(), b.rate_at_start.size());
+  for (std::size_t i = 0; i < a.rate_at_start.size(); ++i) {
+    EXPECT_EQ(a.rate_at_start[i], b.rate_at_start[i]) << "flow " << i;
+    EXPECT_EQ(a.completed_at[i], b.completed_at[i]) << "flow " << i;
+  }
+  ASSERT_EQ(a.stats.size(), b.stats.size());
+  for (std::size_t r = 0; r < a.stats.size(); ++r) {
+    EXPECT_EQ(a.stats[r].served, b.stats[r].served) << "resource " << r;
+    EXPECT_EQ(a.stats[r].busy_integral, b.stats[r].busy_integral)
+        << "resource " << r;
+    EXPECT_EQ(a.stats[r].flows_seen, b.stats[r].flows_seen) << "resource " << r;
+  }
+}
+
+TEST(FlowOrderRegression, FlowTableHistoryDoesNotChangeAllocations) {
+  // Deliberately inexact sizes: any change in float-summation order would
+  // show up bitwise in served/busy_integral.
+  std::vector<double> sizes;
+  for (int i = 0; i < 20; ++i) sizes.push_back(10.0 * (i + 1) / 3.0);
+  const ScenarioResult clean = run_scenario(sizes, /*churn=*/false);
+  const ScenarioResult churned = run_scenario(sizes, /*churn=*/true);
+  expect_identical(clean, churned);
+}
+
+TEST(FlowOrderRegression, StartOrderDoesNotChangeAllocations) {
+  // Exactly-representable sizes/capacities make float sums associative, so
+  // even the reversed id-assignment must reproduce results bitwise.
+  Simulator sim_a, sim_b;
+  FlowNetwork net_a(sim_a), net_b(sim_b);
+  for (FlowNetwork* net : {&net_a, &net_b}) {
+    net->add_resource("x", 256.0);
+    net->add_resource("y", 128.0);
+  }
+  auto start_all = [](Simulator&, FlowNetwork& net, bool reversed) {
+    std::vector<FlowId> ids(8);
+    for (std::size_t k = 0; k < 8; ++k) {
+      const std::size_t i = reversed ? 7 - k : k;
+      FlowDesc d;
+      d.path = i % 2 ? std::vector<PathHop>{{1, 1.0}}
+                     : std::vector<PathHop>{{0, 1.0}, {1, 1.0}};
+      d.size = 64.0 * (1 + static_cast<double>(i));
+      ids[i] = net.start_flow(std::move(d));
+    }
+    return ids;
+  };
+  const std::vector<FlowId> ids_a = start_all(sim_a, net_a, false);
+  const std::vector<FlowId> ids_b = start_all(sim_b, net_b, true);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(net_a.flow_rate(ids_a[i]), net_b.flow_rate(ids_b[i]))
+        << "flow " << i;
+  }
+  sim_a.run();
+  sim_b.run();
+  EXPECT_EQ(net_a.total_delivered(), net_b.total_delivered());
+
+  // The telemetry hash the replay gate uses must agree too.
+  ReplayRecorder rec_a, rec_b;
+  rec_a.record_resource_stats(net_a);
+  rec_b.record_resource_stats(net_b);
+  EXPECT_EQ(rec_a.stats_hash(), rec_b.stats_hash());
 }
 
 }  // namespace

@@ -1,0 +1,19 @@
+// Fixture for spiderlint rule L1 (unordered-iteration).
+//
+// Linted as if it lived in a sim-critical directory: the unordered_map
+// member declaration fires, and so does the range-for over it.
+#include <unordered_map>
+
+namespace fixture {
+
+struct FlowTable {
+  std::unordered_map<int, double> flows_;
+
+  double total() const {
+    double sum = 0.0;
+    for (const auto& [id, f] : flows_) sum += f;
+    return sum;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture for spiderlint rule L2 (nondet-source).
+//
+// Linted as if it lived under src/: ambient hardware randomness fires.
+#include <random>
+
+namespace fixture {
+
+inline unsigned seed_from_hardware() {
+  std::random_device rd;
+  return rd();
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture for spiderlint rule L3 (raw-unit-double).
+//
+// Linted as a public header: a raw double whose name carries a unit must
+// use the units.hpp vocabulary types instead.
+#pragma once
+
+namespace fixture {
+
+struct TransferStats {
+  double transfer_bytes = 0.0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture for spiderlint rule L4 (replay-site).
+//
+// Linted as if it lived under src/: a bare schedule() call that carries no
+// scheduling site (std::source_location / site hash) fires.
+namespace fixture {
+
+struct Queue {
+  void schedule(long when, int id, int site);
+};
+
+inline void arm(Queue& q) {
+  q.schedule(100, 1);
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Fixture for spiderlint suppressions: the same constructs that fire in the
+// violation fixtures stay quiet when carrying a justified suppression
+// comment, either trailing or on the line directly above.
+#include <unordered_map>
+
+namespace fixture {
+
+struct LookupOnly {
+  // Pure lookup table, never iterated.
+  // spiderlint: ordered-ok
+  std::unordered_map<int, double> by_id_;
+
+  double get(int id) const {
+    auto it = by_id_.find(id);
+    return it == by_id_.end() ? 0.0 : it->second;
+  }
+};
+
+struct Sample {
+  double window_seconds = 0.0;  // spiderlint: units-ok — config knob, stays raw
+};
+
+}  // namespace fixture

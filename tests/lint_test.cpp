@@ -1,0 +1,160 @@
+// spiderlint self-tests: each rule fires on its fixture at the exact line,
+// suppressions silence it, and both renderers carry the findings.
+//
+// Fixtures live in tests/lint_fixtures/ (outside src/, so the in-tree lint
+// gate never sees them); classification is forced per fixture the same way
+// the CLI's --treat-as does it.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tools/lint/lint.hpp"
+#include "tools/lint/report.hpp"
+#include "tools/lint/rules.hpp"
+#include "tools/lint/scan.hpp"
+
+namespace spider::lint {
+namespace {
+
+std::string fixture(const std::string& name) {
+  return std::string(SPIDER_LINT_FIXTURES_DIR) + "/" + name;
+}
+
+LintReport lint_fixture(const std::string& name, FileClass cls) {
+  LintOptions opts;
+  opts.forced_class = cls;
+  std::vector<std::string> errors;
+  LintReport report = lint_paths({fixture(name)}, opts, errors);
+  EXPECT_TRUE(errors.empty()) << (errors.empty() ? "" : errors.front());
+  return report;
+}
+
+constexpr FileClass kSimCritical{.in_src = true, .sim_critical = true};
+constexpr FileClass kSrc{.in_src = true};
+constexpr FileClass kSrcHeader{.in_src = true, .is_header = true};
+
+TEST(SpiderLint, L1FiresOnDeclarationAndIteration) {
+  const LintReport r =
+      lint_fixture("l1_unordered_iteration.cpp", kSimCritical);
+  ASSERT_EQ(r.findings.size(), 2u);
+  EXPECT_EQ(r.findings[0].rule, "L1");
+  EXPECT_EQ(r.findings[0].line, 10u);  // unordered_map member declaration
+  EXPECT_EQ(r.findings[0].severity, Severity::kError);
+  EXPECT_EQ(r.findings[1].rule, "L1");
+  EXPECT_EQ(r.findings[1].line, 14u);  // range-for over the tracked member
+  EXPECT_NE(r.findings[1].message.find("flows_"), std::string::npos);
+}
+
+TEST(SpiderLint, L2FiresOnAmbientRandomness) {
+  const LintReport r = lint_fixture("l2_nondet_source.cpp", kSrc);
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "L2");
+  EXPECT_EQ(r.findings[0].line, 9u);  // std::random_device rd;
+  EXPECT_EQ(r.findings[0].severity, Severity::kError);
+  EXPECT_NE(r.findings[0].message.find("random_device"), std::string::npos);
+}
+
+TEST(SpiderLint, L3FiresOnUnitBearingDoubleInHeader) {
+  const LintReport r = lint_fixture("l3_raw_unit_double.hpp", kSrcHeader);
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "L3");
+  EXPECT_EQ(r.findings[0].line, 10u);  // double transfer_bytes
+  EXPECT_EQ(r.findings[0].severity, Severity::kWarning);
+  EXPECT_NE(r.findings[0].message.find("transfer_bytes"), std::string::npos);
+}
+
+TEST(SpiderLint, L3NeedsHeaderScope) {
+  // The same file linted as a non-header translation unit stays quiet:
+  // L3 is a public-interface rule.
+  const LintReport r = lint_fixture("l3_raw_unit_double.hpp", kSrc);
+  EXPECT_TRUE(r.clean());
+}
+
+TEST(SpiderLint, L4FiresOnSitelessSchedule) {
+  const LintReport r = lint_fixture("l4_missing_site.cpp", kSrc);
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "L4");
+  EXPECT_EQ(r.findings[0].line, 12u);  // q.schedule(100, 1);
+  EXPECT_EQ(r.findings[0].severity, Severity::kError);
+}
+
+TEST(SpiderLint, SuppressionsSilenceEveryScopedRule) {
+  // The file is linted under every class at once: unordered_map + a
+  // unit-bearing double are both present, both justified.
+  const LintReport r = lint_fixture(
+      "suppressed_ok.cpp",
+      FileClass{.in_src = true, .sim_critical = true, .is_header = true});
+  EXPECT_TRUE(r.clean()) << render_text(r, /*fix_hints=*/false);
+}
+
+TEST(SpiderLint, DisabledRulesDoNotRun) {
+  LintOptions opts;
+  opts.forced_class = kSimCritical;
+  opts.rules.l1 = false;
+  std::vector<std::string> errors;
+  const LintReport r =
+      lint_paths({fixture("l1_unordered_iteration.cpp")}, opts, errors);
+  EXPECT_TRUE(r.clean());
+}
+
+TEST(SpiderLint, TextReportCarriesFileLineRule) {
+  const LintReport r =
+      lint_fixture("l1_unordered_iteration.cpp", kSimCritical);
+  const std::string text = render_text(r, /*fix_hints=*/false);
+  EXPECT_NE(
+      text.find("l1_unordered_iteration.cpp:10:8: error: [L1]"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("2 findings (2 errors, 0 warnings)"), std::string::npos)
+      << text;
+}
+
+TEST(SpiderLint, TextReportHintsOnRequest) {
+  const LintReport r = lint_fixture("l3_raw_unit_double.hpp", kSrcHeader);
+  const std::string plain = render_text(r, /*fix_hints=*/false);
+  const std::string hinted = render_text(r, /*fix_hints=*/true);
+  EXPECT_EQ(plain.find("units.hpp vocabulary"), std::string::npos);
+  EXPECT_NE(hinted.find("units.hpp vocabulary"), std::string::npos) << hinted;
+}
+
+TEST(SpiderLint, JsonReportCarriesFindings) {
+  const LintReport r = lint_fixture("l3_raw_unit_double.hpp", kSrcHeader);
+  const std::string json = render_json(r);
+  EXPECT_NE(json.find("\"version\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"counts\": {\"error\": 0, \"warning\": 1}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"rule\": \"L3\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"line\": 10"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"column\": 3"), std::string::npos) << json;
+}
+
+TEST(SpiderLint, RuleTableIsComplete) {
+  ASSERT_EQ(rules().size(), 4u);
+  const char* ids[] = {"L1", "L2", "L3", "L4"};
+  for (const char* id : ids) {
+    const RuleInfo* info = rule(id);
+    ASSERT_NE(info, nullptr) << id;
+    EXPECT_FALSE(info->name.empty());
+    EXPECT_FALSE(info->suppression.empty());
+    EXPECT_FALSE(info->hint.empty());
+  }
+  EXPECT_EQ(rule("L9"), nullptr);
+}
+
+TEST(SpiderLint, CollectSourcesIsSortedAndDeduplicated) {
+  std::vector<std::string> errors;
+  const std::vector<std::string> once =
+      collect_sources({SPIDER_LINT_FIXTURES_DIR}, errors);
+  const std::vector<std::string> twice = collect_sources(
+      {SPIDER_LINT_FIXTURES_DIR, fixture("l2_nondet_source.cpp")}, errors);
+  EXPECT_TRUE(errors.empty());
+  EXPECT_EQ(once.size(), 5u) << "fixture census drifted";
+  EXPECT_EQ(once, twice);
+  EXPECT_TRUE(std::is_sorted(once.begin(), once.end()));
+}
+
+}  // namespace
+}  // namespace spider::lint
