@@ -8,7 +8,8 @@
 # the full test suite, and finally the deterministic-replay test runs twice
 # in fresh processes and the replay hashes are diffed — proving the
 # simulation core is reproducible across process boundaries, not just
-# within one.
+# within one. A fault-campaign smoke stage then replays the plans/ smoke
+# scenarios under ASan and diffs the JSON verdicts the same way.
 #
 # Usage: scripts/check.sh [build-root]   (default: build-check/)
 set -euo pipefail
@@ -54,4 +55,29 @@ if ! grep -q '^replay-hash:' "${BUILD_ROOT}/replay_run1.log"; then
   exit 1
 fi
 
-echo "OK: sanitized suites passed and replay hashes are stable"
+# Fault-campaign smoke: the ASan-built spiderfault runs the three smoke
+# plans under two seeds each, twice in fresh processes, and the full JSON
+# verdict streams (replay hashes included) must be byte-identical — the
+# campaign engine's cross-process determinism guarantee from
+# docs/fault-injection.md. Every run must also come back oracle-clean.
+FAULT_BIN="${BUILD_ROOT}/address/tools/spiderfault"
+echo "=== fault-campaign smoke (3 plans x 2 seeds, ASan) ==="
+"${FAULT_BIN}" --seeds=2 \
+    plans/smoke_rebuild.fplan plans/smoke_failover.fplan \
+    plans/smoke_netstorm.fplan \
+    | tee "${BUILD_ROOT}/faults_run1.jsonl"
+"${FAULT_BIN}" --seeds=2 \
+    plans/smoke_rebuild.fplan plans/smoke_failover.fplan \
+    plans/smoke_netstorm.fplan \
+    > "${BUILD_ROOT}/faults_run2.jsonl"
+if ! diff "${BUILD_ROOT}/faults_run1.jsonl" "${BUILD_ROOT}/faults_run2.jsonl"
+then
+  echo "FAIL: fault-campaign verdicts diverged across processes" >&2
+  exit 1
+fi
+if grep -q '"clean": false' "${BUILD_ROOT}/faults_run1.jsonl"; then
+  echo "FAIL: fault-campaign smoke found oracle violations" >&2
+  exit 1
+fi
+
+echo "OK: sanitized suites passed, replay hashes and fault verdicts stable"

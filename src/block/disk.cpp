@@ -12,6 +12,14 @@ Disk::Disk(const DiskParams& params, std::uint32_t id, double perf_factor,
   if (perf_factor_ <= 0.0) throw std::invalid_argument("perf_factor must be > 0");
 }
 
+void Disk::degrade(double factor) {
+  if (!(factor > 0.0) || factor > 1.0) {
+    throw std::invalid_argument("degrade factor must be in (0, 1]");
+  }
+  // Floor keeps service times finite even under repeated degradation.
+  perf_factor_ = std::max(0.01, perf_factor_ * factor);
+}
+
 double Disk::random_overhead_s() const {
   // Choose t_ov so that at the 1 MiB reference size:
   //   (S/bw) / (S/bw + t_ov) == random_fraction_1mb

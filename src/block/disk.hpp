@@ -81,6 +81,11 @@ class Disk {
   /// True if this unit belongs to the slow tail (factor below threshold).
   bool is_slow(double threshold = 0.95) const { return perf_factor_ < threshold; }
 
+  /// Latent degradation onset (fault injection, Lesson 13): multiply the
+  /// performance factor by `factor` in (0, 1], clamped to a small positive
+  /// floor so the unit slows down without dividing by zero anywhere.
+  void degrade(double factor);
+
  private:
   /// Per-request positioning overhead in random mode, calibrated so that
   /// 1 MiB random delivers exactly random_fraction_1mb of sequential.

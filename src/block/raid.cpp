@@ -36,6 +36,24 @@ double Raid6Group::min_member_factor() const {
   return std::isinf(f) ? 0.0 : f;
 }
 
+void Raid6Group::degrade_member(std::size_t i, double factor) {
+  members_.at(i).degrade(factor);
+}
+
+std::vector<std::size_t> Raid6Group::readable_members() const {
+  std::vector<std::size_t> out;
+  out.reserve(members_.size());
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (states_[i] == MemberState::kOnline) out.push_back(i);
+  }
+  return out;
+}
+
+void Raid6Group::note_read(std::size_t i) {
+  ++reads_noted_;
+  if (states_.at(i) != MemberState::kOnline) ++unsafe_reads_;
+}
+
 RaidState Raid6Group::state() const {
   if (data_lost_) return RaidState::kFailed;
   bool rebuilding = false;

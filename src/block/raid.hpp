@@ -65,6 +65,21 @@ class Raid6Group {
   /// proportional to it.
   double min_member_factor() const;
 
+  /// Degrade one member's performance factor in place (latent slow-disk
+  /// onset or partial media failure under fault injection). Forwards to
+  /// Disk::degrade; throws std::invalid_argument for factors outside (0, 1].
+  void degrade_member(std::size_t i, double factor);
+
+  /// Indices of members that are safe to read from (kOnline). Ordered by
+  /// member index, so iteration is deterministic.
+  std::vector<std::size_t> readable_members() const;
+
+  /// Record a read served from member `i`. Reads from non-online members are
+  /// counted as unsafe — the RAID read-safety oracle asserts this stays 0.
+  void note_read(std::size_t i);
+  std::uint64_t reads_noted() const { return reads_noted_; }
+  std::uint64_t unsafe_reads() const { return unsafe_reads_; }
+
   /// Delivered bandwidth for a uniform stream of `request_size` requests in
   /// the given mode/direction, at the current state.
   Bandwidth bandwidth(IoMode mode, IoDir dir, Bytes request_size = 1_MiB) const;
@@ -94,6 +109,8 @@ class Raid6Group {
   std::vector<Disk> members_;
   std::vector<MemberState> states_;
   bool data_lost_ = false;
+  std::uint64_t reads_noted_ = 0;
+  std::uint64_t unsafe_reads_ = 0;
 };
 
 }  // namespace spider::block

@@ -44,12 +44,14 @@ void Mds::reset_accounting() {
 }
 
 double Mds::throughput(double offered) const {
+  if (stalled_) return 0.0;
   return std::min(offered, capacity_ops());
 }
 
 double Mds::mean_latency_s(double offered) const {
   const double mu = capacity_ops();
   const double service = 1.0 / mu;
+  if (stalled_) return service * 1000.0;  // stalled == fully saturated
   const double rho = offered / mu;
   if (rho >= 0.999) return service * 1000.0;  // saturated: three decades up
   return service / (1.0 - rho);

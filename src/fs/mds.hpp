@@ -55,8 +55,13 @@ class Mds {
   std::uint64_t ops_seen() const { return ops_seen_; }
   void reset_accounting();
 
+  /// Stall the server (fault injection): while stalled, throughput is 0 and
+  /// latency saturates. Accounting still records offered ops (they queue).
+  void set_stalled(bool stalled) { stalled_ = stalled; }
+  bool stalled() const { return stalled_; }
+
   /// Throughput achieved under an offered weighted load (ops-units/sec):
-  /// min(offered, capacity).
+  /// min(offered, capacity); 0 while stalled.
   double throughput(double offered) const;
 
   /// Mean response time under offered weighted load, seconds. M/M/1-style:
@@ -68,6 +73,7 @@ class Mds {
   MdsParams params_;
   double accounted_ = 0.0;
   std::uint64_t ops_seen_ = 0;
+  bool stalled_ = false;
 };
 
 }  // namespace spider::fs

@@ -22,10 +22,15 @@ PurgeReport run_purge(FsNamespace& ns, sim::SimTime now,
     if (last_touch < cutoff) victims.push_back(rec.id);
   });
   for (FileId id : victims) {
-    const Bytes size = ns.file(id).size;
+    const FileRecord& rec = ns.file(id);
+    const Bytes size = rec.size;
+    const sim::SimTime last_touch =
+        std::max(rec.atime, std::max(rec.mtime, rec.ctime));
     if (ns.unlink(id, now)) {
       ++report.purged;
       report.freed += size;
+      report.min_purged_age_s =
+          std::min(report.min_purged_age_s, sim::to_seconds(now - last_touch));
     }
   }
   report.mds_ops = ns.mds().accounted_load() - mds_before;

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "common/units.hpp"
@@ -29,6 +30,10 @@ struct PurgeReport {
   Bytes freed = 0;
   /// Weighted MDS ops the sweep itself cost (scan stats + unlinks).
   double mds_ops = 0.0;
+  /// Age (now - last touch) of the youngest file this sweep deleted;
+  /// +infinity when nothing was purged. The purge-age oracle asserts this
+  /// never drops below the policy window.
+  Seconds min_purged_age_s = std::numeric_limits<double>::infinity();
 };
 
 /// One purge sweep over a namespace at simulated time `now`.

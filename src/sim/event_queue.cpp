@@ -25,8 +25,12 @@ bool EventQueue::cancel(EventId id) {
   if (it == callbacks_.end()) return false;
   callbacks_.erase(it);
   --live_;
-  // The heap entry stays behind; once stale entries dominate, sweep them all
-  // so memory stays proportional to live events.
+  // Cancelling the front entry (e.g. an event due *now*, during fault churn)
+  // must not leave a stale head: next_time()/pop() assume the front is live
+  // after their own sweep, and an eager drop keeps that sweep O(1) amortized.
+  drop_cancelled();
+  // Deeper stale entries stay behind; once they dominate, sweep them all so
+  // memory stays proportional to live events.
   if (heap_.size() >= kCompactMinHeap && heap_.size() > 2 * live_) compact();
   return true;
 }

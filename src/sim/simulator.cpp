@@ -6,11 +6,16 @@
 namespace spider::sim {
 
 std::uint64_t site_hash(const std::source_location& loc) {
-  // FNV-1a over the file name, then fold in the line. The file-name pointer
-  // is stable per translation unit but the *contents* are what we hash, so
-  // the value is reproducible across runs and builds of the same source.
+  // FNV-1a over the file basename, then fold in the line. Hashing contents
+  // (not the pointer) makes the value reproducible across runs and builds;
+  // dropping the directory prefix makes it reproducible across *checkouts*,
+  // so replay hashes can be compared between machines and CI.
+  const char* name = loc.file_name();
+  for (const char* p = name; *p; ++p) {
+    if (*p == '/' || *p == '\\') name = p + 1;
+  }
   std::uint64_t h = 1469598103934665603ull;
-  for (const char* p = loc.file_name(); *p; ++p) {
+  for (const char* p = name; *p; ++p) {
     h ^= static_cast<unsigned char>(*p);
     h *= 1099511628211ull;
   }

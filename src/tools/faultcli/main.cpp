@@ -1,0 +1,133 @@
+// spiderfault CLI — deterministic fault-injection campaign runner.
+//
+// Usage: spiderfault [options] <plan.fplan>...
+//   --seeds=N             run each plan under N consecutive seeds (default 1)
+//   --base-seed=S         first seed (default: the plan's own seed)
+//   --mutations=M         additionally run M seeded plan mutations per seed
+//   --horizon-s=X         override every plan's horizon
+//   --expect-violations   invert the verdict: exit 0 iff violations were found
+//
+// One JSON verdict line per run: plan name, seed, replay hash, stream hash,
+// telemetry, and the oracle violations (see docs/fault-injection.md for how
+// to reproduce a violation from a verdict line).
+//
+// Exit codes: 0 campaign outcome matched expectation, 1 it did not,
+// 2 usage / plan-parse / I/O error.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/faultplan.hpp"
+#include "tools/faultcli/campaign.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--seeds=N] [--base-seed=S] [--mutations=M]\n"
+               "       [--horizon-s=X] [--expect-violations] <plan.fplan>...\n",
+               argv0);
+  return 2;
+}
+
+bool parse_count(std::string_view text, std::uint64_t& out) {
+  if (text.empty()) return false;
+  std::uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  out = value;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace spider;
+
+  std::uint64_t seeds = 1;
+  std::uint64_t base_seed = 0;
+  bool have_base_seed = false;
+  std::uint64_t mutations = 0;
+  double horizon_s = 0.0;
+  bool expect_violations = false;
+  std::vector<std::string> plan_paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.starts_with("--seeds=")) {
+      if (!parse_count(arg.substr(8), seeds) || seeds == 0) {
+        return usage(argv[0]);
+      }
+    } else if (arg.starts_with("--base-seed=")) {
+      if (!parse_count(arg.substr(12), base_seed)) return usage(argv[0]);
+      have_base_seed = true;
+    } else if (arg.starts_with("--mutations=")) {
+      if (!parse_count(arg.substr(12), mutations)) return usage(argv[0]);
+    } else if (arg.starts_with("--horizon-s=")) {
+      try {
+        horizon_s = std::stod(std::string(arg.substr(12)));
+      } catch (const std::exception&) {
+        return usage(argv[0]);
+      }
+      if (horizon_s <= 0.0) return usage(argv[0]);
+    } else if (arg == "--expect-violations") {
+      expect_violations = true;
+    } else if (arg.starts_with("--")) {
+      std::fprintf(stderr, "spiderfault: unknown option '%s'\n", argv[i]);
+      return usage(argv[0]);
+    } else {
+      plan_paths.emplace_back(arg);
+    }
+  }
+  if (plan_paths.empty()) return usage(argv[0]);
+
+  tools::CampaignConfig cfg;
+  cfg.horizon_s = horizon_s;  // 0 = per-plan horizon
+
+  std::uint64_t total_runs = 0;
+  std::uint64_t violating_runs = 0;
+  for (const std::string& path : plan_paths) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "spiderfault: cannot open '%s'\n", path.c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    sim::FaultPlan plan;
+    try {
+      plan = sim::parse_fault_plan(text.str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "spiderfault: %s: %s\n", path.c_str(), e.what());
+      return 2;
+    }
+
+    const std::uint64_t first_seed = have_base_seed ? base_seed : plan.seed;
+    for (std::uint64_t s = 0; s < seeds; ++s) {
+      const std::uint64_t seed = first_seed + s;
+      std::vector<sim::FaultPlan> variants{plan};
+      // Seeded mutation fan-out: mutant m derives from (plan, seed, m), so
+      // the whole campaign is reproducible from the command line alone.
+      for (std::uint64_t m = 1; m <= mutations; ++m) {
+        Rng mutation_rng(seed ^ (0x9e3779b97f4a7c15ull * m));
+        variants.push_back(sim::mutate_plan(plan, tools::campaign_bounds(cfg),
+                                            mutation_rng));
+      }
+      for (const sim::FaultPlan& variant : variants) {
+        const tools::RunVerdict verdict =
+            tools::run_campaign(variant, seed, cfg);
+        std::printf("%s\n", tools::verdict_json(verdict).c_str());
+        ++total_runs;
+        if (!verdict.clean()) ++violating_runs;
+      }
+    }
+  }
+
+  if (expect_violations) return violating_runs > 0 ? 0 : 1;
+  return violating_runs == 0 ? 0 : 1;
+}

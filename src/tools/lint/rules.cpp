@@ -39,12 +39,12 @@ const std::vector<RuleInfo> kRules = {
      "so the unit lives in the type; dimensionless factors may be justified "
      "with // spiderlint: units-ok"},
     {"L4", "replay-site", Severity::kError,
-     "schedule()/reschedule() without a scheduling site: replay divergence "
-     "cannot be localized to the call site",
+     "schedule()/reschedule()/inject()/arm() without a scheduling site: "
+     "replay divergence cannot be localized to the call site",
      "site-ok",
      "pass a std::source_location (or site hash) through the scheduling "
-     "call, or use Simulator::schedule_at/schedule_in which capture it "
-     "automatically"},
+     "call, or use Simulator::schedule_at/schedule_in (and "
+     "FaultInjector::inject/arm) which capture it automatically"},
 };
 
 /// Extract the text between the '(' at (line_index, col) and its matching
@@ -313,10 +313,14 @@ void run_l4(const SourceFile& file, std::vector<Finding>& out) {
       }
     }
 
-    // Declarations/definitions of scheduling entry points taking a callback:
-    // the parameter list must carry a source_location or site hash.
+    // Declarations/definitions of scheduling entry points taking a callback
+    // (or a fault-plan payload, which compiles into scheduled events): the
+    // parameter list must carry a source_location or site hash. inject/arm
+    // are checked at the declaration only — call sites legitimately rely on
+    // the defaulted source_location::current() argument.
     for (std::string_view tok :
-         {"schedule", "reschedule", "schedule_at", "schedule_in"}) {
+         {"schedule", "reschedule", "schedule_at", "schedule_in", "inject",
+          "arm"}) {
       std::size_t pos = find_word(code, tok);
       while (pos != std::string::npos) {
         const bool qualified =
@@ -328,7 +332,9 @@ void run_l4(const SourceFile& file, std::vector<Finding>& out) {
           const std::string args = balanced_args(file, l, i);
           const bool takes_callback =
               args.find("EventFn") != std::string::npos ||
-              args.find("std::function") != std::string::npos;
+              args.find("std::function") != std::string::npos ||
+              args.find("Injection") != std::string::npos ||
+              args.find("FaultPlan") != std::string::npos;
           if (takes_callback && !args_carry_site(args) &&
               !has_suppression(file, l, info.suppression)) {
             add_finding(out, info, file, l, pos,

@@ -1,6 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "block/disk.hpp"
 #include "block/failure.hpp"
+#include "block/raid.hpp"
 #include "common/rng.hpp"
 
 namespace spider::block {
@@ -63,6 +69,85 @@ TEST(RandomFailures, AbsurdFailureRateEventuallyLosesGroups) {
   const auto stats = inject_random_failures(ssu, 1.0, 40.0, rng);
   EXPECT_GT(stats.double_failures, 0u);
   EXPECT_GT(stats.groups_lost, 0u);
+}
+
+// --- metamorphic rebuild properties ----------------------------------------
+//
+// Instead of pinning rebuild times to constants, these tests assert relations
+// that must hold between *pairs* of related configurations. A calibration
+// change can move the absolute numbers; it cannot legally break the relations.
+
+std::vector<Disk> varied_members(std::size_t n) {
+  std::vector<Disk> members;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Perf factors vary per member so relabeling is a non-trivial permutation.
+    members.emplace_back(DiskParams{}, static_cast<std::uint32_t>(i),
+                         1.0 - 0.05 * static_cast<double>(i % 7), 1e-4);
+  }
+  return members;
+}
+
+TEST(RebuildMetamorphic, TimeIsMonotoneInRebuildBandwidth) {
+  // More surviving-disk bandwidth devoted to rebuild => strictly shorter
+  // rebuild window. Checked across both the raw rate and the parity-
+  // declustering speedup, which multiply identically.
+  double prev = 1e300;
+  for (double rate_mbps : {10.0, 25.0, 50.0, 100.0, 400.0}) {
+    RaidParams p;
+    p.rebuild_rate = rate_mbps * kMBps;
+    const Raid6Group g(p, varied_members(10));
+    EXPECT_LT(g.rebuild_time_s(), prev) << "rate " << rate_mbps;
+    prev = g.rebuild_time_s();
+  }
+  prev = 1e300;
+  for (double speedup : {1.0, 2.0, 4.0, 8.0}) {
+    RaidParams p;
+    p.rebuild_speedup = speedup;
+    const Raid6Group g(p, varied_members(10));
+    EXPECT_LT(g.rebuild_time_s(), prev) << "speedup " << speedup;
+    prev = g.rebuild_time_s();
+  }
+}
+
+TEST(RebuildMetamorphic, InvariantUnderMemberRelabeling) {
+  // Renumbering the physical disks must not change any group-level figure:
+  // capacity, rebuild time, min member factor, or delivered bandwidth.
+  std::vector<Disk> base = varied_members(10);
+  std::vector<Disk> shuffled = base;
+  std::rotate(shuffled.begin(), shuffled.begin() + 3, shuffled.end());
+  std::swap(shuffled[0], shuffled[7]);
+
+  const Raid6Group a(RaidParams{}, std::move(base));
+  const Raid6Group b(RaidParams{}, std::move(shuffled));
+  EXPECT_EQ(a.capacity(), b.capacity());
+  EXPECT_DOUBLE_EQ(a.rebuild_time_s(), b.rebuild_time_s());
+  EXPECT_DOUBLE_EQ(a.min_member_factor(), b.min_member_factor());
+  EXPECT_DOUBLE_EQ(a.bandwidth(IoMode::kSequential, IoDir::kWrite),
+                   b.bandwidth(IoMode::kSequential, IoDir::kWrite));
+  EXPECT_DOUBLE_EQ(a.bandwidth(IoMode::kRandom, IoDir::kRead, 128_KiB),
+                   b.bandwidth(IoMode::kRandom, IoDir::kRead, 128_KiB));
+}
+
+TEST(RebuildMetamorphic, WiderStripeAtHalfRatePreservesRebuildVolume) {
+  // Total bytes moved to rebuild one member equal that member's capacity
+  // regardless of stripe geometry: doubling the stripe width while halving
+  // the per-disk rebuild rate doubles the window but moves the same volume.
+  RaidParams narrow;
+  RaidParams wide;
+  wide.data_disks = narrow.data_disks * 2;
+  wide.rebuild_rate = narrow.rebuild_rate / 2.0;
+  const Raid6Group a(narrow,
+                     varied_members(narrow.data_disks + narrow.parity_disks));
+  const Raid6Group b(wide, varied_members(wide.data_disks + wide.parity_disks));
+
+  const double bytes_a =
+      a.rebuild_time_s() * narrow.rebuild_rate * narrow.rebuild_speedup;
+  const double bytes_b =
+      b.rebuild_time_s() * wide.rebuild_rate * wide.rebuild_speedup;
+  EXPECT_NEAR(bytes_a, bytes_b, 1.0);
+  EXPECT_NEAR(bytes_a, static_cast<double>(a.member(0).capacity()), 1.0);
+  EXPECT_NEAR(b.rebuild_time_s(), 2.0 * a.rebuild_time_s(),
+              1e-6 * a.rebuild_time_s());
 }
 
 }  // namespace

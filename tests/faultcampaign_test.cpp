@@ -1,0 +1,217 @@
+// End-to-end tests for the fault-campaign engine: benign runs stay clean,
+// identical (plan, seed) pairs produce identical replay hashes, every
+// catalogued oracle fires under a seeded breach, and verdict JSON carries
+// what docs/fault-injection.md promises.
+#include "tools/faultcli/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "common/rng.hpp"
+#include "sim/faultplan.hpp"
+#include "sim/time.hpp"
+
+namespace {
+
+using namespace spider;
+using namespace spider::sim;
+using namespace spider::tools;
+
+FaultPlan benign_plan(double horizon_s = 120.0) {
+  FaultPlan plan;
+  plan.name = "benign";
+  plan.horizon_s = horizon_s;
+  return plan;
+}
+
+FaultPlan stormy_plan() {
+  FaultPlan plan = parse_fault_plan(R"(
+name = "storm"
+horizon_s = 240
+[[inject]]
+kind = "disk-fail"
+at_s = 20
+group = 1
+member = 2
+[[inject]]
+kind = "enclosure-loss"
+trigger = "rebuild-active"
+at_s = 20
+duration_s = 40
+enclosure = 7
+[[inject]]
+kind = "controller-failover"
+at_s = 60
+duration_s = 30
+[[inject]]
+kind = "mds-stall"
+at_s = 100
+duration_s = 30
+[[inject]]
+kind = "congestion-spike"
+at_s = 140
+duration_s = 30
+magnitude = 8
+[[inject]]
+kind = "slow-disk-onset"
+at_s = 170
+group = 4
+member = 3
+magnitude = 5
+)");
+  return plan;
+}
+
+TEST(FaultCampaign, BenignPlanRunsCleanWithLiveWorkload) {
+  // Horizon must exceed the campaign purge window (~173 s) or no file can
+  // ever age out.
+  const RunVerdict verdict = run_campaign(benign_plan(360.0), 1);
+  EXPECT_TRUE(verdict.clean()) << verdict_json(verdict);
+  EXPECT_GT(verdict.files_created, 10u);
+  EXPECT_GT(verdict.files_purged, 0u);
+  EXPECT_GT(verdict.delivered, 0.0);
+  EXPECT_GT(verdict.events, 100u);
+  EXPECT_EQ(verdict.injections_fired, 0u);
+  EXPECT_FALSE(verdict.data_lost);
+}
+
+TEST(FaultCampaign, StormPlanFiresInjectionsAndStaysClean) {
+  const RunVerdict verdict = run_campaign(stormy_plan(), 7);
+  EXPECT_TRUE(verdict.clean()) << verdict_json(verdict);
+  EXPECT_EQ(verdict.injections_fired, 6u);
+  // enclosure-loss, failover, stall, and congestion all carry durations and
+  // revert within the horizon.
+  EXPECT_EQ(verdict.reverts_fired, 4u);
+  EXPECT_GT(verdict.files_created, 10u);
+}
+
+TEST(FaultCampaign, IdenticalPlanAndSeedGiveIdenticalHashes) {
+  const RunVerdict a = run_campaign(stormy_plan(), 7);
+  const RunVerdict b = run_campaign(stormy_plan(), 7);
+  EXPECT_EQ(a.replay_hash, b.replay_hash);
+  EXPECT_EQ(a.stream_hash, b.stream_hash);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.files_created, b.files_created);
+  EXPECT_EQ(a.delivered, b.delivered);
+}
+
+TEST(FaultCampaign, DifferentSeedsDiverge) {
+  const RunVerdict a = run_campaign(benign_plan(), 1);
+  const RunVerdict b = run_campaign(benign_plan(), 2);
+  EXPECT_NE(a.replay_hash, b.replay_hash);
+}
+
+TEST(FaultCampaign, MutatedPlansStayDeterministic) {
+  const FaultPlan base = stormy_plan();
+  Rng ma(11);
+  Rng mb(11);
+  const FaultPlan mutant_a = mutate_plan(base, campaign_bounds(), ma);
+  const FaultPlan mutant_b = mutate_plan(base, campaign_bounds(), mb);
+  const RunVerdict a = run_campaign(mutant_a, 3);
+  const RunVerdict b = run_campaign(mutant_b, 3);
+  EXPECT_EQ(a.replay_hash, b.replay_hash) << "identical mutants must replay "
+                                             "identically";
+}
+
+TEST(FaultCampaign, MdsStallSuppressesCreates) {
+  FaultPlan stall;
+  stall.name = "stall";
+  stall.horizon_s = 120.0;
+  Injection inj;
+  inj.kind = FaultKind::kMdsStall;
+  inj.at = 10 * kSecond;
+  inj.duration = 200 * kSecond;  // outlasts the horizon: no revert
+  stall.injections.push_back(inj);
+
+  const RunVerdict stalled = run_campaign(stall, 5);
+  const RunVerdict free_run = run_campaign(benign_plan(), 5);
+  EXPECT_TRUE(stalled.clean()) << verdict_json(stalled);
+  EXPECT_LT(stalled.files_created, free_run.files_created / 2);
+}
+
+// Every catalogued oracle must demonstrably fire on a seeded breach — a
+// safety net that never trips is indistinguishable from no safety net.
+TEST(FaultCampaign, AllSixOraclesFireOnSeededBreaches) {
+  FaultCampaign campaign(benign_plan(), 42);
+
+  // 1. flow-conservation: pathless flow whose rate escapes every capacity.
+  FlowDesc rogue;
+  rogue.size = 1e12;
+  rogue.rate_cap = 1e18;
+  campaign.network().start_flow(std::move(rogue));
+  // 2. write-accounting: acked bytes with no matching issue.
+  campaign.ledger().acked += 1e9;
+  // 3. raid-read-safety: a read served from a failed member.
+  campaign.ssu().group(0).fail_member(0);
+  campaign.ssu().group(0).note_read(0);
+  // 4. rebuild-monotone: progress that moves backwards.
+  campaign.rebuilds().samples_mutable().push_back({2, 0.5, true});
+  campaign.rebuilds().samples_mutable().push_back({2, 0.1, false});
+  // 5. namespace-journal: a create that bypasses the journal.
+  Rng rng(1);
+  campaign.ns().create_file(0, 8_MiB, 0, rng);
+  // 6. purge-age: a sweep that deleted a file younger than the window.
+  fs::PurgeReport bad;
+  bad.purged = 1;
+  bad.min_purged_age_s = 0.5;
+  campaign.purge_log().push_back(bad);
+
+  campaign.oracles().check_now();
+  const auto fired = campaign.oracles().fired_oracles();
+  const std::vector<std::string> expected{
+      "flow-conservation", "write-accounting",  "raid-read-safety",
+      "rebuild-monotone",  "namespace-journal", "purge-age"};
+  for (const std::string& name : expected) {
+    EXPECT_NE(std::find(fired.begin(), fired.end(), name), fired.end())
+        << "oracle '" << name << "' did not fire; fired: "
+        << violations_json(campaign.oracles().violations());
+  }
+  EXPECT_GE(fired.size(), 6u);
+}
+
+TEST(FaultCampaign, DataLossScenarioIsReportedNotMasked) {
+  // Three members of one group fail: beyond RAID-6 parity. The verdict must
+  // carry data_lost while accounting stays consistent (no oracle fires for
+  // the loss itself — losing data is legal, lying about bytes is not).
+  FaultPlan plan;
+  plan.name = "triple-fault";
+  plan.horizon_s = 120.0;
+  for (std::uint32_t m = 0; m < 3; ++m) {
+    Injection inj;
+    inj.kind = FaultKind::kDiskFail;
+    inj.at = (10 + m) * kSecond;
+    inj.group = 2;
+    inj.member = m;
+    plan.injections.push_back(inj);
+  }
+  const RunVerdict verdict = run_campaign(plan, 9);
+  EXPECT_TRUE(verdict.data_lost);
+  EXPECT_TRUE(verdict.clean()) << verdict_json(verdict);
+  EXPECT_EQ(verdict.injections_fired, 3u);
+}
+
+TEST(FaultCampaign, VerdictJsonCarriesReproductionRecipe) {
+  const RunVerdict verdict = run_campaign(benign_plan(60.0), 17);
+  const std::string json = verdict_json(verdict);
+  EXPECT_NE(json.find("\"plan\": \"benign\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"seed\": 17"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"replay_hash\": \"0x"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"stream_hash\": \"0x"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"clean\": true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"violations\": []"), std::string::npos) << json;
+}
+
+TEST(FaultCampaign, CampaignBoundsMatchClusterShape) {
+  CampaignConfig cfg;
+  cfg.raid_groups = 6;
+  cfg.enclosures = 5;
+  const PlanBounds bounds = campaign_bounds(cfg);
+  EXPECT_EQ(bounds.groups, 6u);
+  EXPECT_EQ(bounds.members, 10u);
+  EXPECT_EQ(bounds.enclosures, 5u);
+  EXPECT_EQ(bounds.resources, 8u);
+}
+
+}  // namespace

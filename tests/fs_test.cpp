@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 #include <vector>
 
@@ -14,6 +15,8 @@
 #include "fs/ost.hpp"
 #include "fs/purge.hpp"
 #include "fs/striping.hpp"
+#include "sim/oracle.hpp"
+#include "tools/faultcli/campaign.hpp"
 
 namespace spider::fs {
 namespace {
@@ -355,6 +358,66 @@ TEST(Purge, KeepsFullnessBoundedOverTime) {
   // Steady state: 15 days x 20 files x 2 GiB.
   EXPECT_LE(peak, 15u * 20u * 2_GiB);
   EXPECT_GE(ns.live_files(), 14u * 20u);
+}
+
+// Purge edge cases, each cross-checked by the purge-age oracle: whatever a
+// sweep does, it must never have deleted a file younger than the window.
+void expect_purge_age_clean(const std::vector<PurgeReport>& reports,
+                            double window_days, sim::SimTime now) {
+  const auto oracle = tools::make_purge_age_oracle(reports, window_days);
+  std::vector<sim::OracleViolation> violations;
+  oracle->check(now, violations);
+  EXPECT_TRUE(violations.empty()) << sim::violations_json(violations);
+}
+
+TEST(Purge, EmptyNamespaceSweepIsACleanNoop) {
+  Fleet fleet(2);
+  FsNamespace ns("scratch", fleet.ptrs);
+  const auto report = run_purge(ns, 30 * sim::kDay, PurgePolicy{14.0});
+  EXPECT_EQ(report.scanned, 0u);
+  EXPECT_EQ(report.purged, 0u);
+  EXPECT_EQ(report.freed, 0u);
+  // Nothing purged => the youngest-purged age sentinel stays +infinity,
+  // which the oracle must treat as vacuously safe.
+  EXPECT_TRUE(std::isinf(report.min_purged_age_s));
+  expect_purge_age_clean({report}, 14.0, 30 * sim::kDay);
+}
+
+TEST(Purge, AllFilesPinnedLeavesNamespaceUntouched) {
+  Fleet fleet(2);
+  FsNamespace ns("scratch", fleet.ptrs);
+  Rng rng(12);
+  PurgePolicy policy;
+  policy.exempt_project = 42;
+  for (int f = 0; f < 5; ++f) ns.create_file(42, 1_GiB, 0, rng);
+  const auto report = run_purge(ns, 60 * sim::kDay, policy);
+  EXPECT_EQ(report.scanned, 5u);
+  EXPECT_EQ(report.purged, 0u);
+  EXPECT_EQ(ns.live_files(), 5u);
+  EXPECT_TRUE(std::isinf(report.min_purged_age_s));
+  expect_purge_age_clean({report}, policy.window_days, 60 * sim::kDay);
+}
+
+TEST(Purge, CreateRacingSweepAtPolicyBoundarySurvives) {
+  // A file whose last touch lands exactly on the cutoff instant of a
+  // concurrently running sweep must survive: eligibility is strictly
+  // "older than the window", so the boundary belongs to the file.
+  Fleet fleet(2);
+  FsNamespace ns("scratch", fleet.ptrs);
+  Rng rng(13);
+  const PurgePolicy policy{14.0};
+  const sim::SimTime now = 30 * sim::kDay;
+  const sim::SimTime cutoff = now - 14 * sim::kDay;
+  const FileId at_boundary = ns.create_file(1, 1_GiB, cutoff, rng);
+  const FileId one_tick_older = ns.create_file(1, 1_GiB, cutoff - 1, rng);
+
+  const auto report = run_purge(ns, now, policy);
+  EXPECT_TRUE(ns.exists(at_boundary));
+  EXPECT_FALSE(ns.exists(one_tick_older));
+  EXPECT_EQ(report.purged, 1u);
+  // The one purged file was (just barely) old enough; the oracle agrees.
+  EXPECT_GE(report.min_purged_age_s, 14.0 * 24 * 3600);
+  expect_purge_age_clean({report}, policy.window_days, now);
 }
 
 // --- obdfilter survey -----------------------------------------------------------

@@ -1,0 +1,120 @@
+// Golden-trace regression for the fault path.
+//
+// Two traces are pinned under fixed seeds:
+//   1. bench_c13_incident_replay's computation — replay_incident_2010 under
+//      Rng(2014) for the 5- and 10-enclosure designs — with its final
+//      telemetry folded into one FNV-1a hash.
+//   2. A fault-campaign run (storm plan, seed 2014) — its site-free stream
+//      hash and final telemetry.
+//
+// These values change ONLY when fault-path behavior changes. A refactor that
+// trips this test must update the goldens deliberately (and say why in the
+// commit); see docs/fault-injection.md#golden-traces.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "block/failure.hpp"
+#include "common/rng.hpp"
+#include "sim/faultplan.hpp"
+#include "tools/faultcli/campaign.hpp"
+
+namespace {
+
+using namespace spider;
+
+std::uint64_t fnv(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t fnv(std::uint64_t h, const std::string& s) {
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t outcome_hash(const block::IncidentOutcome& outcome) {
+  std::uint64_t h = 1469598103934665603ull;
+  h = fnv(h, outcome.enclosures);
+  h = fnv(h, outcome.data_lost ? 1 : 0);
+  h = fnv(h, outcome.groups_lost);
+  h = fnv(h, outcome.journal_files_lost);
+  h = fnv(h, static_cast<std::uint64_t>(outcome.recovered_fraction * 1e6));
+  h = fnv(h, static_cast<std::uint64_t>(outcome.recovery_days * 1e6));
+  for (const std::string& line : outcome.timeline) h = fnv(h, line);
+  return h;
+}
+
+block::IncidentOutcome replay(std::size_t enclosures) {
+  Rng rng(2014);
+  block::IncidentConfig cfg;
+  cfg.enclosures = enclosures;
+  return replay_incident_2010(cfg, rng);
+}
+
+TEST(IncidentGolden, FiveEnclosureDesignTelemetryIsPinned) {
+  const block::IncidentOutcome outcome = replay(5);
+  EXPECT_TRUE(outcome.data_lost);
+  EXPECT_EQ(outcome.groups_lost, 1u);
+  EXPECT_EQ(outcome.journal_files_lost, 1'200'000u);
+  EXPECT_DOUBLE_EQ(outcome.recovered_fraction, 0.95);
+  EXPECT_EQ(outcome_hash(outcome), 0xcf4671747726fd31ull)
+      << "actual: 0x" << std::hex << outcome_hash(outcome);
+}
+
+TEST(IncidentGolden, TenEnclosureDesignTelemetryIsPinned) {
+  const block::IncidentOutcome outcome = replay(10);
+  EXPECT_FALSE(outcome.data_lost);
+  EXPECT_EQ(outcome.groups_lost, 0u);
+  EXPECT_EQ(outcome.journal_files_lost, 0u);
+  EXPECT_EQ(outcome_hash(outcome), 0xf919a8f805da0a6cull)
+      << "actual: 0x" << std::hex << outcome_hash(outcome);
+}
+
+TEST(IncidentGolden, IncidentReplayIsSeedDeterministic) {
+  EXPECT_EQ(outcome_hash(replay(5)), outcome_hash(replay(5)));
+  EXPECT_EQ(outcome_hash(replay(10)), outcome_hash(replay(10)));
+}
+
+TEST(IncidentGolden, CampaignStreamHashIsPinned) {
+  sim::FaultPlan plan = sim::parse_fault_plan(R"(
+name = "golden-storm"
+horizon_s = 120
+[[inject]]
+kind = "disk-fail"
+at_s = 20
+group = 1
+member = 2
+[[inject]]
+kind = "enclosure-loss"
+trigger = "rebuild-active"
+at_s = 20
+duration_s = 40
+enclosure = 7
+[[inject]]
+kind = "congestion-spike"
+at_s = 80
+duration_s = 20
+magnitude = 8
+)");
+  const tools::RunVerdict verdict = tools::run_campaign(plan, 2014);
+  EXPECT_TRUE(verdict.clean()) << tools::verdict_json(verdict);
+  // The site-free stream hash pins event (time, id) order; telemetry pins
+  // the workload outcome. Both are independent of source line numbers.
+  EXPECT_EQ(verdict.stream_hash, 0x0710faa19bdba7aaull)
+      << "actual: 0x" << std::hex << verdict.stream_hash << "\n"
+      << tools::verdict_json(verdict);
+  EXPECT_EQ(verdict.events, 273u) << tools::verdict_json(verdict);
+  EXPECT_EQ(verdict.files_created, 60u) << tools::verdict_json(verdict);
+  EXPECT_EQ(verdict.injections_fired, 3u);
+  EXPECT_EQ(verdict.reverts_fired, 2u);
+}
+
+}  // namespace

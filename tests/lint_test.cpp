@@ -74,10 +74,15 @@ TEST(SpiderLint, L3NeedsHeaderScope) {
 
 TEST(SpiderLint, L4FiresOnSitelessSchedule) {
   const LintReport r = lint_fixture("l4_missing_site.cpp", kSrc);
-  ASSERT_EQ(r.findings.size(), 1u);
+  ASSERT_EQ(r.findings.size(), 3u);
   EXPECT_EQ(r.findings[0].rule, "L4");
-  EXPECT_EQ(r.findings[0].line, 12u);  // q.schedule(100, 1);
+  EXPECT_EQ(r.findings[0].line, 14u);  // q.schedule(100, 1);
   EXPECT_EQ(r.findings[0].severity, Severity::kError);
+  // Fault-plan entry points must declare a replay-site parameter too.
+  EXPECT_EQ(r.findings[1].line, 22u);  // inject(const Injection&)
+  EXPECT_NE(r.findings[1].message.find("inject"), std::string::npos);
+  EXPECT_EQ(r.findings[2].line, 23u);  // arm(const FaultPlan&)
+  EXPECT_NE(r.findings[2].message.find("arm"), std::string::npos);
 }
 
 TEST(SpiderLint, SuppressionsSilenceEveryScopedRule) {

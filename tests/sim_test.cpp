@@ -115,6 +115,56 @@ TEST(EventQueue, CompactionPreservesOrderingAndCallbacks) {
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
 }
 
+TEST(EventQueue, CancelAtFireTimeLeavesNoStaleHead) {
+  // Regression: fault churn cancels events whose fire time equals the
+  // current front of the heap (a revert cancelled at the instant it is due).
+  // cancel() must drop the stale head eagerly so next_time()/pop() never see
+  // a cancelled front entry.
+  EventQueue q;
+  std::vector<int> order;
+  const EventId due_now = q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(10, [&] { order.push_back(2); });
+  q.schedule(20, [&] { order.push_back(3); });
+  ASSERT_EQ(q.next_time(), 10);  // cancelled event is at the heap front
+  EXPECT_TRUE(q.cancel(due_now));
+  // The stale head is gone immediately, not just at the next pop.
+  EXPECT_EQ(q.heap_size(), q.size());
+  EXPECT_EQ(q.next_time(), 10);
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{2, 3}));
+}
+
+TEST(EventQueue, CancelChurnIsDeterministic) {
+  // Two queues driven through an identical schedule/cancel interleaving —
+  // including cancels of events due at the current front time — must fire
+  // the surviving events in an identical order.
+  const auto drive = [] {
+    EventQueue q;
+    std::vector<int> order;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 200; ++i) {
+      ids.push_back(q.schedule(static_cast<SimTime>(5 * (i % 17)),
+                               [&order, i] { order.push_back(i); }));
+    }
+    for (int i = 0; i < 200; i += 3) q.cancel(ids[static_cast<std::size_t>(i)]);
+    while (!q.empty()) {
+      const auto fired = q.pop();
+      // Cancel a still-pending event due at exactly the current fire time.
+      for (int i = 0; i < 200; ++i) {
+        if (5 * (i % 17) == fired.when && i % 7 == 0) {
+          q.cancel(ids[static_cast<std::size_t>(i)]);
+        }
+      }
+      fired.fn();
+    }
+    return order;
+  };
+  const std::vector<int> a = drive();
+  const std::vector<int> b = drive();
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());
+}
+
 TEST(Simulator, RunAdvancesClockAndCounts) {
   Simulator sim;
   int fired = 0;
