@@ -18,8 +18,16 @@ cd "$(dirname "$0")/.."
 BUILD_ROOT="${1:-build-check}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
+# The lint stage is load-bearing: a missing spiderlint binary must fail the
+# gate loudly, never silently degrade into a lint-free run.
 echo "=== [lint] spiderlint + clang-tidy ==="
 BUILD_DIR="${BUILD_ROOT}/lint" scripts/lint.sh
+if [ ! -x "${BUILD_ROOT}/lint/tools/spiderlint" ]; then
+  echo "FATAL: lint stage finished without a spiderlint binary at" \
+       "${BUILD_ROOT}/lint/tools/spiderlint — the gate cannot vouch for" \
+       "this tree" >&2
+  exit 2
+fi
 
 run_preset() {
   local preset="$1"

@@ -1,14 +1,19 @@
 #!/usr/bin/env bash
 # Static-analysis driver: spiderlint (always) + clang-tidy (when installed).
 #
-# spiderlint is the in-tree determinism & unit-safety pass (rules L1-L4,
-# see docs/static-analysis.md); clang-tidy adds the generic bugprone /
-# concurrency / performance checks configured in .clang-tidy.
+# spiderlint is the in-tree determinism, unit-safety, and architecture pass
+# (rules L1-L8, see docs/static-analysis.md); clang-tidy adds the generic
+# bugprone / concurrency / performance checks configured in .clang-tidy.
 #
-# Usage: scripts/lint.sh [--fix-hints] [--json] [path...]
-#   --fix-hints   print spiderlint fix-it hints and the per-rule digest
-#   --json        spiderlint emits machine-readable JSON instead of text
-#   path...       files or directories to lint (default: src/)
+# Usage: scripts/lint.sh [options] [path...]
+#   --fix-hints       print spiderlint fix-it hints and the per-rule digest
+#   --json            shorthand for --format=json
+#   --format=FMT      spiderlint output format: text (default), json, sarif
+#   --baseline=FILE   baseline file (default: ci/spiderlint-baseline.txt
+#                     when it exists; --baseline= with no file disables)
+#   --fix             apply the mechanically safe fixes (L1 swaps, L3 unit
+#                     aliases) in place, then report what remains
+#   path...           files or directories (default: src tests bench)
 #
 # Exit codes: 0 clean, 1 findings (either tool), 2 environment/usage error.
 set -euo pipefail
@@ -19,15 +24,25 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 
 SPIDERLINT_ARGS=()
 PATHS=()
+BASELINE="__default__"
 for arg in "$@"; do
   case "$arg" in
-    --fix-hints) SPIDERLINT_ARGS+=(--fix-hints) ;;
-    --json)      SPIDERLINT_ARGS+=(--format=json) ;;
-    --*)         echo "unknown option: $arg" >&2; exit 2 ;;
-    *)           PATHS+=("$arg") ;;
+    --fix-hints)   SPIDERLINT_ARGS+=(--fix-hints) ;;
+    --json)        SPIDERLINT_ARGS+=(--format=json) ;;
+    --format=*)    SPIDERLINT_ARGS+=("$arg") ;;
+    --fix)         SPIDERLINT_ARGS+=(--fix) ;;
+    --baseline=*)  BASELINE="${arg#--baseline=}" ;;
+    --*)           echo "unknown option: $arg" >&2; exit 2 ;;
+    *)             PATHS+=("$arg") ;;
   esac
 done
-if [ "${#PATHS[@]}" -eq 0 ]; then PATHS=(src); fi
+if [ "${#PATHS[@]}" -eq 0 ]; then PATHS=(src tests bench); fi
+if [ "$BASELINE" = "__default__" ] && [ -f ci/spiderlint-baseline.txt ]; then
+  BASELINE=ci/spiderlint-baseline.txt
+fi
+if [ -n "$BASELINE" ] && [ "$BASELINE" != "__default__" ]; then
+  SPIDERLINT_ARGS+=("--baseline=${BASELINE}")
+fi
 
 # Build (or refresh) the spiderlint binary; export compile commands so a
 # clang-tidy pass can piggyback on the same build tree.
@@ -35,6 +50,12 @@ if [ ! -f "${BUILD_DIR}/CMakeCache.txt" ]; then
   cmake -B "${BUILD_DIR}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
 fi
 cmake --build "${BUILD_DIR}" -j "${JOBS}" --target spiderlint > /dev/null
+
+if [ ! -x "${BUILD_DIR}/tools/spiderlint" ]; then
+  echo "FATAL: spiderlint binary missing at ${BUILD_DIR}/tools/spiderlint" >&2
+  echo "       (the build above should have produced it — check the cmake output)" >&2
+  exit 2
+fi
 
 echo "=== spiderlint ==="
 status=0

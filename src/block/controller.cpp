@@ -6,8 +6,8 @@ namespace spider::block {
 
 ControllerParams upgraded_controller_params() {
   ControllerParams p;
-  p.per_controller_bw = 14.2 * kGBps;
-  p.per_controller_iops = 350e3;
+  p.per_controller_bw = kUpgradedControllerBw;
+  p.per_controller_iops = kUpgradedControllerIops;
   return p;
 }
 

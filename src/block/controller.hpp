@@ -25,6 +25,8 @@ struct ControllerParams {
 /// Upgraded controller generation (post CPU/memory refresh): the pair caps
 /// an SSU at ~28.4 GB/s, which moves the bottleneck back to the disks and
 /// yields ~510 GB/s per namespace.
+inline constexpr Bandwidth kUpgradedControllerBw = 14.2 * kGBps;
+inline constexpr double kUpgradedControllerIops = 350e3;
 ControllerParams upgraded_controller_params();
 
 enum class PairState { kActiveActive, kFailedOver, kOffline };

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/units.hpp"
+
 namespace spider::block {
 
 IncidentOutcome replay_incident_2010(const IncidentConfig& cfg, Rng& rng) {
@@ -24,7 +26,7 @@ IncidentOutcome replay_incident_2010(const IncidentConfig& cfg, Rng& rng) {
   {
     std::ostringstream os;
     os << "t+0h: disk replaced in group " << g << " member " << m
-       << "; rebuild started (" << ssu.group(g).rebuild_time_s() / 3600.0
+       << "; rebuild started (" << ssu.group(g).rebuild_time_s() / kSecondsPerHour
        << " h to completion)";
     log(os.str());
   }
@@ -81,8 +83,8 @@ FailureStats inject_random_failures(Ssu& ssu, double years, double afr, Rng& rng
   FailureStats stats;
   // Hour-granular sweep: each disk fails with rate afr/8766 per hour;
   // rebuilds complete after the group's rebuild time.
-  const double p_hour = afr / 8766.0;
-  const double hours = years * 8766.0;
+  const double p_hour = afr / kHoursPerYear;
+  const double hours = years * kHoursPerYear;
   // Remaining rebuild hours per (group, member), -1 when none.
   std::vector<std::vector<double>> rebuilding(ssu.groups());
   for (std::size_t g = 0; g < ssu.groups(); ++g) {
@@ -108,7 +110,7 @@ FailureStats inject_random_failures(Ssu& ssu, double years, double afr, Rng& rng
           break;
         }
         grp.start_rebuild(m);
-        rebuilding[g][m] = grp.rebuild_time_s() / 3600.0;
+        rebuilding[g][m] = grp.rebuild_time_s() / kSecondsPerHour;
       }
     }
   }

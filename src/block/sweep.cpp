@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/parallel.hpp"
+#include "common/units.hpp"
 #include "common/rng.hpp"
 
 namespace spider::block {
@@ -72,7 +73,8 @@ Table sweep_table(const std::vector<SweepPoint>& points, std::string title) {
                    std::string(p.config.mode == IoMode::kSequential ? "seq"
                                                                     : "rand"),
                    to_mbps(p.result.bandwidth), p.result.iops,
-                   p.result.mean_latency_s * 1e3, p.result.p99_latency_s * 1e3});
+                   p.result.mean_latency_s * kMillisPerSecond,
+                   p.result.p99_latency_s * kMillisPerSecond});
   }
   return table;
 }

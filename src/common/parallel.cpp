@@ -63,11 +63,13 @@ void ThreadPool::worker_loop() {
       assert(in_flight_ > 0);  // accounting must balance or wait_idle hangs
       --in_flight_;
       if (err && !first_error_) first_error_ = std::move(err);
-      // Notify under the mutex: wait_idle()'s predicate check and this
-      // notification are serialized, so the wakeup cannot be lost.
-      if (tasks_.empty() && in_flight_ == 0) cv_idle_.notify_all();
+      notify_if_idle_locked();
     }
   }
+}
+
+void ThreadPool::notify_if_idle_locked() {
+  if (tasks_.empty() && in_flight_ == 0) cv_idle_.notify_all();
 }
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,

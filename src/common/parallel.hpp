@@ -15,6 +15,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/annotations.hpp"
+
 namespace spider {
 
 /// Fixed-size worker pool. Tasks are void() callables. An exception escaping
@@ -39,15 +41,19 @@ class ThreadPool {
 
  private:
   void worker_loop();
+  /// Wake wait_idle() when the batch has drained. Caller holds mu_ — the
+  /// predicate check and the notification must be serialized or the wakeup
+  /// can be lost.
+  void notify_if_idle_locked() SPIDER_REQUIRES(mu_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
   std::mutex mu_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
-  std::exception_ptr first_error_;  // guarded by mu_
-  std::size_t in_flight_ = 0;
-  bool stop_ = false;
+  std::queue<std::function<void()>> tasks_ SPIDER_GUARDED_BY(mu_);
+  std::exception_ptr first_error_ SPIDER_GUARDED_BY(mu_);
+  std::size_t in_flight_ SPIDER_GUARDED_BY(mu_) = 0;
+  bool stop_ SPIDER_GUARDED_BY(mu_) = false;
 };
 
 /// Run fn(i) for i in [0, n) across up to `threads` workers. Blocks until

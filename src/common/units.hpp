@@ -45,6 +45,13 @@ inline constexpr Bandwidth kMBps = 1e6;
 inline constexpr Bandwidth kGBps = 1e9;
 inline constexpr Bandwidth kTBps = 1e12;
 
+/// Wall-time conversion factors for paths that work in raw double seconds
+/// rather than the simulator's integer nanoseconds (sim/time.hpp). Named so
+/// calibration arithmetic stays greppable (spiderlint L8).
+inline constexpr double kMillisPerSecond = 1e3;
+inline constexpr double kSecondsPerHour = 3600.0;
+inline constexpr double kHoursPerYear = 8766.0;  // 365.25 * 24
+
 /// Convert bytes/second to GB/s (decimal) for reporting.
 inline constexpr double to_gbps(Bandwidth b) { return b / kGBps; }
 /// Convert bytes/second to MB/s (decimal) for reporting.

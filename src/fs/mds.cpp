@@ -51,9 +51,9 @@ double Mds::throughput(double offered) const {
 double Mds::mean_latency_s(double offered) const {
   const double mu = capacity_ops();
   const double service = 1.0 / mu;
-  if (stalled_) return service * 1000.0;  // stalled == fully saturated
+  if (stalled_) return service * kSaturatedLatencyFactor;  // fully saturated
   const double rho = offered / mu;
-  if (rho >= 0.999) return service * 1000.0;  // saturated: three decades up
+  if (rho >= 0.999) return service * kSaturatedLatencyFactor;
   return service / (1.0 - rho);
 }
 

@@ -37,6 +37,11 @@ struct MdsParams {
   double stat_per_stripe_cost = 0.35;
 };
 
+/// Latency multiplier reported at saturation: the M/M/1 waiting time is
+/// unbounded as rho -> 1, so the model pins "saturated" at three decades
+/// above the bare service time instead of returning infinity.
+inline constexpr double kSaturatedLatencyFactor = 1000.0;
+
 class Mds {
  public:
   explicit Mds(const MdsParams& params = {});

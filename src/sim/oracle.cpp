@@ -140,18 +140,23 @@ void OracleSuite::check_now() {
   for (const auto& oracle : oracles_) oracle->check(now, violations_);
 }
 
-void OracleSuite::schedule_checks(SimTime interval, SimTime until) {
+void OracleSuite::schedule_checks(SimTime interval, SimTime until,
+                                  std::source_location loc) {
   if (interval <= 0) throw std::invalid_argument("oracle interval must be > 0");
   const SimTime first = std::min(sim_.now() + interval, until);
-  sim_.schedule_at(first, [this, interval, until] { tick(interval, until); });
+  sim_.schedule_at(
+      first, [this, interval, until, loc] { tick(interval, until, loc); },
+      loc);
 }
 
-void OracleSuite::tick(SimTime interval, SimTime until) {
+void OracleSuite::tick(SimTime interval, SimTime until,
+                       std::source_location loc) {
   check_now();
   const SimTime next = sim_.now() + interval;
   if (sim_.now() >= until) return;
-  sim_.schedule_at(std::min(next, until),
-                   [this, interval, until] { tick(interval, until); });
+  sim_.schedule_at(
+      std::min(next, until),
+      [this, interval, until, loc] { tick(interval, until, loc); }, loc);
 }
 
 std::vector<std::string> OracleSuite::fired_oracles() const {

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <source_location>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -66,8 +67,12 @@ class OracleSuite {
 
   /// Schedule periodic sweeps every `interval` until `until` (inclusive of
   /// a final sweep at the horizon). Uses ordinary simulator events, so the
-  /// sweep cadence is part of the replay stream.
-  void schedule_checks(SimTime interval, SimTime until);
+  /// sweep cadence is part of the replay stream; the caller's location is
+  /// threaded through every repeating tick so each sweep chain keeps a
+  /// distinct replay site (spiderlint L7).
+  void schedule_checks(
+      SimTime interval, SimTime until,
+      std::source_location loc = std::source_location::current());
 
   bool clean() const { return violations_.empty(); }
   const std::vector<OracleViolation>& violations() const { return violations_; }
@@ -75,7 +80,7 @@ class OracleSuite {
   std::vector<std::string> fired_oracles() const;
 
  private:
-  void tick(SimTime interval, SimTime until);
+  void tick(SimTime interval, SimTime until, std::source_location loc);
 
   Simulator& sim_;
   std::vector<std::unique_ptr<Oracle>> oracles_;

@@ -1,0 +1,110 @@
+#include "tools/lint/baseline.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace spider::lint {
+
+namespace {
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) {
+    --e;
+  }
+  return std::string(s.substr(b, e - b));
+}
+
+}  // namespace
+
+std::vector<BaselineEntry> parse_baseline(std::string_view text,
+                                          std::vector<std::string>& errors) {
+  std::vector<BaselineEntry> entries;
+  std::size_t lineno = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) nl = text.size();
+    const std::string line = trim(text.substr(start, nl - start));
+    start = nl + 1;
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+
+    std::vector<std::string> fields;
+    std::size_t pos = 0;
+    while (fields.size() < 3) {
+      const std::size_t sep = line.find(" :: ", pos);
+      if (sep == std::string::npos) break;
+      fields.push_back(trim(std::string_view(line).substr(pos, sep - pos)));
+      pos = sep + 4;
+    }
+    fields.push_back(trim(std::string_view(line).substr(pos)));
+    if (fields.size() != 4 || fields[0].empty() || fields[1].empty() ||
+        fields[2].empty()) {
+      errors.push_back("baseline line " + std::to_string(lineno) +
+                       ": expected 'RULE :: file :: message :: reason'");
+      continue;
+    }
+    entries.push_back(
+        BaselineEntry{fields[0], fields[1], fields[2], fields[3]});
+  }
+  return entries;
+}
+
+bool baseline_matches(const BaselineEntry& entry, const Finding& finding) {
+  if (entry.rule != finding.rule) return false;
+  if (entry.message != finding.message) return false;
+  const std::string& path = finding.file;
+  if (path.size() < entry.file.size()) return false;
+  if (!path.ends_with(entry.file)) return false;
+  const std::size_t at = path.size() - entry.file.size();
+  return at == 0 || path[at - 1] == '/';
+}
+
+std::vector<BaselineEntry> apply_baseline(
+    LintReport& report, const std::vector<BaselineEntry>& entries) {
+  std::vector<bool> used(entries.size(), false);
+  auto covered = [&](const Finding& f) {
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (baseline_matches(entries[i], f)) {
+        used[i] = true;
+        return true;
+      }
+    }
+    return false;
+  };
+  report.findings.erase(
+      std::remove_if(report.findings.begin(), report.findings.end(), covered),
+      report.findings.end());
+
+  std::vector<BaselineEntry> stale;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (!used[i]) stale.push_back(entries[i]);
+  }
+  return stale;
+}
+
+std::string render_baseline(const LintReport& report) {
+  std::ostringstream out;
+  out << "# spiderlint baseline — grandfathered findings.\n"
+      << "# RULE :: file :: message :: reason (one-line justification)\n";
+  for (const Finding& f : report.findings) {
+    // Strip everything up to the repo-root component so the suffix is
+    // stable across checkouts: keep from the last src/tests/bench on.
+    std::string path = f.file;
+    for (std::string_view root : {"/src/", "/tests/", "/bench/"}) {
+      const std::size_t at = path.rfind(root);
+      if (at != std::string::npos) {
+        path = path.substr(at + 1);
+        break;
+      }
+    }
+    out << f.rule << " :: " << path << " :: " << f.message
+        << " :: justify-me\n";
+  }
+  return out.str();
+}
+
+}  // namespace spider::lint

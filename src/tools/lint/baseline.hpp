@@ -1,0 +1,47 @@
+// spiderlint baseline: grandfathered findings that the gate tolerates.
+//
+// A baseline file is line-oriented; blank lines and `#` comments are
+// ignored. Each entry is four `::`-separated fields:
+//
+//   RULE :: file-suffix :: message :: reason
+//
+// Matching is line-number independent (refactors above a grandfathered
+// finding must not churn the baseline): a finding matches an entry when the
+// rule id is equal, the finding's path ends with the file-suffix on a `/`
+// boundary, and the message is exactly equal. The reason field is for
+// humans — policy (docs/static-analysis.md) requires one per entry — and
+// never participates in matching.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tools/lint/report.hpp"
+
+namespace spider::lint {
+
+struct BaselineEntry {
+  std::string rule;
+  std::string file;     ///< path suffix, e.g. "src/core/center.hpp"
+  std::string message;  ///< exact finding message
+  std::string reason;   ///< human justification (not matched)
+};
+
+/// Parse baseline text. Malformed lines are reported in `errors`
+/// (1-based line numbers) and skipped.
+std::vector<BaselineEntry> parse_baseline(std::string_view text,
+                                          std::vector<std::string>& errors);
+
+/// True when `finding` matches `entry` (rule + path-suffix + message).
+bool baseline_matches(const BaselineEntry& entry, const Finding& finding);
+
+/// Remove findings covered by the baseline from `report`. Returns the
+/// entries that matched nothing (stale — candidates for deletion).
+std::vector<BaselineEntry> apply_baseline(
+    LintReport& report, const std::vector<BaselineEntry>& entries);
+
+/// Render the report's findings as baseline entries (reason field
+/// "justify-me", to be hand-edited before check-in).
+std::string render_baseline(const LintReport& report);
+
+}  // namespace spider::lint

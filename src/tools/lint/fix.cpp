@@ -1,0 +1,205 @@
+#include "tools/lint/fix.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+
+namespace spider::lint {
+
+namespace {
+
+bool ident_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+std::optional<std::vector<std::string>> read_lines(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+bool write_lines(const std::string& path,
+                 const std::vector<std::string>& lines) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  for (const std::string& line : lines) out << line << '\n';
+  return static_cast<bool>(out);
+}
+
+/// Whole-word occurrence check anywhere in `lines`, ignoring #include
+/// lines (the include being swapped would otherwise always match).
+bool contains_word(const std::vector<std::string>& lines,
+                   std::string_view word) {
+  for (const std::string& line : lines) {
+    std::size_t i = 0;
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    if (std::string_view(line).substr(i).starts_with("#include")) continue;
+    if (find_word(line, word) != std::string::npos) return true;
+  }
+  return false;
+}
+
+/// Count top-level commas of the template argument list opening at
+/// `lines[row][col]` (which must be '<'); -1 when the list does not close
+/// on the same line (multi-line swaps are left to a human).
+int template_arity(const std::string& line, std::size_t col) {
+  int depth = 0;
+  int commas = 0;
+  for (std::size_t i = col; i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '<' || c == '(' || c == '[') ++depth;
+    if (c == '>' || c == ')' || c == ']') {
+      if (--depth == 0) return commas;
+    }
+    if (c == ',' && depth == 1) ++commas;
+  }
+  return -1;
+}
+
+/// The unit alias for an L3 unit-bearing identifier.
+std::string_view alias_for(std::string_view ident) {
+  if (ident.ends_with("_bytes") || ident == "bytes") {
+    return "spider::ByteVolume";
+  }
+  if (ident.ends_with("_bw") || ident == "bw") return "spider::Bandwidth";
+  return "spider::Seconds";  // *_seconds, latency*, seconds
+}
+
+/// Extract the identifier quoted in a finding message ('name').
+std::string quoted_ident(const std::string& message) {
+  const std::size_t open = message.find('\'');
+  if (open == std::string::npos) return {};
+  const std::size_t close = message.find('\'', open + 1);
+  if (close == std::string::npos) return {};
+  return message.substr(open + 1, close - open - 1);
+}
+
+/// Insert `#include "common/units.hpp"` after the last include (or after
+/// `#pragma once`, or at the top) unless already present.
+void ensure_units_include(std::vector<std::string>& lines) {
+  std::size_t insert_at = 0;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (line.find("common/units.hpp") != std::string::npos) return;
+    if (line.rfind("#include", 0) == 0 || line.rfind("#pragma once", 0) == 0) {
+      insert_at = i + 1;
+    }
+  }
+  lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(insert_at),
+               "#include \"common/units.hpp\"");
+}
+
+}  // namespace
+
+FixResult apply_fixes(const LintReport& report,
+                      std::vector<std::string>& errors) {
+  FixResult result;
+
+  // Group the fixable findings per file.
+  std::map<std::string, std::vector<const Finding*>> by_file;
+  for (const Finding& f : report.findings) {
+    const bool l1_type_use =
+        f.rule == "L1" && f.message.rfind("std::unordered_", 0) == 0;
+    const bool l3 = f.rule == "L3";
+    if (l1_type_use || l3) by_file[f.file].push_back(&f);
+  }
+
+  for (auto& [path, findings] : by_file) {
+    std::optional<std::vector<std::string>> lines = read_lines(path);
+    if (!lines.has_value()) {
+      errors.push_back("cannot read for --fix: " + path);
+      continue;
+    }
+
+    // Apply bottom-up, right-to-left, so earlier edits don't shift later
+    // finding coordinates.
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding* a, const Finding* b) {
+                if (a->line != b->line) return a->line > b->line;
+                return a->column > b->column;
+              });
+
+    std::size_t applied = 0;
+    bool fixed_l3 = false;
+    bool swapped_map = false;
+    bool swapped_set = false;
+    for (const Finding* f : findings) {
+      if (f->line == 0 || f->line > lines->size()) continue;
+      std::string& line = (*lines)[f->line - 1];
+      const std::size_t col = f->column - 1;
+      if (col >= line.size()) continue;
+      std::string_view at = std::string_view(line).substr(col);
+
+      if (f->rule == "L1") {
+        const bool is_map = at.starts_with("unordered_map");
+        const bool is_set = at.starts_with("unordered_set");
+        if (!is_map && !is_set) continue;  // source moved; skip
+        const std::size_t name_len = 13;   // both names are 13 chars
+        std::size_t open = col + name_len;
+        while (open < line.size() && line[open] == ' ') ++open;
+        if (open >= line.size() || line[open] != '<') continue;
+        const int arity = template_arity(line, open);
+        if (arity != (is_map ? 1 : 0)) continue;  // custom hash/alloc/multiline
+        line.replace(col, name_len, is_map ? "map" : "set");
+        (is_map ? swapped_map : swapped_set) = true;
+        ++applied;
+      } else {  // L3
+        if (!at.starts_with("double") ||
+            (col + 6 < line.size() && ident_char(line[col + 6]))) {
+          continue;
+        }
+        const std::string ident = quoted_ident(f->message);
+        if (ident.empty()) continue;
+        line.replace(col, 6, std::string(alias_for(ident)));
+        ++applied;
+        fixed_l3 = true;
+      }
+    }
+    if (applied == 0) continue;
+
+    // Include hygiene after the token edits: the ordered header must exist
+    // for every swap we made; the unordered header goes away only when no
+    // use of it remains (a suppressed custom-hash table may keep it).
+    for (std::string_view container : {"unordered_map", "unordered_set"}) {
+      const bool swapped =
+          container == "unordered_map" ? swapped_map : swapped_set;
+      if (!swapped) continue;
+      const std::string unordered_inc =
+          "#include <" + std::string(container) + ">";
+      const std::string ordered_inc =
+          container == "unordered_map" ? "#include <map>" : "#include <set>";
+      const bool still_used = contains_word(*lines, container);
+      const bool have_ordered =
+          std::find(lines->begin(), lines->end(), ordered_inc) !=
+          lines->end();
+      auto it = std::find(lines->begin(), lines->end(), unordered_inc);
+      if (it == lines->end()) continue;  // pulled in transitively; leave it
+      if (!still_used && !have_ordered) {
+        *it = ordered_inc;  // in-place swap keeps the include block tidy
+      } else {
+        // `<map>`/`<set>` sort directly before their unordered twins.
+        if (!have_ordered) it = lines->insert(it, ordered_inc) + 1;
+        if (!still_used) lines->erase(it);
+      }
+    }
+    if (fixed_l3) ensure_units_include(*lines);
+
+    if (!write_lines(path, *lines)) {
+      errors.push_back("cannot write for --fix: " + path);
+      continue;
+    }
+    result.fixes_applied += applied;
+    result.files_changed.push_back(path);
+  }
+
+  std::sort(result.files_changed.begin(), result.files_changed.end());
+  return result;
+}
+
+}  // namespace spider::lint

@@ -1,0 +1,45 @@
+// spiderlint --fix: mechanically safe rewrites for a subset of findings.
+//
+// Only two fix families are safe enough to automate, and both are pure
+// token substitutions:
+//
+//   L1 container swap     std::unordered_map<K,V>  -> std::map<K,V>
+//                         std::unordered_set<K>    -> std::set<K>
+//       applied only to type-use findings whose template argument list is
+//       on one line and has no extra arguments (a custom hasher or
+//       allocator makes the swap semantic, so it is left to a human); the
+//       matching `#include <unordered_*>` is swapped once no uses remain.
+//
+//   L3 unit-alias rename  double x_bytes   -> spider::ByteVolume x_bytes
+//                         double x_seconds -> spider::Seconds x_seconds
+//                         double x_bw      -> spider::Bandwidth x_bw
+//                         double latency*  -> spider::Seconds latency*
+//       the aliases are doubles (common/units.hpp), so the rewrite cannot
+//       change behaviour; `#include "common/units.hpp"` is inserted when
+//       missing.
+//
+// Everything else (iteration findings, L2 nondeterminism, the semantic
+// rules) requires judgement and is intentionally not auto-fixed.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tools/lint/report.hpp"
+
+namespace spider::lint {
+
+struct FixResult {
+  std::size_t fixes_applied = 0;
+  std::vector<std::string> files_changed;  ///< sorted, deduplicated
+};
+
+/// Apply the safe fixes for `report`'s findings to the files on disk.
+/// Unreadable/unwritable files are reported in `errors`; findings whose
+/// source text no longer matches are skipped silently (the file moved under
+/// us — rerun the lint).
+FixResult apply_fixes(const LintReport& report,
+                      std::vector<std::string>& errors);
+
+}  // namespace spider::lint

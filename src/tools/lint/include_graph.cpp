@@ -1,0 +1,126 @@
+#include "tools/lint/include_graph.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "tools/lint/token.hpp"
+
+namespace spider::lint {
+
+std::vector<IncludeEdge> quoted_includes(const SourceFile& file) {
+  std::vector<IncludeEdge> edges;
+  for (std::size_t l = 0; l < file.lines.size(); ++l) {
+    const Line& line = file.lines[l];
+    if (pp_directive(line) != "include") continue;
+    // The scanner blanked the include string's contents in `code` but kept
+    // the raw text; read the quoted spelling from `raw`.
+    const std::size_t open = line.raw.find('"');
+    if (open == std::string::npos) continue;  // <system> include
+    const std::size_t close = line.raw.find('"', open + 1);
+    if (close == std::string::npos) continue;
+    edges.push_back(
+        IncludeEdge{line.raw.substr(open + 1, close - open - 1), l});
+  }
+  return edges;
+}
+
+std::string include_key(std::string_view path) {
+  // Find the last "/src/" (or leading "src/") component and return what
+  // follows it.
+  std::size_t best = std::string_view::npos;
+  std::size_t pos = path.find("src");
+  while (pos != std::string_view::npos) {
+    const bool starts = pos == 0 || path[pos - 1] == '/';
+    const bool ends = pos + 3 < path.size() && path[pos + 3] == '/';
+    if (starts && ends) best = pos + 4;
+    pos = path.find("src", pos + 1);
+  }
+  if (best == std::string_view::npos) return {};
+  return std::string(path.substr(best));
+}
+
+int layer_of(std::string_view key) {
+  const std::size_t slash = key.find('/');
+  const std::string_view top =
+      slash == std::string_view::npos ? key : key.substr(0, slash);
+  if (top == "common") return 0;
+  if (top == "sim") return 1;
+  if (top == "block" || top == "fs" || top == "net") return 2;
+  if (top == "workload") return 3;
+  if (top == "core") return 4;
+  if (top == "tools" || top == "infra") return 5;
+  return -1;
+}
+
+std::string_view layer_name(int layer) {
+  switch (layer) {
+    case 0: return "common";
+    case 1: return "sim";
+    case 2: return "block/fs/net";
+    case 3: return "workload";
+    case 4: return "core";
+    case 5: return "tools/infra";
+    default: return "unlayered";
+  }
+}
+
+void IncludeGraph::add_file(const std::string& key, const SourceFile* source) {
+  if (key.empty() || source == nullptr) return;
+  files_[key] = source;
+}
+
+std::vector<std::vector<std::string>> IncludeGraph::cycles() const {
+  // Iterative DFS with tri-color marking; a back edge to a grey node names a
+  // cycle. Each strongly-entangled set may surface several times via
+  // different back edges; dedupe by the cycle's canonical rotation.
+  std::vector<std::vector<std::string>> out;
+  std::map<std::string, std::vector<std::string>> adj;
+  for (const auto& [key, src] : files_) {
+    std::vector<std::string> targets;
+    for (const IncludeEdge& e : quoted_includes(*src)) {
+      if (files_.count(e.target) > 0) targets.push_back(e.target);
+    }
+    adj[key] = std::move(targets);
+  }
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  std::vector<std::string> path;
+
+  std::vector<std::vector<std::string>> seen_canonical;
+  auto canonical = [](std::vector<std::string> cycle) {
+    // cycle is [a, ..., a]; drop the closing repeat, rotate smallest first.
+    cycle.pop_back();
+    const auto min_it = std::min_element(cycle.begin(), cycle.end());
+    std::rotate(cycle.begin(), min_it, cycle.end());
+    return cycle;
+  };
+
+  std::function<void(const std::string&)> dfs = [&](const std::string& node) {
+    color[node] = 1;
+    path.push_back(node);
+    for (const std::string& next : adj[node]) {
+      if (color[next] == 1) {
+        // Found a cycle: path suffix from `next` to node, closed with next.
+        auto it = std::find(path.begin(), path.end(), next);
+        std::vector<std::string> cycle(it, path.end());
+        cycle.push_back(next);
+        auto canon = canonical(cycle);
+        if (std::find(seen_canonical.begin(), seen_canonical.end(), canon) ==
+            seen_canonical.end()) {
+          seen_canonical.push_back(canon);
+          out.push_back(std::move(cycle));
+        }
+      } else if (color[next] == 0) {
+        dfs(next);
+      }
+    }
+    path.pop_back();
+    color[node] = 2;
+  };
+  for (const auto& [key, targets] : adj) {
+    (void)targets;
+    if (color[key] == 0) dfs(key);
+  }
+  return out;
+}
+
+}  // namespace spider::lint

@@ -1,0 +1,65 @@
+// spiderlint include graph: a preprocessor-lite view of `#include "..."`
+// edges between in-tree files, plus the architectural layering the edges
+// must respect (rule L5).
+//
+// The layering, bottom to top (an include may only point at the same or a
+// lower layer, and the file-level graph must stay acyclic):
+//
+//   common(0) -> sim(1) -> {block, fs, net}(2) -> workload(3) -> core(4)
+//                                                  -> {tools, infra}(5)
+//
+// Nodes are keyed by include spelling: the path suffix after the last
+// `src/` component ("sim/event_queue.hpp"), which is exactly how in-tree
+// includes are written. Angle-bracket includes are system headers and are
+// not part of the graph.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tools/lint/scan.hpp"
+
+namespace spider::lint {
+
+struct IncludeEdge {
+  std::string target;     ///< quoted include spelling, e.g. "sim/time.hpp"
+  std::size_t line = 0;   ///< 0-based line of the #include
+};
+
+/// Quoted-include edges of one scanned file, in line order.
+std::vector<IncludeEdge> quoted_includes(const SourceFile& file);
+
+/// The include key of a path: the suffix after the last "src" component
+/// ("core/center.hpp"), or empty when the path is not under src/.
+std::string include_key(std::string_view path);
+
+/// Layer rank of an include key's first component; -1 when the component is
+/// not part of the layered architecture.
+int layer_of(std::string_view key);
+
+/// Human name of a layer rank ("common", "sim", "block/fs/net", ...).
+std::string_view layer_name(int layer);
+
+/// File-level include graph over in-tree sources.
+class IncludeGraph {
+ public:
+  /// Register a file by include key (ignored when the key is empty).
+  void add_file(const std::string& key, const SourceFile* source);
+  /// All registered keys, sorted (map order).
+  const std::map<std::string, const SourceFile*>& files() const {
+    return files_;
+  }
+
+  /// Cycles in the graph among registered files. Each cycle is reported
+  /// once, as the key sequence [a, b, ..., a], deterministically (smallest
+  /// starting key first).
+  std::vector<std::vector<std::string>> cycles() const;
+
+ private:
+  std::map<std::string, const SourceFile*> files_;
+};
+
+}  // namespace spider::lint

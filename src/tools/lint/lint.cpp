@@ -41,6 +41,13 @@ std::vector<std::string> collect_sources(const std::vector<std::string>& paths,
       for (fs::recursive_directory_iterator it(p, ec), end; it != end;
            it.increment(ec)) {
         if (ec) break;
+        // Lint fixtures contain deliberate violations; they are linted
+        // explicitly by their tests, never via directory recursion.
+        if (it->is_directory() &&
+            it->path().filename() == "lint_fixtures") {
+          it.disable_recursion_pending();
+          continue;
+        }
         if (it->is_regular_file() && lintable_extension(it->path())) {
           files.push_back(it->path().generic_string());
         }
@@ -70,19 +77,24 @@ LintReport lint_paths(const std::vector<std::string>& paths,
                       const LintOptions& opts,
                       std::vector<std::string>& errors) {
   LintReport report;
+  // Scanned files are kept for the project-wide pass (L5 layering).
+  std::vector<SourceFile> scanned;
   for (const std::string& path : collect_sources(paths, errors)) {
     const std::optional<std::string> contents = read_file(path);
     if (!contents.has_value()) {
       errors.push_back("cannot read: " + path);
       continue;
     }
-    const SourceFile file = scan_source(path, *contents);
+    scanned.push_back(scan_source(path, *contents));
     ++report.files_scanned;
+  }
 
-    // Pair foo.cpp with a sibling foo.hpp (or .h/.hh) for L1 tracking.
+  for (const SourceFile& file : scanned) {
+    // Pair foo.cpp with a sibling foo.hpp (or .h/.hh) for L1 identifier
+    // tracking and L6/L7 declaration lookup.
     SourceFile header;
     const SourceFile* paired = nullptr;
-    const fs::path p(path);
+    const fs::path p(file.path);
     if (p.extension() == ".cpp" || p.extension() == ".cc") {
       for (const char* ext : {".hpp", ".h", ".hh"}) {
         fs::path candidate = p;
@@ -102,6 +114,18 @@ LintReport lint_paths(const std::vector<std::string>& paths,
                            std::make_move_iterator(found.begin()),
                            std::make_move_iterator(found.end()));
   }
+
+  std::vector<Finding> project = lint_project(scanned, opts.rules);
+  report.findings.insert(report.findings.end(),
+                         std::make_move_iterator(project.begin()),
+                         std::make_move_iterator(project.end()));
+  std::sort(report.findings.begin(), report.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.column != b.column) return a.column < b.column;
+              return a.rule < b.rule;
+            });
   return report;
 }
 

@@ -1,20 +1,31 @@
 // spiderlint CLI — determinism & unit-safety static analysis for spiderpfs.
 //
 // Usage: spiderlint [options] <path>...
-//   --format=text|json   output format (default text)
+//   --format=text|json|sarif  output format (default text)
 //   --fix-hints          include fix-it hints and a per-rule digest (text)
 //   --rules=L1,L3        run only the listed rules (default: all)
+//   --baseline=FILE      drop findings grandfathered in FILE
+//                        (RULE :: file :: message :: reason, line-number
+//                        independent); stale entries are warned to stderr
+//   --write-baseline     print the run's findings in baseline format and
+//                        exit (reasons left as 'justify-me' for editing)
+//   --fix                apply the mechanically safe fixes (L1 container
+//                        swaps, L3 unit-alias renames) in place
 //   --treat-as=CLASS     force file classification: sim-critical, src,
-//                        header (repeatable; for linting fixtures that live
-//                        outside src/)
+//                        header, calib (repeatable; for linting fixtures
+//                        that live outside src/)
 //   --list-rules         print the rule table and exit
 //
-// Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+// Exit codes: 0 clean (after baseline), 1 findings, 2 usage or I/O error.
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "tools/lint/baseline.hpp"
+#include "tools/lint/fix.hpp"
 #include "tools/lint/lint.hpp"
 
 namespace {
@@ -31,9 +42,10 @@ void print_rule_table() {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--format=text|json] [--fix-hints] [--rules=L1,..]\n"
-               "       [--treat-as=sim-critical|src|header]... [--list-rules]"
-               " <path>...\n",
+               "usage: %s [--format=text|json|sarif] [--fix-hints]\n"
+               "       [--rules=L1,..] [--baseline=FILE] [--write-baseline]\n"
+               "       [--fix] [--treat-as=sim-critical|src|header|calib]...\n"
+               "       [--list-rules] <path>...\n",
                argv0);
   return 2;
 }
@@ -44,8 +56,12 @@ int main(int argc, char** argv) {
   using namespace spider::lint;
 
   LintOptions opts;
-  bool json = false;
+  enum class Format { kText, kJson, kSarif };
+  Format format = Format::kText;
   bool fix_hints = false;
+  bool write_baseline = false;
+  bool apply_fix = false;
+  std::string baseline_path;
   std::vector<std::string> paths;
   FileClass forced;
   bool have_forced = false;
@@ -57,17 +73,27 @@ int main(int argc, char** argv) {
       return 0;
     } else if (arg == "--fix-hints") {
       fix_hints = true;
+    } else if (arg == "--write-baseline") {
+      write_baseline = true;
+    } else if (arg == "--fix") {
+      apply_fix = true;
+    } else if (arg.starts_with("--baseline=")) {
+      baseline_path = std::string(arg.substr(11));
     } else if (arg.starts_with("--format=")) {
       const std::string_view fmt = arg.substr(9);
       if (fmt == "json") {
-        json = true;
-      } else if (fmt != "text") {
+        format = Format::kJson;
+      } else if (fmt == "sarif") {
+        format = Format::kSarif;
+      } else if (fmt == "text") {
+        format = Format::kText;
+      } else {
         std::fprintf(stderr, "spiderlint: unknown format '%.*s'\n",
                      static_cast<int>(fmt.size()), fmt.data());
         return usage(argv[0]);
       }
     } else if (arg.starts_with("--rules=")) {
-      opts.rules = RuleSet{false, false, false, false};
+      opts.rules = RuleSet::none();
       std::string_view list = arg.substr(8);
       while (!list.empty()) {
         const std::size_t comma = list.find(',');
@@ -80,6 +106,14 @@ int main(int argc, char** argv) {
           opts.rules.l3 = true;
         } else if (id == "L4") {
           opts.rules.l4 = true;
+        } else if (id == "L5") {
+          opts.rules.l5 = true;
+        } else if (id == "L6") {
+          opts.rules.l6 = true;
+        } else if (id == "L7") {
+          opts.rules.l7 = true;
+        } else if (id == "L8") {
+          opts.rules.l8 = true;
         } else {
           std::fprintf(stderr, "spiderlint: unknown rule '%.*s'\n",
                        static_cast<int>(id.size()), id.data());
@@ -96,7 +130,11 @@ int main(int argc, char** argv) {
       } else if (cls == "src") {
         forced.in_src = true;
       } else if (cls == "header") {
+        forced.in_src = true;
         forced.is_header = true;
+      } else if (cls == "calib") {
+        forced.in_src = true;
+        forced.calib_scope = true;
       } else {
         std::fprintf(stderr, "spiderlint: unknown class '%.*s'\n",
                      static_cast<int>(cls.size()), cls.data());
@@ -114,13 +152,51 @@ int main(int argc, char** argv) {
   if (have_forced) opts.forced_class = forced;
 
   std::vector<std::string> errors;
-  const LintReport report = lint_paths(paths, opts, errors);
+  LintReport report = lint_paths(paths, opts, errors);
+
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "spiderlint: cannot read baseline '%s'\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::vector<BaselineEntry> entries =
+        parse_baseline(buf.str(), errors);
+    const std::vector<BaselineEntry> stale = apply_baseline(report, entries);
+    for (const BaselineEntry& e : stale) {
+      std::fprintf(stderr,
+                   "spiderlint: stale baseline entry (fixed? delete it): "
+                   "%s :: %s :: %s\n",
+                   e.rule.c_str(), e.file.c_str(), e.message.c_str());
+    }
+  }
+
   for (const std::string& err : errors) {
     std::fprintf(stderr, "spiderlint: %s\n", err.c_str());
   }
 
-  const std::string rendered =
-      json ? render_json(report) : render_text(report, fix_hints);
+  if (write_baseline) {
+    std::fputs(render_baseline(report).c_str(), stdout);
+    return errors.empty() ? 0 : 2;
+  }
+
+  if (apply_fix) {
+    const FixResult fixed = apply_fixes(report, errors);
+    std::fprintf(stderr, "spiderlint: applied %zu fix%s in %zu file%s\n",
+                 fixed.fixes_applied, fixed.fixes_applied == 1 ? "" : "es",
+                 fixed.files_changed.size(),
+                 fixed.files_changed.size() == 1 ? "" : "s");
+  }
+
+  std::string rendered;
+  switch (format) {
+    case Format::kJson: rendered = render_json(report); break;
+    case Format::kSarif: rendered = render_sarif(report); break;
+    case Format::kText: rendered = render_text(report, fix_hints); break;
+  }
   std::fputs(rendered.c_str(), stdout);
 
   if (!errors.empty()) return 2;

@@ -72,6 +72,57 @@ std::string json_escape(std::string_view s) {
   return out;
 }
 
+std::string render_sarif(const LintReport& report) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"spiderlint\",\n"
+      << "          \"informationUri\": \"docs/static-analysis.md\",\n"
+      << "          \"rules\": [\n";
+  const std::vector<RuleInfo>& all = rules();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const RuleInfo& r = all[i];
+    out << "            {\"id\": \"" << r.id << "\", \"name\": \"" << r.name
+        << "\", \"shortDescription\": {\"text\": \""
+        << json_escape(r.summary) << "\"}, \"help\": {\"text\": \""
+        << json_escape(r.hint) << "\"}, \"defaultConfiguration\": "
+        << "{\"level\": \""
+        << (r.severity == Severity::kError ? "error" : "warning") << "\"}}"
+        << (i + 1 < all.size() ? "," : "") << '\n';
+  }
+  out << "          ]\n"
+      << "        }\n"
+      << "      },\n"
+      << "      \"results\": [\n";
+  for (std::size_t i = 0; i < report.findings.size(); ++i) {
+    const Finding& f = report.findings[i];
+    std::size_t rule_index = 0;
+    for (std::size_t r = 0; r < all.size(); ++r) {
+      if (all[r].id == f.rule) rule_index = r;
+    }
+    out << "        {\"ruleId\": \"" << json_escape(f.rule)
+        << "\", \"ruleIndex\": " << rule_index << ", \"level\": \""
+        << (f.severity == Severity::kError ? "error" : "warning")
+        << "\", \"message\": {\"text\": \"" << json_escape(f.message)
+        << "\"}, \"locations\": [{\"physicalLocation\": "
+        << "{\"artifactLocation\": {\"uri\": \"" << json_escape(f.file)
+        << "\"}, \"region\": {\"startLine\": " << f.line
+        << ", \"startColumn\": " << f.column << "}}}]}"
+        << (i + 1 < report.findings.size() ? "," : "") << '\n';
+  }
+  out << "      ]\n"
+      << "    }\n"
+      << "  ]\n"
+      << "}\n";
+  return out.str();
+}
+
 std::string render_json(const LintReport& report) {
   std::ostringstream out;
   out << "{\"version\": 1, \"files_scanned\": " << report.files_scanned

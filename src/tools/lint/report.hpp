@@ -30,6 +30,12 @@ std::string render_text(const LintReport& report, bool fix_hints);
 ///  "findings":[{"rule","severity","file","line","column","message","hint"}]}
 std::string render_json(const LintReport& report);
 
+/// SARIF 2.1.0 for code-scanning UIs: one run, the full rule table under
+/// tool.driver.rules, one result per finding with a physicalLocation
+/// (artifactLocation.uri + region.startLine/startColumn). Paths are emitted
+/// as given (relative when the lint was invoked with relative paths).
+std::string render_sarif(const LintReport& report);
+
 /// Escape a string for embedding in a JSON string literal.
 std::string json_escape(std::string_view s);
 

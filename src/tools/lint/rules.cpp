@@ -1,26 +1,24 @@
 #include "tools/lint/rules.hpp"
 
 #include <algorithm>
-#include <cctype>
+#include <cstdlib>
+#include <map>
 #include <set>
+#include <utility>
+
+#include "tools/lint/include_graph.hpp"
+#include "tools/lint/symbols.hpp"
+#include "tools/lint/token.hpp"
 
 namespace spider::lint {
 
 namespace {
 
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-bool ident_start(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
-}
-
 const std::vector<RuleInfo> kRules = {
     {"L1", "unordered-iteration", Severity::kError,
      "unordered_map/unordered_set in sim-critical directories "
-     "(src/sim, src/block, src/fs, src/net): iteration and float-sum order "
-     "depend on hash/rehash history",
+     "(src/sim, src/block, src/fs, src/net) or tests/bench: iteration and "
+     "float-sum order depend on hash/rehash history",
      "ordered-ok",
      "use std::map or sorted-key iteration; a pure lookup table whose order "
      "never leaks may be justified with // spiderlint: ordered-ok"},
@@ -45,43 +43,64 @@ const std::vector<RuleInfo> kRules = {
      "pass a std::source_location (or site hash) through the scheduling "
      "call, or use Simulator::schedule_at/schedule_in (and "
      "FaultInjector::inject/arm) which capture it automatically"},
+    {"L5", "layer-violation", Severity::kError,
+     "include edge points up the architectural layering "
+     "(common -> sim -> {block,fs,net} -> workload -> core -> {tools,infra}) "
+     "or participates in an include cycle",
+     "layer-ok",
+     "invert the dependency: move the shared declaration down a layer, or "
+     "pass the upper-layer behaviour in as a callback/interface; justified "
+     "exceptions carry // spiderlint: layer-ok"},
+    {"L6", "lock-discipline", Severity::kError,
+     "member annotated SPIDER_GUARDED_BY(m) accessed in a function that "
+     "neither locks m nor is annotated SPIDER_REQUIRES(m)",
+     "lock-ok",
+     "take std::lock_guard/std::unique_lock on the guard mutex before "
+     "touching the member, or annotate the helper SPIDER_REQUIRES(m) and "
+     "make every caller hold the lock"},
+    {"L7", "schedule-site-flow", Severity::kError,
+     "schedule_at()/schedule_in() called from a non-public helper without "
+     "forwarding an explicit site: the defaulted std::source_location "
+     "collapses every event from this helper to one site",
+     "flow-ok",
+     "thread a std::source_location parameter from the public entry point "
+     "down to the scheduling call (see Simulator::schedule_at's defaulted "
+     "loc argument)"},
+    {"L8", "calibration-constant", Severity::kWarning,
+     "bare numeric literal >= 1000 inside a function body in "
+     "src/{block,fs,net}: bandwidth/latency/size calibration constants must "
+     "have greppable provenance",
+     "calib-ok",
+     "hoist the literal into a named constant in the subsystem's config "
+     "header (or use the units.hpp constants/literals) so the calibration "
+     "source is documented once"},
 };
 
-/// Extract the text between the '(' at (line_index, col) and its matching
-/// ')', spanning lines if necessary. Returns what was collected even if the
-/// file ends first.
-std::string balanced_args(const SourceFile& file, std::size_t line_index,
-                          std::size_t open_col) {
-  std::string args;
-  int depth = 0;
-  const std::size_t max_lines = 40;
-  for (std::size_t l = line_index;
-       l < file.lines.size() && l < line_index + max_lines; ++l) {
-    const std::string& code = file.lines[l].code;
-    std::size_t i = (l == line_index) ? open_col : 0;
-    for (; i < code.size(); ++i) {
-      const char c = code[i];
-      if (c == '(') {
-        ++depth;
-        if (depth == 1) continue;  // skip the outer '('
-      } else if (c == ')') {
-        --depth;
-        if (depth == 0) return args;
-      }
-      if (depth >= 1) args.push_back(c);
-    }
-    args.push_back(' ');  // line break inside the argument list
+/// True when a flattened argument list carries a scheduling site.
+bool args_carry_site(std::string_view args) {
+  return args.find("site") != std::string_view::npos ||
+         args.find("source_location") != std::string_view::npos ||
+         find_word(args, "loc") != std::string_view::npos;
+}
+
+/// Join [begin, end) token texts with spaces.
+std::string flatten(const std::vector<Tok>& t, std::size_t begin,
+                    std::size_t end) {
+  std::string out;
+  for (std::size_t i = begin; i < end && i < t.size(); ++i) {
+    if (!out.empty()) out.push_back(' ');
+    out += t[i].text;
   }
-  return args;
+  return out;
 }
 
 void add_finding(std::vector<Finding>& out, const RuleInfo& info,
-                 const SourceFile& file, std::size_t line_index,
+                 const std::string& path, std::size_t line_index,
                  std::size_t col, std::string message) {
   Finding f;
   f.rule = std::string(info.id);
   f.severity = info.severity;
-  f.file = file.path;
+  f.file = path;
   f.line = line_index + 1;
   f.column = col + 1;
   f.message = std::move(message);
@@ -92,108 +111,88 @@ void add_finding(std::vector<Finding>& out, const RuleInfo& info,
 // --- L1: unordered containers in sim-critical code -------------------------
 
 /// Names of variables (members, locals, params) declared with an unordered
-/// container type in `file`.
-std::set<std::string> unordered_idents(const SourceFile& file) {
+/// container type, from the token stream (declarations may span lines).
+std::set<std::string> unordered_idents(const TokenStream& stream) {
   std::set<std::string> idents;
-  for (const Line& line : file.lines) {
-    const std::string& code = line.code;
-    for (std::string_view tok : {"unordered_map", "unordered_set"}) {
-      std::size_t pos = find_word(code, tok);
-      while (pos != std::string::npos) {
-        std::size_t i = pos + tok.size();
-        if (i < code.size() && code[i] == '<') {
-          // Balance template args on this line to find the declared name.
-          int depth = 0;
-          for (; i < code.size(); ++i) {
-            if (code[i] == '<') ++depth;
-            if (code[i] == '>' && --depth == 0) {
-              ++i;
-              break;
-            }
-          }
-          while (i < code.size() && (code[i] == ' ' || code[i] == '&')) ++i;
-          std::size_t j = i;
-          while (j < code.size() && ident_char(code[j])) ++j;
-          if (j > i && ident_start(code[i])) {
-            std::size_t k = j;
-            while (k < code.size() && code[k] == ' ') ++k;
-            // `name(` is a function returning the container, not a variable.
-            if (k >= code.size() || code[k] != '(') {
-              idents.insert(std::string(code.substr(i, j - i)));
-            }
-          }
-        }
-        pos = find_word(code, tok, pos + 1);
-      }
+  const std::vector<Tok>& t = stream.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent ||
+        (t[i].text != "unordered_map" && t[i].text != "unordered_set")) {
+      continue;
+    }
+    if (i + 1 >= t.size() || !is_punct(t[i + 1], "<")) continue;
+    std::size_t j = matching_close(t, i + 1);
+    if (j >= t.size()) continue;
+    ++j;
+    while (j < t.size() && (is_punct(t[j], "&") || is_punct(t[j], "*") ||
+                            is_ident(t[j], "const"))) {
+      ++j;
+    }
+    if (j < t.size() && t[j].kind == TokKind::kIdent &&
+        (j + 1 >= t.size() || !is_punct(t[j + 1], "("))) {
+      idents.insert(t[j].text);
     }
   }
   return idents;
 }
 
-void run_l1(const SourceFile& file, const SourceFile* paired_header,
-            std::vector<Finding>& out) {
+void run_l1(const SourceFile& file, const TokenStream& stream,
+            const TokenStream* header_stream, std::vector<Finding>& out) {
   const RuleInfo& info = *rule("L1");
-  std::set<std::string> tracked = unordered_idents(file);
-  if (paired_header != nullptr) {
-    std::set<std::string> from_header = unordered_idents(*paired_header);
+  std::set<std::string> tracked = unordered_idents(stream);
+  if (header_stream != nullptr) {
+    std::set<std::string> from_header = unordered_idents(*header_stream);
     tracked.insert(from_header.begin(), from_header.end());
   }
 
-  for (std::size_t l = 0; l < file.lines.size(); ++l) {
-    const Line& line = file.lines[l];
-    if (is_preprocessor(line)) continue;  // #include <unordered_map> et al.
-    const std::string& code = line.code;
+  const std::vector<Tok>& t = stream.tokens;
+  // One finding per line per trigger, mirroring the line scanner.
+  std::set<std::pair<std::size_t, std::string>> flagged;
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
 
     // Any use of the type itself.
-    for (std::string_view tok : {"unordered_map", "unordered_set"}) {
-      const std::size_t pos = find_word(code, tok);
-      if (pos == std::string::npos) continue;
-      if (has_suppression(file, l, info.suppression)) continue;
-      add_finding(out, info, file, l, pos,
-                  "std::" + std::string(tok) + " in sim-critical code");
+    if (t[i].text == "unordered_map" || t[i].text == "unordered_set") {
+      if (flagged.emplace(t[i].line, t[i].text).second &&
+          !has_suppression(file, t[i].line, info.suppression)) {
+        add_finding(out, info, file.path, t[i].line, t[i].col,
+                    "std::" + t[i].text + " in sim-critical code");
+      }
+      continue;
     }
 
     // Iteration over a tracked identifier: range-for (`: ident`) or an
     // explicit iterator walk (`ident.begin()`).
-    for (const std::string& ident : tracked) {
-      std::size_t pos = find_word(code, ident);
-      while (pos != std::string::npos) {
-        bool iterates = false;
-        // `for (... : ident)` — previous non-space is a lone ':'.
-        std::size_t p = pos;
-        while (p > 0 && code[p - 1] == ' ') --p;
-        if (p > 0 && code[p - 1] == ':' && (p < 2 || code[p - 2] != ':') &&
-            find_word(code, "for") != std::string::npos) {
-          iterates = true;
-        }
-        // `ident.begin()` / `.cbegin()` / `.rbegin()`.
-        const std::string_view after =
-            std::string_view(code).substr(pos + ident.size());
-        if (after.starts_with(".begin(") || after.starts_with(".cbegin(") ||
-            after.starts_with(".rbegin(")) {
-          iterates = true;
-        }
-        if (iterates && !has_suppression(file, l, info.suppression)) {
-          add_finding(out, info, file, l, pos,
-                      "iteration over unordered container '" + ident + "'");
-          break;  // one finding per line per identifier is enough
-        }
-        pos = find_word(code, ident, pos + 1);
-      }
+    if (tracked.count(t[i].text) == 0) continue;
+    bool iterates = false;
+    if (i >= 1 && is_punct(t[i - 1], ":") &&
+        find_word(file.lines[t[i].line].code, "for") != std::string::npos) {
+      iterates = true;
+    }
+    if (i + 2 < t.size() && is_punct(t[i + 1], ".") &&
+        (is_ident(t[i + 2], "begin") || is_ident(t[i + 2], "cbegin") ||
+         is_ident(t[i + 2], "rbegin"))) {
+      iterates = true;
+    }
+    if (iterates && flagged.emplace(t[i].line, "it:" + t[i].text).second &&
+        !has_suppression(file, t[i].line, info.suppression)) {
+      add_finding(out, info, file.path, t[i].line, t[i].col,
+                  "iteration over unordered container '" + t[i].text + "'");
     }
   }
 }
 
 // --- L2: nondeterminism sources --------------------------------------------
 
-void run_l2(const SourceFile& file, const FileClass& cls,
-            std::vector<Finding>& out) {
+void run_l2(const SourceFile& file, const TokenStream& stream,
+            const FileClass& cls, std::vector<Finding>& out) {
   const RuleInfo& info = *rule("L2");
-  struct Token {
+  struct Trigger {
     std::string_view text;
     bool needs_call;  // must be followed by '('
   };
-  static const Token kTokens[] = {
+  static const Trigger kTriggers[] = {
       {"random_device", false}, {"rand", true},
       {"srand", true},          {"time", true},
       {"clock", true},          {"gettimeofday", false},
@@ -201,43 +200,32 @@ void run_l2(const SourceFile& file, const FileClass& cls,
       {"steady_clock", false},  {"high_resolution_clock", false},
   };
 
-  for (std::size_t l = 0; l < file.lines.size(); ++l) {
-    const Line& line = file.lines[l];
-    if (is_preprocessor(line)) continue;
-    const std::string& code = line.code;
+  const std::vector<Tok>& t = stream.tokens;
+  std::set<std::pair<std::size_t, std::string>> flagged;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
 
-    for (const Token& tok : kTokens) {
-      std::size_t pos = find_word(code, tok.text);
-      while (pos != std::string::npos) {
-        std::size_t i = pos + tok.text.size();
-        while (i < code.size() && code[i] == ' ') ++i;
-        const bool is_call = i < code.size() && code[i] == '(';
-        if ((!tok.needs_call || is_call) &&
-            !has_suppression(file, l, info.suppression)) {
-          add_finding(out, info, file, l, pos,
-                      "nondeterminism source '" + std::string(tok.text) +
-                          "' — simulations must not read ambient "
-                          "randomness or wall-clock time");
-          break;
-        }
-        pos = find_word(code, tok.text, pos + 1);
+    for (const Trigger& trig : kTriggers) {
+      if (t[i].text != trig.text) continue;
+      const bool is_call = i + 1 < t.size() && is_punct(t[i + 1], "(");
+      if ((!trig.needs_call || is_call) &&
+          flagged.emplace(t[i].line, t[i].text).second &&
+          !has_suppression(file, t[i].line, info.suppression)) {
+        add_finding(out, info, file.path, t[i].line, t[i].col,
+                    "nondeterminism source '" + t[i].text +
+                        "' — simulations must not read ambient "
+                        "randomness or wall-clock time");
       }
     }
 
     // mt19937 / mt19937_64: allowed only inside common/rng (the one place
     // engines may live); elsewhere RNGs must come through spider::Rng.
-    if (!cls.rng_home) {
-      std::size_t pos = code.find("mt19937");
-      while (pos != std::string::npos) {
-        if ((pos == 0 || !ident_char(code[pos - 1])) &&
-            !has_suppression(file, l, info.suppression)) {
-          add_finding(out, info, file, l, pos,
-                      "mt19937 constructed outside common/rng — use "
-                      "spider::Rng so seeding stays explicit");
-          break;
-        }
-        pos = code.find("mt19937", pos + 1);
-      }
+    if (!cls.rng_home && t[i].text.starts_with("mt19937") &&
+        flagged.emplace(t[i].line, "mt19937").second &&
+        !has_suppression(file, t[i].line, info.suppression)) {
+      add_finding(out, info, file.path, t[i].line, t[i].col,
+                  "mt19937 constructed outside common/rng — use "
+                  "spider::Rng so seeding stays explicit");
     }
   }
 }
@@ -250,67 +238,51 @@ bool unit_bearing_name(std::string_view ident) {
          ident == "bytes" || ident == "seconds" || ident == "bw";
 }
 
-void run_l3(const SourceFile& file, std::vector<Finding>& out) {
+void run_l3(const SourceFile& file, const TokenStream& stream,
+            std::vector<Finding>& out) {
   const RuleInfo& info = *rule("L3");
-  for (std::size_t l = 0; l < file.lines.size(); ++l) {
-    const Line& line = file.lines[l];
-    if (is_preprocessor(line)) continue;
-    const std::string& code = line.code;
-
-    std::size_t pos = find_word(code, "double");
-    while (pos != std::string::npos) {
-      std::size_t i = pos + 6;
-      while (i < code.size() && code[i] == ' ') ++i;
-      std::size_t j = i;
-      while (j < code.size() && ident_char(code[j])) ++j;
-      if (j > i && ident_start(code[i])) {
-        const std::string_view ident = std::string_view(code).substr(i, j - i);
-        if (unit_bearing_name(ident) &&
-            !has_suppression(file, l, info.suppression)) {
-          add_finding(out, info, file, l, pos,
-                      "raw double '" + std::string(ident) +
-                          "' carries a unit in its name");
-        }
-      }
-      pos = find_word(code, "double", pos + 1);
+  const std::vector<Tok>& t = stream.tokens;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!is_ident(t[i], "double") || t[i + 1].kind != TokKind::kIdent) {
+      continue;
+    }
+    if (unit_bearing_name(t[i + 1].text) &&
+        !has_suppression(file, t[i].line, info.suppression)) {
+      add_finding(out, info, file.path, t[i].line, t[i].col,
+                  "raw double '" + t[i + 1].text +
+                      "' carries a unit in its name");
     }
   }
 }
 
 // --- L4: scheduling sites ---------------------------------------------------
 
-bool args_carry_site(std::string_view args) {
-  return args.find("site") != std::string_view::npos ||
-         args.find("source_location") != std::string_view::npos ||
-         find_word(args, "loc") != std::string_view::npos;
-}
-
-void run_l4(const SourceFile& file, std::vector<Finding>& out) {
+void run_l4(const SourceFile& file, const TokenStream& stream,
+            std::vector<Finding>& out) {
   const RuleInfo& info = *rule("L4");
-  for (std::size_t l = 0; l < file.lines.size(); ++l) {
-    const Line& line = file.lines[l];
-    if (is_preprocessor(line)) continue;
-    const std::string& code = line.code;
+  const std::vector<Tok>& t = stream.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    const std::string& name = t[i].text;
+    const bool call_name = name == "schedule" || name == "reschedule";
+    const bool decl_name = call_name || name == "schedule_at" ||
+                           name == "schedule_in" || name == "inject" ||
+                           name == "arm";
+    if (!decl_name || i + 1 >= t.size() || !is_punct(t[i + 1], "(")) continue;
+    const std::size_t close = matching_close(t, i + 1);
+    if (close >= t.size()) continue;
+    const std::string args = flatten(t, i + 2, close);
 
     // Call sites: obj.schedule(...) / obj->reschedule(...).
-    for (std::string_view tok : {"schedule", "reschedule"}) {
-      std::size_t pos = find_word(code, tok);
-      while (pos != std::string::npos) {
-        const bool member_call =
-            (pos >= 1 && code[pos - 1] == '.') ||
-            (pos >= 2 && code[pos - 2] == '-' && code[pos - 1] == '>');
-        std::size_t i = pos + tok.size();
-        if (member_call && i < code.size() && code[i] == '(') {
-          const std::string args = balanced_args(file, l, i);
-          if (!args_carry_site(args) &&
-              !has_suppression(file, l, info.suppression)) {
-            add_finding(out, info, file, l, pos,
-                        "call to " + std::string(tok) +
-                            "() drops the scheduling site");
-          }
-        }
-        pos = find_word(code, tok, pos + 1);
+    const bool member_call =
+        i >= 1 && (is_punct(t[i - 1], ".") || is_punct(t[i - 1], "->"));
+    if (call_name && member_call) {
+      if (!args_carry_site(args) &&
+          !has_suppression(file, t[i].line, info.suppression)) {
+        add_finding(out, info, file.path, t[i].line, t[i].col,
+                    "call to " + name + "() drops the scheduling site");
       }
+      continue;
     }
 
     // Declarations/definitions of scheduling entry points taking a callback
@@ -318,35 +290,218 @@ void run_l4(const SourceFile& file, std::vector<Finding>& out) {
     // parameter list must carry a source_location or site hash. inject/arm
     // are checked at the declaration only — call sites legitimately rely on
     // the defaulted source_location::current() argument.
-    for (std::string_view tok :
-         {"schedule", "reschedule", "schedule_at", "schedule_in", "inject",
-          "arm"}) {
-      std::size_t pos = find_word(code, tok);
-      while (pos != std::string::npos) {
-        const bool qualified =
-            pos >= 2 && code[pos - 1] == ':' && code[pos - 2] == ':';
-        const bool after_type = pos >= 2 && code[pos - 1] == ' ' &&
-                                ident_char(code[pos - 2]);
-        std::size_t i = pos + tok.size();
-        if ((qualified || after_type) && i < code.size() && code[i] == '(') {
-          const std::string args = balanced_args(file, l, i);
-          const bool takes_callback =
-              args.find("EventFn") != std::string::npos ||
-              args.find("std::function") != std::string::npos ||
-              args.find("Injection") != std::string::npos ||
-              args.find("FaultPlan") != std::string::npos;
-          if (takes_callback && !args_carry_site(args) &&
-              !has_suppression(file, l, info.suppression)) {
-            add_finding(out, info, file, l, pos,
-                        std::string(tok) +
-                            "() takes a callback but no scheduling site "
-                            "parameter");
-          }
-        }
-        pos = find_word(code, tok, pos + 1);
+    const bool qualified = i >= 1 && is_punct(t[i - 1], "::");
+    const bool after_type = i >= 1 && t[i - 1].kind == TokKind::kIdent;
+    if (qualified || after_type) {
+      const bool takes_callback =
+          find_word(args, "EventFn") != std::string::npos ||
+          find_word(args, "function") != std::string::npos ||
+          find_word(args, "Injection") != std::string::npos ||
+          find_word(args, "FaultPlan") != std::string::npos;
+      if (takes_callback && !args_carry_site(args) &&
+          !has_suppression(file, t[i].line, info.suppression)) {
+        add_finding(out, info, file.path, t[i].line, t[i].col,
+                    name +
+                        "() takes a callback but no scheduling site "
+                        "parameter");
       }
     }
   }
+}
+
+// --- L6: lock discipline ----------------------------------------------------
+
+/// True when the body token range acquires `mutex`: a lock_guard/
+/// unique_lock/scoped_lock constructed over it, or an explicit
+/// `mutex.lock()`.
+bool body_locks(const std::vector<Tok>& t, std::size_t begin, std::size_t end,
+                std::string_view mutex) {
+  for (std::size_t i = begin; i < end && i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    if (t[i].text == "lock_guard" || t[i].text == "unique_lock" ||
+        t[i].text == "scoped_lock") {
+      // Find the constructor's argument list within a short window (past an
+      // optional template-argument list and the variable name).
+      for (std::size_t p = i + 1; p < end && p < i + 16; ++p) {
+        if (is_punct(t[p], "<")) {
+          p = matching_close(t, p);
+          continue;
+        }
+        if (is_punct(t[p], "(") || is_punct(t[p], "{")) {
+          const std::size_t close = matching_close(t, p);
+          if (find_word(flatten(t, p + 1, close), mutex) !=
+              std::string::npos) {
+            return true;
+          }
+          break;
+        }
+        if (is_punct(t[p], ";")) break;
+      }
+    }
+    if (t[i].text == mutex && i + 3 < end && is_punct(t[i + 1], ".") &&
+        is_ident(t[i + 2], "lock") && is_punct(t[i + 3], "(")) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Declaration-side annotations for an out-of-line definition: the matching
+/// declaration's SPIDER_REQUIRES list, looked up by (class, name).
+const FunctionSym* find_declaration(const FileSymbols* syms,
+                                    const FunctionSym& def) {
+  if (syms == nullptr) return nullptr;
+  for (const FunctionSym& fn : syms->functions) {
+    if (!fn.is_definition && fn.cls == def.cls && fn.name == def.name) {
+      return &fn;
+    }
+  }
+  return nullptr;
+}
+
+void run_l6(const SourceFile& file, const TokenStream& stream,
+            const FileSymbols& syms, const FileSymbols* header_syms,
+            std::vector<Finding>& out) {
+  const RuleInfo& info = *rule("L6");
+  std::vector<GuardedMember> guarded = syms.guarded;
+  if (header_syms != nullptr) {
+    guarded.insert(guarded.end(), header_syms->guarded.begin(),
+                   header_syms->guarded.end());
+  }
+  if (guarded.empty()) return;
+
+  const std::vector<Tok>& t = stream.tokens;
+  for (const FunctionSym& fn : syms.functions) {
+    if (!fn.is_definition || fn.ctor_or_dtor || fn.cls.empty()) continue;
+
+    std::vector<std::string> requires_list = fn.requires_mutexes;
+    if (const FunctionSym* decl = find_declaration(header_syms, fn)) {
+      requires_list.insert(requires_list.end(), decl->requires_mutexes.begin(),
+                           decl->requires_mutexes.end());
+    }
+    if (const FunctionSym* decl = find_declaration(&syms, fn)) {
+      requires_list.insert(requires_list.end(), decl->requires_mutexes.begin(),
+                           decl->requires_mutexes.end());
+    }
+
+    for (const GuardedMember& g : guarded) {
+      if (g.cls != fn.cls) continue;
+      const bool annotated =
+          std::find(requires_list.begin(), requires_list.end(), g.mutex) !=
+          requires_list.end();
+      if (annotated || body_locks(t, fn.body_begin, fn.body_end, g.mutex)) {
+        continue;
+      }
+      for (std::size_t i = fn.body_begin; i < fn.body_end && i < t.size();
+           ++i) {
+        if (!is_ident(t[i], g.name)) continue;
+        if (!has_suppression(file, t[i].line, info.suppression)) {
+          add_finding(out, info, file.path, t[i].line, t[i].col,
+                      "member '" + g.name + "' guarded by '" + g.mutex +
+                          "' accessed in '" + fn.cls + "::" + fn.name +
+                          "' without holding the lock");
+        }
+        break;  // one finding per function per member
+      }
+    }
+  }
+}
+
+// --- L7: schedule-site flow -------------------------------------------------
+
+void run_l7(const SourceFile& file, const TokenStream& stream,
+            const FileSymbols& syms, const FileSymbols* header_syms,
+            std::vector<Finding>& out) {
+  const RuleInfo& info = *rule("L7");
+  const std::vector<Tok>& t = stream.tokens;
+  for (const FunctionSym& fn : syms.functions) {
+    if (!fn.is_definition) continue;
+
+    bool nonpublic = false;
+    if (!fn.cls.empty()) {
+      Access acc = fn.access;
+      if (const FunctionSym* decl = find_declaration(header_syms, fn)) {
+        acc = decl->access;
+      } else if (const FunctionSym* local = find_declaration(&syms, fn)) {
+        acc = local->access;
+      }
+      nonpublic = acc != Access::kPublic;
+    } else {
+      nonpublic = fn.in_anon_namespace;
+    }
+    if (!nonpublic) continue;
+
+    for (std::size_t i = fn.body_begin; i + 1 < fn.body_end && i < t.size();
+         ++i) {
+      if (t[i].kind != TokKind::kIdent ||
+          (t[i].text != "schedule_at" && t[i].text != "schedule_in")) {
+        continue;
+      }
+      const bool member_call =
+          i >= 1 && (is_punct(t[i - 1], ".") || is_punct(t[i - 1], "->"));
+      if (!member_call || !is_punct(t[i + 1], "(")) continue;
+      const std::size_t close = matching_close(t, i + 1);
+      if (close >= t.size()) continue;
+      if (args_carry_site(flatten(t, i + 2, close))) continue;
+      if (has_suppression(file, t[i].line, info.suppression)) continue;
+      const std::string where =
+          fn.cls.empty() ? fn.name : fn.cls + "::" + fn.name;
+      add_finding(out, info, file.path, t[i].line, t[i].col,
+                  t[i].text + "() in non-public '" + where +
+                      "' relies on the defaulted source_location — thread "
+                      "the site from the public entry point");
+    }
+  }
+}
+
+// --- L8: calibration-constant provenance ------------------------------------
+
+/// Numeric magnitude of a pp-number token; -1 when it is not a plain
+/// decimal literal (hex/binary, or a unit-literal suffix with '_').
+double literal_magnitude(std::string_view text) {
+  if (text.size() >= 2 && text[0] == '0' &&
+      (text[1] == 'x' || text[1] == 'X' || text[1] == 'b' || text[1] == 'B')) {
+    return -1.0;
+  }
+  if (text.find('_') != std::string_view::npos) return -1.0;  // 64_KiB etc.
+  std::string cleaned;
+  cleaned.reserve(text.size());
+  for (char c : text) {
+    if (c != '\'') cleaned.push_back(c);
+  }
+  return std::strtod(cleaned.c_str(), nullptr);
+}
+
+void run_l8(const SourceFile& file, const TokenStream& stream,
+            const FileSymbols& syms, std::vector<Finding>& out) {
+  const RuleInfo& info = *rule("L8");
+  const std::vector<Tok>& t = stream.tokens;
+  for (const FunctionSym& fn : syms.functions) {
+    if (!fn.is_definition) continue;
+    for (std::size_t i = fn.body_begin; i < fn.body_end && i < t.size(); ++i) {
+      if (t[i].kind != TokKind::kNumber) continue;
+      if (literal_magnitude(t[i].text) < 1000.0) continue;
+      // A constexpr statement IS a named-constant definition.
+      if (find_word(file.lines[t[i].line].code, "constexpr") !=
+          std::string::npos) {
+        continue;
+      }
+      if (has_suppression(file, t[i].line, info.suppression)) continue;
+      add_finding(out, info, file.path, t[i].line, t[i].col,
+                  "numeric literal '" + t[i].text +
+                      "' is a calibration-scale constant without a named "
+                      "source");
+    }
+  }
+}
+
+void sort_findings(std::vector<Finding>& out) {
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    if (a.column != b.column) return a.column < b.column;
+    return a.rule < b.rule;
+  });
 }
 
 }  // namespace
@@ -369,12 +524,19 @@ bool RuleSet::enabled(std::string_view id) const {
   if (id == "L2") return l2;
   if (id == "L3") return l3;
   if (id == "L4") return l4;
+  if (id == "L5") return l5;
+  if (id == "L6") return l6;
+  if (id == "L7") return l7;
+  if (id == "L8") return l8;
   return false;
+}
+
+RuleSet RuleSet::none() {
+  return RuleSet{false, false, false, false, false, false, false, false};
 }
 
 FileClass classify_path(std::string_view path) {
   FileClass cls;
-  // Split on '/' and look for the "src" component.
   std::vector<std::string_view> parts;
   std::size_t start = 0;
   while (start <= path.size()) {
@@ -383,17 +545,31 @@ FileClass classify_path(std::string_view path) {
     if (slash > start) parts.push_back(path.substr(start, slash - start));
     start = slash + 1;
   }
+  // The LAST src/tests/bench component wins, so fixture trees like
+  // tests/lint_fixtures/l5_layering/src/... classify as src.
+  std::size_t root = parts.size();
   for (std::size_t i = 0; i < parts.size(); ++i) {
-    if (parts[i] != "src") continue;
-    cls.in_src = true;
-    if (i + 1 < parts.size()) {
-      const std::string_view sub = parts[i + 1];
-      cls.sim_critical =
-          sub == "sim" || sub == "block" || sub == "fs" || sub == "net";
-      cls.rng_home = sub == "common" && i + 2 < parts.size() &&
-                     (parts[i + 2] == "rng.cpp" || parts[i + 2] == "rng.hpp");
+    if (parts[i] == "src" || parts[i] == "tests" || parts[i] == "bench") {
+      root = i;
     }
-    break;
+  }
+  if (root < parts.size()) {
+    if (parts[root] == "src") {
+      cls.in_src = true;
+      if (root + 1 < parts.size()) {
+        const std::string_view sub = parts[root + 1];
+        cls.sim_critical =
+            sub == "sim" || sub == "block" || sub == "fs" || sub == "net";
+        cls.calib_scope = sub == "block" || sub == "fs" || sub == "net";
+        cls.rng_home = sub == "common" && root + 2 < parts.size() &&
+                       (parts[root + 2] == "rng.cpp" ||
+                        parts[root + 2] == "rng.hpp");
+      }
+    } else if (parts[root] == "tests") {
+      cls.in_tests = true;
+    } else {
+      cls.in_bench = true;
+    }
   }
   if (!parts.empty()) {
     const std::string_view base = parts.back();
@@ -407,15 +583,93 @@ std::vector<Finding> lint_file(const SourceFile& file, const FileClass& cls,
                                const SourceFile* paired_header,
                                const RuleSet& enabled) {
   std::vector<Finding> out;
-  if (enabled.l1 && cls.sim_critical) run_l1(file, paired_header, out);
-  if (enabled.l2 && cls.in_src) run_l2(file, cls, out);
-  if (enabled.l3 && cls.in_src && cls.is_header) run_l3(file, out);
-  if (enabled.l4 && cls.in_src) run_l4(file, out);
-  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
-    if (a.line != b.line) return a.line < b.line;
-    if (a.column != b.column) return a.column < b.column;
-    return a.rule < b.rule;
-  });
+  const TokenStream stream = tokenize(file);
+  TokenStream header_stream;
+  if (paired_header != nullptr) header_stream = tokenize(*paired_header);
+  const TokenStream* header =
+      paired_header != nullptr ? &header_stream : nullptr;
+
+  if (cls.in_tests || cls.in_bench) {
+    // Tests and benches get the hygiene rules only: no unordered iteration,
+    // no ambient nondeterminism. Style/flow rules stay src-scoped.
+    if (enabled.l1) run_l1(file, stream, header, out);
+    if (enabled.l2) run_l2(file, stream, cls, out);
+    sort_findings(out);
+    return out;
+  }
+
+  if (enabled.l1 && cls.sim_critical) run_l1(file, stream, header, out);
+  if (enabled.l2 && cls.in_src) run_l2(file, stream, cls, out);
+  if (enabled.l3 && cls.in_src && cls.is_header) run_l3(file, stream, out);
+  if (enabled.l4 && cls.in_src) run_l4(file, stream, out);
+
+  if (cls.in_src && (enabled.l6 || enabled.l7 || enabled.l8)) {
+    const FileSymbols syms = index_symbols(stream);
+    FileSymbols header_syms;
+    const FileSymbols* hsyms = nullptr;
+    if (header != nullptr) {
+      header_syms = index_symbols(*header);
+      hsyms = &header_syms;
+    }
+    if (enabled.l6) run_l6(file, stream, syms, hsyms, out);
+    if (enabled.l7) run_l7(file, stream, syms, hsyms, out);
+    if (enabled.l8 && cls.calib_scope) run_l8(file, stream, syms, out);
+  }
+
+  sort_findings(out);
+  return out;
+}
+
+std::vector<Finding> lint_project(const std::vector<SourceFile>& files,
+                                  const RuleSet& enabled) {
+  std::vector<Finding> out;
+  if (!enabled.l5) return out;
+  const RuleInfo& info = *rule("L5");
+
+  IncludeGraph graph;
+  for (const SourceFile& f : files) {
+    graph.add_file(include_key(f.path), &f);
+  }
+
+  // Upward includes: checkable per edge from the include spelling alone.
+  for (const auto& [key, src] : graph.files()) {
+    const int from = layer_of(key);
+    if (from < 0) continue;
+    for (const IncludeEdge& e : quoted_includes(*src)) {
+      const int to = layer_of(e.target);
+      if (to < 0 || to <= from) continue;
+      if (has_suppression(*src, e.line, info.suppression)) continue;
+      add_finding(out, info, src->path, e.line, 0,
+                  "include of '" + e.target + "' (" +
+                      std::string(layer_name(to)) + ") from layer '" +
+                      std::string(layer_name(from)) +
+                      "' points up the architecture");
+    }
+  }
+
+  // Cycles among the registered files.
+  for (const std::vector<std::string>& cycle : graph.cycles()) {
+    if (cycle.size() < 2) continue;
+    const SourceFile* head = graph.files().at(cycle[0]);
+    // Anchor the finding at the include that opens the cycle.
+    std::size_t line = 0;
+    for (const IncludeEdge& e : quoted_includes(*head)) {
+      if (e.target == cycle[1]) {
+        line = e.line;
+        break;
+      }
+    }
+    if (has_suppression(*head, line, info.suppression)) continue;
+    std::string path_text;
+    for (const std::string& node : cycle) {
+      if (!path_text.empty()) path_text += " -> ";
+      path_text += node;
+    }
+    add_finding(out, info, head->path, line, 0,
+                "include cycle: " + path_text);
+  }
+
+  sort_findings(out);
   return out;
 }
 

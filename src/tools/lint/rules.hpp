@@ -6,9 +6,9 @@
 // usual sources of divergence unmergeable:
 //
 //   L1 unordered-iteration  (error)   no unordered_map/unordered_set in
-//       sim-critical directories (src/sim, src/block, src/fs, src/net):
-//       iteration order — and therefore float-sum order — depends on
-//       hash/rehash history. Suppress: // spiderlint: ordered-ok
+//       sim-critical directories (src/sim, src/block, src/fs, src/net) or in
+//       tests/bench: iteration order — and therefore float-sum order —
+//       depends on hash/rehash history. Suppress: // spiderlint: ordered-ok
 //   L2 nondet-source        (error)   no wall-clock or ambient randomness
 //       anywhere in src/ (std::random_device, rand, time(), system_clock,
 //       mt19937 outside common/rng). Suppress: // spiderlint: nondet-ok
@@ -20,10 +20,31 @@
 //       points must carry the scheduling site (std::source_location or a
 //       site hash) so replay divergence stays localizable.
 //       Suppress: // spiderlint: site-ok
+//   L5 layer-violation      (error)   the include graph must respect the
+//       architectural layering common -> sim -> {block,fs,net} -> workload
+//       -> core -> {tools,infra}: no upward includes, no cycles.
+//       Suppress: // spiderlint: layer-ok
+//   L6 lock-discipline      (error)   a member annotated SPIDER_GUARDED_BY(m)
+//       may only be touched in functions that lock m (lock_guard/unique_lock/
+//       scoped_lock/m.lock()) or are annotated SPIDER_REQUIRES(m).
+//       Suppress: // spiderlint: lock-ok
+//   L7 schedule-site-flow   (error)   Simulator::schedule_at/schedule_in
+//       default their std::source_location argument to the immediate caller;
+//       calling them from a private/protected helper (or an anonymous-
+//       namespace function) without forwarding an explicit site collapses
+//       every event from that helper to one site. Thread the location from
+//       the public entry point. Suppress: // spiderlint: flow-ok
+//   L8 calibration-constant (warning) a bare numeric literal >= 1000 inside
+//       a function body in src/{block,fs,net} is a bandwidth/latency/size
+//       calibration constant; hoist it into a named constant in a config
+//       header (or units.hpp) so provenance is greppable.
+//       Suppress: // spiderlint: calib-ok
 //
-// A suppression is a trailing comment on the flagged line (or a comment-only
-// line directly above): `// spiderlint: <token> — <reason>`. Reasons are
-// required by policy (docs/static-analysis.md), not by the tool.
+// A suppression is a trailing comment on the flagged line, a comment-only
+// line directly above, `// spiderlint-next-line: <token>` on the previous
+// line, or `// spiderlint-file: <token>` anywhere in the file:
+// `// spiderlint: <token> — <reason>`. Reasons are required by policy
+// (docs/static-analysis.md), not by the tool.
 #pragma once
 
 #include <cstddef>
@@ -41,7 +62,7 @@ std::string_view to_string(Severity s);
 
 /// One rule violation.
 struct Finding {
-  std::string rule;        ///< "L1".."L4"
+  std::string rule;        ///< "L1".."L8"
   Severity severity = Severity::kError;
   std::string file;
   std::size_t line = 0;    ///< 1-based
@@ -71,25 +92,42 @@ struct RuleSet {
   bool l2 = true;
   bool l3 = true;
   bool l4 = true;
+  bool l5 = true;
+  bool l6 = true;
+  bool l7 = true;
+  bool l8 = true;
   bool enabled(std::string_view id) const;
+  /// A RuleSet with every rule off (for --rules=... accumulation).
+  static RuleSet none();
 };
 
 /// How a file is scoped for rule applicability.
 struct FileClass {
-  bool in_src = false;        ///< under src/: L2, L4 apply
+  bool in_src = false;        ///< under src/: L2, L4, L6, L7 apply
   bool sim_critical = false;  ///< under src/{sim,block,fs,net}: L1 applies
   bool is_header = false;     ///< *.hpp/*.h: L3 applies
   bool rng_home = false;      ///< src/common/rng.*: mt19937 exempt from L2
+  bool calib_scope = false;   ///< under src/{block,fs,net}: L8 applies
+  bool in_tests = false;      ///< under tests/: L1+L2 only
+  bool in_bench = false;      ///< under bench/: L1+L2 only
 };
 
-/// Classify a path by its directory components and extension.
+/// Classify a path by its directory components and extension. The LAST
+/// src/tests/bench component wins, so fixture trees like
+/// tests/lint_fixtures/l5_layering/src/... classify as src.
 FileClass classify_path(std::string_view path);
 
-/// Run the enabled rules over one scanned file. `paired_header`, when given,
-/// seeds L1's identifier tracking with the file's own header (so a .cpp
-/// iterating a member declared unordered in its .hpp is caught).
+/// Run the enabled per-file rules over one scanned file. `paired_header`,
+/// when given, seeds L1's identifier tracking and L6/L7's symbol index
+/// (guarded members, declaration access levels) with the file's own header.
 std::vector<Finding> lint_file(const SourceFile& file, const FileClass& cls,
                                const SourceFile* paired_header = nullptr,
                                const RuleSet& enabled = {});
+
+/// Run the project-wide rules (L5 layering: upward includes and cycles)
+/// over a set of scanned files. Only files under a src/ component take part
+/// (the include graph is keyed by include spelling).
+std::vector<Finding> lint_project(const std::vector<SourceFile>& files,
+                                  const RuleSet& enabled = {});
 
 }  // namespace spider::lint

@@ -89,6 +89,35 @@ SourceFile scan_source(std::string path, std::string_view contents) {
         mode = Mode::kRawString;
         continue;
       }
+      // pp-number: digits, digit separators (1'000'000), hex/float forms,
+      // exponents with signs. Consumed as a unit so a digit separator is
+      // never mistaken for a char-literal quote.
+      if (std::isdigit(static_cast<unsigned char>(c)) &&
+          (i == 0 || !ident_char(text[i - 1]))) {
+        std::size_t j = i;
+        while (j < text.size()) {
+          const char d = text[j];
+          if (ident_char(d) || d == '.') {
+            ++j;
+            continue;
+          }
+          if (d == '\'' && j + 1 < text.size() &&
+              std::isalnum(static_cast<unsigned char>(text[j + 1]))) {
+            ++j;  // digit separator
+            continue;
+          }
+          if ((d == '+' || d == '-') && j > i &&
+              (text[j - 1] == 'e' || text[j - 1] == 'E' ||
+               text[j - 1] == 'p' || text[j - 1] == 'P')) {
+            ++j;  // signed exponent
+            continue;
+          }
+          break;
+        }
+        for (std::size_t k = i; k < j; ++k) line.code[k] = text[k];
+        i = j;
+        continue;
+      }
       // String / char literal (contents blanked, delimiters kept).
       if (c == '"' || c == '\'') {
         line.code[i] = c;
@@ -130,12 +159,19 @@ bool is_preprocessor(const Line& line) {
 
 namespace {
 
-/// True when `comment` contains `spiderlint:` followed (comma/space
-/// separated) by `token`.
-bool comment_has_token(std::string_view comment, std::string_view token) {
-  std::size_t pos = comment.find("spiderlint:");
+/// True when `comment` contains `directive` (e.g. "spiderlint:") followed
+/// (comma/space separated) by `token`.
+bool comment_has_directive(std::string_view comment, std::string_view directive,
+                           std::string_view token) {
+  std::size_t pos = comment.find(directive);
   while (pos != std::string_view::npos) {
-    std::string_view rest = comment.substr(pos + 11);
+    // "spiderlint:" must not match inside "spiderlint-next-line:" — the
+    // character before the directive may not extend a longer directive name.
+    if (pos > 0 && (ident_char(comment[pos - 1]) || comment[pos - 1] == '-')) {
+      pos = comment.find(directive, pos + directive.size());
+      continue;
+    }
+    std::string_view rest = comment.substr(pos + directive.size());
     // Tokens run until something that is neither ident-ish nor '-'/','/' '.
     std::size_t i = 0;
     while (i < rest.size()) {
@@ -146,7 +182,7 @@ bool comment_has_token(std::string_view comment, std::string_view token) {
       if (rest.substr(i, j - i) == token) return true;
       i = j;
     }
-    pos = comment.find("spiderlint:", pos + 11);
+    pos = comment.find(directive, pos + directive.size());
   }
   return false;
 }
@@ -165,11 +201,28 @@ bool comment_only(const Line& line) {
 bool has_suppression(const SourceFile& file, std::size_t index,
                      std::string_view token) {
   if (index >= file.lines.size()) return false;
-  if (comment_has_token(file.lines[index].comment, token)) return true;
-  // A standalone suppression comment immediately above also applies.
-  if (index > 0 && comment_only(file.lines[index - 1]) &&
-      comment_has_token(file.lines[index - 1].comment, token)) {
+  if (comment_has_directive(file.lines[index].comment, "spiderlint:", token)) {
     return true;
+  }
+  if (index > 0) {
+    const Line& above = file.lines[index - 1];
+    // A standalone suppression comment immediately above also applies, as
+    // does the explicit next-line directive (standalone or trailing).
+    if (comment_only(above) &&
+        comment_has_directive(above.comment, "spiderlint:", token)) {
+      return true;
+    }
+    if (comment_has_directive(above.comment, "spiderlint-next-line:", token)) {
+      return true;
+    }
+  }
+  // File-scope suppression: `spiderlint-file: <token>` anywhere in the file
+  // (by convention near the top) silences the rule for the whole file.
+  for (const Line& line : file.lines) {
+    if (!line.comment.empty() &&
+        comment_has_directive(line.comment, "spiderlint-file:", token)) {
+      return true;
+    }
   }
   return false;
 }

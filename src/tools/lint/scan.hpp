@@ -44,11 +44,11 @@ SourceFile scan_source(std::string path, std::string_view contents);
 bool is_preprocessor(const Line& line);
 
 /// True when line `index` (0-based) carries the suppression `token`
-/// (e.g. "ordered-ok"), either in a trailing comment on the line itself or
-/// in a comment-only line immediately above:
+/// (e.g. "ordered-ok"). Four scopes, from narrowest to widest:
 ///   flagged_code();             // spiderlint: ordered-ok — reason
-///   // spiderlint: ordered-ok — reason
-///   flagged_code();
+///   // spiderlint: ordered-ok — reason        (comment-only line above)
+///   // spiderlint-next-line: ordered-ok — reason   (any line above)
+///   // spiderlint-file: ordered-ok — reason   (anywhere: whole file)
 bool has_suppression(const SourceFile& file, std::size_t index,
                      std::string_view token);
 

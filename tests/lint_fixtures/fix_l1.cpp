@@ -1,0 +1,18 @@
+// --fix fixture for L1 container swaps. After `spiderlint --fix` this file
+// must use std::map/std::set (includes swapped too), recompile, and re-lint
+// clean. The hashed_ member keeps a custom hasher, which makes the swap
+// semantic — it must be left alone (and is suppressed as a lookup table).
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+struct Registry {
+  std::unordered_map<int, double> rows_;
+  std::unordered_set<int> keys_;
+  // spiderlint: ordered-ok — pure lookup table, custom hasher, order never leaks
+  std::unordered_map<int, int, std::hash<int>> hashed_;
+};
+
+}  // namespace fixture

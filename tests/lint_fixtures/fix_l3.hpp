@@ -1,0 +1,15 @@
+// --fix fixture for L3 unit-alias renames. After `spiderlint --fix` every
+// unit-bearing double below must use the units.hpp vocabulary type (with
+// the include inserted), recompile, and re-lint clean.
+#pragma once
+
+namespace fixture {
+
+struct TransferStats {
+  double transfer_bytes = 0.0;
+  double elapsed_seconds = 0.0;
+  double peak_bw = 0.0;
+  double latency_p99 = 0.0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// L5 fixture: true positive — block (layer 2) reaching up into workload
+// (layer 3) inverts the architecture.
+#pragma once
+
+#include "workload/gen.hpp"
+
+namespace fixture {
+struct Dev {
+  Gen g;
+};
+}  // namespace fixture

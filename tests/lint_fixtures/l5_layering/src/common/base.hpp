@@ -1,0 +1,6 @@
+// L5 fixture: bottom layer, includes nothing.
+#pragma once
+
+namespace fixture {
+using Base = int;
+}  // namespace fixture

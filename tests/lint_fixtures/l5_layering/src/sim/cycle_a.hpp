@@ -1,0 +1,10 @@
+// L5 fixture: true positive — cycle_a and cycle_b include each other.
+// Same layer, so neither edge is "upward", but the file graph must stay
+// acyclic.
+#pragma once
+
+#include "sim/cycle_b.hpp"
+
+namespace fixture {
+struct CycleA {};
+}  // namespace fixture

@@ -1,0 +1,8 @@
+// L5 fixture: second half of the include cycle.
+#pragma once
+
+#include "sim/cycle_a.hpp"
+
+namespace fixture {
+struct CycleB {};
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// L5 fixture: engineered false positive — sim including common is a
+// downward edge and must NOT be flagged.
+#pragma once
+
+#include "common/base.hpp"
+
+namespace fixture {
+struct Engine {
+  Base ticks = 0;
+};
+}  // namespace fixture

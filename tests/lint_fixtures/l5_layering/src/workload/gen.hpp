@@ -1,0 +1,10 @@
+// L5 fixture: workload depending on common is a legal downward edge.
+#pragma once
+
+#include "common/base.hpp"
+
+namespace fixture {
+struct Gen {
+  Base seed = 0;
+};
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// Fixture for spiderlint rule L6 (lock-discipline).
+//
+// `count_` is annotated SPIDER_GUARDED_BY(mu_): touching it in a function
+// that neither locks mu_ nor is annotated SPIDER_REQUIRES(mu_) fires; the
+// locked and annotated variants are engineered false positives that must
+// stay silent.
+#include <mutex>
+
+#include "common/annotations.hpp"
+
+namespace fixture {
+
+class Pool {
+ public:
+  void unsafe_touch() { count_ += 1; }  // L6: no lock, no annotation
+
+  void locked_touch() {
+    std::lock_guard<std::mutex> lk(mu_);
+    count_ += 1;  // guarded: lock held
+  }
+
+  void annotated_touch() SPIDER_REQUIRES(mu_) {
+    count_ += 1;  // guarded: caller holds mu_ by contract
+  }
+
+ private:
+  std::mutex mu_;
+  int count_ SPIDER_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

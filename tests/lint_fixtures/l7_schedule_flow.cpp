@@ -1,0 +1,46 @@
+// Fixture for spiderlint rule L7 (schedule-site-flow).
+//
+// schedule_at/schedule_in default their std::source_location to the
+// immediate caller, so a siteless call from a private helper collapses
+// every event to the helper's own line. The public entry point and the
+// loc-forwarding helper are engineered false positives.
+#include <source_location>
+
+namespace fixture {
+
+class Replayer {
+ public:
+  // Public entry point: the defaulted source_location names the real
+  // caller. Must NOT be flagged.
+  void kick() { sim_.schedule_at(10, 0); }
+
+  void kick_all(std::source_location loc = std::source_location::current()) {
+    relaunch_threaded(loc);
+  }
+
+ private:
+  // Private helper, siteless call: every replayed event would hash to this
+  // line. Flagged.
+  void relaunch() { sim_.schedule_at(10, 0); }  // L7
+
+  // Private helper that forwards the caller's location. Must NOT be
+  // flagged.
+  void relaunch_threaded(std::source_location loc) {
+    sim_.schedule_at(10, 0, loc);
+  }
+
+  struct FakeSim {
+    void schedule_at(long when, int payload) {
+      (void)when;
+      (void)payload;
+    }
+    void schedule_at(long when, int payload, std::source_location loc) {
+      (void)when;
+      (void)payload;
+      (void)loc;
+    }
+  };
+  FakeSim sim_;
+};
+
+}  // namespace fixture

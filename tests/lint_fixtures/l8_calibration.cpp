@@ -1,0 +1,33 @@
+// Fixture for spiderlint rule L8 (calibration-constant provenance).
+//
+// Linted as if it lived in src/{block,fs,net}. The bare 1e3 in a function
+// body fires; the constexpr named constant, the hex mask, the unit-literal
+// suffix, and the config-struct default member initializer are engineered
+// false positives.
+namespace fixture {
+
+// Single line: L8's constexpr exemption is per-line by design.
+inline constexpr unsigned long long operator""_KiB(unsigned long long v) { return v * 1024ULL; }
+
+double to_ms(double seconds) { return seconds * 1e3; }  // L8: bare 1e3
+
+double day_fraction(double seconds) {
+  constexpr double kSecondsPerDay = 86400.0;  // named: not flagged
+  return seconds / kSecondsPerDay;
+}
+
+unsigned masked(unsigned v) {
+  const unsigned mask = 0xFFFF;  // hex: not calibration
+  return v & mask;
+}
+
+unsigned long long chunk() {
+  return 1024_KiB;  // unit literal carries its own provenance
+}
+
+struct DiskConfig {
+  // Default member initializers are the named-parameter table itself.
+  double iops = 250000.0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// Suppression-scope fixture: the four scopes silence their target lines,
+// and — the engineered true positive — `spiderlint-next-line` covers ONLY
+// the immediately following line, so the declaration two lines below it
+// still fires.
+#include <unordered_map>
+
+// spiderlint-file: site-ok — fixture-wide: scheduling here is test scaffolding
+
+namespace fixture {
+
+struct Queue {
+  void schedule(long when, int payload) {
+    (void)when;
+    (void)payload;
+  }
+};
+
+struct Scopes {
+  std::unordered_map<int, int> a_;  // spiderlint: ordered-ok — same line
+  // spiderlint: ordered-ok — comment-only line directly above
+  std::unordered_map<int, int> b_;
+  // spiderlint-next-line: ordered-ok — covers exactly one line
+  std::unordered_map<int, int> c_;
+  // spiderlint-next-line: ordered-ok — does NOT reach two lines down
+  int spacer_ = 0;
+  std::unordered_map<int, int> d_;  // must still fire
+
+  void run(Queue& q) { q.schedule(5, 1); }  // silenced by spiderlint-file
+};
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// Tokenizer edge cases: everything in this file must stay silent under
+// every rule, even with the file forced sim-critical.
+//
+// - rule triggers quoted inside a raw string
+// - rule triggers inside a block comment that spans lines
+// - rule triggers inside an `#if 0` region
+// - digit separators, which a naive lexer reads as char-literal openers
+//   (blanking the rest of the line — including real triggers after them)
+namespace fixture {
+
+const char* kDoc = R"doc(
+  std::unordered_map<int, int> quoted_in_raw_string;
+  for (const auto& kv : quoted_in_raw_string) rand();
+)doc";
+
+/* A block comment spanning rule triggers:
+   std::unordered_set<int> commented_out;
+   std::random_device rd;
+*/
+
+#if 0
+inline int dead_code() {
+  std::srand(42);
+  return std::rand();
+}
+#endif
+
+// The digit separators below once lexed as char literals, blanking the
+// trailing `schedule` comment test into code. They are plain pp-numbers.
+inline long long big() { return 1'000'000; }
+inline char u8lit() { return 'x'; }
+
+}  // namespace fixture

@@ -5,11 +5,17 @@
 // gate never sees them); classification is forced per fixture the same way
 // the CLI's --treat-as does it.
 #include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "tools/lint/baseline.hpp"
+#include "tools/lint/fix.hpp"
 #include "tools/lint/lint.hpp"
 #include "tools/lint/report.hpp"
 #include "tools/lint/rules.hpp"
@@ -137,8 +143,8 @@ TEST(SpiderLint, JsonReportCarriesFindings) {
 }
 
 TEST(SpiderLint, RuleTableIsComplete) {
-  ASSERT_EQ(rules().size(), 4u);
-  const char* ids[] = {"L1", "L2", "L3", "L4"};
+  ASSERT_EQ(rules().size(), 8u);
+  const char* ids[] = {"L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8"};
   for (const char* id : ids) {
     const RuleInfo* info = rule(id);
     ASSERT_NE(info, nullptr) << id;
@@ -156,9 +162,259 @@ TEST(SpiderLint, CollectSourcesIsSortedAndDeduplicated) {
   const std::vector<std::string> twice = collect_sources(
       {SPIDER_LINT_FIXTURES_DIR, fixture("l2_nondet_source.cpp")}, errors);
   EXPECT_TRUE(errors.empty());
-  EXPECT_EQ(once.size(), 5u) << "fixture census drifted";
+  EXPECT_EQ(once.size(), 18u) << "fixture census drifted";
   EXPECT_EQ(once, twice);
   EXPECT_TRUE(std::is_sorted(once.begin(), once.end()));
+}
+
+// ---------------------------------------------------------------------------
+// Semantic rules (L5-L8): each fixture pins one true positive at an exact
+// file:line and carries engineered false positives that must stay quiet
+// (the count assertion is the false-positive check).
+
+constexpr FileClass kCalib{.in_src = true, .calib_scope = true};
+
+TEST(SpiderLint, L5FlagsUpwardIncludeAndCycle) {
+  // The fixture tree has four downward edges (engineered false positives)
+  // plus one upward include and one two-file cycle.
+  const LintReport r = lint_fixture("l5_layering", kSrc);
+  ASSERT_EQ(r.findings.size(), 2u) << render_text(r, /*fix_hints=*/false);
+  EXPECT_EQ(r.findings[0].rule, "L5");
+  EXPECT_TRUE(r.findings[0].file.ends_with("l5_layering/src/block/dev.hpp"));
+  EXPECT_EQ(r.findings[0].line, 5u);  // #include "workload/gen.hpp"
+  EXPECT_NE(r.findings[0].message.find("workload/gen.hpp"), std::string::npos);
+  EXPECT_NE(r.findings[0].message.find("points up"), std::string::npos);
+  EXPECT_EQ(r.findings[1].rule, "L5");
+  EXPECT_TRUE(r.findings[1].file.ends_with("l5_layering/src/sim/cycle_a.hpp"));
+  EXPECT_NE(
+      r.findings[1].message.find(
+          "sim/cycle_a.hpp -> sim/cycle_b.hpp -> sim/cycle_a.hpp"),
+      std::string::npos);
+}
+
+TEST(SpiderLint, L6FlagsOnlyTheUnguardedAccess) {
+  // unsafe_touch fires; the lock_guard path and the SPIDER_REQUIRES helper
+  // are the engineered false positives.
+  const LintReport r = lint_fixture("l6_lock_discipline.cpp", kSrc);
+  ASSERT_EQ(r.findings.size(), 1u) << render_text(r, /*fix_hints=*/false);
+  EXPECT_EQ(r.findings[0].rule, "L6");
+  EXPECT_EQ(r.findings[0].line, 15u);  // return count_; without the lock
+  EXPECT_EQ(r.findings[0].severity, Severity::kError);
+  EXPECT_NE(r.findings[0].message.find("count_"), std::string::npos);
+  EXPECT_NE(r.findings[0].message.find("mu_"), std::string::npos);
+  EXPECT_NE(r.findings[0].message.find("unsafe_touch"), std::string::npos);
+}
+
+TEST(SpiderLint, L7FlagsPrivateSitelessScheduleOnly) {
+  // relaunch() fires; the public entry point and the loc-threading helper
+  // are the engineered false positives.
+  const LintReport r = lint_fixture("l7_schedule_flow.cpp", kSrc);
+  ASSERT_EQ(r.findings.size(), 1u) << render_text(r, /*fix_hints=*/false);
+  EXPECT_EQ(r.findings[0].rule, "L7");
+  EXPECT_EQ(r.findings[0].line, 24u);  // sim_.schedule_at(now_ + 5, ...)
+  EXPECT_EQ(r.findings[0].severity, Severity::kError);
+  EXPECT_NE(r.findings[0].message.find("relaunch"), std::string::npos);
+  EXPECT_NE(r.findings[0].message.find("source_location"), std::string::npos);
+}
+
+TEST(SpiderLint, L8FlagsBareCalibrationLiteralOnly) {
+  // The bare 1e3 fires; the constexpr constant, hex mask, unit literal, and
+  // default member initializer are the engineered false positives.
+  const LintReport r = lint_fixture("l8_calibration.cpp", kCalib);
+  ASSERT_EQ(r.findings.size(), 1u) << render_text(r, /*fix_hints=*/false);
+  EXPECT_EQ(r.findings[0].rule, "L8");
+  EXPECT_EQ(r.findings[0].line, 12u);  // return seconds * 1e3;
+  EXPECT_EQ(r.findings[0].severity, Severity::kWarning);
+  EXPECT_NE(r.findings[0].message.find("1e3"), std::string::npos);
+}
+
+TEST(SpiderLint, TokenizerEdgeCasesStayQuiet) {
+  // Raw strings, spanning block comments, #if 0 regions, and digit
+  // separators all contain rule triggers; none may fire.
+  const LintReport r = lint_fixture("tok_edges.cpp", kSimCritical);
+  EXPECT_TRUE(r.clean()) << render_text(r, /*fix_hints=*/false);
+}
+
+TEST(SpiderLint, SuppressionScopesAreExactlyScoped) {
+  // Same-line, line-above, next-line, and file-scope suppressions silence
+  // their targets; the declaration one line past a `spiderlint-next-line`
+  // still fires — the scope is exactly one line.
+  const LintReport r = lint_fixture("suppress_scopes.cpp", kSimCritical);
+  ASSERT_EQ(r.findings.size(), 1u) << render_text(r, /*fix_hints=*/false);
+  EXPECT_EQ(r.findings[0].rule, "L1");
+  EXPECT_EQ(r.findings[0].line, 26u);  // d_ past the next-line scope
+}
+
+// ---------------------------------------------------------------------------
+// SARIF rendering.
+
+TEST(SpiderLint, SarifReportIsWellFormed) {
+  const LintReport r = lint_fixture("l8_calibration.cpp", kCalib);
+  const std::string sarif = render_sarif(r);
+  // Required SARIF 2.1.0 skeleton.
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos) << sarif;
+  EXPECT_NE(sarif.find("sarif-2.1.0.json"), std::string::npos);
+  EXPECT_NE(sarif.find("\"runs\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"driver\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"spiderlint\""), std::string::npos);
+  // The full rule table rides along so viewers can show rule metadata.
+  EXPECT_NE(sarif.find("\"id\": \"L1\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"id\": \"L8\""), std::string::npos);
+  // The finding itself.
+  EXPECT_NE(sarif.find("\"ruleId\": \"L8\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleIndex\": 7"), std::string::npos);
+  EXPECT_NE(sarif.find("\"level\": \"warning\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"physicalLocation\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"artifactLocation\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 12"), std::string::npos);
+  EXPECT_NE(sarif.find("\"startColumn\": 49"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Baseline.
+
+TEST(SpiderLint, BaselineParsesEntriesAndReportsMalformedLines) {
+  std::vector<std::string> errors;
+  const std::vector<BaselineEntry> entries = parse_baseline(
+      "# comment\n"
+      "\n"
+      "L1 :: a/b.cpp :: some message :: grandfathered\n"
+      "not a baseline line\n",
+      errors);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].rule, "L1");
+  EXPECT_EQ(entries[0].file, "a/b.cpp");
+  EXPECT_EQ(entries[0].message, "some message");
+  EXPECT_EQ(entries[0].reason, "grandfathered");
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("4"), std::string::npos) << errors[0];
+}
+
+TEST(SpiderLint, BaselineMatchesByMessageNotLineNumber) {
+  LintReport r = lint_fixture("l8_calibration.cpp", kCalib);
+  ASSERT_EQ(r.findings.size(), 1u);
+
+  BaselineEntry entry{.rule = "L8",
+                      .file = "lint_fixtures/l8_calibration.cpp",
+                      .message = r.findings[0].message,
+                      .reason = "test"};
+  EXPECT_TRUE(baseline_matches(entry, r.findings[0]));
+
+  // Suffix matching honours '/' boundaries: a mid-component suffix is not
+  // the same file.
+  BaselineEntry partial = entry;
+  partial.file = "8_calibration.cpp";
+  EXPECT_FALSE(baseline_matches(partial, r.findings[0]));
+
+  // Applying the baseline removes the finding; nothing is stale.
+  const std::vector<BaselineEntry> stale = apply_baseline(r, {entry});
+  EXPECT_TRUE(r.clean());
+  EXPECT_TRUE(stale.empty());
+}
+
+TEST(SpiderLint, BaselineReportsStaleEntries) {
+  LintReport r = lint_fixture("l8_calibration.cpp", kCalib);
+  const BaselineEntry gone{.rule = "L8",
+                           .file = "lint_fixtures/l8_calibration.cpp",
+                           .message = "a finding that was fixed long ago",
+                           .reason = "stale"};
+  const std::vector<BaselineEntry> stale = apply_baseline(r, {gone});
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0].message, "a finding that was fixed long ago");
+  EXPECT_EQ(r.findings.size(), 1u);  // nothing was eaten
+}
+
+TEST(SpiderLint, BaselineRoundTripsThroughWriteBaseline) {
+  LintReport r = lint_fixture("l8_calibration.cpp", kCalib);
+  std::vector<std::string> errors;
+  const std::vector<BaselineEntry> entries =
+      parse_baseline(render_baseline(r), errors);
+  EXPECT_TRUE(errors.empty());
+  ASSERT_EQ(entries.size(), r.findings.size());
+  const std::vector<BaselineEntry> stale = apply_baseline(r, entries);
+  EXPECT_TRUE(r.clean());
+  EXPECT_TRUE(stale.empty());
+}
+
+// ---------------------------------------------------------------------------
+// --fix: applied to throwaway copies, the result must re-lint clean and
+// recompile.
+
+std::string fix_copy(const std::string& name) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "spiderlint_fix_test";
+  fs::create_directories(dir);
+  const fs::path dst = dir / name;
+  fs::copy_file(fixture(name), dst, fs::copy_options::overwrite_existing);
+  return dst.string();
+}
+
+int syntax_check(const std::string& extra_flags, const std::string& path) {
+  const std::string cmd = std::string(SPIDER_LINT_CXX) +
+                          " -std=c++20 -fsyntax-only " + extra_flags + " " +
+                          path + " 2>/dev/null";
+  return std::system(cmd.c_str());
+}
+
+TEST(SpiderLint, FixSwapsL1ContainersButNotCustomHashers) {
+  const std::string path = fix_copy("fix_l1.cpp");
+  LintOptions opts;
+  opts.forced_class = kSimCritical;
+  std::vector<std::string> errors;
+  LintReport before = lint_paths({path}, opts, errors);
+  ASSERT_EQ(before.findings.size(), 2u);
+
+  const FixResult fixed = apply_fixes(before, errors);
+  EXPECT_TRUE(errors.empty()) << (errors.empty() ? "" : errors.front());
+  EXPECT_EQ(fixed.fixes_applied, 2u);
+  ASSERT_EQ(fixed.files_changed.size(), 1u);
+
+  const LintReport after = lint_paths({path}, opts, errors);
+  EXPECT_TRUE(after.clean()) << render_text(after, /*fix_hints=*/false);
+
+  std::ifstream in(path);
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("std::map<int, double> rows_"), std::string::npos);
+  EXPECT_NE(text.find("std::set<int> keys_"), std::string::npos);
+  EXPECT_NE(text.find("#include <map>"), std::string::npos);
+  EXPECT_NE(text.find("#include <set>"), std::string::npos);
+  // The custom-hasher table and its include survive untouched.
+  EXPECT_NE(text.find("std::unordered_map<int, int, std::hash<int>>"),
+            std::string::npos);
+  EXPECT_NE(text.find("#include <unordered_map>"), std::string::npos);
+
+  EXPECT_EQ(syntax_check("", path), 0) << "fixed file no longer compiles";
+}
+
+TEST(SpiderLint, FixRenamesL3DoublesToUnitAliases) {
+  const std::string path = fix_copy("fix_l3.hpp");
+  LintOptions opts;
+  opts.forced_class = kSrcHeader;
+  std::vector<std::string> errors;
+  LintReport before = lint_paths({path}, opts, errors);
+  ASSERT_EQ(before.findings.size(), 4u);
+
+  const FixResult fixed = apply_fixes(before, errors);
+  EXPECT_TRUE(errors.empty()) << (errors.empty() ? "" : errors.front());
+  EXPECT_EQ(fixed.fixes_applied, 4u);
+
+  const LintReport after = lint_paths({path}, opts, errors);
+  EXPECT_TRUE(after.clean()) << render_text(after, /*fix_hints=*/false);
+
+  std::ifstream in(path);
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("spider::ByteVolume transfer_bytes"), std::string::npos);
+  EXPECT_NE(text.find("spider::Seconds elapsed_seconds"), std::string::npos);
+  EXPECT_NE(text.find("spider::Bandwidth peak_bw"), std::string::npos);
+  EXPECT_NE(text.find("spider::Seconds latency_p99"), std::string::npos);
+  EXPECT_NE(text.find("#include \"common/units.hpp\""), std::string::npos);
+
+  EXPECT_EQ(syntax_check(std::string("-x c++ -I ") + SPIDER_LINT_SRC_DIR,
+                         path),
+            0)
+      << "fixed header no longer compiles";
 }
 
 }  // namespace
