@@ -4,16 +4,32 @@
 // max-min solver must handle full Spider II scale (18,688 flows over ~70k
 // resources) in well under a second per solve, and the event queue must
 // sustain millions of schedule/pop cycles for DES scenarios.
+//
+// Two modes:
+//   (default)              google-benchmark suite, usual benchmark flags.
+//   --spider-json=PATH     hand-rolled engine throughput loops (see
+//                          engine_measure.hpp) written as machine-readable
+//                          JSON to PATH. Add --smoke for a seconds-long run
+//                          sized for CI, and --baseline=FILE to shape-check
+//                          events/sec against a checked-in baseline report
+//                          (exit 1 on regression past the noise floor).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <string_view>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "core/center.hpp"
 #include "core/spider_config.hpp"
+#include "engine_measure.hpp"
 #include "net/torus.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/resource.hpp"
+#include "sim/task.hpp"
 #include "workload/ior.hpp"
 
 namespace {
@@ -39,6 +55,42 @@ void BM_EventQueueScheduleAndPop(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EventQueueScheduleAndPop);
+
+// Task vs std::function for the hot dispatch capture shape: 24 bytes fits
+// Task's 48-byte inline buffer but exceeds libstdc++ std::function's 16-byte
+// one, so the std::function variant heap-allocates per callable.
+void BM_TaskRoundTrip24ByteCapture(benchmark::State& state) {
+  std::uint64_t sink = 0;
+  std::uint64_t a = 1, b = 2, c = 3;
+  for (auto _ : state) {
+    sim::Task t([&sink, a, b, c] { sink += a + b + c; });
+    t();
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_TaskRoundTrip24ByteCapture);
+
+void BM_StdFunctionRoundTrip24ByteCapture(benchmark::State& state) {
+  std::uint64_t sink = 0;
+  std::uint64_t a = 1, b = 2, c = 3;
+  for (auto _ : state) {
+    std::function<void()> t([&sink, a, b, c] { sink += a + b + c; });
+    t();
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_StdFunctionRoundTrip24ByteCapture);
+
+void BM_EventQueueScheduleCancelChurn(benchmark::State& state) {
+  sim::EventQueue q;
+  q.schedule(1, [] {});  // live anchor so the queue never empties
+  for (auto _ : state) {
+    const sim::EventId id = q.schedule(1'000'000, [] {});
+    q.cancel(id);
+    benchmark::DoNotOptimize(id);
+  }
+}
+BENCHMARK(BM_EventQueueScheduleCancelChurn);
 
 void BM_TorusRoute(benchmark::State& state) {
   net::Torus3D torus({25, 16, 24});
@@ -95,6 +147,137 @@ void BM_CenterConstruction(benchmark::State& state) {
 }
 BENCHMARK(BM_CenterConstruction)->Unit(benchmark::kMillisecond);
 
+// --- --spider-json mode ------------------------------------------------------
+
+struct EngineRunConfig {
+  std::size_t dispatch_events = 20000;
+  std::size_t dispatch_rounds = 60;
+  std::size_t cancel_pairs = 50000;
+  std::size_t cancel_rounds = 40;
+  std::size_t observed_events = 20000;
+  std::size_t observed_rounds = 40;
+  std::size_t batches = 2000;
+  std::size_t tasks_per_batch = 64;
+  std::size_t batch_threads = 4;
+};
+
+EngineRunConfig smoke_config() {
+  EngineRunConfig cfg;
+  cfg.dispatch_rounds = 10;
+  cfg.cancel_rounds = 6;
+  cfg.observed_rounds = 6;
+  cfg.batches = 300;
+  return cfg;
+}
+
+/// Run the hand-rolled loops, write the JSON report, and shape-check the
+/// result (against `baseline_path` when given). The regression gate is
+/// deliberately loose — 0.6x of the recorded baseline — because CI machines
+/// are noisy and heterogeneous; the gate exists to catch engine-level
+/// collapses (an accidental per-event allocation, a serialized pool), not
+/// single-digit drift. Before/after comparisons for PR records should use
+/// the full mode on one quiet machine.
+int run_spider_json(const std::string& json_path,
+                    const std::string& baseline_path, bool smoke) {
+  using spider::bench::Measurement;
+  const EngineRunConfig cfg = smoke ? smoke_config() : EngineRunConfig{};
+
+  spider::bench::banner("engine throughput (events/sec)");
+  const Measurement dispatch = spider::bench::measure_schedule_dispatch(
+      cfg.dispatch_events, cfg.dispatch_rounds);
+  const Measurement cancel = spider::bench::measure_schedule_cancel(
+      cfg.cancel_pairs, cfg.cancel_rounds);
+  const Measurement observed = spider::bench::measure_observed_dispatch(
+      cfg.observed_events, cfg.observed_rounds);
+  const Measurement batches = spider::bench::measure_parallel_batches(
+      cfg.batches, cfg.tasks_per_batch, cfg.batch_threads);
+
+  spider::bench::JsonReport report("engine_micro", smoke ? "smoke" : "full");
+  const auto add = [&report](const char* name, const Measurement& m) {
+    report.add(name, "ops_per_sec", m.ops_per_sec);
+    report.add(name, "ops", static_cast<double>(m.ops));
+    report.add(name, "elapsed_s", m.elapsed_s);
+    std::printf("  %-18s %12.0f ops/sec  (%llu ops in %.3fs)\n", name,
+                m.ops_per_sec, static_cast<unsigned long long>(m.ops),
+                m.elapsed_s);
+  };
+  add("schedule_dispatch", dispatch);
+  add("schedule_cancel", cancel);
+  add("observed_dispatch", observed);
+  add("parallel_batches", batches);
+
+  spider::bench::ShapeChecker checker;
+  checker.check(dispatch.ops_per_sec > 0 && cancel.ops_per_sec > 0 &&
+                    observed.ops_per_sec > 0 && batches.ops_per_sec > 0,
+                "all engine loops made forward progress");
+  // Cancel never dispatches, so a schedule+cancel pair must beat a full
+  // schedule+dispatch cycle; inversion means cancel went accidentally
+  // expensive (e.g. eager heap rebuilds per cancel).
+  checker.check(cancel.ops_per_sec > dispatch.ops_per_sec,
+                "schedule+cancel churn outpaces full dispatch");
+
+  if (!baseline_path.empty()) {
+    std::string text;
+    if (!spider::bench::read_text_file(baseline_path, text)) {
+      std::fprintf(stderr, "bench: cannot read baseline '%s'\n",
+                   baseline_path.c_str());
+      return 1;
+    }
+    const auto gate = [&](const char* name, const Measurement& m) {
+      double base = 0.0;
+      if (!spider::bench::json_number(text, name, "ops_per_sec", base)) {
+        checker.check(false, std::string(name) + ": baseline entry present");
+        return;
+      }
+      const double ratio = m.ops_per_sec / base;
+      report.add(name, "baseline_ops_per_sec", base);
+      report.add(name, "vs_baseline", ratio);
+      char label[160];
+      std::snprintf(label, sizeof(label),
+                    "%s: %.2fx of baseline %.0f ops/sec (floor 0.60x)", name,
+                    ratio, base);
+      checker.check(ratio >= 0.6, label);
+    };
+    gate("schedule_dispatch", dispatch);
+    gate("schedule_cancel", cancel);
+    gate("observed_dispatch", observed);
+    gate("parallel_batches", batches);
+  }
+
+  if (!report.write_file(json_path)) return 1;
+  std::printf("wrote %s\n", json_path.c_str());
+  return checker.exit_code();
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::string baseline_path;
+  bool smoke = false;
+  std::vector<char*> passthrough{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--spider-json=", 0) == 0) {
+      json_path = arg.substr(14);
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(11);
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (!json_path.empty()) {
+    return run_spider_json(json_path, baseline_path, smoke);
+  }
+
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Engine perf trajectory: build bench_micro_engine in Release and write the
+# machine-readable throughput report to BENCH_engine.json at the repo root,
+# gated against the checked-in pre-PR baseline (ci/bench-baseline-engine.json).
+#
+# Usage: scripts/bench.sh [--smoke] [build-dir]
+#   --smoke     seconds-long run sized for CI; full mode is the default and
+#               is what PR before/after records should quote.
+#   build-dir   defaults to build-bench/ (kept separate from build/ so a
+#               sanitizer or Debug tree never pollutes perf numbers).
+#
+# Exit code is bench_micro_engine's: non-zero when a shape check fails or a
+# metric drops below the 0.60x regression floor of the baseline.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SMOKE=""
+BUILD_DIR="build-bench"
+for arg in "$@"; do
+  case "${arg}" in
+    --smoke) SMOKE="--smoke" ;;
+    --*) echo "usage: scripts/bench.sh [--smoke] [build-dir]" >&2; exit 2 ;;
+    *) BUILD_DIR="${arg}" ;;
+  esac
+done
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+echo "=== [bench] configure + build (Release) ==="
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target bench_micro_engine
+
+echo "=== [bench] engine throughput ==="
+"${BUILD_DIR}/bench/bench_micro_engine" \
+    --spider-json=BENCH_engine.json \
+    --baseline=ci/bench-baseline-engine.json \
+    ${SMOKE}

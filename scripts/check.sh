@@ -9,7 +9,10 @@
 # in fresh processes and the replay hashes are diffed — proving the
 # simulation core is reproducible across process boundaries, not just
 # within one. A fault-campaign smoke stage then replays the plans/ smoke
-# scenarios under ASan and diffs the JSON verdicts the same way.
+# scenarios under ASan and diffs the JSON verdicts the same way, a
+# parallel-campaign stage proves spiderfault --jobs=8 emits bytes identical
+# to the serial run, and a bench-smoke stage runs the engine throughput
+# loops against the checked-in baseline (scripts/bench.sh --smoke).
 #
 # Usage: scripts/check.sh [build-root]   (default: build-check/)
 set -euo pipefail
@@ -88,4 +91,30 @@ if grep -q '"clean": false' "${BUILD_ROOT}/faults_run1.jsonl"; then
   exit 1
 fi
 
-echo "OK: sanitized suites passed, replay hashes and fault verdicts stable"
+# Parallel-campaign determinism: --jobs=N buffers verdicts and emits them in
+# enumeration order, so its stdout must be byte-identical to the serial run
+# — including mutation fan-out, which exercises the job-list enumeration.
+echo "=== parallel fault campaigns (--jobs=8 vs serial, ASan) ==="
+"${FAULT_BIN}" --seeds=2 --mutations=3 \
+    plans/smoke_rebuild.fplan plans/smoke_failover.fplan \
+    plans/smoke_netstorm.fplan \
+    > "${BUILD_ROOT}/faults_serial.jsonl"
+"${FAULT_BIN}" --seeds=2 --mutations=3 --jobs=8 \
+    plans/smoke_rebuild.fplan plans/smoke_failover.fplan \
+    plans/smoke_netstorm.fplan \
+    > "${BUILD_ROOT}/faults_jobs8.jsonl"
+if ! diff "${BUILD_ROOT}/faults_serial.jsonl" \
+          "${BUILD_ROOT}/faults_jobs8.jsonl"; then
+  echo "FAIL: spiderfault --jobs=8 output diverged from the serial run" >&2
+  exit 1
+fi
+
+# Engine throughput smoke: seconds-long loops, shape-checked against
+# ci/bench-baseline-engine.json (0.60x floor). Catches engine-level perf
+# collapses — an accidental per-event allocation, a serialized pool — not
+# single-digit drift; see docs/performance.md.
+echo "=== bench smoke (engine throughput vs baseline) ==="
+scripts/bench.sh --smoke "${BUILD_ROOT}/bench"
+
+echo "OK: sanitized suites passed, replay hashes and fault verdicts stable," \
+     "parallel campaigns deterministic, bench smoke within baseline"

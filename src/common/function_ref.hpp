@@ -1,0 +1,60 @@
+// Non-owning, trivially copyable callable reference.
+//
+// The simulator's per-event observer used to be a std::function, which
+// double-indirects (wrapper call -> stored target) and is 32 bytes of state
+// the dispatch loop drags through cache on every event. FunctionRef is two
+// words — a context pointer and a trampoline — and one indirect call.
+//
+// Lifetime contract: FunctionRef does NOT own its target. It may only be
+// constructed from an lvalue callable, and the referent must outlive every
+// invocation (construction from temporaries is deleted — a lambda passed
+// inline would dangle at the end of the full expression). Holders such as
+// Simulator document the required lifetime at their set_* call sites.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+namespace spider {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  FunctionRef() noexcept = default;
+  FunctionRef(std::nullptr_t) noexcept {}
+
+  /// Bind to a persistent callable. Lvalues only: the referent must outlive
+  /// this reference.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F& target) noexcept
+      : context_(static_cast<void*>(std::addressof(target))),
+        trampoline_([](void* ctx, Args... args) -> R {
+          return (*static_cast<F*>(ctx))(std::forward<Args>(args)...);
+        }) {}
+
+  /// Temporaries would dangle immediately; store the callable first.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_lvalue_reference_v<F> &&
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef>>>
+  FunctionRef(F&& target) = delete;
+
+  explicit operator bool() const noexcept { return trampoline_ != nullptr; }
+
+  R operator()(Args... args) const {
+    return trampoline_(context_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* context_ = nullptr;
+  R (*trampoline_)(void*, Args...) = nullptr;
+};
+
+}  // namespace spider

@@ -1,7 +1,9 @@
 #include "common/parallel.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <memory>
 #include <utility>
 
 namespace spider {
@@ -26,6 +28,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard lock(mu_);
+    ++submitted_;
     tasks_.push(std::move(task));
   }
   cv_task_.notify_one();
@@ -35,10 +38,31 @@ void ThreadPool::wait_idle() {
   std::exception_ptr err;
   {
     std::unique_lock lock(mu_);
-    cv_idle_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
+    // submitted_ == finished_ implies the queue is empty AND nothing is
+    // mid-flight: a running task that submits follow-up work increments
+    // submitted_ before it retires (finished_ lags), so the predicate stays
+    // false across the handoff. The old `queue empty && nothing running`
+    // predicate could momentarily hold between a task draining the queue
+    // and its follow-up submission landing.
+    cv_idle_.wait(lock, [this] { return submitted_ == finished_; });
     err = std::exchange(first_error_, nullptr);
   }
   if (err) std::rethrow_exception(err);
+}
+
+std::vector<std::thread::id> ThreadPool::worker_ids() const {
+  std::vector<std::thread::id> ids;
+  ids.reserve(workers_.size());
+  for (const auto& w : workers_) ids.push_back(w.get_id());
+  return ids;
+}
+
+bool ThreadPool::on_worker_thread() const {
+  const std::thread::id self = std::this_thread::get_id();
+  for (const auto& w : workers_) {
+    if (w.get_id() == self) return true;
+  }
+  return false;
 }
 
 void ThreadPool::worker_loop() {
@@ -50,7 +74,6 @@ void ThreadPool::worker_loop() {
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
-      ++in_flight_;
     }
     std::exception_ptr err;
     try {
@@ -60,8 +83,8 @@ void ThreadPool::worker_loop() {
     }
     {
       std::lock_guard lock(mu_);
-      assert(in_flight_ > 0);  // accounting must balance or wait_idle hangs
-      --in_flight_;
+      ++finished_;
+      assert(finished_ <= submitted_);  // accounting must balance
       if (err && !first_error_) first_error_ = std::move(err);
       notify_if_idle_locked();
     }
@@ -69,44 +92,95 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::notify_if_idle_locked() {
-  if (tasks_.empty() && in_flight_ == 0) cv_idle_.notify_all();
+  if (submitted_ == finished_) cv_idle_.notify_all();
 }
+
+ThreadPool& shared_pool() {
+  // Meyers singleton: constructed on first use, joined during static
+  // destruction (workers are idle by then — nothing submits after main
+  // returns), and LSan-clean under the ASan gate.
+  static ThreadPool pool;
+  return pool;
+}
+
+namespace {
+
+/// Shared state of one parallel_for batch. Helpers submitted to the shared
+/// pool hold the state via shared_ptr so a helper scheduled late (after the
+/// caller already finished the index space and returned) still has valid
+/// state to decrement.
+struct BatchState {
+  const std::function<void(std::size_t)>* fn = nullptr;  // caller-owned
+  std::size_t n = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex mu;
+  std::condition_variable done;
+  std::size_t helpers_left SPIDER_GUARDED_BY(mu) = 0;
+  std::exception_ptr first_error SPIDER_GUARDED_BY(mu);
+
+  /// Claim-and-run indices until the space is exhausted or a failure stops
+  /// the batch. `fn` stays valid for every helper: the caller blocks until
+  /// helpers_left reaches zero before returning.
+  void run_range() {
+    for (;;) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        (*fn)(i);
+      } catch (...) {
+        {
+          std::lock_guard lock(mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+};
+
+}  // namespace
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                   std::size_t threads) {
   if (n == 0) return;
-  if (threads <= 1 || n == 1) {
+  ThreadPool& pool = shared_pool();
+  // Inline paths: explicit serial request, trivial batch, or a nested call
+  // from a pool worker (waiting on helpers from inside the pool could
+  // deadlock if every worker did it; inline is deterministic and safe).
+  if (threads <= 1 || n == 1 || pool.on_worker_thread()) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  const std::size_t workers = std::min(threads, n);
-  std::atomic<std::size_t> next{0};
-  std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
-  std::mutex err_mu;
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    pool.emplace_back([&] {
-      for (;;) {
-        if (failed.load(std::memory_order_relaxed)) return;
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n) return;
-        try {
-          fn(i);
-        } catch (...) {
-          {
-            std::lock_guard lock(err_mu);
-            if (!first_error) first_error = std::current_exception();
-          }
-          failed.store(true, std::memory_order_relaxed);
-          return;
-        }
-      }
+
+  const std::size_t lanes = std::min({threads, n, pool.size() + 1});
+  const std::size_t helpers = lanes - 1;  // the caller is lane 0
+  auto state = std::make_shared<BatchState>();
+  state->fn = &fn;
+  state->n = n;
+  {
+    std::lock_guard lock(state->mu);
+    state->helpers_left = helpers;
+  }
+  for (std::size_t h = 0; h < helpers; ++h) {
+    pool.submit([state] {
+      state->run_range();
+      std::lock_guard lock(state->mu);
+      if (--state->helpers_left == 0) state->done.notify_all();
     });
   }
-  for (auto& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+
+  state->run_range();
+
+  std::exception_ptr err;
+  {
+    std::unique_lock lock(state->mu);
+    state->done.wait(lock, [&] { return state->helpers_left == 0; });
+    err = std::exchange(state->first_error, nullptr);
+  }
+  if (err) std::rethrow_exception(err);
 }
 
 }  // namespace spider

@@ -4,10 +4,18 @@
 // are expensive); independent sweep points run concurrently across hardware
 // threads. Simulations themselves stay single-threaded and deterministic —
 // parallelism is only across independent runs.
+//
+// parallel_for no longer spawns threads: every call routes through one
+// process-wide shared ThreadPool (see shared_pool()), so sweep benches and
+// spiderfault --jobs=N pay thread creation once per process instead of once
+// per batch. The calling thread participates in its own batch, which both
+// speeds small batches up and makes nested calls from a worker thread
+// deadlock-free (they simply run inline).
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -32,35 +40,54 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   void submit(std::function<void()> task);
-  /// Block until every submitted task has finished, then rethrow the first
+  /// Block until every task submitted so far — including follow-up tasks
+  /// that running tasks submit — has finished, then rethrow the first
   /// exception any task in the batch raised (clearing it, so the pool stays
-  /// usable for the next batch).
+  /// usable for the next batch). Completion is counted against
+  /// submitted-vs-finished totals, not a momentarily drained queue: a task
+  /// that submit()s more work bumps the submitted count before it retires,
+  /// so wait_idle() cannot slip through the gap between "queue empty" and
+  /// "follow-up enqueued".
   void wait_idle();
 
   std::size_t size() const { return workers_.size(); }
 
+  /// Ids of the pool's worker threads. Lets tests prove that consecutive
+  /// parallel_for batches reuse the same OS threads instead of spawning.
+  std::vector<std::thread::id> worker_ids() const;
+
+  /// True when called from one of this pool's worker threads.
+  bool on_worker_thread() const;
+
  private:
   void worker_loop();
-  /// Wake wait_idle() when the batch has drained. Caller holds mu_ — the
-  /// predicate check and the notification must be serialized or the wakeup
-  /// can be lost.
+  /// Wake wait_idle() when every submitted task has finished. Caller holds
+  /// mu_ — the predicate check and the notification must be serialized or
+  /// the wakeup can be lost.
   void notify_if_idle_locked() SPIDER_REQUIRES(mu_);
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
   std::queue<std::function<void()>> tasks_ SPIDER_GUARDED_BY(mu_);
   std::exception_ptr first_error_ SPIDER_GUARDED_BY(mu_);
-  std::size_t in_flight_ SPIDER_GUARDED_BY(mu_) = 0;
+  std::uint64_t submitted_ SPIDER_GUARDED_BY(mu_) = 0;
+  std::uint64_t finished_ SPIDER_GUARDED_BY(mu_) = 0;
   bool stop_ SPIDER_GUARDED_BY(mu_) = false;
 };
 
-/// Run fn(i) for i in [0, n) across up to `threads` workers. Blocks until
-/// all iterations complete. With threads <= 1 (or n <= 1) runs inline, which
-/// keeps single-threaded determinism trivially available. If any iteration
-/// throws, remaining un-started iterations are skipped and the first
-/// exception is rethrown on the calling thread after all workers join.
+/// The process-wide pool parallel_for drains into. Created on first use with
+/// hardware_concurrency workers; lives until process exit.
+ThreadPool& shared_pool();
+
+/// Run fn(i) for i in [0, n) across up to `threads` workers drawn from the
+/// shared pool, with the calling thread participating. Blocks until all
+/// iterations complete. With threads <= 1 (or n <= 1), or when called from a
+/// shared-pool worker thread (nested parallelism), runs inline — which keeps
+/// single-threaded determinism trivially available. If any iteration throws,
+/// remaining un-started iterations are skipped and the first exception is
+/// rethrown on the calling thread after the batch drains.
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                   std::size_t threads = std::thread::hardware_concurrency());
 

@@ -9,21 +9,100 @@ namespace {
 // Below this heap size compaction is pointless; the lazy pop path handles
 // small queues fine and the threshold keeps compact() out of microbenchmarks.
 constexpr std::size_t kCompactMinHeap = 64;
+// Only return heap storage to the allocator when capacity exceeds live size
+// by this factor. Shrinking on every compaction caused realloc churn when
+// cancel-heavy flow rescheduling oscillated around the compaction threshold:
+// each compact gave the pages back only for the next burst to buy them
+// again. With the factor, steady-state churn reuses one stable allocation
+// and memory is still bounded at a small multiple of the live set.
+constexpr std::size_t kShrinkFactor = 8;
 }  // namespace
 
 EventId EventQueue::schedule(SimTime when, EventFn fn, std::uint64_t site) {
   const EventId id = next_id_++;
-  heap_.push_back(Entry{when, id});
+
+  // Grab a slab slot from the free list (or grow the slab — amortized, and
+  // only until the slab matches the high-water mark of live events).
+  std::uint32_t s;
+  if (free_head_ != kNullSlot) {
+    s = free_head_;
+    free_head_ = slots_[s].next_free;
+  } else {
+    s = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[s];
+  slot.fn = std::move(fn);
+  slot.id = id;
+  slot.site = site;
+
+  // Record id -> slot in the paged index. Ids are dense, so the new id lands
+  // either in the newest page or in a fresh one (one 8 KiB allocation per
+  // 1024 events, amortized).
+  const std::uint64_t page_no = id >> kPageBits;
+  assert(page_no >= base_page_);
+  while (page_no - base_page_ >= pages_.size()) pages_.emplace_back(nullptr);
+  std::unique_ptr<IdPage>& page = pages_[page_no - base_page_];
+  if (page == nullptr) {
+    page = std::make_unique<IdPage>();
+    std::fill(std::begin(page->slot), std::end(page->slot), kNullSlot);
+  }
+  page->slot[id & kPageMask] = s;
+  ++page->live;
+
+  heap_.push_back(Entry{when, id, s});
   std::push_heap(heap_.begin(), heap_.end(), later);
-  callbacks_.emplace(id, Pending{std::move(fn), site});
   ++live_;
   return id;
 }
 
+std::uint32_t* EventQueue::index_cell(EventId id) {
+  if (id == 0 || id >= next_id_) return nullptr;
+  const std::uint64_t page_no = id >> kPageBits;
+  if (page_no < base_page_ || page_no - base_page_ >= pages_.size()) {
+    return nullptr;
+  }
+  IdPage* page = pages_[page_no - base_page_].get();
+  if (page == nullptr) return nullptr;
+  return &page->slot[id & kPageMask];
+}
+
+void EventQueue::release_id(EventId id) {
+  const std::uint64_t page_no = id >> kPageBits;
+  IdPage& page = *pages_[page_no - base_page_];
+  page.slot[id & kPageMask] = kNullSlot;
+  assert(page.live > 0);
+  --page.live;
+  // Release the page once every id it covers is both issued and dead; a
+  // partially issued page must stay — the next schedule() still writes to
+  // it. Then trim the window's dead prefix so the deque stays proportional
+  // to the live id span.
+  const EventId page_end = static_cast<EventId>(page_no + 1) << kPageBits;
+  if (page.live == 0 && page_end <= next_id_) {
+    pages_[page_no - base_page_].reset();
+  }
+  while (!pages_.empty() && pages_.front() == nullptr) {
+    pages_.pop_front();
+    ++base_page_;
+  }
+}
+
+void EventQueue::release_slot(std::uint32_t s) {
+  Slot& slot = slots_[s];
+  slot.fn.reset();  // release captured state eagerly
+  slot.id = 0;
+  slot.site = 0;
+  slot.next_free = free_head_;
+  free_head_ = s;
+}
+
 bool EventQueue::cancel(EventId id) {
-  auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) return false;
-  callbacks_.erase(it);
+  std::uint32_t* cell = index_cell(id);
+  if (cell == nullptr || *cell == kNullSlot) return false;
+  const std::uint32_t s = *cell;
+  assert(slots_[s].id == id);
+  release_id(id);
+  release_slot(s);
   --live_;
   // Cancelling the front entry (e.g. an event due *now*, during fault churn)
   // must not leave a stale head: next_time()/pop() assume the front is live
@@ -38,15 +117,18 @@ bool EventQueue::cancel(EventId id) {
 void EventQueue::compact() {
   heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
                              [this](const Entry& e) {
-                               return !callbacks_.contains(e.id);
+                               return !entry_live(e);
                              }),
               heap_.end());
-  heap_.shrink_to_fit();
+  if (heap_.capacity() >
+      kShrinkFactor * std::max(heap_.size(), kCompactMinHeap)) {
+    heap_.shrink_to_fit();
+  }
   std::make_heap(heap_.begin(), heap_.end(), later);
 }
 
 void EventQueue::drop_cancelled() const {
-  while (!heap_.empty() && !callbacks_.contains(heap_.front().id)) {
+  while (!heap_.empty() && !entry_live(heap_.front())) {
     std::pop_heap(heap_.begin(), heap_.end(), later);
     heap_.pop_back();
   }
@@ -64,10 +146,11 @@ EventQueue::Fired EventQueue::pop() {
   const Entry e = heap_.front();
   std::pop_heap(heap_.begin(), heap_.end(), later);
   heap_.pop_back();
-  auto it = callbacks_.find(e.id);
-  assert(it != callbacks_.end());
-  Fired fired{e.when, e.id, it->second.site, std::move(it->second.fn)};
-  callbacks_.erase(it);
+  Slot& slot = slots_[e.slot];
+  assert(slot.id == e.id);
+  Fired fired{e.when, e.id, slot.site, std::move(slot.fn)};
+  release_id(e.id);
+  release_slot(e.slot);
   --live_;
   return fired;
 }

@@ -1,32 +1,44 @@
-// Cancellable discrete-event queue.
+// Cancellable discrete-event queue, allocation-free on the hot path.
 //
-// A binary heap keyed on (time, sequence) gives deterministic FIFO ordering
-// for simultaneous events. Cancellation is lazy for the heap entry but eager
-// for the callback map: cancel() frees the callback immediately (so captured
-// state is released right away) and stale heap entries are skipped at pop
-// time. When stale entries outnumber live ones the heap is compacted in
-// place, which bounds memory even under cancel-heavy flow rescheduling —
-// the flow network cancels and reschedules its next-completion event on
-// every arrival, so without compaction the heap grows with every reschedule
-// whose cancelled time lies beyond the simulation clock.
+// A binary heap keyed on (time, id) gives deterministic FIFO ordering for
+// simultaneous events. Callbacks live in a slot slab — a vector of fixed
+// slots recycled through an intrusive free list — instead of the old
+// unordered_map<EventId, Pending>, so schedule/cancel/pop never hash and
+// (for captures within sim::Task's 48-byte inline buffer) never touch the
+// heap allocator. Staleness is generation-checked: every heap entry carries
+// its slot index, and the slot remembers which EventId currently owns it, so
+// a recycled slot can never satisfy a stale entry.
+//
+// cancel(id) resolves id -> slot through a paged direct-index (ids are
+// issued densely, so id -> slot is an array lookup inside a 1024-entry
+// page); fully dead pages are freed and the page window's dead prefix is
+// trimmed, which keeps index memory proportional to the *span* of live ids,
+// not the total ever scheduled. Cancellation stays lazy for the heap entry
+// but eager for the callback: cancel() destroys the stored Task immediately
+// (captured state is released right away) and stale heap entries are skipped
+// at pop time; when stale entries outnumber live ones the heap is compacted
+// in place, bounding memory under cancel-heavy flow rescheduling.
 //
 // Each event additionally carries a `site` hash identifying the scheduling
 // call site; the replay harness (sim/replay.hpp) folds it into the event
 // stream hash so divergent runs are localized to the first mismatching
-// (time, id, site) triple.
+// (time, id, site) triple. EventIds are issued 1, 2, 3, ... exactly as
+// before the slab rewrite — replay stream hashes over (time, id, site) are
+// byte-identical across the two engines (pinned by the golden traces).
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <unordered_map>
+#include <deque>
+#include <memory>
 #include <vector>
 
+#include "sim/task.hpp"
 #include "sim/time.hpp"
 
 namespace spider::sim {
 
 using EventId = std::uint64_t;
-using EventFn = std::function<void()>;
+using EventFn = Task;
 
 class EventQueue {
  public:
@@ -52,6 +64,9 @@ class EventQueue {
   /// Heap entries currently held, including cancelled-but-not-yet-dropped
   /// ones. Exposed so tests can bound memory under cancel-heavy load.
   std::size_t heap_size() const { return heap_.size(); }
+  /// Heap storage currently reserved. Exposed so tests can pin the
+  /// compaction policy: oscillating cancel churn must not realloc-thrash.
+  std::size_t heap_capacity() const { return heap_.capacity(); }
 
   /// Earliest pending event time; only valid when !empty().
   SimTime next_time() const;
@@ -60,13 +75,32 @@ class EventQueue {
   Fired pop();
 
  private:
+  static constexpr std::uint32_t kNullSlot = 0xffffffffu;
+
   struct Entry {
     SimTime when;
     EventId id;
+    std::uint32_t slot;  ///< slab index; validated against Slot::id at pop
   };
-  struct Pending {
+
+  /// One slab cell. `id` is the generation check: 0 when free, otherwise the
+  /// event currently occupying the slot — a stale heap entry whose id no
+  /// longer matches is skipped without ever touching the callback.
+  struct Slot {
     EventFn fn;
+    EventId id = 0;
     std::uint64_t site = 0;
+    std::uint32_t next_free = kNullSlot;
+  };
+
+  // id -> slot direct index, paged so dead ranges can be released. Page p
+  // covers ids [p << kPageBits, (p + 1) << kPageBits).
+  static constexpr std::size_t kPageBits = 10;
+  static constexpr std::size_t kPageSize = std::size_t{1} << kPageBits;
+  static constexpr std::size_t kPageMask = kPageSize - 1;
+  struct IdPage {
+    std::uint32_t slot[kPageSize];
+    std::uint32_t live = 0;
   };
 
   static bool later(const Entry& a, const Entry& b) {
@@ -74,17 +108,29 @@ class EventQueue {
     return a.id > b.id;
   }
 
+  bool entry_live(const Entry& e) const {
+    return slots_[e.slot].id == e.id;
+  }
+
+  /// Pointer to the index cell for `id`, or nullptr when the id was never
+  /// issued or its page has already been released (everything in it dead).
+  std::uint32_t* index_cell(EventId id);
+  /// Mark `id` dead in the index; free its page when nothing in the page is
+  /// live anymore and trim the dead prefix of the page window.
+  void release_id(EventId id);
+  /// Return the slot for a finished/cancelled event to the free list.
+  void release_slot(std::uint32_t s);
+
   void drop_cancelled() const;
   /// Drop every stale heap entry and re-heapify. Called when stale entries
   /// outnumber live ones, so total work stays amortized O(log n) per event.
   void compact();
 
   mutable std::vector<Entry> heap_;  // min-heap via `later` comparator
-  // Pure lookup table: only find/contains/erase by id, never iterated, and
-  // pop order is fixed by `later`'s total order on (when, id) — so hash
-  // layout cannot leak into simulation results.
-  // spiderlint: ordered-ok
-  std::unordered_map<EventId, Pending> callbacks_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNullSlot;
+  std::deque<std::unique_ptr<IdPage>> pages_;  // window [base_page_, ...)
+  std::uint64_t base_page_ = 0;
   EventId next_id_ = 1;
   std::size_t live_ = 0;
 };

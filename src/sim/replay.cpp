@@ -28,9 +28,7 @@ std::uint64_t fold_double(std::uint64_t h, double v) {
 }  // namespace
 
 void ReplayRecorder::attach(Simulator& sim) {
-  sim.set_observer([this](SimTime when, EventId id, std::uint64_t site) {
-    on_event(when, id, site);
-  });
+  sim.set_observer(EventObserver(*this));
 }
 
 void ReplayRecorder::on_event(SimTime when, EventId id, std::uint64_t site) {

@@ -43,11 +43,17 @@ class ReplayRecorder {
   };
 
   /// Install this recorder as `sim`'s observer. Replaces any previous
-  /// observer; the recorder must outlive the simulator's run.
+  /// observer; the recorder must outlive the simulator's run (the observer
+  /// is a non-owning FunctionRef bound to this object).
   void attach(Simulator& sim);
 
   /// Fold one executed event into the stream (attach() wires this up).
   void on_event(SimTime when, EventId id, std::uint64_t site);
+
+  /// Observer call operator so a FunctionRef can bind the recorder directly.
+  void operator()(SimTime when, EventId id, std::uint64_t site) {
+    on_event(when, id, site);
+  }
 
   /// Fold a FlowNetwork's per-resource telemetry (served, busy_integral,
   /// current_load, flows_seen) into the stats hash. Call after the run, or

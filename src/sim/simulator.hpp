@@ -2,10 +2,10 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <limits>
 #include <source_location>
 
+#include "common/function_ref.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 
@@ -13,8 +13,11 @@ namespace spider::sim {
 
 /// Called for every executed event, before its callback runs: (time, event
 /// id, scheduling-site hash). Used by the deterministic-replay harness
-/// (sim/replay.hpp); keep it cheap — it sits on the hot dispatch path.
-using EventObserver = std::function<void(SimTime, EventId, std::uint64_t)>;
+/// (sim/replay.hpp); it sits on the hot dispatch path, so it is a
+/// non-owning two-word FunctionRef — one indirect call per event instead of
+/// std::function's double indirection. The referent (e.g. a ReplayRecorder)
+/// must outlive the simulator's run.
+using EventObserver = FunctionRef<void(SimTime, EventId, std::uint64_t)>;
 
 /// Stable hash of a scheduling call site (file name + line), folded into the
 /// replay stream so a divergence names the code that scheduled the event.
@@ -40,8 +43,9 @@ class Simulator {
   /// Execute exactly one event, if any. Returns true if one ran.
   bool step();
 
-  /// Install (or clear, with nullptr) the per-event observer.
-  void set_observer(EventObserver obs) { observer_ = std::move(obs); }
+  /// Install (or clear, with nullptr) the per-event observer. Non-owning:
+  /// the observed object must stay alive for every subsequent run()/step().
+  void set_observer(EventObserver obs) { observer_ = obs; }
 
   bool idle() const { return queue_.empty(); }
   std::size_t pending_events() const { return queue_.size(); }

@@ -1,0 +1,133 @@
+// Move-only small-buffer-optimized callable for the event hot path.
+//
+// std::function<void()> costs the discrete-event core twice: libstdc++ only
+// stores captures up to 16 bytes inline (and only when trivially copyable),
+// so the flow-network and campaign callbacks — an object pointer plus a
+// couple of ids — heap-allocate on every schedule; and its copyability
+// forces capture-by-value closures to stay copyable. sim::Task fixes both:
+// 48 bytes of inline storage (comfortably above every hot-path capture in
+// this repo), move-only semantics, and a three-entry vtable (invoke /
+// relocate / destroy) so the whole object moves with two pointer-size loads.
+//
+// Contract (see docs/performance.md#sbo-task-contract):
+//   * a callable is stored inline iff sizeof(F) <= kInlineBytes,
+//     alignof(F) <= alignof(std::max_align_t), and F is nothrow move
+//     constructible — anything else falls back to one heap allocation;
+//   * Task is move-only; moving transfers the callable and empties the
+//     source; invoking an empty Task is undefined (assert in debug);
+//   * relocation of inline callables uses F's move constructor, so inline
+//     eligibility requires it to be noexcept (the queue's heap operations
+//     must not throw mid-swap).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace spider::sim {
+
+class Task {
+ public:
+  /// Inline capture budget in bytes. Sized so an object pointer plus a few
+  /// 64-bit ids (the typical scheduling capture) never allocates, with room
+  /// to spare for a std::function being wrapped during migration.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  /// True when a callable of type F is stored in the inline buffer rather
+  /// than on the heap. Exposed so tests can pin the SBO contract.
+  template <typename F>
+  static constexpr bool stores_inline() {
+    using D = std::decay_t<F>;
+    return sizeof(D) <= kInlineBytes &&
+           alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  Task() noexcept = default;
+  Task(std::nullptr_t) noexcept {}
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, Task> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  Task(F&& f) {
+    using D = std::decay_t<F>;
+    if constexpr (stores_inline<F>()) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      vtable_ = &kInlineVTable<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      vtable_ = &kHeapVTable<D>;
+    }
+  }
+
+  Task(Task&& other) noexcept { move_from(other); }
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { reset(); }
+
+  explicit operator bool() const noexcept { return vtable_ != nullptr; }
+
+  void operator()() {
+    assert(vtable_ != nullptr && "invoking an empty Task");
+    vtable_->invoke(storage_);
+  }
+
+  /// Destroy the stored callable (no-op when empty).
+  void reset() noexcept {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void* storage);
+    /// Move-construct the callable into dst from src, then destroy src's.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <typename D>
+  static constexpr VTable kInlineVTable{
+      [](void* s) { (*std::launder(reinterpret_cast<D*>(s)))(); },
+      [](void* dst, void* src) noexcept {
+        D* from = std::launder(reinterpret_cast<D*>(src));
+        ::new (dst) D(std::move(*from));
+        from->~D();
+      },
+      [](void* s) noexcept { std::launder(reinterpret_cast<D*>(s))->~D(); }};
+
+  template <typename D>
+  static constexpr VTable kHeapVTable{
+      [](void* s) { (**std::launder(reinterpret_cast<D**>(s)))(); },
+      [](void* dst, void* src) noexcept {
+        // The stored representation is a plain pointer; relocation copies it
+        // (ownership moves with the Task holding the vtable).
+        ::new (dst) D*(*std::launder(reinterpret_cast<D**>(src)));
+      },
+      [](void* s) noexcept { delete *std::launder(reinterpret_cast<D**>(s)); }};
+
+  void move_from(Task& other) noexcept {
+    vtable_ = other.vtable_;
+    if (vtable_ != nullptr) {
+      vtable_->relocate(storage_, other.storage_);
+      other.vtable_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte storage_[kInlineBytes];
+  const VTable* vtable_ = nullptr;
+};
+
+}  // namespace spider::sim

@@ -5,11 +5,17 @@
 //   --base-seed=S         first seed (default: the plan's own seed)
 //   --mutations=M         additionally run M seeded plan mutations per seed
 //   --horizon-s=X         override every plan's horizon
+//   --jobs=N              run up to N campaigns concurrently (default 1)
 //   --expect-violations   invert the verdict: exit 0 iff violations were found
 //
 // One JSON verdict line per run: plan name, seed, replay hash, stream hash,
 // telemetry, and the oracle violations (see docs/fault-injection.md for how
 // to reproduce a violation from a verdict line).
+//
+// --jobs=N parallelism is output-invisible: the campaign list is enumerated
+// up front in (plan, seed, mutation) order, runs execute concurrently on the
+// shared thread pool, and verdict lines are buffered and printed in
+// enumeration order — so stdout is byte-identical to --jobs=1.
 //
 // Exit codes: 0 campaign outcome matched expectation, 1 it did not,
 // 2 usage / plan-parse / I/O error.
@@ -20,6 +26,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/parallel.hpp"
 #include "sim/faultplan.hpp"
 #include "tools/faultcli/campaign.hpp"
 
@@ -28,7 +35,8 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seeds=N] [--base-seed=S] [--mutations=M]\n"
-               "       [--horizon-s=X] [--expect-violations] <plan.fplan>...\n",
+               "       [--horizon-s=X] [--jobs=N] [--expect-violations]\n"
+               "       <plan.fplan>...\n",
                argv0);
   return 2;
 }
@@ -53,6 +61,7 @@ int main(int argc, char** argv) {
   std::uint64_t base_seed = 0;
   bool have_base_seed = false;
   std::uint64_t mutations = 0;
+  std::uint64_t jobs = 1;
   double horizon_s = 0.0;
   bool expect_violations = false;
   std::vector<std::string> plan_paths;
@@ -68,6 +77,10 @@ int main(int argc, char** argv) {
       have_base_seed = true;
     } else if (arg.starts_with("--mutations=")) {
       if (!parse_count(arg.substr(12), mutations)) return usage(argv[0]);
+    } else if (arg.starts_with("--jobs=")) {
+      if (!parse_count(arg.substr(7), jobs) || jobs == 0) {
+        return usage(argv[0]);
+      }
     } else if (arg.starts_with("--horizon-s=")) {
       try {
         horizon_s = std::stod(std::string(arg.substr(12)));
@@ -89,8 +102,15 @@ int main(int argc, char** argv) {
   tools::CampaignConfig cfg;
   cfg.horizon_s = horizon_s;  // 0 = per-plan horizon
 
-  std::uint64_t total_runs = 0;
-  std::uint64_t violating_runs = 0;
+  // Enumerate every run up front, in (plan, seed, mutation) order. Mutation
+  // derivation stays serial and seeded — mutant m derives from (plan, seed,
+  // m) alone — so the job list, and therefore the output, is reproducible
+  // from the command line regardless of --jobs.
+  struct Job {
+    sim::FaultPlan plan;
+    std::uint64_t seed = 0;
+  };
+  std::vector<Job> run_jobs;
   for (const std::string& path : plan_paths) {
     std::ifstream in(path);
     if (!in) {
@@ -110,22 +130,32 @@ int main(int argc, char** argv) {
     const std::uint64_t first_seed = have_base_seed ? base_seed : plan.seed;
     for (std::uint64_t s = 0; s < seeds; ++s) {
       const std::uint64_t seed = first_seed + s;
-      std::vector<sim::FaultPlan> variants{plan};
-      // Seeded mutation fan-out: mutant m derives from (plan, seed, m), so
-      // the whole campaign is reproducible from the command line alone.
+      run_jobs.push_back(Job{plan, seed});
       for (std::uint64_t m = 1; m <= mutations; ++m) {
         Rng mutation_rng(seed ^ (0x9e3779b97f4a7c15ull * m));
-        variants.push_back(sim::mutate_plan(plan, tools::campaign_bounds(cfg),
-                                            mutation_rng));
-      }
-      for (const sim::FaultPlan& variant : variants) {
-        const tools::RunVerdict verdict =
-            tools::run_campaign(variant, seed, cfg);
-        std::printf("%s\n", tools::verdict_json(verdict).c_str());
-        ++total_runs;
-        if (!verdict.clean()) ++violating_runs;
+        run_jobs.push_back(Job{
+            sim::mutate_plan(plan, tools::campaign_bounds(cfg), mutation_rng),
+            seed});
       }
     }
+  }
+
+  // Campaigns are independent single-threaded simulations, so they fan out
+  // across the shared pool. Verdict lines are buffered per job and emitted
+  // in enumeration order below, keeping stdout byte-identical to --jobs=1.
+  std::vector<tools::RunVerdict> verdicts(run_jobs.size());
+  parallel_for(
+      run_jobs.size(),
+      [&](std::size_t i) {
+        verdicts[i] = tools::run_campaign(run_jobs[i].plan, run_jobs[i].seed,
+                                          cfg);
+      },
+      static_cast<std::size_t>(jobs));
+
+  std::uint64_t violating_runs = 0;
+  for (const tools::RunVerdict& verdict : verdicts) {
+    std::printf("%s\n", tools::verdict_json(verdict).c_str());
+    if (!verdict.clean()) ++violating_runs;
   }
 
   if (expect_violations) return violating_runs > 0 ? 0 : 1;

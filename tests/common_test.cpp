@@ -2,10 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <barrier>
 #include <cmath>
+#include <functional>
+#include <mutex>
 #include <numeric>
+#include <set>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "common/distributions.hpp"
@@ -393,6 +398,84 @@ TEST(Parallel, ParallelForPropagatesException) {
         if (i == 3) throw std::invalid_argument("boom");
       }, 1),
       std::invalid_argument);
+}
+
+TEST(Parallel, ConsecutiveBatchesReuseTheSameWorkerThreads) {
+  // Regression for the pooled fan-out: parallel_for used to spawn (and join)
+  // fresh std::threads per call. Every thread a batch runs on must now be
+  // either the caller or one of the shared pool's fixed workers — across
+  // consecutive batches — which is only possible if batches reuse the pool.
+  const std::vector<std::thread::id> workers = shared_pool().worker_ids();
+  const std::thread::id caller = std::this_thread::get_id();
+  auto run_batch = [] {
+    std::mutex mu;
+    std::set<std::thread::id> seen;
+    // barrier(2) forces two distinct threads to co-run the batch: whichever
+    // lane claims index 0 blocks until the other lane claims index 1, so the
+    // caller alone can never finish the batch.
+    std::barrier sync(2);
+    parallel_for(
+        2,
+        [&](std::size_t) {
+          sync.arrive_and_wait();
+          std::lock_guard lock(mu);
+          seen.insert(std::this_thread::get_id());
+        },
+        2);
+    return seen;
+  };
+  const std::set<std::thread::id> batch1 = run_batch();
+  const std::set<std::thread::id> batch2 = run_batch();
+  EXPECT_EQ(batch1.size(), 2u);
+  EXPECT_EQ(batch2.size(), 2u);
+  for (const auto& seen : {batch1, batch2}) {
+    for (const std::thread::id id : seen) {
+      if (id == caller) continue;
+      EXPECT_TRUE(std::find(workers.begin(), workers.end(), id) !=
+                  workers.end())
+          << "batch ran on a thread outside the shared pool";
+    }
+  }
+}
+
+TEST(Parallel, WaitIdleCountsFollowUpSubmissions) {
+  // wait_idle is counted against submitted-vs-finished totals. A task that
+  // submits follow-up work bumps the submitted count before it retires, so
+  // wait_idle cannot return in the gap between "queue momentarily empty"
+  // and "follow-up enqueued". (Run under sanitizers via the check.sh
+  // presets; the counter handoff is the racy window being pinned.)
+  ThreadPool pool(2);
+  std::atomic<int> runs{0};
+  std::function<void(int)> step = [&](int remaining) {
+    ++runs;
+    if (remaining > 0) {
+      pool.submit([&step, remaining] { step(remaining - 1); });
+    }
+  };
+  pool.submit([&step] { step(5); });
+  pool.wait_idle();
+  EXPECT_EQ(runs.load(), 6);  // the chain ran to completion before return
+
+  // And the pool remains balanced for the next batch.
+  pool.submit([&runs] { ++runs; });
+  pool.wait_idle();
+  EXPECT_EQ(runs.load(), 7);
+}
+
+TEST(Parallel, NestedParallelForDoesNotDeadlock) {
+  // A worker thread that calls parallel_for runs it inline (waiting on
+  // helpers from inside the pool could starve); the caller thread fans out
+  // normally. Either way every index runs exactly once.
+  std::vector<std::atomic<int>> hits(4 * 8);
+  parallel_for(
+      4,
+      [&](std::size_t outer) {
+        parallel_for(
+            8, [&, outer](std::size_t inner) { hits[outer * 8 + inner]++; },
+            4);
+      },
+      4);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
 // --- stats property tests ---------------------------------------------------

@@ -8,7 +8,10 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "sim/faultplan.hpp"
 #include "sim/time.hpp"
@@ -201,6 +204,35 @@ TEST(FaultCampaign, VerdictJsonCarriesReproductionRecipe) {
   EXPECT_NE(json.find("\"stream_hash\": \"0x"), std::string::npos) << json;
   EXPECT_NE(json.find("\"clean\": true"), std::string::npos) << json;
   EXPECT_NE(json.find("\"violations\": []"), std::string::npos) << json;
+}
+
+TEST(FaultCampaign, ParallelCampaignsMatchSerialVerdictsExactly) {
+  // The spiderfault --jobs=N contract in miniature: campaigns fanned out via
+  // parallel_for must produce verdict JSON byte-identical to the same
+  // campaigns run serially. Campaign state is all run-local, so parallel
+  // runs may not perturb hashes, telemetry, or oracle outcomes.
+  std::vector<std::pair<sim::FaultPlan, std::uint64_t>> runs;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    runs.emplace_back(benign_plan(90.0), seed);
+    runs.emplace_back(stormy_plan(), seed);
+  }
+
+  std::vector<std::string> serial(runs.size());
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    serial[i] = verdict_json(run_campaign(runs[i].first, runs[i].second));
+  }
+
+  std::vector<std::string> parallel(runs.size());
+  parallel_for(
+      runs.size(),
+      [&](std::size_t i) {
+        parallel[i] = verdict_json(run_campaign(runs[i].first, runs[i].second));
+      },
+      8);
+
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "run " << i;
+  }
 }
 
 TEST(FaultCampaign, CampaignBoundsMatchClusterShape) {

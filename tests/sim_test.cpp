@@ -115,6 +115,83 @@ TEST(EventQueue, CompactionPreservesOrderingAndCallbacks) {
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
 }
 
+TEST(EventQueue, CompactionKeepsCapacityForSteadyChurn) {
+  // Regression for the shrink policy: compaction erases stale entries but
+  // must not release heap capacity that steady-state churn is about to
+  // reuse — shrink-to-fit on every compact would add an allocate+copy cycle
+  // to the flow network's cancel/reschedule pattern.
+  EventQueue q;
+  q.schedule(1, [] {});  // permanent live anchor
+  std::vector<EventId> ids;
+  // Grow the heap with live events, then cancel most (stale > 2x live
+  // triggers compaction). Capacity stays within the shrink threshold, so it
+  // must be retained exactly.
+  for (int i = 0; i < 400; ++i) {
+    ids.push_back(q.schedule(static_cast<SimTime>(1000 + i), [] {}));
+  }
+  const std::size_t cap_before = q.heap_capacity();
+  for (std::size_t i = 0; i < 300; ++i) q.cancel(ids[i]);
+  EXPECT_LT(q.heap_size(), 401u);            // compaction ran
+  EXPECT_EQ(q.heap_capacity(), cap_before);  // ...but kept the capacity
+
+  // Steady churn at the same scale must never shrink or regrow: capacity is
+  // stable across rounds.
+  for (int round = 0; round < 20; ++round) {
+    std::vector<EventId> churn;
+    for (int i = 0; i < 300; ++i) {
+      churn.push_back(q.schedule(static_cast<SimTime>(5000 + i), [] {}));
+    }
+    for (const EventId id : churn) q.cancel(id);
+    EXPECT_EQ(q.heap_capacity(), cap_before) << "round " << round;
+  }
+}
+
+TEST(EventQueue, CompactionReleasesCapacityAfterBurstCollapse) {
+  // The other half of the shrink policy: when a one-off burst leaves the
+  // heap holding far more capacity than live events justify (beyond the
+  // shrink multiple), compact() must give the memory back.
+  EventQueue q;
+  q.schedule(1, [] {});
+  std::vector<EventId> ids;
+  for (int i = 0; i < 20'000; ++i) {
+    ids.push_back(q.schedule(static_cast<SimTime>(1000 + i), [] {}));
+  }
+  EXPECT_GE(q.heap_capacity(), 20'000u);
+  for (const EventId id : ids) q.cancel(id);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_LT(q.heap_capacity(), 20'000u / 4);  // burst capacity released
+}
+
+TEST(EventQueue, CancelledIdStaysDeadAfterSlotReuse) {
+  // Generation check: cancelling an id must stay a no-op forever, even after
+  // the slot that backed it is recycled for a newer event. A stale cancel
+  // that killed the new occupant would silently drop a live event.
+  EventQueue q;
+  bool fired = false;
+  const EventId a = q.schedule(10, [] {});
+  ASSERT_TRUE(q.cancel(a));
+  const EventId b = q.schedule(20, [&fired] { fired = true; });
+  EXPECT_GT(b, a);                // ids stay monotone, never recycled
+  EXPECT_FALSE(q.cancel(a));      // stale id: dead then, dead now
+  ASSERT_EQ(q.size(), 1u);
+  while (!q.empty()) q.pop().fn();
+  EXPECT_TRUE(fired);             // the reused slot's occupant survived
+  EXPECT_FALSE(q.cancel(a));
+  EXPECT_FALSE(q.cancel(b));      // already fired
+}
+
+TEST(EventQueue, IdsAreConsecutiveAcrossCancelChurn) {
+  // Replay golden hashes fold raw EventIds, so the id sequence is part of
+  // the on-disk format: 1, 2, 3, ... regardless of cancels in between.
+  EventQueue q;
+  EventId expected = 0;
+  for (int i = 0; i < 100; ++i) {
+    const EventId id = q.schedule(static_cast<SimTime>(50 + i), [] {});
+    EXPECT_EQ(id, ++expected);
+    if (i % 3 == 0) q.cancel(id);
+  }
+}
+
 TEST(EventQueue, CancelAtFireTimeLeavesNoStaleHead) {
   // Regression: fault churn cancels events whose fire time equals the
   // current front of the heap (a revert cancelled at the instant it is due).
@@ -148,7 +225,7 @@ TEST(EventQueue, CancelChurnIsDeterministic) {
     }
     for (int i = 0; i < 200; i += 3) q.cancel(ids[static_cast<std::size_t>(i)]);
     while (!q.empty()) {
-      const auto fired = q.pop();
+      auto fired = q.pop();
       // Cancel a still-pending event due at exactly the current fire time.
       for (int i = 0; i < 200; ++i) {
         if (5 * (i % 17) == fired.when && i % 7 == 0) {
@@ -203,10 +280,13 @@ TEST(Simulator, EventsCanScheduleMoreEvents) {
 TEST(Simulator, ObserverSeesEveryDispatchedEvent) {
   Simulator sim;
   std::vector<std::pair<SimTime, EventId>> seen;
-  sim.set_observer([&](SimTime t, EventId id, std::uint64_t site) {
+  // The observer is a non-owning FunctionRef: the callable must outlive the
+  // run, so it lives in a local rather than being passed as a temporary.
+  auto observe = [&](SimTime t, EventId id, std::uint64_t site) {
     EXPECT_NE(site, 0u);  // scheduling sites are always hashed
     seen.emplace_back(t, id);
-  });
+  };
+  sim.set_observer(EventObserver(observe));
   const EventId a = sim.schedule_in(10, [] {});
   const EventId b = sim.schedule_in(5, [] {});
   sim.run();

@@ -1,0 +1,221 @@
+// Pins the sim::Task SBO contract and the FunctionRef lifetime/shape
+// contract the engine hot path relies on (docs/performance.md).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+#include "common/function_ref.hpp"
+#include "sim/task.hpp"
+
+namespace spider::sim {
+namespace {
+
+// Counts live instances and moves so tests can observe where a callable
+// lives and when it dies.
+struct Probe {
+  static int live;
+  static int moves;
+  int payload = 0;
+
+  explicit Probe(int p) : payload(p) { ++live; }
+  Probe(const Probe& other) : payload(other.payload) { ++live; }
+  Probe(Probe&& other) noexcept : payload(other.payload) {
+    ++live;
+    ++moves;
+  }
+  ~Probe() { --live; }
+  void operator()() const {}
+};
+int Probe::live = 0;
+int Probe::moves = 0;
+
+TEST(Task, InlineEligibilityMatchesTheDocumentedContract) {
+  // The typical scheduling capture — an object pointer plus a couple of
+  // 64-bit ids — must stay inline; that is the whole point of the 48-byte
+  // budget.
+  struct HotCapture {
+    void* self;
+    std::uint64_t a, b;
+    void operator()() const {}
+  };
+  static_assert(sizeof(HotCapture) == 24);
+  EXPECT_TRUE(Task::stores_inline<HotCapture>());
+
+  struct TooBig {
+    std::array<std::byte, Task::kInlineBytes + 1> bytes;
+    void operator()() const {}
+  };
+  EXPECT_FALSE(Task::stores_inline<TooBig>());
+
+  struct OverAligned {
+    alignas(2 * alignof(std::max_align_t)) int x;
+    void operator()() const {}
+  };
+  EXPECT_FALSE(Task::stores_inline<OverAligned>());
+
+  struct ThrowingMove {
+    ThrowingMove() = default;
+    ThrowingMove(ThrowingMove&&) {}
+    void operator()() const {}
+  };
+  EXPECT_FALSE(Task::stores_inline<ThrowingMove>());
+
+  // Exactly at the boundary is still inline.
+  struct ExactFit {
+    std::array<std::byte, Task::kInlineBytes> bytes;
+    void operator()() const {}
+  };
+  EXPECT_TRUE(Task::stores_inline<ExactFit>());
+}
+
+TEST(Task, InvokesInlineAndHeapCallables) {
+  int hits = 0;
+  Task small([&hits] { ++hits; });
+  ASSERT_TRUE(static_cast<bool>(small));
+  small();
+  EXPECT_EQ(hits, 1);
+
+  std::array<std::uint64_t, 16> big{};  // 128 bytes: forced heap fallback
+  big[7] = 7;
+  auto large_fn = [&hits, big] { hits += static_cast<int>(big[7]); };
+  static_assert(!Task::stores_inline<decltype(large_fn)>());
+  Task large(std::move(large_fn));
+  large();
+  EXPECT_EQ(hits, 8);
+}
+
+TEST(Task, MoveTransfersTheCallableAndEmptiesTheSource) {
+  int hits = 0;
+  Task a([&hits] { ++hits; });
+  Task b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+
+  Task c;
+  c = std::move(b);
+  EXPECT_FALSE(static_cast<bool>(b));
+  ASSERT_TRUE(static_cast<bool>(c));
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(Task, InlineMoveRelocatesExactlyOneLiveInstance) {
+  Probe::live = 0;
+  Probe::moves = 0;
+  {
+    Task a{Probe(1)};
+    EXPECT_EQ(Probe::live, 1);
+    const int moves_after_store = Probe::moves;
+    Task b(std::move(a));
+    EXPECT_EQ(Probe::live, 1);  // relocated, not duplicated
+    EXPECT_EQ(Probe::moves, moves_after_store + 1);
+  }
+  EXPECT_EQ(Probe::live, 0);
+}
+
+TEST(Task, HeapMoveTransfersOwnershipWithoutTouchingTheCallable) {
+  struct BigProbe : Probe {
+    std::array<std::byte, 64> pad{};
+    using Probe::Probe;
+  };
+  static_assert(!Task::stores_inline<BigProbe>());
+  Probe::live = 0;
+  Probe::moves = 0;
+  {
+    Task a{BigProbe(2)};
+    EXPECT_EQ(Probe::live, 1);
+    const int moves_after_store = Probe::moves;
+    Task b(std::move(a));
+    EXPECT_EQ(Probe::live, 1);
+    // Heap relocation moves the pointer, never the callable itself.
+    EXPECT_EQ(Probe::moves, moves_after_store);
+  }
+  EXPECT_EQ(Probe::live, 0);
+}
+
+TEST(Task, ResetAndMoveAssignDestroyEagerly) {
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = token;
+  Task t([token] { (void)*token; });
+  token.reset();
+  EXPECT_FALSE(watch.expired());
+  t.reset();
+  EXPECT_TRUE(watch.expired());
+  EXPECT_FALSE(static_cast<bool>(t));
+
+  // Move-assignment over a live task drops the old callable immediately.
+  auto token2 = std::make_shared<int>(8);
+  std::weak_ptr<int> watch2 = token2;
+  Task u([token2] { (void)*token2; });
+  token2.reset();
+  u = Task([] {});
+  EXPECT_TRUE(watch2.expired());
+}
+
+TEST(Task, IsMoveOnly) {
+  static_assert(!std::is_copy_constructible_v<Task>);
+  static_assert(!std::is_copy_assignable_v<Task>);
+  static_assert(std::is_nothrow_move_constructible_v<Task>);
+  static_assert(std::is_nothrow_move_assignable_v<Task>);
+  // Move-only captures are storable — std::function could never hold this.
+  auto owned = std::make_unique<int>(5);
+  int out = 0;
+  Task t([p = std::move(owned), &out] { out = *p; });
+  t();
+  EXPECT_EQ(out, 5);
+}
+
+TEST(Task, DefaultAndNullptrConstructedAreEmpty) {
+  Task a;
+  Task b(nullptr);
+  EXPECT_FALSE(static_cast<bool>(a));
+  EXPECT_FALSE(static_cast<bool>(b));
+}
+
+TEST(FunctionRef, BindsLvalueCallablesInTwoWords) {
+  static_assert(sizeof(FunctionRef<void(int)>) == 2 * sizeof(void*));
+  static_assert(std::is_trivially_copyable_v<FunctionRef<void(int)>>);
+
+  int sum = 0;
+  auto add = [&sum](int v) { sum += v; };
+  FunctionRef<void(int)> ref(add);
+  ASSERT_TRUE(static_cast<bool>(ref));
+  ref(3);
+  ref(4);
+  EXPECT_EQ(sum, 7);
+
+  // Rebinding a copy sees the same referent — it is a reference, not a copy.
+  FunctionRef<void(int)> copy = ref;
+  copy(5);
+  EXPECT_EQ(sum, 12);
+}
+
+TEST(FunctionRef, RejectsTemporariesAtCompileTime) {
+  // A temporary lambda would dangle at the end of the full expression; the
+  // rvalue constructor is deleted.
+  auto lvalue = [] {};
+  static_assert(std::is_constructible_v<FunctionRef<void()>, decltype(lvalue)&>);
+  static_assert(!std::is_constructible_v<FunctionRef<void()>, decltype(lvalue)>);
+}
+
+TEST(FunctionRef, DefaultConstructedIsFalsy) {
+  FunctionRef<void()> ref;
+  EXPECT_FALSE(static_cast<bool>(ref));
+  FunctionRef<void()> null(nullptr);
+  EXPECT_FALSE(static_cast<bool>(null));
+}
+
+TEST(FunctionRef, PropagatesReturnValues) {
+  auto triple = [](int v) { return 3 * v; };
+  FunctionRef<int(int)> ref(triple);
+  EXPECT_EQ(ref(14), 42);
+}
+
+}  // namespace
+}  // namespace spider::sim
