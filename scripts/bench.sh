@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Engine perf trajectory: build bench_micro_engine in Release and write the
-# machine-readable throughput report to BENCH_engine.json at the repo root,
-# gated against the checked-in pre-PR baseline (ci/bench-baseline-engine.json).
+# Engine perf trajectory: build the engine benches in Release and write the
+# machine-readable throughput reports to the repo root, each gated against
+# its checked-in pre-PR baseline:
+#   bench_micro_engine -> BENCH_engine.json (ci/bench-baseline-engine.json)
+#   bench_macro_scale  -> BENCH_scale.json  (ci/bench-baseline-scale.json)
 #
 # Usage: scripts/bench.sh [--smoke] [build-dir]
 #   --smoke     seconds-long run sized for CI; full mode is the default and
@@ -9,8 +11,8 @@
 #   build-dir   defaults to build-bench/ (kept separate from build/ so a
 #               sanitizer or Debug tree never pollutes perf numbers).
 #
-# Exit code is bench_micro_engine's: non-zero when a shape check fails or a
-# metric drops below the 0.60x regression floor of the baseline.
+# Exit code is non-zero when any bench's shape check fails or a metric drops
+# below the 0.60x regression floor of its baseline.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -28,10 +30,17 @@ done
 JOBS="$(nproc 2>/dev/null || echo 4)"
 echo "=== [bench] configure + build (Release) ==="
 cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "${BUILD_DIR}" -j "${JOBS}" --target bench_micro_engine
+cmake --build "${BUILD_DIR}" -j "${JOBS}" \
+    --target bench_micro_engine bench_macro_scale
 
 echo "=== [bench] engine throughput ==="
 "${BUILD_DIR}/bench/bench_micro_engine" \
     --spider-json=BENCH_engine.json \
     --baseline=ci/bench-baseline-engine.json \
+    ${SMOKE}
+
+echo "=== [bench] macro-scale sharded engine ==="
+"${BUILD_DIR}/bench/bench_macro_scale" \
+    --spider-json=BENCH_scale.json \
+    --baseline=ci/bench-baseline-scale.json \
     ${SMOKE}

@@ -11,8 +11,10 @@
 # within one. A fault-campaign smoke stage then replays the plans/ smoke
 # scenarios under ASan and diffs the JSON verdicts the same way, a
 # parallel-campaign stage proves spiderfault --jobs=8 emits bytes identical
-# to the serial run, and a bench-smoke stage runs the engine throughput
-# loops against the checked-in baseline (scripts/bench.sh --smoke).
+# to the serial run, a sharded-engine stage proves --shards=1/2/8 does too
+# (docs/parallel-engine.md), and a bench-smoke stage runs the engine
+# throughput loops against the checked-in baselines (scripts/bench.sh
+# --smoke).
 #
 # Usage: scripts/check.sh [build-root]   (default: build-check/)
 set -euo pipefail
@@ -109,6 +111,29 @@ if ! diff "${BUILD_ROOT}/faults_serial.jsonl" \
   exit 1
 fi
 
+# Sharded-engine determinism: the same campaigns hosted on the epoch engine
+# (docs/parallel-engine.md) must emit bytes identical to the serial
+# Simulator at every shard count — the barrier/mailbox machinery is
+# invisible in the verdicts, replay hashes included.
+echo "=== sharded fault campaigns (--shards=1/2/8 vs serial, ASan) ==="
+for SHARDS in 1 2 8; do
+  "${FAULT_BIN}" --seeds=2 --shards="${SHARDS}" \
+      plans/smoke_rebuild.fplan plans/smoke_failover.fplan \
+      plans/smoke_netstorm.fplan \
+      > "${BUILD_ROOT}/faults_shards${SHARDS}.jsonl"
+done
+"${FAULT_BIN}" --seeds=2 \
+    plans/smoke_rebuild.fplan plans/smoke_failover.fplan \
+    plans/smoke_netstorm.fplan \
+    > "${BUILD_ROOT}/faults_shards_serial.jsonl"
+for SHARDS in 1 2 8; do
+  if ! diff "${BUILD_ROOT}/faults_shards_serial.jsonl" \
+            "${BUILD_ROOT}/faults_shards${SHARDS}.jsonl"; then
+    echo "FAIL: spiderfault --shards=${SHARDS} diverged from the serial run" >&2
+    exit 1
+  fi
+done
+
 # Engine throughput smoke: seconds-long loops, shape-checked against
 # ci/bench-baseline-engine.json (0.60x floor). Catches engine-level perf
 # collapses — an accidental per-event allocation, a serialized pool — not
@@ -117,4 +142,4 @@ echo "=== bench smoke (engine throughput vs baseline) ==="
 scripts/bench.sh --smoke "${BUILD_ROOT}/bench"
 
 echo "OK: sanitized suites passed, replay hashes and fault verdicts stable," \
-     "parallel campaigns deterministic, bench smoke within baseline"
+     "parallel and sharded campaigns deterministic, bench smoke within baseline"

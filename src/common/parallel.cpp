@@ -4,15 +4,17 @@
 #include <atomic>
 #include <cassert>
 #include <memory>
+#include <stdexcept>
 #include <utility>
 
 namespace spider {
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) threads = 1;
+  pinned_.resize(threads);
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -32,6 +34,20 @@ void ThreadPool::submit(std::function<void()> task) {
     tasks_.push(std::move(task));
   }
   cv_task_.notify_one();
+}
+
+void ThreadPool::submit_to(std::size_t worker, std::function<void()> task) {
+  {
+    std::lock_guard lock(mu_);
+    if (worker >= pinned_.size()) {
+      throw std::out_of_range("submit_to: worker index out of range");
+    }
+    ++submitted_;
+    pinned_[worker].push(std::move(task));
+  }
+  // notify_all: notify_one could wake a worker other than the pinned target,
+  // which would go back to sleep and strand the task.
+  cv_task_.notify_all();
 }
 
 void ThreadPool::wait_idle() {
@@ -65,15 +81,25 @@ bool ThreadPool::on_worker_thread() const {
   return false;
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t index) {
   for (;;) {
     std::function<void()> task;
     {
       std::unique_lock lock(mu_);
-      cv_task_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
-      if (stop_ && tasks_.empty()) return;
-      task = std::move(tasks_.front());
-      tasks_.pop();
+      cv_task_.wait(lock, [this, index] {
+        return stop_ || !pinned_[index].empty() || !tasks_.empty();
+      });
+      // The pinned queue drains first: affinity work (one shard, every
+      // epoch) should not queue behind unrelated shared-pool batches.
+      if (!pinned_[index].empty()) {
+        task = std::move(pinned_[index].front());
+        pinned_[index].pop();
+      } else if (!tasks_.empty()) {
+        task = std::move(tasks_.front());
+        tasks_.pop();
+      } else {
+        return;  // stop_ set and nothing left for this worker
+      }
     }
     std::exception_ptr err;
     try {
@@ -99,7 +125,13 @@ ThreadPool& shared_pool() {
   // Meyers singleton: constructed on first use, joined during static
   // destruction (workers are idle by then — nothing submits after main
   // returns), and LSan-clean under the ASan gate.
-  static ThreadPool pool;
+  //
+  // Sized to hardware_concurrency() - 1 (minimum one worker): parallel_for's
+  // calling thread participates in its own batch, so a pool of
+  // hardware_concurrency workers would oversubscribe the machine by one
+  // thread on every batch. Workers + caller now fill the machine exactly.
+  const unsigned hw = std::thread::hardware_concurrency();
+  static ThreadPool pool(hw > 1 ? hw - 1 : 1);
   return pool;
 }
 
@@ -147,6 +179,9 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                   std::size_t threads) {
   if (n == 0) return;
   ThreadPool& pool = shared_pool();
+  // threads == 0 is "auto": one lane per pool worker plus the caller — the
+  // machine's full width with no oversubscription.
+  if (threads == 0) threads = pool.size() + 1;
   // Inline paths: explicit serial request, trivial batch, or a nested call
   // from a pool worker (waiting on helpers from inside the pool could
   // deadlock if every worker did it; inline is deterministic and safe).

@@ -40,6 +40,13 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   void submit(std::function<void()> task);
+  /// Enqueue onto one specific worker's pinned queue (FIFO per worker,
+  /// drained ahead of the shared queue). Pinning gives repeat submitters —
+  /// like the sharded simulator running the same shard every epoch — cache
+  /// affinity: shard state stays warm on one OS thread across barriers.
+  /// Pinned tasks count toward wait_idle() like shared ones. Throws
+  /// std::out_of_range when `worker` >= size().
+  void submit_to(std::size_t worker, std::function<void()> task);
   /// Block until every task submitted so far — including follow-up tasks
   /// that running tasks submit — has finished, then rethrow the first
   /// exception any task in the batch raised (clearing it, so the pool stays
@@ -60,7 +67,7 @@ class ThreadPool {
   bool on_worker_thread() const;
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t index);
   /// Wake wait_idle() when every submitted task has finished. Caller holds
   /// mu_ — the predicate check and the notification must be serialized or
   /// the wakeup can be lost.
@@ -71,24 +78,33 @@ class ThreadPool {
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
   std::queue<std::function<void()>> tasks_ SPIDER_GUARDED_BY(mu_);
+  /// One pinned FIFO per worker, serviced before the shared queue.
+  std::vector<std::queue<std::function<void()>>> pinned_ SPIDER_GUARDED_BY(mu_);
   std::exception_ptr first_error_ SPIDER_GUARDED_BY(mu_);
   std::uint64_t submitted_ SPIDER_GUARDED_BY(mu_) = 0;
   std::uint64_t finished_ SPIDER_GUARDED_BY(mu_) = 0;
   bool stop_ SPIDER_GUARDED_BY(mu_) = false;
 };
 
-/// The process-wide pool parallel_for drains into. Created on first use with
-/// hardware_concurrency workers; lives until process exit.
+/// The process-wide pool parallel_for drains into. Created on first use and
+/// alive until process exit. Sized to hardware_concurrency() - 1 (minimum
+/// one worker): the calling thread participates in every parallel_for
+/// batch, so workers + caller together fill the machine exactly — a pool of
+/// hardware_concurrency workers plus the caller oversubscribed by one.
 ThreadPool& shared_pool();
 
-/// Run fn(i) for i in [0, n) across up to `threads` workers drawn from the
-/// shared pool, with the calling thread participating. Blocks until all
-/// iterations complete. With threads <= 1 (or n <= 1), or when called from a
-/// shared-pool worker thread (nested parallelism), runs inline — which keeps
-/// single-threaded determinism trivially available. If any iteration throws,
-/// remaining un-started iterations are skipped and the first exception is
-/// rethrown on the calling thread after the batch drains.
+/// Run fn(i) for i in [0, n) across up to `threads` concurrent participants
+/// (pool workers plus the calling thread, which joins its own batch).
+/// `threads` == 0 means "auto": one lane per shared-pool worker plus the
+/// caller — the whole machine, no oversubscription. The effective fan-out
+/// never exceeds shared_pool().size() + 1 regardless of `threads`. Blocks
+/// until all iterations complete. With threads == 1 (or n == 1), or when
+/// called from a shared-pool worker thread (nested parallelism), runs
+/// inline — which keeps single-threaded determinism trivially available.
+/// If any iteration throws, remaining un-started iterations are skipped and
+/// the first exception is rethrown on the calling thread after the batch
+/// drains.
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
-                  std::size_t threads = std::thread::hardware_concurrency());
+                  std::size_t threads = 0);
 
 }  // namespace spider

@@ -1,0 +1,40 @@
+#include "net/lookahead.hpp"
+
+#include <algorithm>
+
+#include "net/fabric.hpp"
+#include "net/torus.hpp"
+
+namespace spider::net {
+
+sim::SimTime min_torus_path_latency(const Torus3D& torus) {
+  (void)torus;  // the hop floor is topology-independent; see header
+  return kTorusHopLatency;
+}
+
+sim::SimTime cross_zone_path_latency(const IbFabric& fabric) {
+  // router -> src leaf -> (core) -> dst leaf. Same-leaf zones skip the core
+  // but still cross the leaf crossbar once.
+  const std::size_t switch_hops = fabric.params().core_switches > 0 ? 3 : 2;
+  return kLnetRouterTransit +
+         static_cast<sim::SimTime>(switch_hops) * kIbSwitchHopLatency;
+}
+
+sim::SimTime serialization_time(const IbFabric& fabric, Bytes message) {
+  const Bandwidth bw = fabric.params().port_bw;
+  if (bw <= 0.0 || message == 0) return 0;
+  return sim::from_seconds(static_cast<double>(message) / bw);
+}
+
+sim::SimTime cross_zone_lookahead(const IbFabric& fabric, Bytes min_message) {
+  return cross_zone_path_latency(fabric) + serialization_time(fabric, min_message);
+}
+
+sim::SimTime min_lookahead(const Torus3D& torus, const IbFabric& fabric) {
+  // Zero-byte floor: with mixed channels nothing guarantees a minimum
+  // payload, so only the latency terms are safe.
+  return std::min(min_torus_path_latency(torus),
+                  cross_zone_lookahead(fabric, 0));
+}
+
+}  // namespace spider::net

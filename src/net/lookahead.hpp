@@ -1,0 +1,67 @@
+// Lookahead extraction for the sharded engine (sim/sharded_sim.hpp).
+//
+// Conservative parallel simulation needs one number from the network
+// models: the minimum latency any event can incur crossing from one
+// failure/routing domain to another. Nothing a shard does during an epoch
+// of that width can be due on another shard before the epoch ends, so the
+// engine never rolls back. The floors live here, next to the models that
+// justify them:
+//
+//   * Titan's Gemini torus moves a packet in ~100ns per hop, and distinct
+//     domains are at least one hop apart.
+//   * SION's FDR InfiniBand switches add a few hundred ns per crossing;
+//     an inter-zone path is router -> leaf -> core -> leaf -> server.
+//   * An LNET router bridging torus and fabric adds packet-forwarding work
+//     on the order of a microsecond.
+//
+// The latency floors alone give sub-microsecond epochs — correct but
+// barrier-dominated. Bulk I/O gives much better lookahead for free: a
+// domain crossing carries at least an RPC's worth of bytes, and the wire
+// time of the minimum transfer (bytes / port bandwidth) is latency the
+// receiver provably cannot beat. cross_zone_lookahead() folds that in, so
+// a 1 MiB minimum RPC turns ~1.6us of switch latency into ~175us epochs —
+// hundreds of events per shard between barriers.
+#pragma once
+
+#include "common/units.hpp"
+#include "sim/time.hpp"
+
+namespace spider::net {
+
+class Torus3D;
+class IbFabric;
+
+/// One Gemini torus hop (link traversal + router pass-through).
+inline constexpr sim::SimTime kTorusHopLatency = 105 * sim::kNanosecond;
+/// One InfiniBand switch crossing (FDR-class cut-through).
+inline constexpr sim::SimTime kIbSwitchHopLatency = 200 * sim::kNanosecond;
+/// LNET router transit: torus-side receive, credit handling, fabric-side
+/// re-issue.
+inline constexpr sim::SimTime kLnetRouterTransit = 1 * sim::kMicrosecond;
+
+/// Minimum latency between two distinct torus nodes: one hop. (A torus of
+/// one node has no cross-node traffic; the hop floor still applies to any
+/// model that calls this, so it is returned unconditionally.)
+sim::SimTime min_torus_path_latency(const Torus3D& torus);
+
+/// Minimum latency of an inter-zone fabric path: source leaf, core (when
+/// the fabric has one), destination leaf, plus the LNET router transit that
+/// bridges compute- and storage-side. Zones on the same leaf still cross
+/// that leaf's crossbar once.
+sim::SimTime cross_zone_path_latency(const IbFabric& fabric);
+
+/// Wire time of `message` bytes at the fabric's port bandwidth — the floor
+/// for any real transfer, independent of congestion.
+sim::SimTime serialization_time(const IbFabric& fabric, Bytes message);
+
+/// Conservative lookahead for domains separated by the fabric: switch/router
+/// latency floor plus the serialization time of the smallest message a
+/// domain crossing can carry. This is what ShardedConfig::lookahead should
+/// be for fabric-partitioned scenarios.
+sim::SimTime cross_zone_lookahead(const IbFabric& fabric, Bytes min_message);
+
+/// Minimum over every cross-domain channel the center has: torus hops and
+/// fabric paths. The safe lookahead when shards mix domain kinds.
+sim::SimTime min_lookahead(const Torus3D& torus, const IbFabric& fabric);
+
+}  // namespace spider::net

@@ -1,19 +1,25 @@
 #include "sim/simulator.hpp"
 
 #include <cassert>
+#include <sstream>
 #include <stdexcept>
 
 namespace spider::sim {
+
+const char* source_basename(const char* path) {
+  const char* name = path;
+  for (const char* p = path; *p; ++p) {
+    if (*p == '/' || *p == '\\') name = p + 1;
+  }
+  return name;
+}
 
 std::uint64_t site_hash(const std::source_location& loc) {
   // FNV-1a over the file basename, then fold in the line. Hashing contents
   // (not the pointer) makes the value reproducible across runs and builds;
   // dropping the directory prefix makes it reproducible across *checkouts*,
   // so replay hashes can be compared between machines and CI.
-  const char* name = loc.file_name();
-  for (const char* p = name; *p; ++p) {
-    if (*p == '/' || *p == '\\') name = p + 1;
-  }
+  const char* name = source_basename(loc.file_name());
   std::uint64_t h = 1469598103934665603ull;
   for (const char* p = name; *p; ++p) {
     h ^= static_cast<unsigned char>(*p);
@@ -25,13 +31,38 @@ std::uint64_t site_hash(const std::source_location& loc) {
 }
 
 EventId Simulator::schedule_at(SimTime when, EventFn fn, std::source_location loc) {
-  if (when < now_) throw std::invalid_argument("schedule_at: time in the past");
+  if (when < now_) {
+    // A past-time schedule is a causality violation; in a sharded run it
+    // usually means a cross-shard message beat the lookahead contract. Name
+    // everything a debugger needs: both times, the gap, and the call site.
+    std::ostringstream msg;
+    msg << "schedule_at: time in the past (when=" << when << "ns, now=" << now_
+        << "ns, behind by " << (now_ - when) << "ns; scheduled from "
+        << source_basename(loc.file_name()) << ":" << loc.line() << ")";
+    throw std::invalid_argument(msg.str());
+  }
   return queue_.schedule(when, std::move(fn), site_hash(loc));
 }
 
 EventId Simulator::schedule_in(SimTime dt, EventFn fn, std::source_location loc) {
-  if (dt < 0) throw std::invalid_argument("schedule_in: negative delay");
+  if (dt < 0) {
+    std::ostringstream msg;
+    msg << "schedule_in: negative delay (dt=" << dt << "ns, now=" << now_
+        << "ns; scheduled from " << source_basename(loc.file_name()) << ":"
+        << loc.line() << ")";
+    throw std::invalid_argument(msg.str());
+  }
   return queue_.schedule(now_ + dt, std::move(fn), site_hash(loc));
+}
+
+EventId Simulator::schedule_sited(SimTime when, EventFn fn, std::uint64_t site) {
+  if (when < now_) {
+    std::ostringstream msg;
+    msg << "schedule_sited: time in the past (when=" << when
+        << "ns, now=" << now_ << "ns, site=0x" << std::hex << site << ")";
+    throw std::invalid_argument(msg.str());
+  }
+  return queue_.schedule(when, std::move(fn), site);
 }
 
 void Simulator::dispatch(EventQueue::Fired fired) {
@@ -48,8 +79,12 @@ std::uint64_t Simulator::run(SimTime until) {
     dispatch(queue_.pop());
     ++ran;
   }
-  if (queue_.empty()) return ran;
-  // Cut off: advance the clock to the horizon so callers can resume.
+  // Uniform clock-advance: a finite horizon always lands the clock exactly
+  // on `until`, whether the run was cut off or the queue drained. The old
+  // drained-queue early return skipped the advance, so an idle simulator
+  // never reached a barrier time — fatal for epoch-synchronized sharding
+  // (sim/sharded_sim.hpp), where every shard must arrive at the same epoch
+  // boundary before cross-shard mailboxes drain.
   if (until != std::numeric_limits<SimTime>::max() && now_ < until) now_ = until;
   return ran;
 }

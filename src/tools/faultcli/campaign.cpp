@@ -244,9 +244,20 @@ std::string verdict_json(const RunVerdict& verdict) {
 
 FaultCampaign::FaultCampaign(const sim::FaultPlan& plan, std::uint64_t seed,
                              const CampaignConfig& cfg)
+    : FaultCampaign(plan, seed, cfg, nullptr) {}
+
+FaultCampaign::FaultCampaign(const sim::FaultPlan& plan, std::uint64_t seed,
+                             const CampaignConfig& cfg, sim::Simulator& sim)
+    : FaultCampaign(plan, seed, cfg, &sim) {}
+
+FaultCampaign::FaultCampaign(const sim::FaultPlan& plan, std::uint64_t seed,
+                             const CampaignConfig& cfg,
+                             sim::Simulator* external)
     : plan_(plan),
       seed_(seed),
       cfg_(cfg),
+      owned_sim_(external ? nullptr : std::make_unique<sim::Simulator>()),
+      sim_(external ? *external : *owned_sim_),
       rng_(seed),
       ssu_(make_ssu_params(cfg), 0, rng_),
       net_(sim_),
@@ -488,14 +499,28 @@ void FaultCampaign::do_purge() {
   purge_reports_.push_back(report);
 }
 
-RunVerdict FaultCampaign::run() {
+void FaultCampaign::prepare() {
   injector_.arm(plan_);
   suite_.schedule_checks(cfg_.oracle_interval, horizon_);
   every(cfg_.create_interval, [this] { do_create(); });
   every(cfg_.read_interval, [this] { do_read(); });
   every(cfg_.purge_interval, [this] { do_purge(); });
   every(cfg_.oracle_interval, [this] { rebuilds_.sample(sim_.now()); });
+}
+
+RunVerdict FaultCampaign::run() {
+  prepare();
   sim_.run(horizon_);
+  return finish();
+}
+
+RunVerdict FaultCampaign::run_with(sim::ShardedSimulator& engine) {
+  prepare();
+  engine.run(horizon_);
+  return finish();
+}
+
+RunVerdict FaultCampaign::finish() {
   recorder_.record_resource_stats(net_);
 
   RunVerdict verdict;
@@ -520,6 +545,22 @@ RunVerdict run_campaign(const sim::FaultPlan& plan, std::uint64_t seed,
                         const CampaignConfig& cfg) {
   FaultCampaign campaign(plan, seed, cfg);
   return campaign.run();
+}
+
+RunVerdict run_campaign_sharded(const sim::FaultPlan& plan, std::uint64_t seed,
+                                const CampaignConfig& cfg, std::size_t shards,
+                                std::size_t workers) {
+  // Campaign cadence is seconds-scale (create/read/oracle intervals), so a
+  // one-second lookahead keeps the barrier count proportional to event
+  // clusters rather than the horizon. The campaign sends no cross-shard
+  // messages, so any positive lookahead is causally safe here.
+  constexpr sim::SimTime kCampaignLookahead = 1 * sim::kSecond;
+  sim::ShardedConfig scfg;
+  scfg.lookahead = kCampaignLookahead;
+  scfg.workers = workers;
+  sim::ShardedSimulator engine(shards, scfg);
+  FaultCampaign campaign(plan, seed, cfg, engine.shard(0));
+  return campaign.run_with(engine);
 }
 
 }  // namespace spider::tools

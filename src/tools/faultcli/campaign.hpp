@@ -38,6 +38,7 @@
 #include "sim/flow_network.hpp"
 #include "sim/oracle.hpp"
 #include "sim/replay.hpp"
+#include "sim/sharded_sim.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
 
@@ -151,10 +152,23 @@ class FaultCampaign {
  public:
   FaultCampaign(const sim::FaultPlan& plan, std::uint64_t seed,
                 const CampaignConfig& cfg = {});
+  /// Host the campaign on an externally owned engine — typically one shard
+  /// of a ShardedSimulator (pass engine.shard(k)). The campaign schedules
+  /// everything on `sim`; drive it with run_with(). `sim` must outlive the
+  /// campaign and start at time 0 with an empty queue.
+  FaultCampaign(const sim::FaultPlan& plan, std::uint64_t seed,
+                const CampaignConfig& cfg, sim::Simulator& sim);
 
   /// Arm the plan, drive workload + oracle sweeps to the horizon, and
   /// return the verdict. Call once per instance.
   RunVerdict run();
+
+  /// Like run(), but the epochs of `engine` drive the clock — for campaigns
+  /// hosted on a shard (see the external-engine constructor). The verdict,
+  /// hashes included, is byte-identical to run()'s at any shard or worker
+  /// count: all campaign events live on one shard, and chopping the run
+  /// into epochs pops the same (when, id) sequence the serial run does.
+  RunVerdict run_with(sim::ShardedSimulator& engine);
 
   sim::Simulator& simulator() { return sim_; }
   sim::OracleSuite& oracles() { return suite_; }
@@ -169,6 +183,12 @@ class FaultCampaign {
   std::vector<fs::PurgeReport>& purge_log() { return purge_reports_; }
 
  private:
+  FaultCampaign(const sim::FaultPlan& plan, std::uint64_t seed,
+                const CampaignConfig& cfg, sim::Simulator* external);
+  /// Arm the plan and schedule the workload drivers + oracle sweeps.
+  void prepare();
+  /// Collect telemetry into the verdict once the horizon is reached.
+  RunVerdict finish();
   void bind_faults();
   void bind_triggers();
   void add_oracles();
@@ -185,7 +205,11 @@ class FaultCampaign {
   sim::FaultPlan plan_;
   std::uint64_t seed_;
   CampaignConfig cfg_;
-  sim::Simulator sim_;
+  /// Engine storage when self-hosted; empty when an external simulator (a
+  /// ShardedSimulator shard) hosts the campaign. Declared before sim_ so
+  /// the reference can bind to it during construction.
+  std::unique_ptr<sim::Simulator> owned_sim_;
+  sim::Simulator& sim_;
   Rng rng_;
   block::Ssu ssu_;
   std::vector<fs::Ost> osts_;
@@ -210,5 +234,14 @@ class FaultCampaign {
 /// Convenience: build, run, and return the verdict for (plan, seed).
 RunVerdict run_campaign(const sim::FaultPlan& plan, std::uint64_t seed,
                         const CampaignConfig& cfg = {});
+
+/// Run the campaign hosted on shard 0 of a `shards`-wide ShardedSimulator
+/// with `workers` lanes (0 = auto, 1 = serial). The verdict is
+/// byte-identical to run_campaign's — the determinism bar spiderfault
+/// --shards=N meets, pinned by the golden traces at 1/2/4/8 shards.
+RunVerdict run_campaign_sharded(const sim::FaultPlan& plan, std::uint64_t seed,
+                                const CampaignConfig& cfg = {},
+                                std::size_t shards = 1,
+                                std::size_t workers = 0);
 
 }  // namespace spider::tools

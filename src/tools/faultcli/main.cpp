@@ -6,6 +6,8 @@
 //   --mutations=M         additionally run M seeded plan mutations per seed
 //   --horizon-s=X         override every plan's horizon
 //   --jobs=N              run up to N campaigns concurrently (default 1)
+//   --shards=N            host each campaign on an N-shard epoch engine
+//                         (default 0 = the serial Simulator)
 //   --expect-violations   invert the verdict: exit 0 iff violations were found
 //
 // One JSON verdict line per run: plan name, seed, replay hash, stream hash,
@@ -16,6 +18,13 @@
 // up front in (plan, seed, mutation) order, runs execute concurrently on the
 // shared thread pool, and verdict lines are buffered and printed in
 // enumeration order — so stdout is byte-identical to --jobs=1.
+//
+// --shards=N holds the same bar one layer down: the campaign runs on a
+// ShardedSimulator (sim/sharded_sim.hpp, docs/parallel-engine.md) and its
+// verdict — replay and stream hashes included — is byte-identical to the
+// serial engine's at any shard count. When --jobs also fans out, each
+// sharded campaign runs its epochs serially on its worker (nested
+// parallelism runs inline), so the two flags compose without oversubscribing.
 //
 // Exit codes: 0 campaign outcome matched expectation, 1 it did not,
 // 2 usage / plan-parse / I/O error.
@@ -35,8 +44,8 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seeds=N] [--base-seed=S] [--mutations=M]\n"
-               "       [--horizon-s=X] [--jobs=N] [--expect-violations]\n"
-               "       <plan.fplan>...\n",
+               "       [--horizon-s=X] [--jobs=N] [--shards=N]\n"
+               "       [--expect-violations] <plan.fplan>...\n",
                argv0);
   return 2;
 }
@@ -62,6 +71,7 @@ int main(int argc, char** argv) {
   bool have_base_seed = false;
   std::uint64_t mutations = 0;
   std::uint64_t jobs = 1;
+  std::uint64_t engine_shards = 0;  // 0 = serial Simulator
   double horizon_s = 0.0;
   bool expect_violations = false;
   std::vector<std::string> plan_paths;
@@ -79,6 +89,10 @@ int main(int argc, char** argv) {
       if (!parse_count(arg.substr(12), mutations)) return usage(argv[0]);
     } else if (arg.starts_with("--jobs=")) {
       if (!parse_count(arg.substr(7), jobs) || jobs == 0) {
+        return usage(argv[0]);
+      }
+    } else if (arg.starts_with("--shards=")) {
+      if (!parse_count(arg.substr(9), engine_shards) || engine_shards == 0) {
         return usage(argv[0]);
       }
     } else if (arg.starts_with("--horizon-s=")) {
@@ -147,8 +161,12 @@ int main(int argc, char** argv) {
   parallel_for(
       run_jobs.size(),
       [&](std::size_t i) {
-        verdicts[i] = tools::run_campaign(run_jobs[i].plan, run_jobs[i].seed,
-                                          cfg);
+        verdicts[i] =
+            engine_shards > 0
+                ? tools::run_campaign_sharded(run_jobs[i].plan,
+                                              run_jobs[i].seed, cfg,
+                                              engine_shards)
+                : tools::run_campaign(run_jobs[i].plan, run_jobs[i].seed, cfg);
       },
       static_cast<std::size_t>(jobs));
 

@@ -59,13 +59,14 @@ const std::vector<RuleInfo> kRules = {
      "touching the member, or annotate the helper SPIDER_REQUIRES(m) and "
      "make every caller hold the lock"},
     {"L7", "schedule-site-flow", Severity::kError,
-     "schedule_at()/schedule_in() called from a non-public helper without "
-     "forwarding an explicit site: the defaulted std::source_location "
-     "collapses every event from this helper to one site",
+     "schedule_at()/schedule_in()/schedule_cross() called from a non-public "
+     "helper without forwarding an explicit site: the defaulted "
+     "std::source_location collapses every event from this helper to one "
+     "site",
      "flow-ok",
      "thread a std::source_location parameter from the public entry point "
-     "down to the scheduling call (see Simulator::schedule_at's defaulted "
-     "loc argument)"},
+     "down to the scheduling call (see Simulator::schedule_at's and "
+     "ShardedSimulator::schedule_cross's defaulted loc arguments)"},
     {"L8", "calibration-constant", Severity::kWarning,
      "bare numeric literal >= 1000 inside a function body in "
      "src/{block,fs,net}: bandwidth/latency/size calibration constants must "
@@ -266,8 +267,8 @@ void run_l4(const SourceFile& file, const TokenStream& stream,
     const std::string& name = t[i].text;
     const bool call_name = name == "schedule" || name == "reschedule";
     const bool decl_name = call_name || name == "schedule_at" ||
-                           name == "schedule_in" || name == "inject" ||
-                           name == "arm";
+                           name == "schedule_in" || name == "schedule_cross" ||
+                           name == "inject" || name == "arm";
     if (!decl_name || i + 1 >= t.size() || !is_punct(t[i + 1], "(")) continue;
     const std::size_t close = matching_close(t, i + 1);
     if (close >= t.size()) continue;
@@ -434,7 +435,8 @@ void run_l7(const SourceFile& file, const TokenStream& stream,
     for (std::size_t i = fn.body_begin; i + 1 < fn.body_end && i < t.size();
          ++i) {
       if (t[i].kind != TokKind::kIdent ||
-          (t[i].text != "schedule_at" && t[i].text != "schedule_in")) {
+          (t[i].text != "schedule_at" && t[i].text != "schedule_in" &&
+           t[i].text != "schedule_cross")) {
         continue;
       }
       const bool member_call =

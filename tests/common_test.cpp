@@ -478,6 +478,86 @@ TEST(Parallel, NestedParallelForDoesNotDeadlock) {
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
+TEST(Parallel, SharedPoolLeavesRoomForTheCaller) {
+  // The shared pool is sized hardware_concurrency() - 1 (floor one worker):
+  // the caller joins every batch, so workers + caller fill the machine
+  // exactly instead of oversubscribing it by one.
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t expected = hw > 1 ? hw - 1 : 1;
+  EXPECT_EQ(shared_pool().size(), expected);
+}
+
+TEST(Parallel, BatchNeverExceedsPoolPlusCaller) {
+  // Oversubscription regression: asking for far more lanes than the machine
+  // has must clamp to shared_pool().size() + 1 concurrent participants. The
+  // per-iteration spin keeps lanes overlapped long enough that an
+  // oversubscribed fan-out would be observed by the high-water mark.
+  const std::size_t cap = shared_pool().size() + 1;
+  std::atomic<std::size_t> active{0};
+  std::atomic<std::size_t> high_water{0};
+  parallel_for(
+      64,
+      [&](std::size_t) {
+        const std::size_t now = ++active;
+        std::size_t seen = high_water.load();
+        while (now > seen && !high_water.compare_exchange_weak(seen, now)) {
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        --active;
+      },
+      cap + 16);  // request far more lanes than can exist
+  EXPECT_LE(high_water.load(), cap);
+  EXPECT_GE(high_water.load(), 1u);
+}
+
+TEST(Parallel, ParallelForDefaultsToAutoFanOut) {
+  // threads omitted (0 = auto) still covers every index exactly once.
+  std::vector<std::atomic<int>> hits(256);
+  parallel_for(256, [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, SubmitToPinsTasksToOneWorkerInFifoOrder) {
+  ThreadPool pool(3);
+  const std::vector<std::thread::id> workers = pool.worker_ids();
+  ASSERT_EQ(workers.size(), 3u);
+  std::mutex mu;
+  std::vector<int> order;
+  std::set<std::thread::id> ran_on;
+  for (int i = 0; i < 20; ++i) {
+    pool.submit_to(1, [&, i] {
+      std::lock_guard lock(mu);
+      order.push_back(i);
+      ran_on.insert(std::this_thread::get_id());
+    });
+  }
+  pool.wait_idle();
+  // All on worker 1, in submission order — the affinity contract the sharded
+  // engine relies on to keep one shard's state warm on one OS thread.
+  ASSERT_EQ(ran_on.size(), 1u);
+  EXPECT_EQ(*ran_on.begin(), workers[1]);
+  ASSERT_EQ(order.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Parallel, SubmitToValidatesWorkerIndexAndPropagatesErrors) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.submit_to(2, [] {}), std::out_of_range);
+  // Pinned tasks join the same batch accounting as shared ones: wait_idle
+  // covers them and rethrows their first exception.
+  std::atomic<int> ran{0};
+  pool.submit_to(0, [&ran] {
+    ++ran;
+    throw std::runtime_error("pinned task failed");
+  });
+  pool.submit_to(1, [&ran] { ++ran; });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 2);
+  pool.submit_to(0, [&ran] { ++ran; });
+  EXPECT_NO_THROW(pool.wait_idle());
+  EXPECT_EQ(ran.load(), 3);
+}
+
 // --- stats property tests ---------------------------------------------------
 
 TEST(StatsProperty, PercentileMatchesPercentilesOnRandomInputs) {

@@ -235,6 +235,24 @@ TEST(FaultCampaign, ParallelCampaignsMatchSerialVerdictsExactly) {
   }
 }
 
+TEST(FaultCampaign, ShardedCampaignsMatchSerialVerdictsExactly) {
+  // The spiderfault --shards=N contract in miniature: the same campaign
+  // hosted on a ShardedSimulator (the campaign drives shard 0, the epoch
+  // loop drives the run) must produce verdict JSON byte-identical to the
+  // plain Simulator at every shard count — including plans with injections,
+  // triggers, and reverts in flight.
+  for (const auto& [plan, seed] :
+       {std::pair{benign_plan(90.0), std::uint64_t{7}},
+        std::pair{stormy_plan(), std::uint64_t{2014}}}) {
+    const std::string serial = verdict_json(run_campaign(plan, seed));
+    for (const std::size_t shards : {1u, 2u, 8u}) {
+      EXPECT_EQ(verdict_json(run_campaign_sharded(plan, seed, {}, shards)),
+                serial)
+          << plan.name << " seed=" << seed << " shards=" << shards;
+    }
+  }
+}
+
 TEST(FaultCampaign, CampaignBoundsMatchClusterShape) {
   CampaignConfig cfg;
   cfg.raid_groups = 6;

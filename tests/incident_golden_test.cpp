@@ -83,8 +83,8 @@ TEST(IncidentGolden, IncidentReplayIsSeedDeterministic) {
   EXPECT_EQ(outcome_hash(replay(10)), outcome_hash(replay(10)));
 }
 
-TEST(IncidentGolden, CampaignStreamHashIsPinned) {
-  sim::FaultPlan plan = sim::parse_fault_plan(R"(
+sim::FaultPlan golden_storm_plan() {
+  return sim::parse_fault_plan(R"(
 name = "golden-storm"
 horizon_s = 120
 [[inject]]
@@ -104,6 +104,10 @@ at_s = 80
 duration_s = 20
 magnitude = 8
 )");
+}
+
+TEST(IncidentGolden, CampaignStreamHashIsPinned) {
+  const sim::FaultPlan plan = golden_storm_plan();
   const tools::RunVerdict verdict = tools::run_campaign(plan, 2014);
   EXPECT_TRUE(verdict.clean()) << tools::verdict_json(verdict);
   // The site-free stream hash pins event (time, id) order; telemetry pins
@@ -115,6 +119,30 @@ magnitude = 8
   EXPECT_EQ(verdict.files_created, 60u) << tools::verdict_json(verdict);
   EXPECT_EQ(verdict.injections_fired, 3u);
   EXPECT_EQ(verdict.reverts_fired, 2u);
+}
+
+TEST(IncidentGolden, ShardedCampaignReproducesSerialGolden) {
+  // The sharded engine's acceptance bar: the same campaign hosted on a
+  // ShardedSimulator must reproduce the pinned serial goldens — verdict JSON
+  // included — at every shard count. The epoch barriers are invisible in the
+  // replay stream.
+  const sim::FaultPlan plan = golden_storm_plan();
+  const std::string serial_json =
+      tools::verdict_json(tools::run_campaign(plan, 2014));
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    const tools::RunVerdict verdict =
+        tools::run_campaign_sharded(plan, 2014, {}, shards, /*workers=*/1);
+    EXPECT_EQ(verdict.stream_hash, 0x0710faa19bdba7aaull)
+        << "shards=" << shards << " actual: 0x" << std::hex
+        << verdict.stream_hash;
+    EXPECT_EQ(verdict.events, 273u) << "shards=" << shards;
+    EXPECT_EQ(tools::verdict_json(verdict), serial_json)
+        << "shards=" << shards;
+  }
+  // And with the epoch fan-out actually enabled (workers = auto).
+  const tools::RunVerdict fanned =
+      tools::run_campaign_sharded(plan, 2014, {}, 4, 0);
+  EXPECT_EQ(tools::verdict_json(fanned), serial_json);
 }
 
 }  // namespace

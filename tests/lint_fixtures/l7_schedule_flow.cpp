@@ -29,6 +29,33 @@ class Replayer {
     sim_.schedule_at(10, 0, loc);
   }
 
+  // Cross-shard mailbox sends hash a site too: a siteless schedule_cross
+  // from a private helper collapses them the same way. Flagged.
+  void relaunch_cross() { engine_.schedule_cross(0, 1, 10, 0); }  // L7
+
+  // And the loc-forwarding variant must NOT be flagged.
+  void relaunch_cross_threaded(std::source_location loc) {
+    engine_.schedule_cross(0, 1, 10, 0, loc);
+  }
+
+  struct FakeEngine {
+    void schedule_cross(int from, int to, long when, int payload) {
+      (void)from;
+      (void)to;
+      (void)when;
+      (void)payload;
+    }
+    void schedule_cross(int from, int to, long when, int payload,
+                        std::source_location loc) {
+      (void)from;
+      (void)to;
+      (void)when;
+      (void)payload;
+      (void)loc;
+    }
+  };
+  FakeEngine engine_;
+
   struct FakeSim {
     void schedule_at(long when, int payload) {
       (void)when;

@@ -206,15 +206,20 @@ TEST(SpiderLint, L6FlagsOnlyTheUnguardedAccess) {
 }
 
 TEST(SpiderLint, L7FlagsPrivateSitelessScheduleOnly) {
-  // relaunch() fires; the public entry point and the loc-threading helper
-  // are the engineered false positives.
+  // relaunch() and relaunch_cross() fire; the public entry point and both
+  // loc-threading helpers are the engineered false positives.
   const LintReport r = lint_fixture("l7_schedule_flow.cpp", kSrc);
-  ASSERT_EQ(r.findings.size(), 1u) << render_text(r, /*fix_hints=*/false);
+  ASSERT_EQ(r.findings.size(), 2u) << render_text(r, /*fix_hints=*/false);
   EXPECT_EQ(r.findings[0].rule, "L7");
-  EXPECT_EQ(r.findings[0].line, 24u);  // sim_.schedule_at(now_ + 5, ...)
+  EXPECT_EQ(r.findings[0].line, 24u);  // sim_.schedule_at(10, 0)
   EXPECT_EQ(r.findings[0].severity, Severity::kError);
   EXPECT_NE(r.findings[0].message.find("relaunch"), std::string::npos);
   EXPECT_NE(r.findings[0].message.find("source_location"), std::string::npos);
+  // The cross-shard mailbox send is held to the same site-flow contract.
+  EXPECT_EQ(r.findings[1].rule, "L7");
+  EXPECT_EQ(r.findings[1].line, 34u);  // engine_.schedule_cross(0, 1, 10, 0)
+  EXPECT_NE(r.findings[1].message.find("relaunch_cross"), std::string::npos);
+  EXPECT_NE(r.findings[1].message.find("schedule_cross"), std::string::npos);
 }
 
 TEST(SpiderLint, L8FlagsBareCalibrationLiteralOnly) {

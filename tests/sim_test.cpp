@@ -314,6 +314,87 @@ TEST(Simulator, RejectsPastAndNegative) {
   EXPECT_THROW(sim.schedule_in(-1, [] {}), std::invalid_argument);
 }
 
+TEST(Simulator, PastTimeErrorNamesTimesAndCallSite) {
+  // The enriched diagnostic: when, now, the gap, and the scheduling call
+  // site — enough to localize a lookahead/clock bug from the message alone.
+  Simulator sim;
+  sim.schedule_at(100, [] {});
+  sim.run();
+  try {
+    sim.schedule_at(40, [] {});
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("when=40"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("now=100"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("behind by 60"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("sim_test.cpp"), std::string::npos) << msg;
+  }
+  try {
+    sim.schedule_in(-7, [] {});
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("dt=-7"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("now=100"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("sim_test.cpp"), std::string::npos) << msg;
+  }
+}
+
+// --- run(until) clock semantics ---------------------------------------------
+// With a finite horizon, now() must land exactly on `until` no matter how the
+// run ends. These pin the fix for the drained-queue early return that left
+// now() at the last event time (or at 0) and broke the sharded engine's
+// epoch barriers.
+
+TEST(Simulator, RunOnEmptyQueueStillAdvancesToHorizon) {
+  Simulator sim;
+  EXPECT_EQ(sim.run(50), 0u);
+  EXPECT_EQ(sim.now(), 50);
+}
+
+TEST(Simulator, RunDrainedMidRunAdvancesToHorizon) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(10, [&] { ++fired; });
+  EXPECT_EQ(sim.run(100), 1u);  // queue drains at t=10, horizon is 100
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(Simulator, RunExecutesEventExactlyAtHorizon) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(100, [&] { ++fired; });
+  EXPECT_EQ(sim.run(100), 1u);  // horizon is inclusive
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(Simulator, RunWithInfiniteHorizonStopsAtLastEvent) {
+  // Only a *finite* horizon pulls the clock forward; the default run() still
+  // ends at the last executed event.
+  Simulator sim;
+  sim.schedule_at(30, [] {});
+  sim.run();
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, ScheduleSitedPreservesCallerSiteHash) {
+  // schedule_sited is the mailbox-drain hook: the recorded site must be the
+  // original sender's hash, not the drain loop's.
+  Simulator sim;
+  std::uint64_t seen_site = 0;
+  auto observe = [&](SimTime, EventId, std::uint64_t site) {
+    seen_site = site;
+  };
+  sim.set_observer(EventObserver(observe));
+  sim.schedule_sited(5, [] {}, 0xabcdef12u);
+  sim.run();
+  EXPECT_EQ(seen_site, 0xabcdef12u);
+  EXPECT_THROW(sim.schedule_sited(1, [] {}, 0x1u), std::invalid_argument);
+}
+
 // --- max-min solver ---------------------------------------------------------
 
 TEST(Solver, SingleFlowTakesFullCapacity) {
