@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Static-analysis driver: spiderlint (always) + clang-tidy (when installed).
 #
-# spiderlint is the in-tree determinism, unit-safety, and architecture pass
-# (rules L1-L8, see docs/static-analysis.md); clang-tidy adds the generic
-# bugprone / concurrency / performance checks configured in .clang-tidy.
+# spiderlint is the in-tree determinism, unit-safety, architecture, and
+# shard-concurrency pass (rules L1-L12, see docs/static-analysis.md);
+# clang-tidy adds the generic bugprone / concurrency / performance checks
+# configured in .clang-tidy.
 #
 # Usage: scripts/lint.sh [options] [path...]
 #   --fix-hints       print spiderlint fix-it hints and the per-rule digest
@@ -13,6 +14,17 @@
 #                     when it exists; --baseline= with no file disables)
 #   --fix             apply the mechanically safe fixes (L1 swaps, L3 unit
 #                     aliases) in place, then report what remains
+#   --changed         lint only files touched vs HEAD (staged + unstaged +
+#                     untracked) plus every file that includes them, found
+#                     by a fixpoint over the in-tree include spellings —
+#                     the pre-commit hook's fast path. Ignores path args.
+#                     Skips the baseline-staleness gate: a partial run
+#                     cannot tell fixed from not-linted.
+#   --prune           rewrite the baseline dropping stale entries (full-tree
+#                     runs only: pruning against a partial run deletes
+#                     entries for files that simply were not linted)
+#   --stale=MODE      warn (default) or error on stale baseline entries
+#   --stats           print the spiderlint-stats line (files/findings/ms)
 #   path...           files or directories (default: src tests bench)
 #
 # Exit codes: 0 clean, 1 findings (either tool), 2 environment/usage error.
@@ -25,12 +37,19 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 SPIDERLINT_ARGS=()
 PATHS=()
 BASELINE="__default__"
+CHANGED=0
+PRUNE=0
+STALE_MODE=""
 for arg in "$@"; do
   case "$arg" in
     --fix-hints)   SPIDERLINT_ARGS+=(--fix-hints) ;;
     --json)        SPIDERLINT_ARGS+=(--format=json) ;;
     --format=*)    SPIDERLINT_ARGS+=("$arg") ;;
     --fix)         SPIDERLINT_ARGS+=(--fix) ;;
+    --stats)       SPIDERLINT_ARGS+=(--stats) ;;
+    --changed)     CHANGED=1 ;;
+    --prune)       PRUNE=1 ;;
+    --stale=*)     STALE_MODE="${arg#--stale=}" ;;
     --baseline=*)  BASELINE="${arg#--baseline=}" ;;
     --*)           echo "unknown option: $arg" >&2; exit 2 ;;
     *)             PATHS+=("$arg") ;;
@@ -42,6 +61,59 @@ if [ "$BASELINE" = "__default__" ] && [ -f ci/spiderlint-baseline.txt ]; then
 fi
 if [ -n "$BASELINE" ] && [ "$BASELINE" != "__default__" ]; then
   SPIDERLINT_ARGS+=("--baseline=${BASELINE}")
+fi
+if [ "$PRUNE" -eq 1 ]; then SPIDERLINT_ARGS+=(--prune-baseline); fi
+if [ -n "$STALE_MODE" ] && [ "$CHANGED" -eq 0 ]; then
+  SPIDERLINT_ARGS+=("--stale=${STALE_MODE}")
+fi
+
+# --changed: collect files touched vs HEAD, then close over their includers
+# so a header edit re-lints every translation unit it can break. Include
+# edges are matched by include spelling (the same key spiderlint's L5 include
+# graph uses), iterated to a fixpoint.
+if [ "$CHANGED" -eq 1 ]; then
+  declare -A SELECTED=()
+  while IFS= read -r f; do
+    case "$f" in
+      src/*|tests/*|bench/*) ;;
+      *) continue ;;
+    esac
+    case "$f" in
+      */lint_fixtures/*) continue ;;
+      *.cpp|*.hpp|*.h|*.hh|*.cc) [ -f "$f" ] && SELECTED["$f"]=1 ;;
+    esac
+  done < <({ git diff --name-only HEAD; git ls-files --others --exclude-standard; } | sort -u)
+
+  grown=1
+  while [ "$grown" -eq 1 ]; do
+    grown=0
+    # Include spellings are repo paths minus the src/ prefix ("sim/time.hpp").
+    spellings=()
+    for f in "${!SELECTED[@]}"; do
+      case "$f" in
+        src/*.hpp|src/*.h|src/*.hh) spellings+=("${f#src/}") ;;
+      esac
+    done
+    [ "${#spellings[@]}" -eq 0 ] && break
+    pattern="$(printf '#include "%s"\n' "${spellings[@]}")"
+    while IFS= read -r f; do
+      case "$f" in */lint_fixtures/*) continue ;; esac
+      if [ -z "${SELECTED[$f]:-}" ]; then
+        SELECTED["$f"]=1
+        grown=1
+      fi
+    done < <(grep -rlF "$pattern" src tests bench \
+               --include='*.cpp' --include='*.hpp' --include='*.h' \
+               --include='*.hh' --include='*.cc' 2>/dev/null || true)
+  done
+
+  if [ "${#SELECTED[@]}" -eq 0 ]; then
+    echo "OK: no lintable changes vs HEAD"
+    exit 0
+  fi
+  PATHS=()
+  while IFS= read -r f; do PATHS+=("$f"); done < <(printf '%s\n' "${!SELECTED[@]}" | sort)
+  echo "=== lint --changed: ${#PATHS[@]} file(s) ==="
 fi
 
 # Build (or refresh) the spiderlint binary; export compile commands so a

@@ -34,3 +34,15 @@
 /// (it acquires them itself).
 #define SPIDER_EXCLUDES(...) \
   SPIDER_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Member data owned by one simulation shard (sim/sharded_sim.hpp): it may
+/// only be touched by the owning shard's own events or by the single-
+/// threaded barrier code between epochs. `owner` is a human-readable owner
+/// expression ("shard", "shard(from)", "barrier") — documentation, not code.
+///
+/// No compiler lowering exists for shard ownership, so the macro expands to
+/// nothing everywhere; it is a lexical marker for spiderlint rules L9
+/// (shard-escape) and L12 (pool-capture-discipline), which forbid closures
+/// scheduled onto a shard — or handed to the thread pool — from capturing
+/// annotated members by reference.
+#define SPIDER_SHARD_OWNED(owner)  // lexical marker (spiderlint L9/L12)

@@ -128,7 +128,7 @@ void ShardedSimulator::schedule_cross(ShardId from, ShardId to, SimTime when,
   // Only the lane currently executing shard `from` (or the caller outside a
   // run) touches this cell, so the mailbox write needs no lock.
   outbox_[from * s + to].push_back(CrossMsg{when, std::move(fn), site_hash(loc)});
-  ++cross_messages_;
+  cross_messages_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void ShardedSimulator::drain_mailboxes() {

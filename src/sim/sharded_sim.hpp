@@ -37,6 +37,7 @@
 // OS thread across every epoch of a run.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
@@ -46,6 +47,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "sim/replay.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
@@ -136,7 +138,9 @@ class ShardedSimulator {
   SimTime epoch_end() const { return epoch_end_; }
 
   std::uint64_t epochs() const { return epochs_; }
-  std::uint64_t cross_messages() const { return cross_messages_; }
+  std::uint64_t cross_messages() const {
+    return cross_messages_.load(std::memory_order_relaxed);
+  }
   std::uint64_t executed_events() const;
   bool idle() const;
 
@@ -155,13 +159,22 @@ class ShardedSimulator {
   std::uint64_t run_epoch(SimTime h);
 
   // unique_ptr: shard addresses must be stable — lanes hold references
-  // while the vector's buffer would otherwise move on growth.
-  std::vector<std::unique_ptr<Simulator>> shards_;
-  std::vector<std::vector<CrossMsg>> outbox_;  // mailbox (from * S + to)
+  // while the vector's buffer would otherwise move on growth. Each element
+  // is owned by its shard's lane during an epoch; only the single-threaded
+  // barrier code may reach across (spiderlint L9 enforces the closure side
+  // of this contract).
+  std::vector<std::unique_ptr<Simulator>> shards_ SPIDER_SHARD_OWNED(shard);
+  /// Cross-shard mailbox (from * S + to): appended by the sending shard's
+  /// events via schedule_cross, drained single-threaded at the barrier.
+  std::vector<std::vector<CrossMsg>> outbox_ SPIDER_SHARD_OWNED(barrier);
   ShardedConfig cfg_;
   SimTime epoch_end_ = 0;
   std::uint64_t epochs_ = 0;
-  std::uint64_t cross_messages_ = 0;
+  // Atomic: bumped by whichever lane is executing the sending shard's
+  // events, concurrently across lanes. The total is lane-order independent,
+  // so the stat stays deterministic; relaxed is enough for a counter read
+  // only after run() returns.
+  std::atomic<std::uint64_t> cross_messages_{0};
 };
 
 /// Replay observer fan-in: one ReplayRecorder per shard, merged into the

@@ -107,4 +107,42 @@ std::string render_baseline(const LintReport& report) {
   return out.str();
 }
 
+std::string prune_baseline_text(std::string_view text,
+                                const std::vector<BaselineEntry>& stale,
+                                std::size_t& pruned) {
+  pruned = 0;
+  std::string out;
+  out.reserve(text.size());
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t nl = text.find('\n', start);
+    const bool had_newline = nl != std::string_view::npos;
+    if (!had_newline) nl = text.size();
+    const std::string_view raw = text.substr(start, nl - start);
+    start = nl + 1;
+
+    // Re-parse this one line; anything that is not a well-formed entry
+    // (comments, blanks, malformed lines) is preserved verbatim.
+    std::vector<std::string> errors;
+    const std::vector<BaselineEntry> parsed = parse_baseline(raw, errors);
+    bool drop = false;
+    if (parsed.size() == 1) {
+      for (const BaselineEntry& s : stale) {
+        if (parsed[0].rule == s.rule && parsed[0].file == s.file &&
+            parsed[0].message == s.message) {
+          drop = true;
+          break;
+        }
+      }
+    }
+    if (drop) {
+      ++pruned;
+      continue;
+    }
+    out.append(raw);
+    if (had_newline) out.push_back('\n');
+  }
+  return out;
+}
+
 }  // namespace spider::lint

@@ -44,4 +44,13 @@ std::vector<BaselineEntry> apply_baseline(
 /// "justify-me", to be hand-edited before check-in).
 std::string render_baseline(const LintReport& report);
 
+/// Rewrite baseline text with the `stale` entries' lines removed (matched
+/// by rule + file + message; the reason never participates). Comments,
+/// blank lines, malformed lines, and live entries are preserved verbatim,
+/// so a prune touches exactly the dead lines. `pruned` reports how many
+/// lines were dropped.
+std::string prune_baseline_text(std::string_view text,
+                                const std::vector<BaselineEntry>& stale,
+                                std::size_t& pruned);
+
 }  // namespace spider::lint

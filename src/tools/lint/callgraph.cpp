@@ -1,0 +1,246 @@
+#include "tools/lint/callgraph.hpp"
+
+#include <algorithm>
+
+namespace spider::lint {
+
+namespace {
+
+int depth_delta(const Tok& tok) {
+  if (tok.kind != TokKind::kPunct || tok.text.size() != 1) return 0;
+  const char c = tok.text[0];
+  if (c == '(' || c == '<' || c == '[' || c == '{') return 1;
+  if (c == ')' || c == '>' || c == ']' || c == '}') return -1;
+  return 0;
+}
+
+}  // namespace
+
+std::vector<ArgRange> split_args(const std::vector<Tok>& t, std::size_t open,
+                                 std::size_t close) {
+  std::vector<ArgRange> args;
+  if (close <= open + 1 || close > t.size()) return args;
+  std::size_t begin = open + 1;
+  int depth = 0;
+  for (std::size_t i = open + 1; i < close; ++i) {
+    depth += depth_delta(t[i]);
+    if (depth == 0 && is_punct(t[i], ",")) {
+      args.push_back(ArgRange{begin, i});
+      begin = i + 1;
+    }
+  }
+  args.push_back(ArgRange{begin, close});
+  return args;
+}
+
+std::string reduce_index(const std::vector<Tok>& t, std::size_t begin,
+                         std::size_t end) {
+  if (begin >= end || end > t.size()) return {};
+  // shard_of(X) anywhere in the range: the domain index governs the shard.
+  for (std::size_t i = begin; i + 1 < end; ++i) {
+    if (is_ident(t[i], "shard_of") && is_punct(t[i + 1], "(")) {
+      const std::size_t close = matching_close(t, i + 1);
+      if (close < end) return reduce_index(t, i + 2, close);
+    }
+  }
+  // static_cast<T>(X): the cast does not change the governing identifier.
+  if (is_ident(t[begin], "static_cast") && begin + 1 < end &&
+      is_punct(t[begin + 1], "<")) {
+    const std::size_t angle = matching_close(t, begin + 1);
+    if (angle + 1 < end && is_punct(t[angle + 1], "(")) {
+      const std::size_t close = matching_close(t, angle + 1);
+      if (close < end) return reduce_index(t, angle + 2, close);
+    }
+  }
+  if (end - begin == 1 &&
+      (t[begin].kind == TokKind::kIdent || t[begin].kind == TokKind::kNumber)) {
+    return t[begin].text;
+  }
+  return {};
+}
+
+std::vector<std::string> param_names(const TokenStream& stream,
+                                     const FunctionSym& fn) {
+  const std::vector<Tok>& t = stream.tokens;
+  std::vector<std::string> names;
+  if (fn.params_begin >= fn.params_end) return names;
+  std::size_t seg_begin = fn.params_begin;
+  int depth = 0;
+  auto close_segment = [&](std::size_t seg_end) {
+    // The parameter name is the last depth-0 identifier before a depth-0
+    // `=` (default argument) or the segment end.
+    std::string name;
+    int d = 0;
+    for (std::size_t i = seg_begin; i < seg_end; ++i) {
+      if (d == 0 && is_punct(t[i], "=")) break;
+      if (d == 0 && t[i].kind == TokKind::kIdent) name = t[i].text;
+      d += depth_delta(t[i]);
+    }
+    names.push_back(std::move(name));
+    seg_begin = seg_end + 1;
+  };
+  for (std::size_t i = fn.params_begin; i < fn.params_end; ++i) {
+    depth += depth_delta(t[i]);
+    if (depth == 0 && is_punct(t[i], ",")) close_segment(i);
+  }
+  close_segment(fn.params_end);
+  return names;
+}
+
+CallGraph::CallGraph(const TokenStream& stream, const FileSymbols& syms,
+                     const std::vector<ShardOwnedMember>& shard_owned)
+    : t_(stream.tokens) {
+  for (const FunctionSym& fn : syms.functions) {
+    if (!fn.is_definition) continue;
+    defs_[fn.name].push_back(&fn);
+    params_[&fn] = param_names(stream, fn);
+  }
+
+  // --- shard-handle returners (fixpoint over wrapper chains) ---------------
+  handles_.insert("shard");
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (const auto& [name, defs] : defs_) {
+      if (handles_.count(name) != 0) continue;
+      for (const FunctionSym* fn : defs) {
+        bool returns_handle = false;
+        for (std::size_t i = fn->body_begin;
+             i < fn->body_end && i < t_.size() && !returns_handle; ++i) {
+          if (!is_ident(t_[i], "return")) continue;
+          for (std::size_t j = i + 1; j < fn->body_end && j < t_.size(); ++j) {
+            if (is_punct(t_[j], ";")) break;
+            if (t_[j].kind == TokKind::kIdent &&
+                handles_.count(t_[j].text) != 0 && j + 1 < t_.size() &&
+                is_punct(t_[j + 1], "(")) {
+              returns_handle = true;
+              break;
+            }
+          }
+        }
+        if (returns_handle) {
+          handles_.insert(name);
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // --- parameters flowing into shard-handle schedule indices (fixpoint) ----
+  auto note_sched_param = [&](const std::string& name, std::size_t idx,
+                              bool& changed) {
+    std::vector<std::size_t>& list = sched_params_[name];
+    if (std::find(list.begin(), list.end(), idx) == list.end()) {
+      list.push_back(idx);
+      std::sort(list.begin(), list.end());
+      changed = true;
+    }
+  };
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (const auto& [name, defs] : defs_) {
+      for (const FunctionSym* fn : defs) {
+        const std::vector<std::string>& names = params_[fn];
+        if (names.empty()) continue;
+        for (std::size_t i = fn->body_begin;
+             i + 1 < fn->body_end && i + 1 < t_.size(); ++i) {
+          if (t_[i].kind != TokKind::kIdent || !is_punct(t_[i + 1], "(")) {
+            continue;
+          }
+          const std::size_t close = matching_close(t_, i + 1);
+          if (close >= t_.size()) continue;
+          // Direct: handle(IDX).schedule_at/..._in(...).
+          if (handles_.count(t_[i].text) != 0 && close + 2 < t_.size() &&
+              is_punct(t_[close + 1], ".") &&
+              (is_ident(t_[close + 2], "schedule_at") ||
+               is_ident(t_[close + 2], "schedule_in"))) {
+            const std::string r = reduce_index(t_, i + 2, close);
+            for (std::size_t p = 0; p < names.size(); ++p) {
+              if (!r.empty() && names[p] == r) note_sched_param(name, p, changed);
+            }
+          }
+          // Indirect: this function forwards a parameter into a callee's
+          // sched-param position.
+          const auto callee = sched_params_.find(t_[i].text);
+          if (callee == sched_params_.end() || t_[i].text == name) continue;
+          const std::vector<ArgRange> args = split_args(t_, i + 1, close);
+          for (std::size_t j : callee->second) {
+            if (j >= args.size()) continue;
+            const std::string r = reduce_index(t_, args[j].begin, args[j].end);
+            for (std::size_t p = 0; p < names.size(); ++p) {
+              if (!r.empty() && names[p] == r) note_sched_param(name, p, changed);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // --- transitive shard-owned touch (fixpoint) -----------------------------
+  std::set<std::string> owned;
+  for (const ShardOwnedMember& m : shard_owned) owned.insert(m.name);
+  if (owned.empty()) return;
+  for (const auto& [name, defs] : defs_) {
+    for (const FunctionSym* fn : defs) {
+      for (std::size_t i = fn->body_begin; i < fn->body_end && i < t_.size();
+           ++i) {
+        if (t_[i].kind == TokKind::kIdent && owned.count(t_[i].text) != 0) {
+          touched_[name].insert(t_[i].text);
+        }
+      }
+    }
+  }
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (const auto& [name, defs] : defs_) {
+      for (const FunctionSym* fn : defs) {
+        for (std::size_t i = fn->body_begin;
+             i + 1 < fn->body_end && i + 1 < t_.size(); ++i) {
+          if (t_[i].kind != TokKind::kIdent || !is_punct(t_[i + 1], "(")) {
+            continue;
+          }
+          const auto callee = touched_.find(t_[i].text);
+          if (callee == touched_.end() || t_[i].text == name) continue;
+          std::set<std::string>& mine = touched_[name];
+          const std::size_t before = mine.size();
+          mine.insert(callee->second.begin(), callee->second.end());
+          if (mine.size() != before) changed = true;
+        }
+      }
+    }
+  }
+}
+
+const std::vector<const FunctionSym*>& CallGraph::definitions(
+    const std::string& name) const {
+  static const std::vector<const FunctionSym*> kEmpty;
+  const auto it = defs_.find(name);
+  return it == defs_.end() ? kEmpty : it->second;
+}
+
+const std::vector<std::string>& CallGraph::params_of(
+    const FunctionSym& fn) const {
+  static const std::vector<std::string> kEmpty;
+  const auto it = params_.find(&fn);
+  return it == params_.end() ? kEmpty : it->second;
+}
+
+bool CallGraph::is_handle_fn(const std::string& name) const {
+  return handles_.count(name) != 0;
+}
+
+const std::vector<std::size_t>& CallGraph::sched_params(
+    const std::string& name) const {
+  static const std::vector<std::size_t> kEmpty;
+  const auto it = sched_params_.find(name);
+  return it == sched_params_.end() ? kEmpty : it->second;
+}
+
+const std::set<std::string>& CallGraph::touched_shard_owned(
+    const std::string& name) const {
+  static const std::set<std::string> kEmpty;
+  const auto it = touched_.find(name);
+  return it == touched_.end() ? kEmpty : it->second;
+}
+
+}  // namespace spider::lint

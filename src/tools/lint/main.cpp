@@ -9,6 +9,15 @@
 //                        independent); stale entries are warned to stderr
 //   --write-baseline     print the run's findings in baseline format and
 //                        exit (reasons left as 'justify-me' for editing)
+//   --prune-baseline     rewrite the --baseline file in place with the
+//                        stale entries removed (comments and live entries
+//                        survive verbatim)
+//   --stale=warn|error   what a stale baseline entry does to the exit code
+//                        (default warn; CI runs error so fixed findings
+//                        must be deleted from the baseline, not hoarded)
+//   --stats              print `spiderlint-stats: files=N findings=N
+//                        wall_ms=N` to stderr (CI surfaces it in the job
+//                        summary)
 //   --fix                apply the mechanically safe fixes (L1 container
 //                        swaps, L3 unit-alias renames) in place
 //   --treat-as=CLASS     force file classification: sim-critical, src,
@@ -16,7 +25,9 @@
 //                        that live outside src/)
 //   --list-rules         print the rule table and exit
 //
-// Exit codes: 0 clean (after baseline), 1 findings, 2 usage or I/O error.
+// Exit codes: 0 clean (after baseline), 1 findings (or stale entries under
+// --stale=error), 2 usage or I/O error.
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -44,6 +55,7 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--format=text|json|sarif] [--fix-hints]\n"
                "       [--rules=L1,..] [--baseline=FILE] [--write-baseline]\n"
+               "       [--prune-baseline] [--stale=warn|error] [--stats]\n"
                "       [--fix] [--treat-as=sim-critical|src|header|calib]...\n"
                "       [--list-rules] <path>...\n",
                argv0);
@@ -60,6 +72,9 @@ int main(int argc, char** argv) {
   Format format = Format::kText;
   bool fix_hints = false;
   bool write_baseline = false;
+  bool prune_baseline = false;
+  bool stale_is_error = false;
+  bool print_stats = false;
   bool apply_fix = false;
   std::string baseline_path;
   std::vector<std::string> paths;
@@ -77,6 +92,21 @@ int main(int argc, char** argv) {
       write_baseline = true;
     } else if (arg == "--fix") {
       apply_fix = true;
+    } else if (arg == "--prune-baseline") {
+      prune_baseline = true;
+    } else if (arg == "--stats") {
+      print_stats = true;
+    } else if (arg.starts_with("--stale=")) {
+      const std::string_view mode = arg.substr(8);
+      if (mode == "error") {
+        stale_is_error = true;
+      } else if (mode == "warn") {
+        stale_is_error = false;
+      } else {
+        std::fprintf(stderr, "spiderlint: unknown stale mode '%.*s'\n",
+                     static_cast<int>(mode.size()), mode.data());
+        return usage(argv[0]);
+      }
     } else if (arg.starts_with("--baseline=")) {
       baseline_path = std::string(arg.substr(11));
     } else if (arg.starts_with("--format=")) {
@@ -114,6 +144,14 @@ int main(int argc, char** argv) {
           opts.rules.l7 = true;
         } else if (id == "L8") {
           opts.rules.l8 = true;
+        } else if (id == "L9") {
+          opts.rules.l9 = true;
+        } else if (id == "L10") {
+          opts.rules.l10 = true;
+        } else if (id == "L11") {
+          opts.rules.l11 = true;
+        } else if (id == "L12") {
+          opts.rules.l12 = true;
         } else {
           std::fprintf(stderr, "spiderlint: unknown rule '%.*s'\n",
                        static_cast<int>(id.size()), id.data());
@@ -149,11 +187,20 @@ int main(int argc, char** argv) {
     }
   }
   if (paths.empty()) return usage(argv[0]);
+  if (prune_baseline && baseline_path.empty()) {
+    std::fprintf(stderr, "spiderlint: --prune-baseline needs --baseline=\n");
+    return usage(argv[0]);
+  }
   if (have_forced) opts.forced_class = forced;
 
+  // Wall-clock for the stats line only — findings never depend on it.
+  // spiderlint-file: nondet-ok — lint runtime telemetry, not simulation
+  const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::string> errors;
   LintReport report = lint_paths(paths, opts, errors);
+  const auto t1 = std::chrono::steady_clock::now();
 
+  std::size_t stale_count = 0;
   if (!baseline_path.empty()) {
     std::ifstream in(baseline_path, std::ios::binary);
     if (!in) {
@@ -166,11 +213,30 @@ int main(int argc, char** argv) {
     const std::vector<BaselineEntry> entries =
         parse_baseline(buf.str(), errors);
     const std::vector<BaselineEntry> stale = apply_baseline(report, entries);
-    for (const BaselineEntry& e : stale) {
+    stale_count = stale.size();
+    if (prune_baseline) {
+      std::size_t pruned = 0;
+      const std::string rewritten =
+          prune_baseline_text(buf.str(), stale, pruned);
+      std::ofstream outf(baseline_path,
+                         std::ios::binary | std::ios::trunc);
+      if (!outf || !(outf << rewritten)) {
+        std::fprintf(stderr, "spiderlint: cannot rewrite baseline '%s'\n",
+                     baseline_path.c_str());
+        return 2;
+      }
       std::fprintf(stderr,
-                   "spiderlint: stale baseline entry (fixed? delete it): "
-                   "%s :: %s :: %s\n",
-                   e.rule.c_str(), e.file.c_str(), e.message.c_str());
+                   "spiderlint: pruned %zu stale baseline entr%s from %s\n",
+                   pruned, pruned == 1 ? "y" : "ies", baseline_path.c_str());
+      stale_count = 0;  // pruned away: nothing left to warn or fail on
+    } else {
+      for (const BaselineEntry& e : stale) {
+        std::fprintf(stderr,
+                     "spiderlint: %s baseline entry (fixed? delete it, or "
+                     "run --prune-baseline): %s :: %s :: %s\n",
+                     stale_is_error ? "STALE" : "stale", e.rule.c_str(),
+                     e.file.c_str(), e.message.c_str());
+      }
     }
   }
 
@@ -199,6 +265,16 @@ int main(int argc, char** argv) {
   }
   std::fputs(rendered.c_str(), stdout);
 
+  if (print_stats) {
+    const auto wall_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(t1 - t0);
+    std::fprintf(stderr, "spiderlint-stats: files=%zu findings=%zu wall_ms=%lld\n",
+                 report.files_scanned, report.findings.size(),
+                 static_cast<long long>(wall_ms.count()));
+  }
+
   if (!errors.empty()) return 2;
-  return report.clean() ? 0 : 1;
+  if (!report.clean()) return 1;
+  if (stale_is_error && stale_count != 0) return 1;
+  return 0;
 }

@@ -188,6 +188,19 @@ FileSymbols index_symbols(const TokenStream& stream) {
       continue;
     }
 
+    // --- SPIDER_SHARD_OWNED on a member declaration -------------------------
+    if (tok.text == "SPIDER_SHARD_OWNED" && i + 1 < t.size() &&
+        is_punct(t[i + 1], "(")) {
+      const std::size_t close = matching_close(t, i + 1);
+      Scope* cls = current_class();
+      if (cls != nullptr && i >= 1 && t[i - 1].kind == TokKind::kIdent) {
+        out.shard_owned.push_back(ShardOwnedMember{
+            cls->name, t[i - 1].text, flatten(t, i + 2, close), tok.line});
+      }
+      i = close + 1;
+      continue;
+    }
+
     // --- function declarator ------------------------------------------------
     const bool operator_name = tok.text == "operator";
     bool is_fn_candidate = false;
@@ -249,6 +262,8 @@ FileSymbols index_symbols(const TokenStream& stream) {
       fn.in_anon_namespace = in_anon_namespace();
       fn.ctor_or_dtor = dtor;
       fn.params = flatten(t, params_open + 1, params_close);
+      fn.params_begin = params_open + 1;
+      fn.params_end = params_close;
       fn.has_source_location_param =
           fn.params.find("source_location") != std::string::npos;
       Scope* cls = current_class();
@@ -371,6 +386,188 @@ FileSymbols index_symbols(const TokenStream& stream) {
     }
 
     ++i;
+  }
+  return out;
+}
+
+bool LambdaSym::captures_this() const {
+  for (const LambdaCapture& c : captures) {
+    if (c.kind == CaptureKind::kThis || c.kind == CaptureKind::kStarThis ||
+        c.kind == CaptureKind::kDefaultRef ||
+        c.kind == CaptureKind::kDefaultValue) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool LambdaSym::has_ref_default() const {
+  for (const LambdaCapture& c : captures) {
+    if (c.kind == CaptureKind::kDefaultRef) return true;
+  }
+  return false;
+}
+
+bool LambdaSym::has_value_default() const {
+  for (const LambdaCapture& c : captures) {
+    if (c.kind == CaptureKind::kDefaultValue) return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// Parse the capture list between `open` (the `[`) and its matching `]`.
+/// Returns false on any construct the parser does not understand.
+bool parse_captures(const std::vector<Tok>& t, std::size_t open,
+                    std::size_t close, std::vector<LambdaCapture>& out) {
+  std::size_t i = open + 1;
+  while (i < close) {
+    LambdaCapture cap;
+    cap.line = t[i].line;
+    if (is_punct(t[i], "&")) {
+      if (i + 1 >= close || is_punct(t[i + 1], ",")) {
+        cap.kind = CaptureKind::kDefaultRef;
+        ++i;
+      } else if (t[i + 1].kind == TokKind::kIdent) {
+        cap.kind = CaptureKind::kByRef;
+        cap.name = t[i + 1].text;
+        i += 2;
+      } else if (is_punct(t[i + 1], "...")) {
+        // `&...name` pack init-capture — tokenized as dots below.
+        cap.kind = CaptureKind::kByRef;
+        ++i;
+      } else {
+        return false;
+      }
+    } else if (is_punct(t[i], "=")) {
+      // A lone `=` is the value default; `= expr` only follows a name and
+      // is consumed by the init-capture scan below, so reaching `=` here
+      // with more tokens following that are not `,` means a misparse.
+      if (i + 1 < close && !is_punct(t[i + 1], ",")) return false;
+      cap.kind = CaptureKind::kDefaultValue;
+      ++i;
+    } else if (is_ident(t[i], "this")) {
+      cap.kind = CaptureKind::kThis;
+      ++i;
+    } else if (is_punct(t[i], "*") && i + 1 < close &&
+               is_ident(t[i + 1], "this")) {
+      cap.kind = CaptureKind::kStarThis;
+      i += 2;
+    } else if (is_punct(t[i], ".")) {
+      // Pack expansion dots (`xs...`): attach to the previous capture.
+      ++i;
+      continue;
+    } else if (t[i].kind == TokKind::kIdent) {
+      cap.kind = CaptureKind::kByValue;
+      cap.name = t[i].text;
+      ++i;
+    } else {
+      return false;
+    }
+
+    // Init-capture: `name = expr` / `&name = expr`; the expression runs to
+    // the next top-level comma (matching_close skips nested groups).
+    if (i < close && is_punct(t[i], "=") &&
+        (cap.kind == CaptureKind::kByRef ||
+         cap.kind == CaptureKind::kByValue)) {
+      cap.init = true;
+      ++i;
+      int depth = 0;
+      while (i < close) {
+        if (t[i].kind == TokKind::kPunct && t[i].text.size() == 1) {
+          const char c = t[i].text[0];
+          if (c == '(' || c == '<' || c == '[' || c == '{') ++depth;
+          if (c == ')' || c == '>' || c == ']' || c == '}') --depth;
+          if (depth == 0 && c == ',') break;
+        }
+        if (!cap.init_expr.empty()) cap.init_expr.push_back(' ');
+        cap.init_expr += t[i].text;
+        ++i;
+      }
+    }
+    out.push_back(std::move(cap));
+
+    // Trailing pack dots after the name (`args...`).
+    while (i < close && is_punct(t[i], ".")) ++i;
+    if (i < close) {
+      if (!is_punct(t[i], ",")) return false;
+      ++i;
+      if (i >= close) return false;  // trailing comma
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<LambdaSym> find_lambdas(const TokenStream& stream) {
+  const std::vector<Tok>& t = stream.tokens;
+  std::vector<LambdaSym> out;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!lambda_intro_at(t, i)) continue;
+    const std::size_t close = matching_close(t, i);
+    if (close >= t.size()) continue;
+
+    LambdaSym lam;
+    lam.intro = i;
+    lam.line = t[i].line;
+    lam.col = t[i].col;
+    const bool captures_ok = parse_captures(t, i, close, lam.captures);
+
+    // After `]`: optional template parameters, parameter list, specifiers
+    // (mutable/constexpr/noexcept(...)/static), attributes, and a trailing
+    // return type — then the body `{`. Anything else means this was not a
+    // lambda (or not one we understand): record it unparsed.
+    std::size_t j = close + 1;
+    bool found_body = false;
+    while (j < t.size()) {
+      const Tok& tr = t[j];
+      if (is_punct(tr, "<") || is_punct(tr, "(")) {
+        const std::size_t g = matching_close(t, j);
+        if (g >= t.size()) break;
+        j = g + 1;
+        continue;
+      }
+      if (is_punct(tr, "[") && j + 1 < t.size() && is_punct(t[j + 1], "[")) {
+        const std::size_t g = matching_close(t, j);  // outer of `[[...]]`
+        if (g >= t.size()) break;
+        j = g + 1;
+        continue;
+      }
+      if (tr.kind == TokKind::kIdent &&
+          (tr.text == "mutable" || tr.text == "constexpr" ||
+           tr.text == "consteval" || tr.text == "static" ||
+           tr.text == "noexcept")) {
+        ++j;
+        continue;
+      }
+      if (is_punct(tr, "->")) {
+        // Trailing return type: skip to the body `{` at depth 0.
+        ++j;
+        int depth = 0;
+        while (j < t.size()) {
+          if (t[j].kind == TokKind::kPunct && t[j].text.size() == 1) {
+            const char c = t[j].text[0];
+            if (c == '(' || c == '<' || c == '[') ++depth;
+            if (c == ')' || c == '>' || c == ']') --depth;
+            if (depth == 0 && (c == '{' || c == ';')) break;
+          }
+          ++j;
+        }
+        continue;
+      }
+      if (is_punct(tr, "{")) {
+        const std::size_t body_close = matching_close(t, j);
+        if (body_close >= t.size()) break;
+        lam.body_begin = j + 1;
+        lam.body_end = body_close;
+        found_body = true;
+      }
+      break;
+    }
+    lam.parsed = captures_ok && found_body;
+    if (found_body) out.push_back(std::move(lam));
   }
   return out;
 }

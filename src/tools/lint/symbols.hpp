@@ -29,6 +29,48 @@ struct GuardedMember {
   std::size_t line = 0;  ///< 0-based declaration line
 };
 
+/// A member declaration annotated SPIDER_SHARD_OWNED(owner): state that only
+/// the owning shard's events (or single-threaded barrier code) may touch.
+struct ShardOwnedMember {
+  std::string cls;    ///< enclosing class/struct name
+  std::string name;   ///< member identifier
+  std::string owner;  ///< flattened owner expression (documentation)
+  std::size_t line = 0;  ///< 0-based declaration line
+};
+
+enum class CaptureKind {
+  kDefaultRef,    ///< `&`
+  kDefaultValue,  ///< `=`
+  kByRef,         ///< `&name` (or `&name = expr` init-capture)
+  kByValue,       ///< `name` (or `name = expr` init-capture)
+  kThis,          ///< `this`
+  kStarThis,      ///< `*this`
+};
+
+struct LambdaCapture {
+  CaptureKind kind = CaptureKind::kByValue;
+  std::string name;       ///< empty for defaults and `this`
+  bool init = false;      ///< init-capture (`name = expr`)
+  std::string init_expr;  ///< flattened initializer of an init-capture
+  std::size_t line = 0;   ///< 0-based line of the capture
+};
+
+/// One lambda expression, located by token indices into the file's stream.
+struct LambdaSym {
+  std::size_t intro = 0;       ///< index of the `[` introducer
+  std::size_t body_begin = 0;  ///< first token inside `{`
+  std::size_t body_end = 0;    ///< index of the closing `}`
+  std::size_t line = 0;        ///< 0-based line of the introducer
+  std::size_t col = 0;
+  bool parsed = false;  ///< capture list and body located successfully
+  std::vector<LambdaCapture> captures;
+  /// True when `this` is reachable inside the body: explicit this/*this
+  /// capture or a `[&]`/`[=]` default (both capture the this pointer).
+  bool captures_this() const;
+  bool has_ref_default() const;
+  bool has_value_default() const;
+};
+
 struct ClassSym {
   std::string name;
   std::size_t line = 0;  ///< 0-based line of the class-head name
@@ -44,6 +86,10 @@ struct FunctionSym {
   bool ctor_or_dtor = false;
   bool has_source_location_param = false;
   std::string params;            ///< flattened parameter-list text
+  /// Parameter-list token range (inside the parens) into the file's
+  /// TokenStream, for per-parameter analysis (callgraph.hpp).
+  std::size_t params_begin = 0;
+  std::size_t params_end = 0;
   std::vector<std::string> requires_mutexes;  ///< SPIDER_REQUIRES(args)
   /// Body token range [body_begin, body_end) into the file's TokenStream
   /// (both 0 when this is a declaration only).
@@ -55,10 +101,19 @@ struct FileSymbols {
   std::vector<ClassSym> classes;
   std::vector<FunctionSym> functions;
   std::vector<GuardedMember> guarded;
+  std::vector<ShardOwnedMember> shard_owned;
   std::vector<std::size_t> template_head_lines;  ///< 0-based
 };
 
 /// Build the symbol index for one tokenized file.
 FileSymbols index_symbols(const TokenStream& stream);
+
+/// Locate every lambda expression in the stream and parse its capture list
+/// (defaults, by-ref/by-value captures, init-captures, this/*this, packs).
+/// Template lambdas, trailing attributes/specifiers, and nested lambdas are
+/// handled; anything the parser does not understand yields `parsed = false`
+/// — capture-based rules then skip the lambda (a missed finding, never a
+/// spurious one).
+std::vector<LambdaSym> find_lambdas(const TokenStream& stream);
 
 }  // namespace spider::lint

@@ -1,0 +1,50 @@
+// Fixture for spiderlint rule L10 (cross-shard-schedule).
+//
+// Inside an event scheduled onto shard X, a direct schedule_at/schedule_in
+// on a Simulator& obtained for shard Y races Y's queue: cross-shard events
+// must go through schedule_cross. The same-shard re-arm, the honest
+// schedule_cross, the same-shard helper call, and the same-shard binding
+// are engineered false positives.
+namespace fixture {
+
+struct Simulator {
+  void schedule_at(long when, int payload);
+  void schedule_in(long delta, int payload);
+};
+
+struct Engine {
+  Simulator& shard(unsigned s);
+  void schedule_cross(unsigned from, unsigned to, long when, int payload);
+};
+
+struct Scenario {
+  void start(unsigned zone, unsigned target, long due) {
+    engine_.shard(zone).schedule_at(due, [this, zone, target, due] {
+      // Same-shard re-arm: legal. Must NOT be flagged.
+      engine_.shard(zone).schedule_in(due, 1);
+      // Direct scheduling on another shard from inside this event. Flagged.
+      engine_.shard(target).schedule_at(due, 2);  // L10
+      // The honest way across. Must NOT be flagged.
+      engine_.schedule_cross(zone, target, due, 3);
+      // Lying about the source shard corrupts mailbox order. Flagged.
+      engine_.schedule_cross(target, zone, due, 4);  // L10
+      // Threading a foreign index through a helper is traced. Flagged here.
+      rearm(target);  // L10
+      // Threading the event's own shard through the same helper is fine.
+      rearm(zone);
+      // A Simulator& bound to another shard is still that shard. Flagged.
+      Simulator& far = engine_.shard(target);
+      far.schedule_at(due, 6);  // L10
+      // ...and one bound to this shard is not. Must NOT be flagged.
+      Simulator& near = engine_.shard(zone);
+      near.schedule_in(due, 7);
+    });
+  }
+
+  void rearm(unsigned s) { engine_.shard(s).schedule_at(horizon_, 5); }
+
+  Engine engine_;
+  long horizon_ = 0;
+};
+
+}  // namespace fixture

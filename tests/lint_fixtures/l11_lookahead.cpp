@@ -1,0 +1,33 @@
+// Fixture for spiderlint rule L11 (lookahead-provenance).
+//
+// The `when` argument of schedule_cross must trace to the lookahead
+// vocabulary (net/lookahead.hpp names, epoch_end, ...): a bare numeric
+// delay has no provable relation to the conservative contract, and one
+// below the torus hop floor (105 ns) is a certain breach. The derived
+// delays and the symbolic pass-through are engineered false positives.
+namespace fixture {
+
+inline constexpr long kTorusHopLatency = 105;
+inline constexpr long kCrossZoneLookahead = 1000;
+
+struct Engine {
+  void schedule_cross(unsigned from, unsigned to, long when, int payload);
+};
+
+struct Driver {
+  void drive(long now) {
+    // Derived from the lookahead vocabulary. Must NOT be flagged.
+    engine_.schedule_cross(0, 1, now + kTorusHopLatency, 1);
+    engine_.schedule_cross(0, 1, now + 2 * kCrossZoneLookahead, 2);
+    // Symbolic time from upstream: provenance is the caller's. Must NOT be
+    // flagged.
+    engine_.schedule_cross(0, 1, now, 3);
+    // Bare constant delay: unprovable against the contract. Flagged.
+    engine_.schedule_cross(0, 1, now + 500, 4);  // L11
+    // Constant below the torus hop floor: a certain breach. Flagged.
+    engine_.schedule_cross(0, 1, now + 64, 5);  // L11
+  }
+  Engine engine_;
+};
+
+}  // namespace fixture

@@ -31,11 +31,11 @@ class Replayer {
 
   // Cross-shard mailbox sends hash a site too: a siteless schedule_cross
   // from a private helper collapses them the same way. Flagged.
-  void relaunch_cross() { engine_.schedule_cross(0, 1, 10, 0); }  // L7
+  void relaunch_cross(long due) { engine_.schedule_cross(0, 1, due, 0); }  // L7
 
   // And the loc-forwarding variant must NOT be flagged.
-  void relaunch_cross_threaded(std::source_location loc) {
-    engine_.schedule_cross(0, 1, 10, 0, loc);
+  void relaunch_cross_threaded(long due, std::source_location loc) {
+    engine_.schedule_cross(0, 1, due, 0, loc);
   }
 
   struct FakeEngine {

@@ -1,0 +1,62 @@
+// Fixture for spiderlint rule L9 (shard-escape).
+//
+// A closure handed to a schedule call runs as an event on one shard's lane;
+// letting it alias a SPIDER_SHARD_OWNED member by reference — directly,
+// through `this`, or through a helper reached via the per-TU call graph —
+// hands that shard's private state to a foreign lane. The value-copy
+// capture, the plain member, and the barrier-code access are engineered
+// false positives.
+#include <vector>
+
+#include "common/annotations.hpp"
+
+namespace fixture {
+
+class Engine {
+ public:
+  // Init-capture aliasing a shard-owned member by reference. Flagged.
+  void bad_alias() {
+    sim_.schedule_at(10, [&box = outbox_] { box.clear(); });  // L9
+  }
+
+  // `[&]` captures this; the body touches shard-owned state. Flagged.
+  void bad_default_ref() {
+    sim_.schedule_at(10, [&] { outbox_.clear(); });  // L9
+  }
+
+  // `[this]` plus a helper call that reaches shard-owned state through the
+  // call graph. Flagged at the call.
+  void bad_via_helper() {
+    sim_.schedule_at(10, [this] { drain(); });  // L9
+  }
+
+  // Value init-capture copies the mailbox: the event owns its snapshot.
+  // Must NOT be flagged.
+  void good_value_copy() {
+    sim_.schedule_at(10, [box = outbox_] { (void)box.size(); });
+  }
+
+  // Members without the annotation are L6/L12's business, not L9's. Must
+  // NOT be flagged.
+  void good_plain_member() {
+    sim_.schedule_at(10, [&] { ticks_ += 1; });
+  }
+
+  // Barrier code (no closure) may touch owned state directly. Must NOT be
+  // flagged.
+  void drain() { outbox_.clear(); }
+
+ private:
+  struct FakeSim {
+    template <typename Fn>
+    void schedule_at(long when, Fn fn) {
+      (void)when;
+      fn();
+    }
+  };
+  FakeSim sim_;
+  std::vector<int> outbox_ SPIDER_SHARD_OWNED(barrier);
+  long ticks_ = 0;
+};
+
+}  // namespace fixture

@@ -20,6 +20,8 @@
 #include "tools/lint/report.hpp"
 #include "tools/lint/rules.hpp"
 #include "tools/lint/scan.hpp"
+#include "tools/lint/symbols.hpp"
+#include "tools/lint/token.hpp"
 
 namespace spider::lint {
 namespace {
@@ -143,8 +145,9 @@ TEST(SpiderLint, JsonReportCarriesFindings) {
 }
 
 TEST(SpiderLint, RuleTableIsComplete) {
-  ASSERT_EQ(rules().size(), 8u);
-  const char* ids[] = {"L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8"};
+  ASSERT_EQ(rules().size(), 12u);
+  const char* ids[] = {"L1", "L2", "L3", "L4", "L5", "L6",
+                       "L7", "L8", "L9", "L10", "L11", "L12"};
   for (const char* id : ids) {
     const RuleInfo* info = rule(id);
     ASSERT_NE(info, nullptr) << id;
@@ -152,7 +155,7 @@ TEST(SpiderLint, RuleTableIsComplete) {
     EXPECT_FALSE(info->suppression.empty());
     EXPECT_FALSE(info->hint.empty());
   }
-  EXPECT_EQ(rule("L9"), nullptr);
+  EXPECT_EQ(rule("L13"), nullptr);
 }
 
 TEST(SpiderLint, CollectSourcesIsSortedAndDeduplicated) {
@@ -162,7 +165,7 @@ TEST(SpiderLint, CollectSourcesIsSortedAndDeduplicated) {
   const std::vector<std::string> twice = collect_sources(
       {SPIDER_LINT_FIXTURES_DIR, fixture("l2_nondet_source.cpp")}, errors);
   EXPECT_TRUE(errors.empty());
-  EXPECT_EQ(once.size(), 18u) << "fixture census drifted";
+  EXPECT_EQ(once.size(), 23u) << "fixture census drifted";
   EXPECT_EQ(once, twice);
   EXPECT_TRUE(std::is_sorted(once.begin(), once.end()));
 }
@@ -231,6 +234,96 @@ TEST(SpiderLint, L8FlagsBareCalibrationLiteralOnly) {
   EXPECT_EQ(r.findings[0].line, 12u);  // return seconds * 1e3;
   EXPECT_EQ(r.findings[0].severity, Severity::kWarning);
   EXPECT_NE(r.findings[0].message.find("1e3"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency rules (L9-L12): shard-escape, cross-shard scheduling,
+// lookahead provenance, and pool capture discipline. As above, every
+// fixture pins true positives at exact lines and the count assertion is
+// the false-positive check.
+
+TEST(SpiderLint, L9FlagsShardEscapesOnly) {
+  // The by-ref init-capture alias, the [&] this-touch, and the call-graph
+  // reach fire; the value copy, the plain member, and the barrier-code
+  // access are the engineered false positives.
+  const LintReport r = lint_fixture("l9_shard_escape.cpp", kSrc);
+  ASSERT_EQ(r.findings.size(), 3u) << render_text(r, /*fix_hints=*/false);
+  EXPECT_EQ(r.findings[0].rule, "L9");
+  EXPECT_EQ(r.findings[0].line, 19u);  // [&box = outbox_]
+  EXPECT_EQ(r.findings[0].severity, Severity::kError);
+  EXPECT_NE(r.findings[0].message.find("'&box'"), std::string::npos);
+  EXPECT_NE(r.findings[0].message.find("outbox_"), std::string::npos);
+  EXPECT_EQ(r.findings[1].line, 24u);  // [&] { outbox_.clear(); }
+  EXPECT_NE(r.findings[1].message.find("captured this"), std::string::npos);
+  EXPECT_EQ(r.findings[2].line, 30u);  // [this] { drain(); }
+  EXPECT_NE(r.findings[2].message.find("via call to 'drain'"),
+            std::string::npos);
+}
+
+TEST(SpiderLint, L10FlagsCrossShardRawSchedulesOnly) {
+  // The foreign-shard schedule_at, the lying schedule_cross source, the
+  // foreign index threaded into rearm(), and the foreign-bound Simulator&
+  // fire; the same-shard variants of all four are the engineered false
+  // positives.
+  const LintReport r = lint_fixture("l10_cross_schedule.cpp", kSrc);
+  ASSERT_EQ(r.findings.size(), 4u) << render_text(r, /*fix_hints=*/false);
+  EXPECT_EQ(r.findings[0].rule, "L10");
+  EXPECT_EQ(r.findings[0].line, 26u);  // shard(target).schedule_at
+  EXPECT_EQ(r.findings[0].severity, Severity::kError);
+  EXPECT_NE(r.findings[0].message.find("use schedule_cross"),
+            std::string::npos);
+  EXPECT_EQ(r.findings[1].line, 30u);  // schedule_cross(target, zone, ...)
+  EXPECT_NE(r.findings[1].message.find("claims source shard 'target'"),
+            std::string::npos);
+  EXPECT_EQ(r.findings[2].line, 32u);  // rearm(target)
+  EXPECT_NE(r.findings[2].message.find("'rearm'"), std::string::npos);
+  EXPECT_EQ(r.findings[3].line, 37u);  // far.schedule_at
+  EXPECT_NE(r.findings[3].message.find("'far'"), std::string::npos);
+}
+
+TEST(SpiderLint, L11FlagsBareDelaysAndGradesTheFloor) {
+  // The bare +500 and the below-floor +64 fire; the lookahead-derived and
+  // symbolic delays are the engineered false positives. The below-floor
+  // constant gets the sharper certain-breach message.
+  const LintReport r = lint_fixture("l11_lookahead.cpp", kSrc);
+  ASSERT_EQ(r.findings.size(), 2u) << render_text(r, /*fix_hints=*/false);
+  EXPECT_EQ(r.findings[0].rule, "L11");
+  EXPECT_EQ(r.findings[0].line, 26u);  // now + 500
+  EXPECT_EQ(r.findings[0].severity, Severity::kError);
+  EXPECT_NE(r.findings[0].message.find("bare numeric constants"),
+            std::string::npos);
+  EXPECT_EQ(r.findings[1].line, 28u);  // now + 64
+  EXPECT_NE(r.findings[1].message.find("64 ns"), std::string::npos);
+  EXPECT_NE(r.findings[1].message.find("below the torus hop floor"),
+            std::string::npos);
+}
+
+TEST(SpiderLint, L12FlagsUnguardedPoolCapturesOnly) {
+  // The this-touched plain member, the joinless by-ref local, the joinless
+  // default-ref, and the member-aliasing init-capture fire; the fork-join
+  // local, the atomic/guarded/mutex members, and the joined local are the
+  // engineered false positives.
+  const LintReport r = lint_fixture("l12_pool_capture.cpp", kSrc);
+  ASSERT_EQ(r.findings.size(), 4u) << render_text(r, /*fix_hints=*/false);
+  EXPECT_EQ(r.findings[0].rule, "L12");
+  EXPECT_EQ(r.findings[0].line, 35u);  // rows_.push_back through this
+  EXPECT_EQ(r.findings[0].severity, Severity::kError);
+  EXPECT_NE(r.findings[0].message.find("rows_"), std::string::npos);
+  EXPECT_EQ(r.findings[1].line, 48u);  // [&local] without a join
+  EXPECT_NE(r.findings[1].message.find("no visible join"), std::string::npos);
+  EXPECT_EQ(r.findings[2].line, 53u);  // [&] without a join
+  EXPECT_NE(r.findings[2].message.find("default by-reference"),
+            std::string::npos);
+  EXPECT_EQ(r.findings[3].line, 61u);  // [&rows = rows_] under a join
+  EXPECT_NE(r.findings[3].message.find("'&rows'"), std::string::npos);
+}
+
+TEST(SpiderLint, LambdaEdgeCasesStayQuiet) {
+  // Subscripts, attributes, structured bindings, moves, template lambdas,
+  // nested lambdas, and an unparseable capture list — all engineered to
+  // look like hazardous captures. None may fire.
+  const LintReport r = lint_fixture("lambda_edges.cpp", kSrc);
+  EXPECT_TRUE(r.clean()) << render_text(r, /*fix_hints=*/false);
 }
 
 TEST(SpiderLint, TokenizerEdgeCasesStayQuiet) {
@@ -327,6 +420,126 @@ TEST(SpiderLint, BaselineReportsStaleEntries) {
   ASSERT_EQ(stale.size(), 1u);
   EXPECT_EQ(stale[0].message, "a finding that was fixed long ago");
   EXPECT_EQ(r.findings.size(), 1u);  // nothing was eaten
+}
+
+TEST(SpiderLint, PruneBaselinePreservesEverythingButStaleEntries) {
+  const std::string text =
+      "# header comment survives\n"
+      "\n"
+      "L8 :: a/live.cpp :: still here :: keep me\n"
+      "L8 :: a/gone.cpp :: fixed finding :: drop me\n"
+      "not a baseline line\n"
+      "L6 :: b/gone.cpp :: fixed finding :: drop me too\n";
+  const std::vector<BaselineEntry> stale = {
+      {.rule = "L8", .file = "a/gone.cpp", .message = "fixed finding",
+       .reason = "ignored"},
+      {.rule = "L6", .file = "b/gone.cpp", .message = "fixed finding",
+       .reason = "reasons never match"}};
+  std::size_t pruned = 0;
+  const std::string out = prune_baseline_text(text, stale, pruned);
+  EXPECT_EQ(pruned, 2u);
+  EXPECT_EQ(out,
+            "# header comment survives\n"
+            "\n"
+            "L8 :: a/live.cpp :: still here :: keep me\n"
+            "not a baseline line\n");
+
+  // Pruning nothing is the identity: comments, blanks, and malformed
+  // lines all round-trip byte for byte.
+  const std::string same = prune_baseline_text(text, {}, pruned);
+  EXPECT_EQ(pruned, 0u);
+  EXPECT_EQ(same, text);
+}
+
+// ---------------------------------------------------------------------------
+// Capture parser (find_lambdas): the foundation under L9/L12. Parsed
+// lambdas expose exact capture kinds; anything the parser cannot
+// understand is marked unparsed, never misread.
+
+std::vector<LambdaSym> lambdas_of(std::string_view src) {
+  const SourceFile file = scan_source("mem.cpp", src);
+  return find_lambdas(tokenize(file));
+}
+
+TEST(SpiderLint, CaptureParserClassifiesEveryKind) {
+  const std::vector<LambdaSym> lams = lambdas_of(
+      "void f() {\n"
+      "  auto a = [&] { run(); };\n"
+      "  auto b = [=, this] { run(); };\n"
+      "  auto c = [&queue, count, *this] { run(); };\n"
+      "  auto d = [buf = make(), &ref = slot_] { run(); };\n"
+      "}\n");
+  ASSERT_EQ(lams.size(), 4u);
+
+  ASSERT_TRUE(lams[0].parsed);
+  ASSERT_EQ(lams[0].captures.size(), 1u);
+  EXPECT_EQ(lams[0].captures[0].kind, CaptureKind::kDefaultRef);
+  EXPECT_TRUE(lams[0].captures_this());
+  EXPECT_TRUE(lams[0].has_ref_default());
+
+  ASSERT_TRUE(lams[1].parsed);
+  ASSERT_EQ(lams[1].captures.size(), 2u);
+  EXPECT_EQ(lams[1].captures[0].kind, CaptureKind::kDefaultValue);
+  EXPECT_EQ(lams[1].captures[1].kind, CaptureKind::kThis);
+  EXPECT_TRUE(lams[1].captures_this());
+
+  ASSERT_TRUE(lams[2].parsed);
+  ASSERT_EQ(lams[2].captures.size(), 3u);
+  EXPECT_EQ(lams[2].captures[0].kind, CaptureKind::kByRef);
+  EXPECT_EQ(lams[2].captures[0].name, "queue");
+  EXPECT_EQ(lams[2].captures[1].kind, CaptureKind::kByValue);
+  EXPECT_EQ(lams[2].captures[1].name, "count");
+  EXPECT_EQ(lams[2].captures[2].kind, CaptureKind::kStarThis);
+  EXPECT_TRUE(lams[2].captures_this());
+  EXPECT_FALSE(lams[2].has_ref_default());
+
+  ASSERT_TRUE(lams[3].parsed);
+  ASSERT_EQ(lams[3].captures.size(), 2u);
+  EXPECT_EQ(lams[3].captures[0].kind, CaptureKind::kByValue);
+  EXPECT_TRUE(lams[3].captures[0].init);
+  EXPECT_EQ(lams[3].captures[1].kind, CaptureKind::kByRef);
+  EXPECT_EQ(lams[3].captures[1].name, "ref");
+  EXPECT_TRUE(lams[3].captures[1].init);
+  EXPECT_NE(lams[3].captures[1].init_expr.find("slot_"), std::string::npos);
+}
+
+TEST(SpiderLint, CaptureParserHandlesTemplateAndNestedLambdas) {
+  const std::vector<LambdaSym> lams = lambdas_of(
+      "void f() {\n"
+      "  auto t = [&]<typename T>(T x) mutable noexcept -> int {\n"
+      "    auto inner = [x] { return x; };\n"
+      "    return inner();\n"
+      "  };\n"
+      "}\n");
+  ASSERT_EQ(lams.size(), 2u);
+  EXPECT_TRUE(lams[0].parsed);
+  EXPECT_TRUE(lams[0].has_ref_default());
+  EXPECT_TRUE(lams[1].parsed);
+  ASSERT_EQ(lams[1].captures.size(), 1u);
+  EXPECT_EQ(lams[1].captures[0].name, "x");
+  // The nested body lies inside the outer body.
+  EXPECT_GT(lams[1].body_begin, lams[0].body_begin);
+  EXPECT_LT(lams[1].body_end, lams[0].body_end);
+}
+
+TEST(SpiderLint, CaptureParserRejectsLookalikesAndMisparses) {
+  // Subscripts, attributes, and structured bindings are not lambdas; a
+  // macro in the capture list yields parsed == false (degrade to a missed
+  // finding), and a pack capture still parses.
+  EXPECT_TRUE(lambdas_of("int g() { return xs[0] + ys[i]; }\n").empty());
+  EXPECT_TRUE(lambdas_of("[[nodiscard]] int h();\n").empty());
+  EXPECT_TRUE(lambdas_of("void f() { auto& [a, b] = pair_; use(a, b); }\n")
+                  .empty());
+
+  const std::vector<LambdaSym> bad =
+      lambdas_of("void f() { run([MACRO()] { touch_(); }); }\n");
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_FALSE(bad[0].parsed);
+
+  const std::vector<LambdaSym> pack =
+      lambdas_of("void f() { run([xs...] { use(xs...); }); }\n");
+  ASSERT_EQ(pack.size(), 1u);
+  EXPECT_TRUE(pack[0].parsed);
 }
 
 TEST(SpiderLint, BaselineRoundTripsThroughWriteBaseline) {
