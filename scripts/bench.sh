@@ -4,6 +4,7 @@
 # its checked-in pre-PR baseline:
 #   bench_micro_engine -> BENCH_engine.json (ci/bench-baseline-engine.json)
 #   bench_macro_scale  -> BENCH_scale.json  (ci/bench-baseline-scale.json)
+#   bench_fsck         -> BENCH_fsck.json   (ci/bench-baseline-fsck.json)
 #
 # Usage: scripts/bench.sh [--smoke] [build-dir]
 #   --smoke     seconds-long run sized for CI; full mode is the default and
@@ -31,7 +32,7 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 echo "=== [bench] configure + build (Release) ==="
 cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "${BUILD_DIR}" -j "${JOBS}" \
-    --target bench_micro_engine bench_macro_scale
+    --target bench_micro_engine bench_macro_scale bench_fsck
 
 echo "=== [bench] engine throughput ==="
 "${BUILD_DIR}/bench/bench_micro_engine" \
@@ -43,4 +44,10 @@ echo "=== [bench] macro-scale sharded engine ==="
 "${BUILD_DIR}/bench/bench_macro_scale" \
     --spider-json=BENCH_scale.json \
     --baseline=ci/bench-baseline-scale.json \
+    ${SMOKE}
+
+echo "=== [bench] spiderfsck scan throughput ==="
+"${BUILD_DIR}/bench/bench_fsck" \
+    --spider-json=BENCH_fsck.json \
+    --baseline=ci/bench-baseline-fsck.json \
     ${SMOKE}

@@ -12,9 +12,11 @@
 # scenarios under ASan and diffs the JSON verdicts the same way, a
 # parallel-campaign stage proves spiderfault --jobs=8 emits bytes identical
 # to the serial run, a sharded-engine stage proves --shards=1/2/8 does too
-# (docs/parallel-engine.md), and a bench-smoke stage runs the engine
-# throughput loops against the checked-in baselines (scripts/bench.sh
-# --smoke).
+# (docs/parallel-engine.md), a fsck stage runs the corrupt -> detect ->
+# repair -> re-verify loop under ASan (spiderfsck at --jobs 1/2/4/8 plus
+# spiderfault --fsck over the smoke plans, docs/fsck.md), and a bench-smoke
+# stage runs the engine throughput loops against the checked-in baselines
+# (scripts/bench.sh --smoke).
 #
 # Usage: scripts/check.sh [build-root]   (default: build-check/)
 set -euo pipefail
@@ -134,6 +136,54 @@ for SHARDS in 1 2 8; do
   fi
 done
 
+# Corrupt -> fsck -> oracle loop under ASan (docs/fsck.md): spiderfsck must
+# flag a seeded-corrupt tree (dry run exits 1), repair it in one pass (exit
+# 0), and emit byte-identical JSON at every --jobs fan-out; spiderfault
+# --fsck then runs the repair stage after every plans/ campaign and each
+# verdict's repair section must report post_repair_clean — with the
+# --fsck-jobs=8 output byte-identical to serial.
+FSCK_BIN="${BUILD_ROOT}/address/tools/spiderfsck"
+echo "=== fsck corrupt/repair loop (ASan) ==="
+if "${FSCK_BIN}" --corrupt=10 --dry-run --json \
+    > "${BUILD_ROOT}/fsck_dry.json" 2>/dev/null; then
+  echo "FAIL: spiderfsck --dry-run reported a corrupt tree clean" >&2
+  exit 1
+fi
+if ! "${FSCK_BIN}" --corrupt=10 --json \
+    > "${BUILD_ROOT}/fsck_repair.json" 2>/dev/null; then
+  echo "FAIL: spiderfsck repair did not converge on the corrupt tree" >&2
+  exit 1
+fi
+for FSCK_JOBS in 1 2 4 8; do
+  "${FSCK_BIN}" --corrupt=10 --dry-run --json --jobs="${FSCK_JOBS}" \
+      > "${BUILD_ROOT}/fsck_jobs${FSCK_JOBS}.json" 2>/dev/null || true
+  if ! diff "${BUILD_ROOT}/fsck_jobs1.json" \
+            "${BUILD_ROOT}/fsck_jobs${FSCK_JOBS}.json"; then
+    echo "FAIL: spiderfsck --jobs=${FSCK_JOBS} diverged from serial" >&2
+    exit 1
+  fi
+done
+echo "=== campaign fsck stage (spiderfault --fsck, ASan) ==="
+"${FAULT_BIN}" --fsck \
+    plans/smoke_rebuild.fplan plans/smoke_failover.fplan \
+    plans/smoke_netstorm.fplan \
+    > "${BUILD_ROOT}/faults_fsck.jsonl"
+"${FAULT_BIN}" --fsck --fsck-jobs=8 \
+    plans/smoke_rebuild.fplan plans/smoke_failover.fplan \
+    plans/smoke_netstorm.fplan \
+    > "${BUILD_ROOT}/faults_fsck_jobs8.jsonl"
+if ! diff "${BUILD_ROOT}/faults_fsck.jsonl" \
+          "${BUILD_ROOT}/faults_fsck_jobs8.jsonl"; then
+  echo "FAIL: spiderfault --fsck-jobs=8 diverged from the serial fsck" >&2
+  exit 1
+fi
+if grep -q '"post_repair_clean": false' "${BUILD_ROOT}/faults_fsck.jsonl" \
+    || ! grep -q '"post_repair_clean": true' \
+         "${BUILD_ROOT}/faults_fsck.jsonl"; then
+  echo "FAIL: a campaign's repaired state re-checked dirty" >&2
+  exit 1
+fi
+
 # Engine throughput smoke: seconds-long loops, shape-checked against
 # ci/bench-baseline-engine.json (0.60x floor). Catches engine-level perf
 # collapses — an accidental per-event allocation, a serialized pool — not
@@ -142,4 +192,5 @@ echo "=== bench smoke (engine throughput vs baseline) ==="
 scripts/bench.sh --smoke "${BUILD_ROOT}/bench"
 
 echo "OK: sanitized suites passed, replay hashes and fault verdicts stable," \
-     "parallel and sharded campaigns deterministic, bench smoke within baseline"
+     "parallel and sharded campaigns deterministic, fsck repairs converged," \
+     "bench smoke within baseline"

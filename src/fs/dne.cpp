@@ -34,6 +34,12 @@ DneNamespace::OpOutcome DneNamespace::account(std::uint64_t dir_id, MetaOp op,
   return out;
 }
 
+double DneNamespace::load_of(std::size_t mdt) const { return load_.at(mdt); }
+
+void DneNamespace::fsck_set_load(std::size_t mdt, double load) {
+  load_.at(mdt) = load;
+}
+
 double DneNamespace::imbalance() const { return imbalance_of(load_); }
 
 void DneNamespace::reset() { load_.assign(params_.mdts, 0.0); }

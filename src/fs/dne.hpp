@@ -55,6 +55,12 @@ class DneNamespace {
 
   /// Accumulated weighted load per MDT.
   const std::vector<double>& load() const { return load_; }
+  /// Load of one MDT, bounds-checked — the stable per-shard walk spiderfsck
+  /// uses (index order is MDT id order, deterministic at any scan fan-out).
+  double load_of(std::size_t mdt) const;
+  /// Overwrite one MDT's accounted load (spiderfsck drift repair, and the
+  /// seeded corruptions its tests inject).
+  void fsck_set_load(std::size_t mdt, double load);
   /// max/mean - 1 over MDT loads.
   double imbalance() const;
   void reset();

@@ -6,17 +6,13 @@
 namespace spider::fs {
 
 namespace {
-// FileId layout: (generation << 32) | (slot + 1). Slot reuse bumps the
-// generation so stale ids never alias a new file.
+// Local aliases for the public codec in fs_namespace.hpp.
 constexpr FileId make_id(std::uint32_t generation, std::size_t slot) {
-  return (static_cast<FileId>(generation) << 32) |
-         static_cast<FileId>(slot + 1);
+  return file_id_for_slot(generation, slot);
 }
-constexpr std::size_t slot_of(FileId id) {
-  return static_cast<std::size_t>((id & 0xffffffffULL) - 1);
-}
+constexpr std::size_t slot_of(FileId id) { return slot_of_file_id(id); }
 constexpr std::uint32_t generation_of(FileId id) {
-  return static_cast<std::uint32_t>(id >> 32);
+  return generation_of_file_id(id);
 }
 }  // namespace
 
@@ -115,6 +111,31 @@ void FsNamespace::for_each_file(
   for (const auto& rec : files_) {
     if (rec.alive) fn(rec);
   }
+}
+
+std::vector<FileId> FsNamespace::live_ids() const {
+  std::vector<FileId> ids;
+  ids.reserve(live_files_);
+  for (const auto& rec : files_) {
+    if (rec.alive) ids.push_back(rec.id);
+  }
+  return ids;
+}
+
+std::uint64_t FsNamespace::recount_live() const {
+  std::uint64_t n = 0;
+  for (const auto& rec : files_) {
+    if (rec.alive) ++n;
+  }
+  return n;
+}
+
+std::span<std::uint32_t> FsNamespace::fsck_stripes(const FileRecord& rec) {
+  const std::size_t begin =
+      std::min<std::size_t>(rec.stripe_offset, stripe_pool_.size());
+  const std::size_t count =
+      std::min<std::size_t>(rec.stripe_count, stripe_pool_.size() - begin);
+  return {stripe_pool_.data() + begin, count};
 }
 
 Bytes FsNamespace::capacity() const {

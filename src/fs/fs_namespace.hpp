@@ -27,6 +27,22 @@ namespace spider::fs {
 using FileId = std::uint64_t;
 inline constexpr FileId kNoFile = 0;
 
+// FileId layout: (generation << 32) | (slot + 1). Slot reuse bumps the
+// generation so stale ids never alias a new file. The codec is public so
+// spiderfsck can verify a record's id against its table position (and
+// rewrite it when corrupt).
+inline constexpr FileId file_id_for_slot(std::uint32_t generation,
+                                         std::size_t slot) {
+  return (static_cast<FileId>(generation) << 32) |
+         static_cast<FileId>(slot + 1);
+}
+inline constexpr std::size_t slot_of_file_id(FileId id) {
+  return static_cast<std::size_t>((id & 0xffffffffULL) - 1);
+}
+inline constexpr std::uint32_t generation_of_file_id(FileId id) {
+  return static_cast<std::uint32_t>(id >> 32);
+}
+
 struct FileRecord {
   FileId id = kNoFile;
   std::uint32_t project = 0;
@@ -72,6 +88,36 @@ class FsNamespace {
 
   /// Visit every live file.
   void for_each_file(const std::function<void(const FileRecord&)>& fn) const;
+
+  // --- stable enumeration (spiderfsck scan phases, spiderlint L1) ---------
+  // The inode table is a slot vector, so slot index IS the canonical walk
+  // order: ascending, gap-free, identical at any scan fan-out. Dead slots
+  // are exposed too — fsck inspects them for zombie records.
+  /// Number of inode-table slots ever allocated (live + dead).
+  std::size_t slot_count() const { return files_.size(); }
+  /// Record in slot `i`, alive or not.
+  const FileRecord& slot_record(std::size_t i) const { return files_.at(i); }
+  /// Live file ids in ascending slot order — the canonical stable walk
+  /// (sort the result for ascending-id order; both are deterministic).
+  std::vector<FileId> live_ids() const;
+  /// Ground-truth recount of live records (fsck checks live_files() drift
+  /// against this).
+  std::uint64_t recount_live() const;
+  std::size_t stripe_pool_size() const { return stripe_pool_.size(); }
+
+  // --- fsck repair / seeded-corruption surface ----------------------------
+  // Deliberately blunt mutators, named so call sites are greppable: only
+  // tools/spiderfsck (repair phase) and seeded-corruption tests may touch
+  // them. They bypass aliveness checks because fsck must reach zombies.
+  /// Mutable record access by slot, dead slots included.
+  FileRecord& fsck_record(std::size_t slot) { return files_.at(slot); }
+  /// Mutable view of a record's stripe entries, clamped to the pool (a
+  /// corrupt record can claim a span past the pool's end).
+  std::span<std::uint32_t> fsck_stripes(const FileRecord& rec);
+  /// Overwrite the live-file counter (fsck live-count repair).
+  void fsck_set_live_files(std::uint64_t n) { live_files_ = n; }
+  /// Overwrite the created-file counter (fsck journal reconciliation).
+  void fsck_set_total_created(std::uint64_t n) { total_created_ = n; }
 
   // --- capacity ----------------------------------------------------------
   Bytes capacity() const;

@@ -1,5 +1,7 @@
 #include "fs/journal.hpp"
 
+#include <algorithm>
+
 namespace spider::fs {
 
 double JournalModel::write_efficiency() const {
@@ -24,6 +26,35 @@ double JournalModel::commit_latency_s() const {
       return 0.5e-3;
   }
   return 0.0;
+}
+
+// --- OpLog ------------------------------------------------------------------
+
+std::uint64_t OpLog::append(OpKind kind, std::uint64_t file,
+                            std::uint32_t project, Bytes size,
+                            std::int64_t at) {
+  OpRecord rec;
+  rec.txid = next_txid_++;
+  rec.kind = kind;
+  rec.file = file;
+  rec.project = project;
+  rec.size = size;
+  rec.at = at;
+  records_.push_back(rec);
+  return rec.txid;
+}
+
+void OpLog::commit(std::uint64_t txid) {
+  committed_ = std::max(committed_, std::min(txid, last_txid()));
+}
+
+void OpLog::truncate_to(std::uint64_t txid) {
+  if (txid >= last_txid()) return;
+  while (!records_.empty() && records_.back().txid > txid) {
+    records_.pop_back();
+  }
+  next_txid_ = txid + 1;
+  committed_ = std::min(committed_, txid);
 }
 
 }  // namespace spider::fs

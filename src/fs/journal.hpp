@@ -8,6 +8,11 @@
 // commit (stock tuning), and the OLCF hardware/async journaling work (best).
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+
 namespace spider::fs {
 
 enum class JournalMode {
@@ -26,6 +31,67 @@ struct JournalModel {
   double write_efficiency() const;
   /// Added latency per write RPC batch, seconds.
   double commit_latency_s() const;
+};
+
+// --- metadata op journal ----------------------------------------------------
+//
+// The redo log spiderfsck (tools/spiderfsck) cross-references against the
+// namespace: every create/unlink lands here with a monotone transaction id,
+// and a committed cursor marks the durable prefix. Consumers rebuild
+// namespace-level counters by replaying the log (fs/recovery.hpp,
+// replay_op_log) instead of rescanning the namespace — the Robinhood-style
+// changelog direction from ROADMAP item 2, grown here just far enough to
+// close the inject -> detect -> fsck -> re-verify loop.
+
+enum class OpKind : std::uint8_t {
+  kCreate,
+  kUnlink,
+};
+
+/// One journaled metadata operation. `file` is the fs::FileId value (kept as
+/// a raw integer here so the journal stays below fs_namespace.hpp in the
+/// include graph).
+struct OpRecord {
+  std::uint64_t txid = 0;  ///< monotone from 1; gaps mean lost records
+  OpKind kind = OpKind::kCreate;
+  std::uint64_t file = 0;
+  std::uint32_t project = 0;
+  Bytes size = 0;
+  std::int64_t at = 0;  ///< sim::SimTime value of the operation
+};
+
+/// Append-only op journal with a committed cursor. Records are held in txid
+/// order; truncate_to models a crash that loses the uncommitted tail, and
+/// records_mutable lets seeded-corruption tests drop interior records (the
+/// breaches spiderfsck must detect).
+class OpLog {
+ public:
+  /// Append one record; returns its txid.
+  std::uint64_t append(OpKind kind, std::uint64_t file, std::uint32_t project,
+                       Bytes size, std::int64_t at);
+
+  const std::vector<OpRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  std::uint64_t last_txid() const { return next_txid_ - 1; }
+
+  /// Durable prefix: records with txid <= committed() survived the crash.
+  std::uint64_t committed() const { return committed_; }
+  /// Advance the cursor (clamped to last_txid; never moves backwards).
+  void commit(std::uint64_t txid);
+
+  /// Crash-lose every record with txid > `txid`; the cursor clamps and the
+  /// next append reuses txid + 1 (the tail genuinely never happened).
+  void truncate_to(std::uint64_t txid);
+
+  /// Corruption surface for fsck tests: direct record access. Dropping an
+  /// interior record leaves a txid gap the checker must notice via the
+  /// namespace cross-reference.
+  std::vector<OpRecord>& records_mutable() { return records_; }
+
+ private:
+  std::vector<OpRecord> records_;
+  std::uint64_t next_txid_ = 1;
+  std::uint64_t committed_ = 0;
 };
 
 }  // namespace spider::fs

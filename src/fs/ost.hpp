@@ -54,6 +54,9 @@ class Ost {
   void release(Bytes size);
   /// Force the used-space counter (fill-state experiments).
   void set_used(Bytes used) { used_ = std::min(used, capacity()); }
+  /// Overwrite the object counter (spiderfsck orphan reclaim / lost-object
+  /// accounting repair, and the seeded corruptions its tests inject).
+  void fsck_set_object_count(std::uint64_t objects) { objects_ = objects; }
 
   /// Bandwidth multiplier from free-space state, piecewise linear with the
   /// knees documented above.

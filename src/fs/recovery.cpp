@@ -1,6 +1,7 @@
 #include "fs/recovery.hpp"
 
 #include <algorithm>
+#include <map>
 
 namespace spider::fs {
 
@@ -34,6 +35,45 @@ FailoverOutcome simulate_oss_failover(const RecoveryParams& params) {
   }
 
   out.total_outage_s = out.detection_s + out.reconnect_s + out.straggler_wait_s;
+  return out;
+}
+
+// --- journal-cursor replay --------------------------------------------------
+
+OpLogSummary replay_op_log(const OpLog& log) {
+  OpLogSummary out;
+  // File ids are unique for a file's lifetime (slot reuse bumps the
+  // generation), so each id sees at most one create and one unlink; an
+  // id-ordered map keeps the replayed live set deterministic.
+  std::map<std::uint64_t, Bytes> live;
+  for (const OpRecord& rec : log.records()) {
+    switch (rec.kind) {
+      case OpKind::kCreate:
+        ++out.creates;
+        live.emplace(rec.file, rec.size);
+        break;
+      case OpKind::kUnlink:
+        ++out.unlinks;
+        live.erase(rec.file);
+        break;
+    }
+  }
+  out.live.reserve(live.size());
+  for (const auto& [file, size] : live) {
+    out.live.push_back(file);
+    out.live_bytes += size;
+  }
+  out.last_txid = log.last_txid();
+  return out;
+}
+
+JournalReplayOutcome replay_from_cursor(const OpLog& log,
+                                        std::uint64_t cursor) {
+  JournalReplayOutcome out;
+  for (const OpRecord& rec : log.records()) {
+    if (rec.txid > cursor) ++out.replayed;
+  }
+  out.new_cursor = std::max(cursor, log.last_txid());
   return out;
 }
 

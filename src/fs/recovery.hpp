@@ -13,6 +13,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "fs/journal.hpp"
 
 namespace spider::fs {
 
@@ -51,5 +56,37 @@ struct FailoverOutcome {
 
 /// Model one OSS failover under the given feature set.
 FailoverOutcome simulate_oss_failover(const RecoveryParams& params);
+
+// --- journal-cursor replay --------------------------------------------------
+//
+// The crash-consistency half of recovery: fold an OpLog (fs/journal.hpp)
+// back into namespace-level state without scanning the namespace itself.
+// spiderfsck uses this as its phase-2 cross-reference (journal-derived
+// counters and live set vs. the inode table) and as its phase-3 repair
+// primitive (advance the cursor over a backfilled tail).
+
+/// Counters derived from one full replay of an op log.
+struct OpLogSummary {
+  std::uint64_t creates = 0;
+  std::uint64_t unlinks = 0;
+  /// Files whose last journaled op is a create (created and never unlinked),
+  /// ascending file-id order — the journal's view of the live set.
+  std::vector<std::uint64_t> live;
+  /// Sum of the sizes of the journal-live files.
+  Bytes live_bytes = 0;
+  std::uint64_t last_txid = 0;
+};
+
+/// Replay every record of `log` from txid 1 through the tail.
+OpLogSummary replay_op_log(const OpLog& log);
+
+/// Replay only the records beyond `cursor` (exclusive), on top of nothing —
+/// the incremental consumer's step. Returns the number of records applied
+/// and the cursor value after the replay (the log's last txid).
+struct JournalReplayOutcome {
+  std::uint64_t replayed = 0;
+  std::uint64_t new_cursor = 0;
+};
+JournalReplayOutcome replay_from_cursor(const OpLog& log, std::uint64_t cursor);
 
 }  // namespace spider::fs

@@ -140,6 +140,13 @@ void OracleSuite::check_now() {
   for (const auto& oracle : oracles_) oracle->check(now, violations_);
 }
 
+std::vector<OracleViolation> OracleSuite::recheck_now() {
+  const SimTime now = sim_.now();
+  std::vector<OracleViolation> found;
+  for (const auto& oracle : oracles_) oracle->check(now, found);
+  return found;
+}
+
 void OracleSuite::schedule_checks(SimTime interval, SimTime until,
                                   std::source_location loc) {
   if (interval <= 0) throw std::invalid_argument("oracle interval must be > 0");

@@ -65,6 +65,14 @@ class OracleSuite {
   /// so capacity changes line up with check windows).
   void check_now();
 
+  /// Sweep every oracle now but return the findings instead of folding them
+  /// into the suite's violation log — the post-repair re-verification path
+  /// (tools/spiderfsck): the in-run verdict stays what the run observed,
+  /// while the caller learns whether the repaired state is invariant-clean.
+  /// Stateful oracles advance their cursors exactly as in check_now(), so
+  /// the suite remains re-runnable afterwards.
+  std::vector<OracleViolation> recheck_now();
+
   /// Schedule periodic sweeps every `interval` until `until` (inclusive of
   /// a final sweep at the horizon). Uses ordinary simulator events, so the
   /// sweep cadence is part of the replay stream; the caller's location is

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "fs/recovery.hpp"
+
 namespace spider::tools {
 
 namespace {
@@ -234,8 +236,23 @@ std::string verdict_json(const RunVerdict& verdict) {
      << ", \"files_purged\": " << verdict.files_purged
      << ", \"delivered\": " << verdict.delivered
      << ", \"data_lost\": " << (verdict.data_lost ? "true" : "false")
-     << ", \"clean\": " << (verdict.clean() ? "true" : "false")
-     << ", \"violations\": " << sim::violations_json(verdict.violations)
+     << ", \"clean\": " << (verdict.clean() ? "true" : "false");
+  if (verdict.repair.ran) {
+    os << ", \"repair\": {\"findings\": " << verdict.repair.findings
+       << ", \"repairs\": " << verdict.repair.repairs << ", \"kinds\": [";
+    for (std::size_t i = 0; i < verdict.repair.kinds.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << "\"";
+      json_escape(os, verdict.repair.kinds[i]);
+      os << "\"";
+    }
+    os << "], \"findings_hash\": \"" << to_hex(verdict.repair.findings_hash)
+       << "\", \"state_hash\": \"" << to_hex(verdict.repair.state_hash)
+       << "\", \"post_violations\": " << verdict.repair.post_violations
+       << ", \"post_repair_clean\": "
+       << (verdict.repair.post_clean ? "true" : "false") << "}";
+  }
+  os << ", \"violations\": " << sim::violations_json(verdict.violations)
      << "}";
   return os.str();
 }
@@ -461,6 +478,9 @@ void FaultCampaign::do_create() {
   const fs::FileId id = ns_->create_file(project, size, sim_.now(), rng_);
   if (id == fs::kNoFile) return;
   ++journal_.creates;
+  oplog_.append(fs::OpKind::kCreate, id, project, size,
+                static_cast<std::int64_t>(sim_.now()));
+  oplog_.commit(oplog_.last_txid());
   files_.push_back(id);
   const auto stripes = ns_->stripes_of(ns_->file(id));
   const std::size_t g =
@@ -494,9 +514,58 @@ void FaultCampaign::do_read() {
 void FaultCampaign::do_purge() {
   fs::PurgePolicy policy;
   policy.window_days = cfg_.purge_window_days;
+  // The purge report carries counts, not ids; snapshot the live set first
+  // so every purged file lands in the op journal as an unlink record. This
+  // journals state only — no simulator events — so replay hashes are
+  // untouched.
+  struct Doomed {
+    fs::FileId id;
+    std::uint32_t project;
+    Bytes size;
+  };
+  std::vector<Doomed> before;
+  ns_->for_each_file([&before](const fs::FileRecord& rec) {
+    before.push_back(Doomed{rec.id, rec.project, rec.size});
+  });
   const fs::PurgeReport report = fs::run_purge(*ns_, sim_.now(), policy);
   journal_.unlinks += report.purged;
+  for (const Doomed& d : before) {
+    if (ns_->exists(d.id)) continue;
+    oplog_.append(fs::OpKind::kUnlink, d.id, d.project, d.size,
+                  static_cast<std::int64_t>(sim_.now()));
+  }
+  oplog_.commit(oplog_.last_txid());
   purge_reports_.push_back(report);
+}
+
+FsckTarget FaultCampaign::fsck_target() {
+  FsckTarget target;
+  target.ns = ns_.get();
+  target.journal = &oplog_;
+  return target;
+}
+
+FaultCampaign::FsckOutcome FaultCampaign::fsck_and_reverify(
+    const FsckOptions& options) {
+  FsckOutcome out;
+  FsckOptions repair_opts = options;
+  repair_opts.repair = true;
+  const FsckTarget target = fsck_target();
+  out.report = run_fsck(target, repair_opts);
+
+  FsckOptions recheck;
+  recheck.jobs = 1;
+  recheck.shards = repair_opts.shards;
+  out.converged = run_fsck(target, recheck).clean();
+
+  // The namespace-journal oracle watches the campaign's counters; rebuild
+  // them from the repaired op log so the re-sweep judges repaired state.
+  const fs::OpLogSummary summary = fs::replay_op_log(oplog_);
+  journal_.creates = summary.creates;
+  journal_.unlinks = summary.unlinks;
+
+  out.post_violations = suite_.recheck_now();
+  return out;
 }
 
 void FaultCampaign::prepare() {
@@ -545,6 +614,53 @@ RunVerdict run_campaign(const sim::FaultPlan& plan, std::uint64_t seed,
                         const CampaignConfig& cfg) {
   FaultCampaign campaign(plan, seed, cfg);
   return campaign.run();
+}
+
+namespace {
+
+/// Fold one fsck stage outcome into a verdict's repair section.
+void fill_repair(RunVerdict& verdict, const FaultCampaign::FsckOutcome& out) {
+  verdict.repair.ran = true;
+  verdict.repair.findings = out.report.findings.size();
+  verdict.repair.repairs = out.report.repairs_applied;
+  for (const Finding& f : out.report.findings) {
+    const std::string name(finding_kind_name(f.kind));
+    if (verdict.repair.kinds.empty() || verdict.repair.kinds.back() != name) {
+      verdict.repair.kinds.push_back(name);
+    }
+  }
+  verdict.repair.findings_hash = out.report.findings_hash;
+  verdict.repair.state_hash = out.report.state_hash;
+  verdict.repair.post_violations = out.post_violations.size();
+  verdict.repair.post_clean = out.post_clean();
+}
+
+}  // namespace
+
+RunVerdict run_campaign_checked(const sim::FaultPlan& plan, std::uint64_t seed,
+                                const CampaignConfig& cfg,
+                                const FsckOptions& fsck) {
+  FaultCampaign campaign(plan, seed, cfg);
+  RunVerdict verdict = campaign.run();
+  fill_repair(verdict, campaign.fsck_and_reverify(fsck));
+  return verdict;
+}
+
+RunVerdict run_campaign_sharded_checked(const sim::FaultPlan& plan,
+                                        std::uint64_t seed,
+                                        const CampaignConfig& cfg,
+                                        std::size_t shards,
+                                        std::size_t workers,
+                                        const FsckOptions& fsck) {
+  constexpr sim::SimTime kCampaignLookahead = 1 * sim::kSecond;
+  sim::ShardedConfig scfg;
+  scfg.lookahead = kCampaignLookahead;
+  scfg.workers = workers;
+  sim::ShardedSimulator engine(shards, scfg);
+  FaultCampaign campaign(plan, seed, cfg, engine.shard(0));
+  RunVerdict verdict = campaign.run_with(engine);
+  fill_repair(verdict, campaign.fsck_and_reverify(fsck));
+  return verdict;
 }
 
 RunVerdict run_campaign_sharded(const sim::FaultPlan& plan, std::uint64_t seed,

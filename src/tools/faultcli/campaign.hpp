@@ -41,6 +41,7 @@
 #include "sim/sharded_sim.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
+#include "tools/spiderfsck/fsck.hpp"
 
 namespace spider::tools {
 
@@ -138,6 +139,24 @@ struct RunVerdict {
   bool data_lost = false;
   std::vector<sim::OracleViolation> violations;
 
+  /// Outcome of the post-run fsck stage (inject -> detect -> fsck ->
+  /// re-run oracles). Populated by run_campaign_checked(); `ran` stays
+  /// false — and the JSON keeps its historical shape — otherwise.
+  struct RepairSummary {
+    bool ran = false;
+    std::uint64_t findings = 0;
+    std::uint64_t repairs = 0;
+    /// Distinct finding-kind names, canonical order.
+    std::vector<std::string> kinds;
+    std::uint64_t findings_hash = 0;
+    std::uint64_t state_hash = 0;
+    std::uint64_t post_violations = 0;
+    /// fsck re-check came back clean AND the post-repair oracle sweep
+    /// observed no violations.
+    bool post_clean = false;
+  };
+  RepairSummary repair;
+
   bool clean() const { return violations.empty(); }
 };
 
@@ -178,9 +197,28 @@ class FaultCampaign {
   sim::FlowNetwork& network() { return net_; }
   WriteLedger& ledger() { return ledger_; }
   OpJournal& journal() { return journal_; }
+  /// The redo log every create/purge-unlink lands in (fs/journal.hpp);
+  /// what spiderfsck cross-references the namespace against.
+  fs::OpLog& oplog() { return oplog_; }
   RebuildTracker& rebuilds() { return rebuilds_; }
   /// The purge-report log the purge-age oracle watches.
   std::vector<fs::PurgeReport>& purge_log() { return purge_reports_; }
+
+  /// The namespace + op journal as one fsck target (no DNE facet: the
+  /// campaign cluster models a single-MDS namespace).
+  FsckTarget fsck_target();
+
+  /// Post-run fsck stage: repair the namespace/journal/OSTs, re-check that
+  /// the repair converged, refresh the campaign's journal counters from the
+  /// op-log replay, and re-run every oracle against the repaired state.
+  /// Call after run()/run_with() — it checks state, not the event stream.
+  struct FsckOutcome {
+    FsckReport report;      ///< primary (repairing) pass
+    bool converged = false; ///< serial re-check found nothing
+    std::vector<sim::OracleViolation> post_violations;
+    bool post_clean() const { return converged && post_violations.empty(); }
+  };
+  FsckOutcome fsck_and_reverify(const FsckOptions& options = {});
 
  private:
   FaultCampaign(const sim::FaultPlan& plan, std::uint64_t seed,
@@ -220,6 +258,7 @@ class FaultCampaign {
   sim::ReplayRecorder recorder_;
   WriteLedger ledger_;
   OpJournal journal_;
+  fs::OpLog oplog_;
   RebuildTracker rebuilds_;
   std::vector<fs::PurgeReport> purge_reports_;
   std::vector<fs::FileId> files_;
@@ -243,5 +282,20 @@ RunVerdict run_campaign_sharded(const sim::FaultPlan& plan, std::uint64_t seed,
                                 const CampaignConfig& cfg = {},
                                 std::size_t shards = 1,
                                 std::size_t workers = 0);
+
+/// run_campaign plus the fsck stage: after the horizon, repair the cluster
+/// state, re-run every oracle, and fold the outcome into verdict.repair.
+/// The event-stream hashes are untouched — fsck runs outside the simulation.
+RunVerdict run_campaign_checked(const sim::FaultPlan& plan, std::uint64_t seed,
+                                const CampaignConfig& cfg = {},
+                                const FsckOptions& fsck = {});
+
+/// Sharded variant of run_campaign_checked (spiderfault --shards + --fsck).
+RunVerdict run_campaign_sharded_checked(const sim::FaultPlan& plan,
+                                        std::uint64_t seed,
+                                        const CampaignConfig& cfg = {},
+                                        std::size_t shards = 1,
+                                        std::size_t workers = 0,
+                                        const FsckOptions& fsck = {});
 
 }  // namespace spider::tools

@@ -9,6 +9,10 @@
 //   --shards=N            host each campaign on an N-shard epoch engine
 //                         (default 0 = the serial Simulator)
 //   --expect-violations   invert the verdict: exit 0 iff violations were found
+//   --fsck                after each run: spiderfsck repair + re-run oracles
+//                         (verdict JSON grows a "repair" section; a run whose
+//                         repaired state re-checks dirty always fails)
+//   --fsck-jobs=N         phase-1 scan lanes for the fsck stage (default 1)
 //
 // One JSON verdict line per run: plan name, seed, replay hash, stream hash,
 // telemetry, and the oracle violations (see docs/fault-injection.md for how
@@ -45,7 +49,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seeds=N] [--base-seed=S] [--mutations=M]\n"
                "       [--horizon-s=X] [--jobs=N] [--shards=N]\n"
-               "       [--expect-violations] <plan.fplan>...\n",
+               "       [--expect-violations] [--fsck] [--fsck-jobs=N]\n"
+               "       <plan.fplan>...\n",
                argv0);
   return 2;
 }
@@ -74,6 +79,8 @@ int main(int argc, char** argv) {
   std::uint64_t engine_shards = 0;  // 0 = serial Simulator
   double horizon_s = 0.0;
   bool expect_violations = false;
+  bool fsck = false;
+  std::uint64_t fsck_jobs = 1;
   std::vector<std::string> plan_paths;
 
   for (int i = 1; i < argc; ++i) {
@@ -104,6 +111,10 @@ int main(int argc, char** argv) {
       if (horizon_s <= 0.0) return usage(argv[0]);
     } else if (arg == "--expect-violations") {
       expect_violations = true;
+    } else if (arg == "--fsck") {
+      fsck = true;
+    } else if (arg.starts_with("--fsck-jobs=")) {
+      if (!parse_count(arg.substr(12), fsck_jobs)) return usage(argv[0]);
     } else if (arg.starts_with("--")) {
       std::fprintf(stderr, "spiderfault: unknown option '%s'\n", argv[i]);
       return usage(argv[0]);
@@ -157,25 +168,44 @@ int main(int argc, char** argv) {
   // Campaigns are independent single-threaded simulations, so they fan out
   // across the shared pool. Verdict lines are buffered per job and emitted
   // in enumeration order below, keeping stdout byte-identical to --jobs=1.
+  tools::FsckOptions fsck_opts;
+  fsck_opts.jobs = static_cast<std::size_t>(fsck_jobs);
   std::vector<tools::RunVerdict> verdicts(run_jobs.size());
   parallel_for(
       run_jobs.size(),
       [&](std::size_t i) {
-        verdicts[i] =
-            engine_shards > 0
-                ? tools::run_campaign_sharded(run_jobs[i].plan,
-                                              run_jobs[i].seed, cfg,
-                                              engine_shards)
-                : tools::run_campaign(run_jobs[i].plan, run_jobs[i].seed, cfg);
+        if (fsck) {
+          verdicts[i] =
+              engine_shards > 0
+                  ? tools::run_campaign_sharded_checked(
+                        run_jobs[i].plan, run_jobs[i].seed, cfg, engine_shards,
+                        /*workers=*/0, fsck_opts)
+                  : tools::run_campaign_checked(run_jobs[i].plan,
+                                                run_jobs[i].seed, cfg,
+                                                fsck_opts);
+        } else {
+          verdicts[i] =
+              engine_shards > 0
+                  ? tools::run_campaign_sharded(run_jobs[i].plan,
+                                                run_jobs[i].seed, cfg,
+                                                engine_shards)
+                  : tools::run_campaign(run_jobs[i].plan, run_jobs[i].seed,
+                                        cfg);
+        }
       },
       static_cast<std::size_t>(jobs));
 
   std::uint64_t violating_runs = 0;
+  bool repair_failed = false;
   for (const tools::RunVerdict& verdict : verdicts) {
     std::printf("%s\n", tools::verdict_json(verdict).c_str());
     if (!verdict.clean()) ++violating_runs;
+    // A dirty repaired state is a tool failure, never an expected outcome —
+    // --expect-violations does not excuse it.
+    if (verdict.repair.ran && !verdict.repair.post_clean) repair_failed = true;
   }
 
+  if (repair_failed) return 1;
   if (expect_violations) return violating_runs > 0 ? 0 : 1;
   return violating_runs == 0 ? 0 : 1;
 }

@@ -121,6 +121,45 @@ TEST(IncidentGolden, CampaignStreamHashIsPinned) {
   EXPECT_EQ(verdict.reverts_fired, 2u);
 }
 
+TEST(IncidentGolden, CorruptRepairTraceIsPinned) {
+  // Golden corrupt -> repair trace (docs/fsck.md): the storm campaign's
+  // final state is damaged by a fixed seeded corruption set, then repaired
+  // by spiderfsck. The findings hash pins what the detectors see; the state
+  // hash pins what the repairers leave behind. Like the stream-hash pins
+  // above, these change ONLY when fsck behavior changes — update them
+  // deliberately and say why in the commit.
+  tools::FaultCampaign campaign(golden_storm_plan(), 2014);
+  const tools::RunVerdict verdict = campaign.run();
+  ASSERT_TRUE(verdict.clean()) << tools::verdict_json(verdict);
+  // The fsck stage runs outside the simulation: the pinned stream hash must
+  // be untouched by journaling the campaign's creates and purge-unlinks.
+  ASSERT_EQ(verdict.stream_hash, 0x0710faa19bdba7aaull);
+
+  Rng rng(2014);
+  for (const tools::FindingKind kind :
+       {tools::FindingKind::kBadRecordId, tools::FindingKind::kDanglingStripe,
+        tools::FindingKind::kJournalMissingCreate,
+        tools::FindingKind::kLiveCountDrift,
+        tools::FindingKind::kOrphanObjects}) {
+    ASSERT_FALSE(
+        tools::inject_corruption(campaign.fsck_target(), kind, rng).empty());
+  }
+
+  const tools::FaultCampaign::FsckOutcome out = campaign.fsck_and_reverify();
+  EXPECT_TRUE(out.post_clean()) << tools::fsck_report_json(out.report);
+  // Six findings from five injections: the dangling-stripe repair reclaims
+  // the pruned ref's bytes as an orphan-objects finding on the victim OST.
+  EXPECT_EQ(out.report.repairs_applied, 6u)
+      << tools::fsck_report_json(out.report);
+  EXPECT_EQ(out.report.findings_hash, 0xeb00dba43860647full)
+      << "actual: 0x" << std::hex << out.report.findings_hash << "\n"
+      << tools::fsck_report_json(out.report);
+  EXPECT_EQ(out.report.state_hash, 0xf54f6b019c57f2ffull)
+      << "actual: 0x" << std::hex << out.report.state_hash;
+  EXPECT_EQ(tools::fsck_state_hash(campaign.fsck_target()),
+            out.report.state_hash);
+}
+
 TEST(IncidentGolden, ShardedCampaignReproducesSerialGolden) {
   // The sharded engine's acceptance bar: the same campaign hosted on a
   // ShardedSimulator must reproduce the pinned serial goldens — verdict JSON

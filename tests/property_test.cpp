@@ -10,8 +10,10 @@
 #include "block/raid.hpp"
 #include "common/rng.hpp"
 #include "fs/fs_namespace.hpp"
+#include "fs/journal.hpp"
 #include "fs/purge.hpp"
 #include "tools/scheduler.hpp"
+#include "tools/spiderfsck/fsck.hpp"
 #include "workload/checkpoint.hpp"
 #include "workload/ior.hpp"
 
@@ -192,6 +194,54 @@ TEST_P(SchedulerConservationP, SchedulingMovesLoadButConservesIt) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerConservationP, ::testing::Range(0, 8));
+
+// --- fsck soundness ---------------------------------------------------------
+
+class FsckSoundnessP : public ::testing::TestWithParam<int> {};
+
+TEST_P(FsckSoundnessP, TruncatedJournalOrUnjournaledChurnNeverChecksClean) {
+  // However the namespace and its op log are driven apart — a crash that
+  // loses a journal tail, unlinks that never hit the journal, or both —
+  // spiderfsck must never report the tree clean, and one repairing pass
+  // must reconcile it.
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  Rng rng(0x5fc5u + seed * 0x9e3779b97f4a7c15ull);
+  tools::SyntheticFsConfig cfg;
+  cfg.seed = 100 + seed;
+  cfg.churn = 0.10 + 0.05 * static_cast<double>(seed % 5);
+  tools::SyntheticFs fs = tools::make_synthetic_fs(cfg);
+  ASSERT_TRUE(tools::run_fsck(fs.target()).clean());
+
+  const int mode = GetParam() % 3;  // 0: truncate, 1: churn, 2: both
+  if (mode == 0 || mode == 2) {
+    // Crash-truncate: keep a strict prefix, dropping at least one record.
+    const std::uint64_t last = fs.journal->last_txid();
+    ASSERT_GT(last, 0u);
+    fs.journal->truncate_to(rng.uniform_index(last));
+  }
+  if (mode == 1 || mode == 2) {
+    // Unlink live files behind the journal's back.
+    const std::vector<fs::FileId> live = fs.ns->live_ids();
+    ASSERT_FALSE(live.empty());
+    const std::size_t victims = 1 + rng.uniform_index(3);
+    for (std::size_t i = 0; i < victims && i < live.size(); ++i) {
+      ASSERT_TRUE(fs.ns->unlink(live[i], 0));
+    }
+  }
+
+  const tools::FsckReport dry = tools::run_fsck(fs.target());
+  ASSERT_FALSE(dry.clean()) << "mode=" << mode << " seed=" << seed;
+
+  tools::FsckOptions repair;
+  repair.repair = true;
+  repair.jobs = 1 + rng.uniform_index(4);
+  tools::run_fsck(fs.target(), repair);
+  EXPECT_TRUE(tools::run_fsck(fs.target()).clean())
+      << "mode=" << mode << " seed=" << seed << "\n"
+      << tools::fsck_report_json(tools::run_fsck(fs.target()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FsckSoundnessP, ::testing::Range(0, 9));
 
 }  // namespace
 }  // namespace spider
