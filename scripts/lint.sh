@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # Static-analysis driver: spiderlint (always) + clang-tidy (when installed).
 #
-# spiderlint is the in-tree determinism, unit-safety, architecture, and
-# shard-concurrency pass (rules L1-L12, see docs/static-analysis.md);
-# clang-tidy adds the generic bugprone / concurrency / performance checks
-# configured in .clang-tidy.
+# spiderlint is the in-tree determinism, unit-safety, architecture,
+# shard-concurrency, and crash-consistency pass (rules L1-L16, see
+# docs/static-analysis.md); clang-tidy adds the generic bugprone /
+# concurrency / performance checks configured in .clang-tidy.
 #
 # Usage: scripts/lint.sh [options] [path...]
 #   --fix-hints       print spiderlint fix-it hints and the per-rule digest
@@ -14,12 +14,17 @@
 #                     when it exists; --baseline= with no file disables)
 #   --fix             apply the mechanically safe fixes (L1 swaps, L3 unit
 #                     aliases) in place, then report what remains
-#   --changed         lint only files touched vs HEAD (staged + unstaged +
-#                     untracked) plus every file that includes them, found
-#                     by a fixpoint over the in-tree include spellings —
-#                     the pre-commit hook's fast path. Ignores path args.
-#                     Skips the baseline-staleness gate: a partial run
-#                     cannot tell fixed from not-linted.
+#   --changed         report only findings in files touched vs HEAD (staged
+#                     + unstaged + untracked) plus every file that includes
+#                     them, found by a fixpoint over the in-tree include
+#                     spellings — the pre-commit hook's fast path. The
+#                     whole-program index is still built from the full tree
+#                     (cross-TU rules L13-L16 are unsound on a partial
+#                     index); only the *report* narrows, via --only.
+#                     Ignores path args. Skips the baseline-staleness gate:
+#                     a narrowed report cannot tell fixed from not-reported.
+#   --jobs=N          spiderlint worker threads (passed through; output is
+#                     byte-identical at any N)
 #   --prune           rewrite the baseline dropping stale entries (full-tree
 #                     runs only: pruning against a partial run deletes
 #                     entries for files that simply were not linted)
@@ -47,6 +52,7 @@ for arg in "$@"; do
     --format=*)    SPIDERLINT_ARGS+=("$arg") ;;
     --fix)         SPIDERLINT_ARGS+=(--fix) ;;
     --stats)       SPIDERLINT_ARGS+=(--stats) ;;
+    --jobs=*)      SPIDERLINT_ARGS+=("$arg") ;;
     --changed)     CHANGED=1 ;;
     --prune)       PRUNE=1 ;;
     --stale=*)     STALE_MODE="${arg#--stale=}" ;;
@@ -68,9 +74,12 @@ if [ -n "$STALE_MODE" ] && [ "$CHANGED" -eq 0 ]; then
 fi
 
 # --changed: collect files touched vs HEAD, then close over their includers
-# so a header edit re-lints every translation unit it can break. Include
+# so a header edit re-reports every translation unit it can break. Include
 # edges are matched by include spelling (the same key spiderlint's L5 include
-# graph uses), iterated to a fixpoint.
+# graph uses), iterated to a fixpoint. The closure decides what is
+# *reported* (--only); spiderlint still indexes the full default path set so
+# the cross-TU rules (L13-L16 reachability, census, taint) see every
+# definition — a partial index silently under-links and misses breaches.
 if [ "$CHANGED" -eq 1 ]; then
   declare -A SELECTED=()
   while IFS= read -r f; do
@@ -111,9 +120,16 @@ if [ "$CHANGED" -eq 1 ]; then
     echo "OK: no lintable changes vs HEAD"
     exit 0
   fi
-  PATHS=()
-  while IFS= read -r f; do PATHS+=("$f"); done < <(printf '%s\n' "${!SELECTED[@]}" | sort)
-  echo "=== lint --changed: ${#PATHS[@]} file(s) ==="
+  # Full-tree index, narrowed report: one --only per selected file. The
+  # changed set is kept separately so clang-tidy (which has no cross-TU
+  # pass) still runs on just the touched TUs.
+  CHANGED_FILES=()
+  while IFS= read -r f; do
+    SPIDERLINT_ARGS+=("--only=$f")
+    CHANGED_FILES+=("$f")
+  done < <(printf '%s\n' "${!SELECTED[@]}" | sort)
+  PATHS=(src tests bench)
+  echo "=== lint --changed: reporting on ${#CHANGED_FILES[@]} file(s), full-tree index ==="
 fi
 
 # Build (or refresh) the spiderlint binary; export compile commands so a
@@ -142,7 +158,11 @@ if command -v clang-tidy > /dev/null 2>&1; then
     cmake -B "${BUILD_DIR}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
   fi
   echo "=== clang-tidy ==="
-  mapfile -t tidy_sources < <(find "${PATHS[@]}" -name '*.cpp' ! -path '*/lint_fixtures/*' | sort)
+  if [ "$CHANGED" -eq 1 ]; then
+    mapfile -t tidy_sources < <(printf '%s\n' "${CHANGED_FILES[@]}" | grep '\.cpp$' || true)
+  else
+    mapfile -t tidy_sources < <(find "${PATHS[@]}" -name '*.cpp' ! -path '*/lint_fixtures/*' | sort)
+  fi
   if [ "${#tidy_sources[@]}" -gt 0 ]; then
     clang-tidy -p "${BUILD_DIR}" --quiet "${tidy_sources[@]}" || status=1
   fi

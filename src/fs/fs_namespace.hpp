@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
 #include "fs/mds.hpp"
@@ -75,7 +76,11 @@ class FsNamespace {
   // --- file operations (metadata accounted on the MDS) -------------------
   /// Create a file; returns kNoFile when no space can be found.
   FileId create_file(std::uint32_t project, Bytes size, sim::SimTime now,
-                     Rng& rng, std::optional<StripePolicy> policy = {});
+                     Rng& rng, std::optional<StripePolicy> policy = {})
+      SPIDER_JOURNALED("journaled by the caller that owns the OpLog: the "
+                       "campaign layer appends the kCreate record alongside "
+                       "this call (tools/faultcli/campaign.cpp); the "
+                       "namespace itself holds no journal");
   bool exists(FileId id) const;
   const FileRecord& file(FileId id) const;
   /// Read access: bumps atime, accounts lookup + stat.
@@ -84,7 +89,10 @@ class FsNamespace {
   void touch_file(FileId id, sim::SimTime now);
   /// stat() only (no data access).
   void stat_file(FileId id);
-  bool unlink(FileId id, sim::SimTime now);
+  bool unlink(FileId id, sim::SimTime now)
+      SPIDER_JOURNALED("journaled by the caller that owns the OpLog: the "
+                       "campaign layer appends the kUnlink record alongside "
+                       "this call; the namespace itself holds no journal");
 
   /// Visit every live file.
   void for_each_file(const std::function<void(const FileRecord&)>& fn) const;

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/units.hpp"
 
 namespace spider::fs {
@@ -68,7 +69,9 @@ class OpLog {
  public:
   /// Append one record; returns its txid.
   std::uint64_t append(OpKind kind, std::uint64_t file, std::uint32_t project,
-                       Bytes size, std::int64_t at);
+                       Bytes size, std::int64_t at)
+      SPIDER_JOURNALED("this IS the journal append: OpLog is the durability "
+                       "point itself, not a consumer of one");
 
   const std::vector<OpRecord>& records() const { return records_; }
   std::size_t size() const { return records_.size(); }
@@ -77,7 +80,9 @@ class OpLog {
   /// Durable prefix: records with txid <= committed() survived the crash.
   std::uint64_t committed() const { return committed_; }
   /// Advance the cursor (clamped to last_txid; never moves backwards).
-  void commit(std::uint64_t txid);
+  void commit(std::uint64_t txid)
+      SPIDER_JOURNALED("cursor advance over records already appended; the "
+                       "append itself was the journaled mutation");
 
   /// Crash-lose every record with txid > `txid`; the cursor clamps and the
   /// next append reuses txid + 1 (the tail genuinely never happened).

@@ -1,0 +1,156 @@
+// spiderlint whole-program layer: a cross-TU symbol index, a linked global
+// call graph, and the censuses behind rules L13-L16.
+//
+// Per-file rules (rules.hpp) see one translation unit plus its paired
+// header; everything here sees the whole file set at once:
+//
+//   - a global symbol index resolving a function *name* to every
+//     declaration and definition of that name across TUs;
+//   - a global call graph: which definitions call which names, closed
+//     interprocedurally (L13 repair reachability, L16 taint returns);
+//   - an enum census: every enumerator of the scoped FindingKind/FaultKind
+//     enums, matched against inject/repair switch cases, injector bindings,
+//     oracle registrations, and test mentions (L15).
+//
+// Linking limits (the misparse-degrades-to-missed-finding contract):
+// resolution is by unqualified name, not by signature. Overloads and
+// same-named functions in different namespaces collapse onto one node, so a
+// derived property (reaches a repair mutator, returns tainted data)
+// propagates through a name only when EVERY definition of that name agrees
+// — ambiguity weakens the analysis toward silence, never toward a spurious
+// finding. Names in the explicit repair vocabulary (fsck_set_*,
+// records_mutable, truncate_to) are exempt from the agreement rule: the
+// naming contract itself is the signal. Declarations with no definition in
+// the file set contribute annotations but never derived properties.
+//
+// Context checks (which directories may reach repair mutators, which files
+// count as tests) are always *path*-based, independent of any --treat-as
+// override: a forced FileClass changes which rules run on a file, not where
+// the file lives. See docs/static-analysis.md.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tools/lint/rules.hpp"
+#include "tools/lint/scan.hpp"
+#include "tools/lint/symbols.hpp"
+#include "tools/lint/token.hpp"
+
+namespace spider::lint {
+
+/// Path-derived facts about one translation unit. Unlike FileClass these
+/// are never overridden by --treat-as: L13's repair-context allowlist and
+/// L15's test-mention census key off where a file actually lives.
+struct TuFacts {
+  bool in_src = false;
+  bool in_tests = false;
+  bool in_bench = false;
+  /// Under src/fs/ (L14 journal-before-mutation scope).
+  bool fs_scope = false;
+  /// A context allowed to reach repair-only mutators: tools/spiderfsck/,
+  /// tools/faultcli/, tests/, or bench/ (measurement code corrupts trees
+  /// on purpose; see bench_fsck.cpp).
+  bool repair_context = false;
+};
+
+/// Classify a path the same way classify_path does (last src/tests/bench
+/// component wins), but into the path-only facts above.
+TuFacts classify_tu(std::string_view path);
+
+/// One translation unit inside the global index.
+struct GlobalTu {
+  const SourceFile* file = nullptr;
+  TokenStream stream;
+  FileSymbols syms;
+  FileClass cls;  ///< forced or path-derived; selects which rules apply
+  TuFacts facts;  ///< always path-derived; selects allowed contexts
+};
+
+/// The cross-TU index. Construction tokenizes and symbol-indexes every
+/// file (optionally in parallel over the shared pool — results are stored
+/// by slot, so the index is identical at any job count) and then runs the
+/// two interprocedural fixpoints.
+class GlobalIndex {
+ public:
+  /// A declaration or definition, addressed by TU + function-table index.
+  struct Ref {
+    std::size_t tu = 0;
+    std::size_t fn = 0;
+  };
+
+  GlobalIndex(const std::vector<SourceFile>& files,
+              const std::optional<FileClass>& forced_class = std::nullopt,
+              std::size_t jobs = 1);
+
+  std::size_t tu_count() const { return tus_.size(); }
+  const GlobalTu& tu(std::size_t i) const { return tus_[i]; }
+  const FunctionSym& fn(const Ref& r) const {
+    return tus_[r.tu].syms.functions[r.fn];
+  }
+
+  /// Every definition (function with a body) of `name`, across all TUs, in
+  /// TU order. Empty for forward-declared-only and unknown names.
+  const std::vector<Ref>& definitions(std::string_view name) const;
+  /// Every declaration *and* definition of `name`.
+  const std::vector<Ref>& occurrences(std::string_view name) const;
+
+  /// L13 trigger vocabulary: fsck_set_* by prefix, records_mutable,
+  /// truncate_to, or any name annotated SPIDER_REPAIR_ONLY on any
+  /// declaration or definition.
+  bool is_repair_mutator(std::string_view name) const;
+
+  /// L13 closure: names that reach a repair mutator through the global
+  /// call graph (triggers themselves excluded), mapped to a witness chain
+  /// like "run_fsck -> fsck_set_live_files".
+  const std::map<std::string, std::string, std::less<>>& repair_reaching()
+      const {
+    return repair_reaching_;
+  }
+
+  /// L14: the definition, or any declaration sharing its class and name,
+  /// carries SPIDER_JOURNALED(why).
+  bool is_journaled(const Ref& def) const;
+
+  /// L16 closure: names whose return value derives from a nondeterminism
+  /// source in every definition, mapped to a witness like
+  /// "steady_clock (via host_entropy)".
+  const std::map<std::string, std::string, std::less<>>& taint_returning()
+      const {
+    return taint_returning_;
+  }
+
+ private:
+  void link();
+  void close_repair_reachability();
+  void close_taint_returns();
+
+  std::vector<GlobalTu> tus_;
+  std::map<std::string, std::vector<Ref>, std::less<>> definitions_;
+  std::map<std::string, std::vector<Ref>, std::less<>> occurrences_;
+  std::set<std::string, std::less<>> annotated_repair_only_;
+  /// (class, name) pairs annotated SPIDER_JOURNALED anywhere.
+  std::set<std::pair<std::string, std::string>> journaled_;
+  std::map<std::string, std::string, std::less<>> repair_reaching_;
+  std::map<std::string, std::string, std::less<>> taint_returning_;
+};
+
+/// Options for the whole-program pass.
+struct GlobalOptions {
+  RuleSet rules;
+  std::optional<FileClass> forced_class;
+  std::size_t jobs = 1;  ///< 0 = one per hardware thread
+};
+
+/// Run the whole-program rules (L13-L16) over a set of scanned files.
+/// Findings come back unsorted; the driver merges and sorts them with the
+/// per-file findings.
+std::vector<Finding> lint_global(const std::vector<SourceFile>& files,
+                                 const GlobalOptions& opts);
+
+}  // namespace spider::lint

@@ -1,9 +1,16 @@
 #include "tools/lint/lint.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+
+#include "common/parallel.hpp"
+#include "tools/lint/global.hpp"
+
+// spiderlint-file: nondet-ok — steady_clock feeds only the --stats phase
+// timings, never a finding, a sort key, or an output byte.
 
 namespace spider::lint {
 
@@ -73,11 +80,32 @@ std::vector<Finding> lint_scanned(const SourceFile& file,
   return lint_file(file, cls, paired_header, opts.rules);
 }
 
+namespace {
+
+/// Baseline-style path matching for --only: exact, or a path suffix at a
+/// '/' boundary ("fs/ost.cpp" matches "src/fs/ost.cpp").
+bool path_matches(const std::string& file, const std::string& pattern) {
+  if (file == pattern) return true;
+  return file.size() > pattern.size() && file.ends_with(pattern) &&
+         file[file.size() - pattern.size() - 1] == '/';
+}
+
+double elapsed_ms(std::chrono::steady_clock::time_point from,
+                  std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+}  // namespace
+
 LintReport lint_paths(const std::vector<std::string>& paths,
                       const LintOptions& opts,
                       std::vector<std::string>& errors) {
+  using Clock = std::chrono::steady_clock;
   LintReport report;
-  // Scanned files are kept for the project-wide pass (L5 layering).
+  const Clock::time_point t0 = Clock::now();
+  // Read + scan stays serial: IO error reporting keeps a deterministic
+  // order, and the scanner is a fraction of tokenize+rules cost. Scanned
+  // files are kept for the whole-program passes (L5 layering, L13-L16).
   std::vector<SourceFile> scanned;
   for (const std::string& path : collect_sources(paths, errors)) {
     const std::optional<std::string> contents = read_file(path);
@@ -88,44 +116,84 @@ LintReport lint_paths(const std::vector<std::string>& paths,
     scanned.push_back(scan_source(path, *contents));
     ++report.files_scanned;
   }
+  const Clock::time_point t1 = Clock::now();
 
-  for (const SourceFile& file : scanned) {
-    // Pair foo.cpp with a sibling foo.hpp (or .h/.hh) for L1 identifier
-    // tracking and L6/L7 declaration lookup.
-    SourceFile header;
-    const SourceFile* paired = nullptr;
-    const fs::path p(file.path);
-    if (p.extension() == ".cpp" || p.extension() == ".cc") {
-      for (const char* ext : {".hpp", ".h", ".hh"}) {
-        fs::path candidate = p;
-        candidate.replace_extension(ext);
-        const std::optional<std::string> header_text =
-            read_file(candidate.generic_string());
-        if (header_text.has_value()) {
-          header = scan_source(candidate.generic_string(), *header_text);
-          paired = &header;
-          break;
+  // Per-file pass, fanned out over the shared pool. Each slot is written
+  // by exactly one task and merged in slot order — and collect_sources is
+  // sorted — so the findings stream is byte-identical at any job count.
+  std::vector<std::vector<Finding>> slots(scanned.size());
+  spider::parallel_for(
+      scanned.size(),
+      [&](std::size_t i) {
+        const SourceFile& file = scanned[i];
+        // Pair foo.cpp with a sibling foo.hpp (or .h/.hh) for L1
+        // identifier tracking and L6/L7 declaration lookup.
+        SourceFile header;
+        const SourceFile* paired = nullptr;
+        const fs::path p(file.path);
+        if (p.extension() == ".cpp" || p.extension() == ".cc") {
+          for (const char* ext : {".hpp", ".h", ".hh"}) {
+            fs::path candidate = p;
+            candidate.replace_extension(ext);
+            const std::optional<std::string> header_text =
+                read_file(candidate.generic_string());
+            if (header_text.has_value()) {
+              header = scan_source(candidate.generic_string(), *header_text);
+              paired = &header;
+              break;
+            }
+          }
         }
-      }
-    }
-
-    std::vector<Finding> found = lint_scanned(file, opts, paired);
+        slots[i] = lint_scanned(file, opts, paired);
+      },
+      opts.jobs);
+  for (std::vector<Finding>& found : slots) {
     report.findings.insert(report.findings.end(),
                            std::make_move_iterator(found.begin()),
                            std::make_move_iterator(found.end()));
   }
+  const Clock::time_point t2 = Clock::now();
 
   std::vector<Finding> project = lint_project(scanned, opts.rules);
   report.findings.insert(report.findings.end(),
                          std::make_move_iterator(project.begin()),
                          std::make_move_iterator(project.end()));
-  std::sort(report.findings.begin(), report.findings.end(),
-            [](const Finding& a, const Finding& b) {
-              if (a.file != b.file) return a.file < b.file;
-              if (a.line != b.line) return a.line < b.line;
-              if (a.column != b.column) return a.column < b.column;
-              return a.rule < b.rule;
-            });
+  GlobalOptions gopts;
+  gopts.rules = opts.rules;
+  gopts.forced_class = opts.forced_class;
+  gopts.jobs = opts.jobs;
+  std::vector<Finding> global = lint_global(scanned, gopts);
+  report.findings.insert(report.findings.end(),
+                         std::make_move_iterator(global.begin()),
+                         std::make_move_iterator(global.end()));
+  const Clock::time_point t3 = Clock::now();
+
+  // --only filters what is *reported*; everything above still saw the full
+  // file set (cross-TU rules are unsound on a partial index).
+  if (!opts.report_only.empty()) {
+    report.findings.erase(
+        std::remove_if(report.findings.begin(), report.findings.end(),
+                       [&](const Finding& f) {
+                         for (const std::string& pat : opts.report_only) {
+                           if (path_matches(f.file, pat)) return false;
+                         }
+                         return true;
+                       }),
+        report.findings.end());
+  }
+  // stable_sort: equal keys keep their (deterministic) insertion order, so
+  // two findings sharing file/line/column/rule can never flip bytes
+  // between job counts.
+  std::stable_sort(report.findings.begin(), report.findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     if (a.line != b.line) return a.line < b.line;
+                     if (a.column != b.column) return a.column < b.column;
+                     return a.rule < b.rule;
+                   });
+  report.scan_ms = elapsed_ms(t0, t1);
+  report.rules_ms = elapsed_ms(t1, t2);
+  report.global_ms = elapsed_ms(t2, t3);
   return report;
 }
 

@@ -16,6 +16,16 @@ struct LintOptions {
   /// When set, overrides path-based classification for every file (used to
   /// lint fixture files that live outside src/).
   std::optional<FileClass> forced_class;
+  /// Worker count for the per-file pass and the global index build over
+  /// the shared pool (0 = one per hardware thread). Findings are merged in
+  /// canonical path order, so output is byte-identical at any job count.
+  std::size_t jobs = 1;
+  /// When non-empty, only findings in matching files are *reported*
+  /// (exact path or path-suffix at a '/' boundary, like baseline entries).
+  /// The index — and therefore the cross-TU rules — is still built from
+  /// every input file: scripts/lint.sh --changed lints the full tree and
+  /// filters the report, because L13-L16 are unsound on a partial index.
+  std::vector<std::string> report_only;
 };
 
 /// Expand paths (files or directories) into a sorted, deduplicated list of

@@ -16,13 +16,23 @@
 //                        (default warn; CI runs error so fixed findings
 //                        must be deleted from the baseline, not hoarded)
 //   --stats              print `spiderlint-stats: files=N findings=N
-//                        wall_ms=N` to stderr (CI surfaces it in the job
+//                        jobs=N wall_ms=N scan_ms=N rules_ms=N
+//                        global_ms=N` to stderr (CI surfaces it in the job
 //                        summary)
+//   --jobs=N             fan the per-file pass and the global index build
+//                        out over N workers (0 or omitted value = one per
+//                        hardware thread; default auto). Output is
+//                        byte-identical at any job count.
+//   --only=PATH          report findings only for matching files (exact or
+//                        path-suffix, repeatable). The whole-program index
+//                        still sees every input file — scripts/lint.sh
+//                        --changed relies on this, because the cross-TU
+//                        rules L13-L16 are unsound on a partial index.
 //   --fix                apply the mechanically safe fixes (L1 container
 //                        swaps, L3 unit-alias renames) in place
 //   --treat-as=CLASS     force file classification: sim-critical, src,
-//                        header, calib (repeatable; for linting fixtures
-//                        that live outside src/)
+//                        header, calib, fs (repeatable; for linting
+//                        fixtures that live outside src/)
 //   --list-rules         print the rule table and exit
 //
 // Exit codes: 0 clean (after baseline), 1 findings (or stale entries under
@@ -56,7 +66,9 @@ int usage(const char* argv0) {
                "usage: %s [--format=text|json|sarif] [--fix-hints]\n"
                "       [--rules=L1,..] [--baseline=FILE] [--write-baseline]\n"
                "       [--prune-baseline] [--stale=warn|error] [--stats]\n"
-               "       [--fix] [--treat-as=sim-critical|src|header|calib]...\n"
+               "       [--jobs=N] [--only=PATH]...\n"
+               "       [--fix] "
+               "[--treat-as=sim-critical|src|header|calib|fs]...\n"
                "       [--list-rules] <path>...\n",
                argv0);
   return 2;
@@ -68,6 +80,7 @@ int main(int argc, char** argv) {
   using namespace spider::lint;
 
   LintOptions opts;
+  opts.jobs = 0;  // CLI default: auto (the library default stays serial)
   enum class Format { kText, kJson, kSarif };
   Format format = Format::kText;
   bool fix_hints = false;
@@ -152,6 +165,14 @@ int main(int argc, char** argv) {
           opts.rules.l11 = true;
         } else if (id == "L12") {
           opts.rules.l12 = true;
+        } else if (id == "L13") {
+          opts.rules.l13 = true;
+        } else if (id == "L14") {
+          opts.rules.l14 = true;
+        } else if (id == "L15") {
+          opts.rules.l15 = true;
+        } else if (id == "L16") {
+          opts.rules.l16 = true;
         } else {
           std::fprintf(stderr, "spiderlint: unknown rule '%.*s'\n",
                        static_cast<int>(id.size()), id.data());
@@ -173,12 +194,36 @@ int main(int argc, char** argv) {
       } else if (cls == "calib") {
         forced.in_src = true;
         forced.calib_scope = true;
+      } else if (cls == "fs") {
+        forced.in_src = true;
+        forced.sim_critical = true;
+        forced.calib_scope = true;
+        forced.fs_scope = true;
       } else {
         std::fprintf(stderr, "spiderlint: unknown class '%.*s'\n",
                      static_cast<int>(cls.size()), cls.data());
         return usage(argv[0]);
       }
       have_forced = true;
+    } else if (arg.starts_with("--jobs=")) {
+      const std::string_view n = arg.substr(7);
+      std::size_t jobs = 0;
+      for (const char c : n) {
+        if (c < '0' || c > '9') {
+          std::fprintf(stderr, "spiderlint: bad --jobs value '%.*s'\n",
+                       static_cast<int>(n.size()), n.data());
+          return usage(argv[0]);
+        }
+        jobs = jobs * 10 + static_cast<std::size_t>(c - '0');
+      }
+      opts.jobs = jobs;
+    } else if (arg.starts_with("--only=")) {
+      const std::string_view pat = arg.substr(7);
+      if (pat.empty()) {
+        std::fprintf(stderr, "spiderlint: --only needs a path\n");
+        return usage(argv[0]);
+      }
+      opts.report_only.emplace_back(pat);
     } else if (arg.starts_with("--")) {
       std::fprintf(stderr, "spiderlint: unknown option '%s'\n", argv[i]);
       return usage(argv[0]);
@@ -214,7 +259,18 @@ int main(int argc, char** argv) {
         parse_baseline(buf.str(), errors);
     const std::vector<BaselineEntry> stale = apply_baseline(report, entries);
     stale_count = stale.size();
-    if (prune_baseline) {
+    if (!opts.report_only.empty()) {
+      // A narrowed report cannot tell "fixed" from "not reported this
+      // time": entries for files outside --only would all read as stale,
+      // and pruning on that evidence would delete live entries.
+      if (prune_baseline) {
+        std::fprintf(stderr,
+                     "spiderlint: refusing --prune-baseline with --only "
+                     "(a narrowed report cannot judge staleness)\n");
+        return 2;
+      }
+      stale_count = 0;
+    } else if (prune_baseline) {
       std::size_t pruned = 0;
       const std::string rewritten =
           prune_baseline_text(buf.str(), stale, pruned);
@@ -268,9 +324,14 @@ int main(int argc, char** argv) {
   if (print_stats) {
     const auto wall_ms =
         std::chrono::duration_cast<std::chrono::milliseconds>(t1 - t0);
-    std::fprintf(stderr, "spiderlint-stats: files=%zu findings=%zu wall_ms=%lld\n",
-                 report.files_scanned, report.findings.size(),
-                 static_cast<long long>(wall_ms.count()));
+    std::fprintf(stderr,
+                 "spiderlint-stats: files=%zu findings=%zu jobs=%zu "
+                 "wall_ms=%lld scan_ms=%lld rules_ms=%lld global_ms=%lld\n",
+                 report.files_scanned, report.findings.size(), opts.jobs,
+                 static_cast<long long>(wall_ms.count()),
+                 static_cast<long long>(report.scan_ms),
+                 static_cast<long long>(report.rules_ms),
+                 static_cast<long long>(report.global_ms));
   }
 
   if (!errors.empty()) return 2;

@@ -13,6 +13,13 @@ namespace spider::lint {
 struct LintReport {
   std::vector<Finding> findings;
   std::size_t files_scanned = 0;
+  /// Per-phase wall time (milliseconds), reported by --stats: read+scan,
+  /// the per-file rule pass, and the whole-program pass (L5 + L13-L16).
+  /// Not part of the JSON/SARIF renderings — timing is telemetry, not a
+  /// finding.
+  double scan_ms = 0.0;
+  double rules_ms = 0.0;
+  double global_ms = 0.0;
   std::size_t errors() const;
   std::size_t warnings() const;
   bool clean() const { return findings.empty(); }

@@ -115,6 +115,18 @@ TEST(FaultPlanParse, KindAndTriggerNamesRoundTrip) {
     const auto kind = static_cast<FaultKind>(i);
     EXPECT_EQ(fault_kind_from_string(to_string(kind)), kind);
   }
+  // Every kind by name, not just by index: the numeric loop above would
+  // keep passing if a kind were dropped from the parse table together with
+  // its enumerator, and spiderlint L15 pins each enumerator to at least one
+  // test that names it.
+  EXPECT_EQ(to_string(FaultKind::kDiskFail), "disk-fail");
+  EXPECT_EQ(to_string(FaultKind::kDiskPartial), "disk-partial");
+  EXPECT_EQ(to_string(FaultKind::kSlowDiskOnset), "slow-disk-onset");
+  EXPECT_EQ(to_string(FaultKind::kEnclosureLoss), "enclosure-loss");
+  EXPECT_EQ(to_string(FaultKind::kControllerFailover), "controller-failover");
+  EXPECT_EQ(to_string(FaultKind::kMdsStall), "mds-stall");
+  EXPECT_EQ(to_string(FaultKind::kRouterDrop), "router-drop");
+  EXPECT_EQ(to_string(FaultKind::kCongestionSpike), "congestion-spike");
   for (std::size_t i = 0; i < kTriggerKindCount; ++i) {
     const auto kind = static_cast<TriggerKind>(i);
     EXPECT_EQ(trigger_kind_from_string(to_string(kind)), kind);

@@ -1,0 +1,30 @@
+// Fixture for spiderlint rule L13: calls into the repair surface from a
+// non-repair context (src/core is not tools/spiderfsck, tools/faultcli,
+// tests, or bench). The direct call, the annotated-trigger call, and the
+// interprocedural reach are breaches; the suppressed call is the
+// engineered false positive.
+#include "fs/repairable.hpp"
+
+namespace fixture {
+
+// Single definition that calls a trigger: `reset_all` itself becomes
+// repair-reaching, and its body holds a direct breach.
+void reset_all(Table& t) {
+  t.fsck_set_count(0);  // L13 (direct call, non-repair context)
+}
+
+void apply(Table& t) {
+  t.scrub_reset();  // L13 (annotated trigger)
+}
+
+void tick(Table& t) {
+  reset_all(t);  // L13 (reaches the surface: reset_all -> fsck_set_count)
+}
+
+// Reviewed escape hatch: the suppression names the rule's token. Must NOT
+// be flagged.
+void migrate(Table& t) {
+  t.fsck_set_count(7);  // spiderlint: repair-ok — one-shot schema migration
+}
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// Fixture for spiderlint rule L13 (repair-mutator confinement): the
+// repairable surface. `fsck_set_count` is a trigger by naming contract;
+// `scrub_reset` is a trigger by annotation. Declaring them is fine —
+// only *calls* from outside a repair context are breaches.
+#pragma once
+
+#include <cstdint>
+
+#include "common/annotations.hpp"
+
+namespace fixture {
+
+class Table {
+ public:
+  std::uint64_t count() const { return count_; }
+  // The repair surface: blunt overwrite, repair contexts only.
+  void fsck_set_count(std::uint64_t n) { count_ = n; }
+  // Annotated into the surface: composite repair helper.
+  void scrub_reset() SPIDER_REPAIR_ONLY { count_ = 0; }
+
+ private:
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace fixture

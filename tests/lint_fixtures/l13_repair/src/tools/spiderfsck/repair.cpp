@@ -1,0 +1,12 @@
+// Fixture for spiderlint rule L13: tools/spiderfsck IS the repair context —
+// every call here is legitimate by location. Must NOT be flagged.
+#include "fs/repairable.hpp"
+
+namespace fixture {
+
+void repair_counts(Table& t) {
+  t.fsck_set_count(42);
+  t.scrub_reset();
+}
+
+}  // namespace fixture

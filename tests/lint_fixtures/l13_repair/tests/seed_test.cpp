@@ -1,0 +1,11 @@
+// Fixture for spiderlint rule L13: tests/ is a repair context (seeded
+// corruption is how fsck gets exercised). Must NOT be flagged.
+#include "fs/repairable.hpp"
+
+namespace fixture {
+
+void seed_corruption(Table& t) {
+  t.fsck_set_count(999);
+}
+
+}  // namespace fixture

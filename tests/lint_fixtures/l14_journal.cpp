@@ -1,0 +1,55 @@
+// Fixture for spiderlint rule L14 (journal-before-mutation). Linted with
+// --treat-as=fs: the Ledger class exposes a repair mutator, so every one
+// of its non-repair methods must either append to the op journal before
+// touching member state or carry SPIDER_JOURNALED(why). The append-first
+// method, the annotated method, and the suppressed line are the engineered
+// false positives.
+#include <cstdint>
+#include <vector>
+
+#include "common/annotations.hpp"
+
+namespace fixture {
+
+struct Journal {
+  void append(std::uint64_t v) { records_.push_back(v); }
+  std::vector<std::uint64_t> records_;
+};
+
+class Ledger {
+ public:
+  // fsck can rewrite this class's state, so crashes mid-mutation must be
+  // reconstructable: Ledger is a checked class.
+  void fsck_set_total(std::uint64_t n) { total_ = n; }
+
+  // Mutates before any journal append. Flagged.
+  void add(std::uint64_t v) {
+    total_ += v;  // L14
+    journal_.append(v);
+  }
+
+  // Journal record lands first: the crash-recovery invariant holds. Must
+  // NOT be flagged.
+  void record(std::uint64_t v) {
+    journal_.append(v);
+    total_ += v;
+  }
+
+  // Declared state-only on purpose; the annotation carries the why. Must
+  // NOT be flagged.
+  void rebuild_cache() SPIDER_JOURNALED("derived value, recomputed on load") {
+    cached_ = total_ * 2;
+  }
+
+  // Reviewed escape hatch at the mutation line. Must NOT be flagged.
+  void adjust(std::uint64_t v) {
+    total_ = v;  // spiderlint: journal-ok — caller owns the journal record
+  }
+
+ private:
+  Journal journal_;
+  std::uint64_t total_ = 0;
+  std::uint64_t cached_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// Fixture for spiderlint rule L15 (finding/fault exhaustiveness): the two
+// censused enums. kGood / kBound are fully wired by the sibling files;
+// kHalfWired / kUnbound are the seeded census gaps; kWaived shows the
+// reviewed escape hatch.
+#pragma once
+
+namespace fixture {
+
+enum class FindingKind {
+  kGood,
+  kHalfWired,
+  kWaived,  // spiderlint: census-ok — diagnostics-only kind, never repaired
+};
+
+enum class FaultKind {
+  kBound,
+  kUnbound,
+};
+
+struct Oracle {};
+
+// Registered below (wire.cpp). Must NOT be flagged.
+Oracle make_good_oracle();
+// Declared but never handed to a suite. Flagged.
+Oracle make_lost_oracle();
+
+}  // namespace fixture

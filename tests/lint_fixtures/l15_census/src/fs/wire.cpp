@@ -1,0 +1,45 @@
+// Fixture for spiderlint rule L15: the wiring side of the census. kGood
+// gets an injector case, a repair case, an oracle registration, and (in
+// ../tests/census_test.cpp) a test mention; kHalfWired only gets the
+// injector case; kBound gets its bind; kUnbound gets nothing.
+#include "fs/kinds.hpp"
+
+namespace fixture {
+
+struct Injector {
+  void bind(FaultKind, int) {}
+};
+
+struct Suite {
+  void add(Oracle) {}
+};
+
+Oracle make_good_oracle() { return {}; }
+Oracle make_lost_oracle() { return {}; }
+
+void inject_corruption(FindingKind kind) {
+  switch (kind) {
+    case FindingKind::kGood:
+      break;
+    case FindingKind::kHalfWired:
+      break;
+    default:
+      break;
+  }
+}
+
+void repair(FindingKind kind) {
+  switch (kind) {
+    case FindingKind::kGood:
+      break;
+    default:
+      break;
+  }
+}
+
+void install(Injector& inj, Suite& suite) {
+  inj.bind(FaultKind::kBound, 1);
+  suite.add(make_good_oracle());
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture for spiderlint rule L15: the test-mention side of the census.
+// Naming kGood and kBound here clears their "no test mention" gap;
+// kHalfWired and kUnbound are deliberately absent.
+#include "fs/kinds.hpp"
+
+namespace fixture {
+
+void exercises_the_wired_kinds() {
+  (void)FindingKind::kGood;
+  (void)FaultKind::kBound;
+}
+
+}  // namespace fixture

@@ -1,0 +1,70 @@
+// Fixture for spiderlint rule L16 (determinism taint). Linted with
+// --treat-as=src: wall-clock / thread-id / ambient-randomness values must
+// not flow into scheduled delays, hash inputs, or journal records —
+// directly, through a local, or through a helper whose every definition
+// returns taint. The clean-reassignment, non-sink, and suppressed calls
+// are the engineered false positives.
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <ctime>
+
+namespace fixture {
+
+struct Sim {
+  void schedule_at(std::int64_t, int) {}
+  void schedule_in(std::int64_t, int) {}
+};
+
+struct Journal {
+  void append(std::uint64_t) {}
+};
+
+void display(std::int64_t) {}
+std::uint64_t mix_hash(std::uint64_t a, std::uint64_t b) { return a ^ b; }
+
+// Every return carries taint, so the *name* becomes taint-returning and
+// callers inherit the finding.
+std::int64_t wall_ms() {
+  return static_cast<std::int64_t>(clock());
+}
+
+void bad_direct(Sim& sim) {
+  sim.schedule_in(wall_ms(), 1);  // L16 (via wall_ms())
+}
+
+void bad_through_local(Sim& sim) {
+  std::int64_t t = 0;
+  t = clock();
+  sim.schedule_at(t, 1);  // L16 (via local 't')
+}
+
+std::uint64_t bad_hash_input() {
+  return mix_hash(1, static_cast<std::uint64_t>(rand()));  // L16
+}
+
+void bad_journal_record(Journal& journal_) {
+  journal_.append(static_cast<std::uint64_t>(clock()));  // L16
+}
+
+// A clean reassignment clears the taint before the sink sees it. Must NOT
+// be flagged.
+void good_reassigned(Sim& sim) {
+  std::int64_t u = 0;
+  u = clock();
+  u = 5;
+  sim.schedule_at(u, 1);
+}
+
+// Taint flowing into a non-sink is not this rule's business. Must NOT be
+// flagged.
+void good_non_sink() {
+  display(clock());
+}
+
+// Reviewed escape hatch at the sink line. Must NOT be flagged.
+void good_suppressed(Sim& sim) {
+  sim.schedule_in(wall_ms(), 1);  // spiderlint: taint-ok — startup-only path
+}
+
+}  // namespace fixture

@@ -16,6 +16,7 @@
 
 #include "tools/lint/baseline.hpp"
 #include "tools/lint/fix.hpp"
+#include "tools/lint/global.hpp"
 #include "tools/lint/lint.hpp"
 #include "tools/lint/report.hpp"
 #include "tools/lint/rules.hpp"
@@ -145,9 +146,9 @@ TEST(SpiderLint, JsonReportCarriesFindings) {
 }
 
 TEST(SpiderLint, RuleTableIsComplete) {
-  ASSERT_EQ(rules().size(), 12u);
-  const char* ids[] = {"L1", "L2", "L3", "L4", "L5", "L6",
-                       "L7", "L8", "L9", "L10", "L11", "L12"};
+  ASSERT_EQ(rules().size(), 16u);
+  const char* ids[] = {"L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8",
+                       "L9", "L10", "L11", "L12", "L13", "L14", "L15", "L16"};
   for (const char* id : ids) {
     const RuleInfo* info = rule(id);
     ASSERT_NE(info, nullptr) << id;
@@ -155,7 +156,7 @@ TEST(SpiderLint, RuleTableIsComplete) {
     EXPECT_FALSE(info->suppression.empty());
     EXPECT_FALSE(info->hint.empty());
   }
-  EXPECT_EQ(rule("L13"), nullptr);
+  EXPECT_EQ(rule("L17"), nullptr);
 }
 
 TEST(SpiderLint, CollectSourcesIsSortedAndDeduplicated) {
@@ -165,7 +166,7 @@ TEST(SpiderLint, CollectSourcesIsSortedAndDeduplicated) {
   const std::vector<std::string> twice = collect_sources(
       {SPIDER_LINT_FIXTURES_DIR, fixture("l2_nondet_source.cpp")}, errors);
   EXPECT_TRUE(errors.empty());
-  EXPECT_EQ(once.size(), 23u) << "fixture census drifted";
+  EXPECT_EQ(once.size(), 32u) << "fixture census drifted";
   EXPECT_EQ(once, twice);
   EXPECT_TRUE(std::is_sorted(once.begin(), once.end()));
 }
@@ -341,6 +342,220 @@ TEST(SpiderLint, SuppressionScopesAreExactlyScoped) {
   ASSERT_EQ(r.findings.size(), 1u) << render_text(r, /*fix_hints=*/false);
   EXPECT_EQ(r.findings[0].rule, "L1");
   EXPECT_EQ(r.findings[0].line, 26u);  // d_ past the next-line scope
+}
+
+// ---------------------------------------------------------------------------
+// Whole-program rules (L13-L16): cross-TU linking, repair-surface
+// reachability, journal ordering, census exhaustiveness, determinism taint.
+// Tree fixtures are linted unforced so the path-based context rules apply;
+// flat fixtures are forced into the scope their rule guards.
+
+constexpr FileClass kFs{.in_src = true, .fs_scope = true};
+
+LintReport lint_rules(const std::string& name, const RuleSet& rules,
+                      std::optional<FileClass> cls = std::nullopt) {
+  LintOptions opts;
+  opts.rules = rules;
+  opts.forced_class = cls;
+  std::vector<std::string> errors;
+  LintReport report = lint_paths({fixture(name)}, opts, errors);
+  EXPECT_TRUE(errors.empty()) << (errors.empty() ? "" : errors.front());
+  return report;
+}
+
+RuleSet just(bool RuleSet::* flag) {
+  RuleSet rules = RuleSet::none();
+  rules.*flag = true;
+  return rules;
+}
+
+TEST(SpiderLint, L13FlagsRepairSurfaceEscapesOnly) {
+  // The direct trigger call, the annotated-trigger call, and the
+  // interprocedural reach fire from src/core; the spiderfsck and tests
+  // callers plus the suppressed call are the engineered false positives.
+  const LintReport r = lint_rules("l13_repair", just(&RuleSet::l13));
+  ASSERT_EQ(r.findings.size(), 3u) << render_text(r, /*fix_hints=*/false);
+  EXPECT_EQ(r.findings[0].rule, "L13");
+  EXPECT_EQ(r.findings[0].line, 13u);  // t.fsck_set_count(0)
+  EXPECT_EQ(r.findings[0].severity, Severity::kError);
+  EXPECT_NE(r.findings[0].message.find("'fsck_set_count'"),
+            std::string::npos);
+  EXPECT_EQ(r.findings[1].line, 17u);  // t.scrub_reset() (SPIDER_REPAIR_ONLY)
+  EXPECT_NE(r.findings[1].message.find("'scrub_reset'"), std::string::npos);
+  EXPECT_EQ(r.findings[2].line, 21u);  // reset_all(t)
+  EXPECT_NE(r.findings[2].message.find("reset_all -> fsck_set_count"),
+            std::string::npos);
+}
+
+TEST(SpiderLint, L14FlagsUnjournaledMutationOnly) {
+  // The mutate-then-append method fires; the append-first method, the
+  // SPIDER_JOURNALED method, and the suppressed line are the engineered
+  // false positives.
+  const LintReport r =
+      lint_rules("l14_journal.cpp", just(&RuleSet::l14), kFs);
+  ASSERT_EQ(r.findings.size(), 1u) << render_text(r, /*fix_hints=*/false);
+  EXPECT_EQ(r.findings[0].rule, "L14");
+  EXPECT_EQ(r.findings[0].line, 27u);  // total_ += v before the append
+  EXPECT_EQ(r.findings[0].severity, Severity::kError);
+  EXPECT_NE(r.findings[0].message.find("'Ledger::add'"), std::string::npos);
+  EXPECT_NE(r.findings[0].message.find("'total_'"), std::string::npos);
+}
+
+TEST(SpiderLint, L15FlagsCensusGapsOnly) {
+  // kHalfWired (no repair case, no test mention), kUnbound (no bind, no
+  // test mention), and the unregistered oracle factory fire; kGood, kBound,
+  // make_good_oracle, and the suppressed kWaived are the engineered false
+  // positives.
+  const LintReport r = lint_rules("l15_census", just(&RuleSet::l15));
+  ASSERT_EQ(r.findings.size(), 3u) << render_text(r, /*fix_hints=*/false);
+  EXPECT_EQ(r.findings[0].rule, "L15");
+  EXPECT_EQ(r.findings[0].line, 11u);  // kHalfWired
+  EXPECT_NE(r.findings[0].message.find(
+                "FindingKind::kHalfWired is half-wired: no repair case, "
+                "no test mention"),
+            std::string::npos);
+  EXPECT_EQ(r.findings[1].line, 17u);  // kUnbound
+  EXPECT_NE(r.findings[1].message.find("no injector binding"),
+            std::string::npos);
+  EXPECT_EQ(r.findings[2].line, 25u);  // make_lost_oracle declaration
+  EXPECT_NE(r.findings[2].message.find("'make_lost_oracle'"),
+            std::string::npos);
+}
+
+TEST(SpiderLint, L16FlagsTaintedSinksOnly) {
+  // The taint-returning helper, the tainted local, the hash input, and the
+  // journal record fire; the clean reassignment, the non-sink call, and
+  // the suppressed sink are the engineered false positives.
+  const LintReport r =
+      lint_rules("l16_taint.cpp", just(&RuleSet::l16), kSrc);
+  ASSERT_EQ(r.findings.size(), 4u) << render_text(r, /*fix_hints=*/false);
+  EXPECT_EQ(r.findings[0].rule, "L16");
+  EXPECT_EQ(r.findings[0].line, 33u);  // schedule_in(wall_ms(), ...)
+  EXPECT_NE(r.findings[0].message.find("via wall_ms()"), std::string::npos);
+  EXPECT_EQ(r.findings[1].line, 39u);  // schedule_at(t, ...)
+  EXPECT_NE(r.findings[1].message.find("via local 't'"), std::string::npos);
+  EXPECT_EQ(r.findings[2].line, 43u);  // mix_hash(..., rand())
+  EXPECT_NE(r.findings[2].message.find("a hash input"), std::string::npos);
+  EXPECT_EQ(r.findings[3].line, 47u);  // journal_.append(clock())
+  EXPECT_NE(r.findings[3].message.find("a journal record"),
+            std::string::npos);
+}
+
+// --- cross-TU resolution edge cases on the global index itself -------------
+
+TEST(SpiderLintGlobal, LinksForwardDeclarationsToTheirDefinition) {
+  std::vector<SourceFile> files;
+  files.push_back(scan_source("src/core/a.hpp", "void helper(int);\n"));
+  files.push_back(scan_source("src/core/a.cpp",
+                              "void helper(int x) { (void)x; }\n"));
+  const GlobalIndex index(files);
+  EXPECT_EQ(index.definitions("helper").size(), 1u);
+  EXPECT_EQ(index.occurrences("helper").size(), 2u);
+  EXPECT_TRUE(index.definitions("absent").empty());
+}
+
+TEST(SpiderLintGlobal, OutOfLineDefinitionCarriesItsClass) {
+  std::vector<SourceFile> files;
+  files.push_back(scan_source(
+      "src/fs/w.hpp",
+      "class Widget {\n public:\n  void touch();\n"
+      "  void fsck_set_n(int n);\n};\n"));
+  files.push_back(scan_source("src/fs/w.cpp",
+                              "void Widget::touch() { fsck_set_n(0); }\n"));
+  const GlobalIndex index(files);
+  ASSERT_EQ(index.definitions("touch").size(), 1u);
+  EXPECT_EQ(index.fn(index.definitions("touch")[0]).cls, "Widget");
+  // touch's only definition calls a trigger, so the name is reaching.
+  EXPECT_NE(index.repair_reaching().find("touch"),
+            index.repair_reaching().end());
+}
+
+TEST(SpiderLintGlobal, DisagreeingOverloadsWeakenReachabilityToSilence) {
+  // Two same-named definitions, only one reaching the repair surface: under
+  // the all-definitions rule the *name* must not become repair-reaching —
+  // a cross-TU name collision degrades to a missed finding, never a
+  // spurious one. Agreeing definitions still close.
+  std::vector<SourceFile> files;
+  files.push_back(scan_source(
+      "src/core/a.cpp", "void reset_all() { fsck_set_n(0); }\n"
+                        "void wipe_all() { fsck_set_n(0); }\n"));
+  files.push_back(scan_source(
+      "src/net/b.cpp", "void reset_all() { }\n"
+                       "void wipe_all() { fsck_set_n(1); }\n"));
+  const GlobalIndex index(files);
+  EXPECT_EQ(index.repair_reaching().find("reset_all"),
+            index.repair_reaching().end());
+  EXPECT_NE(index.repair_reaching().find("wipe_all"),
+            index.repair_reaching().end());
+}
+
+TEST(SpiderLintGlobal, ShadowedTriggerNamesAndDeclarationsStayQuiet) {
+  // A variable shadowing a trigger name (no call shape) and a namespace-
+  // scope declaration (no enclosing body) must not count as call sites.
+  std::vector<SourceFile> files;
+  files.push_back(scan_source(
+      "src/core/s.cpp",
+      "void fsck_set_n(int);\n"
+      "void use(int);\n"
+      "void tick() {\n  int truncate_to = 3;\n  use(truncate_to);\n}\n"));
+  GlobalOptions opts;
+  opts.rules = RuleSet::none();
+  opts.rules.l13 = true;
+  const std::vector<Finding> findings = lint_global(files, opts);
+  EXPECT_TRUE(findings.empty());
+}
+
+// --- parallel per-file pass: byte identity at any job count -----------------
+
+TEST(SpiderLint, JobsOutputIsByteIdenticalAcrossCounts) {
+  // The full fixture corpus (flat files and trees, per-file and whole-
+  // program findings) rendered at --jobs 1/2/4/8 must produce identical
+  // bytes — slot-ordered merge plus the canonical stable sort.
+  LintOptions opts;
+  std::vector<std::string> errors;
+  opts.jobs = 1;
+  const LintReport serial =
+      lint_paths({SPIDER_LINT_FIXTURES_DIR}, opts, errors);
+  EXPECT_TRUE(errors.empty());
+  EXPECT_FALSE(serial.findings.empty());
+  const std::string want = render_json(serial);
+  for (const std::size_t jobs : {2u, 4u, 8u}) {
+    LintOptions parallel_opts;
+    parallel_opts.jobs = jobs;
+    std::vector<std::string> parallel_errors;
+    const LintReport got =
+        lint_paths({SPIDER_LINT_FIXTURES_DIR}, parallel_opts,
+                   parallel_errors);
+    EXPECT_TRUE(parallel_errors.empty());
+    EXPECT_EQ(render_json(got), want) << "jobs=" << jobs;
+  }
+}
+
+// --- --only: the report narrows, the index does not -------------------------
+
+TEST(SpiderLint, ReportOnlyFiltersReportNotIndex) {
+  LintOptions opts;
+  opts.rules = just(&RuleSet::l13);
+  opts.report_only = {"core/bad.cpp"};  // suffix match at a '/' boundary
+  std::vector<std::string> errors;
+  const LintReport r = lint_paths({fixture("l13_repair")}, opts, errors);
+  EXPECT_TRUE(errors.empty());
+  // All three breaches live in bad.cpp — including the scrub_reset call,
+  // whose trigger status comes from the SPIDER_REPAIR_ONLY annotation in
+  // repairable.hpp. Seeing it here proves the filtered run still indexed
+  // the unreported file.
+  ASSERT_EQ(r.findings.size(), 3u) << render_text(r, /*fix_hints=*/false);
+  EXPECT_EQ(r.findings[1].line, 17u);
+  EXPECT_NE(r.findings[1].message.find("'scrub_reset'"), std::string::npos);
+
+  LintOptions other;
+  other.rules = just(&RuleSet::l13);
+  other.report_only = {"src/fs/repairable.hpp"};
+  std::vector<std::string> other_errors;
+  const LintReport empty =
+      lint_paths({fixture("l13_repair")}, other, other_errors);
+  EXPECT_TRUE(empty.findings.empty())
+      << render_text(empty, /*fix_hints=*/false);
 }
 
 // ---------------------------------------------------------------------------
