@@ -5,6 +5,7 @@
 #   bench_micro_engine -> BENCH_engine.json (ci/bench-baseline-engine.json)
 #   bench_macro_scale  -> BENCH_scale.json  (ci/bench-baseline-scale.json)
 #   bench_fsck         -> BENCH_fsck.json   (ci/bench-baseline-fsck.json)
+#   bench_changelog    -> BENCH_changelog.json (ci/bench-baseline-changelog.json)
 #   bench_lint         -> BENCH_lint.json   (ci/bench-baseline-lint.json)
 #
 # Usage: scripts/bench.sh [--smoke] [build-dir]
@@ -33,7 +34,7 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 echo "=== [bench] configure + build (Release) ==="
 cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "${BUILD_DIR}" -j "${JOBS}" \
-    --target bench_micro_engine bench_macro_scale bench_fsck bench_lint
+    --target bench_micro_engine bench_macro_scale bench_fsck bench_changelog bench_lint
 
 echo "=== [bench] engine throughput ==="
 "${BUILD_DIR}/bench/bench_micro_engine" \
@@ -51,6 +52,12 @@ echo "=== [bench] spiderfsck scan throughput ==="
 "${BUILD_DIR}/bench/bench_fsck" \
     --spider-json=BENCH_fsck.json \
     --baseline=ci/bench-baseline-fsck.json \
+    ${SMOKE}
+
+echo "=== [bench] changelog incremental vs scan ==="
+"${BUILD_DIR}/bench/bench_changelog" \
+    --spider-json=BENCH_changelog.json \
+    --baseline=ci/bench-baseline-changelog.json \
     ${SMOKE}
 
 echo "=== [bench] spiderlint whole-tree wall time ==="

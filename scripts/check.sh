@@ -15,7 +15,9 @@
 # to the serial run, a sharded-engine stage proves --shards=1/2/8 does too
 # (docs/parallel-engine.md), a fsck stage runs the corrupt -> detect ->
 # repair -> re-verify loop under ASan (spiderfsck at --jobs 1/2/4/8 plus
-# spiderfault --fsck over the smoke plans, docs/fsck.md), and a bench-smoke
+# spiderfault --fsck over the smoke plans, docs/fsck.md), a changelog-churn
+# stage runs the billion-file churn -> crash -> replay -> oracle loop under
+# ASan (spiderfault --churn, docs/metadata-changelog.md), and a bench-smoke
 # stage runs the engine throughput loops against the checked-in baselines
 # (scripts/bench.sh --smoke).
 #
@@ -201,6 +203,40 @@ if grep -q '"post_repair_clean": false' "${BUILD_ROOT}/faults_fsck.jsonl" \
   exit 1
 fi
 
+# Changelog churn -> crash -> replay -> oracle loop under ASan
+# (docs/metadata-changelog.md): DNE namespaces churn over the sharded
+# engine while the incremental purge engine and LustreDU answer from the
+# changelog; the consistency oracle audits every epoch barrier and the
+# verdict proves the query paths took zero namespace walks. Two fresh
+# processes must emit byte-identical verdicts, and the acceptance run
+# must clear a billion logical files. The crash variant truncates the
+# committed log mid-run and must detect the rewound cursor and resync.
+echo "=== changelog churn -> crash -> replay -> oracle (ASan) ==="
+"${FAULT_BIN}" --churn --churn-min-logical=1000000000 \
+    | tee "${BUILD_ROOT}/churn_run1.json"
+"${FAULT_BIN}" --churn --churn-min-logical=1000000000 \
+    > "${BUILD_ROOT}/churn_run2.json"
+if ! diff "${BUILD_ROOT}/churn_run1.json" "${BUILD_ROOT}/churn_run2.json"
+then
+  echo "FAIL: churn verdicts diverged across processes" >&2
+  exit 1
+fi
+if ! grep -q '"ok": true' "${BUILD_ROOT}/churn_run1.json"; then
+  echo "FAIL: changelog churn run was not oracle-clean at 1e9 files" >&2
+  exit 1
+fi
+if ! grep -q '"query_walks": 0' "${BUILD_ROOT}/churn_run1.json"; then
+  echo "FAIL: a changelog-era query path walked the namespace" >&2
+  exit 1
+fi
+"${FAULT_BIN}" --churn --churn-crash \
+    > "${BUILD_ROOT}/churn_crash.json"
+if ! grep -q '"crash_detected": true' "${BUILD_ROOT}/churn_crash.json" \
+    || ! grep -q '"ok": true' "${BUILD_ROOT}/churn_crash.json"; then
+  echo "FAIL: churn crash variant did not detect + resync cleanly" >&2
+  exit 1
+fi
+
 # Engine throughput smoke: seconds-long loops, shape-checked against
 # ci/bench-baseline-engine.json (0.60x floor). Catches engine-level perf
 # collapses — an accidental per-event allocation, a serialized pool — not
@@ -210,4 +246,5 @@ scripts/bench.sh --smoke "${BUILD_ROOT}/bench"
 
 echo "OK: sanitized suites passed, replay hashes and fault verdicts stable," \
      "parallel and sharded campaigns deterministic, fsck repairs converged," \
+     "changelog churn oracle-clean at 1e9 logical files," \
      "bench smoke within baseline"

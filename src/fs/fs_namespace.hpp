@@ -18,6 +18,7 @@
 #include "common/annotations.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
+#include "fs/journal.hpp"
 #include "fs/mds.hpp"
 #include "fs/ost.hpp"
 #include "fs/striping.hpp"
@@ -73,29 +74,52 @@ class FsNamespace {
   const Ost& ost(std::size_t i) const { return *osts_.at(i); }
   const StripePolicy& default_policy() const { return default_policy_; }
 
+  // --- changelog attachment (ROADMAP item 2) ------------------------------
+  // When an OpLog is attached, every mutation path selected by the mask
+  // appends its record *before* touching namespace state (spiderlint L14),
+  // so consumers (fs/changelog.hpp) can rebuild per-project accounting from
+  // the committed prefix alone. The log is non-owning and the namespace
+  // never commits: the durability cursor belongs to whoever owns the log.
+  void attach_oplog(OpLog* log, ChangelogMask mask = kLogDefault)
+      SPIDER_JOURNALED("wires the journal up; stores only the log pointer "
+                       "and mask, never namespace state") {
+    oplog_ = log;
+    oplog_mask_ = mask;
+  }
+  OpLog* oplog() const { return oplog_; }
+  ChangelogMask changelog_mask() const { return oplog_mask_; }
+
   // --- file operations (metadata accounted on the MDS) -------------------
   /// Create a file; returns kNoFile when no space can be found.
   FileId create_file(std::uint32_t project, Bytes size, sim::SimTime now,
-                     Rng& rng, std::optional<StripePolicy> policy = {})
-      SPIDER_JOURNALED("journaled by the caller that owns the OpLog: the "
-                       "campaign layer appends the kCreate record alongside "
-                       "this call (tools/faultcli/campaign.cpp); the "
-                       "namespace itself holds no journal");
+                     Rng& rng, std::optional<StripePolicy> policy = {});
   bool exists(FileId id) const;
   const FileRecord& file(FileId id) const;
-  /// Read access: bumps atime, accounts lookup + stat.
+  /// Read access: bumps atime, accounts lookup + stat. Emits kSetattr only
+  /// under kLogAtime (atime churn is masked off by default, as in Lustre).
   void read_file(FileId id, sim::SimTime now);
-  /// Modify: bumps mtime.
+  /// Modify: bumps mtime (changelog kSetattr).
   void touch_file(FileId id, sim::SimTime now);
   /// stat() only (no data access).
   void stat_file(FileId id);
-  bool unlink(FileId id, sim::SimTime now)
-      SPIDER_JOURNALED("journaled by the caller that owns the OpLog: the "
-                       "campaign layer appends the kUnlink record alongside "
-                       "this call; the namespace itself holds no journal");
+  /// Grow or shrink a file in place on its existing stripes (changelog
+  /// kResize carrying prev_size). Returns false — with no state change and
+  /// no record — when a grow does not fit.
+  bool resize_file(FileId id, Bytes new_size, sim::SimTime now);
+  /// Reassign a file to a new project/owner (changelog kSetProject carrying
+  /// prev_project). Returns false for unknown ids.
+  bool set_project(FileId id, std::uint32_t new_project, sim::SimTime now);
+  bool unlink(FileId id, sim::SimTime now);
 
-  /// Visit every live file.
+  /// Visit every live file. Counts as a full namespace walk.
   void for_each_file(const std::function<void(const FileRecord&)>& fn) const;
+
+  /// Number of full-namespace enumerations ever taken (for_each_file,
+  /// live_ids, recount_live, and everything built on them). The changelog
+  /// oracle asserts incremental purge/LustreDU query paths leave this
+  /// untouched — the whole point of ROADMAP item 2 is zero walks at 1e9
+  /// entries.
+  std::uint64_t full_walks() const { return full_walks_; }
 
   // --- stable enumeration (spiderfsck scan phases, spiderlint L1) ---------
   // The inode table is a slot vector, so slot index IS the canonical walk
@@ -157,6 +181,9 @@ class FsNamespace {
   std::vector<std::size_t> free_slots_;
   std::uint64_t live_files_ = 0;
   std::uint64_t total_created_ = 0;
+  OpLog* oplog_ = nullptr;  ///< non-owning; null when no changelog attached
+  ChangelogMask oplog_mask_ = kLogDefault;
+  mutable std::uint64_t full_walks_ = 0;  ///< telemetry: full enumerations
 };
 
 }  // namespace spider::fs

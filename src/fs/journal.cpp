@@ -30,9 +30,21 @@ double JournalModel::commit_latency_s() const {
 
 // --- OpLog ------------------------------------------------------------------
 
+const char* op_kind_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kCreate: return "create";
+    case OpKind::kUnlink: return "unlink";
+    case OpKind::kSetattr: return "setattr";
+    case OpKind::kResize: return "resize";
+    case OpKind::kSetProject: return "setproject";
+  }
+  return "unknown";
+}
+
 std::uint64_t OpLog::append(OpKind kind, std::uint64_t file,
                             std::uint32_t project, Bytes size,
-                            std::int64_t at) {
+                            std::int64_t at, std::uint32_t prev_project,
+                            Bytes prev_size) {
   OpRecord rec;
   rec.txid = next_txid_++;
   rec.kind = kind;
@@ -40,6 +52,8 @@ std::uint64_t OpLog::append(OpKind kind, std::uint64_t file,
   rec.project = project;
   rec.size = size;
   rec.at = at;
+  rec.prev_project = prev_project;
+  rec.prev_size = prev_size;
   records_.push_back(rec);
   return rec.txid;
 }

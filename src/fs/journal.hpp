@@ -36,18 +36,31 @@ struct JournalModel {
 
 // --- metadata op journal ----------------------------------------------------
 //
-// The redo log spiderfsck (tools/spiderfsck) cross-references against the
-// namespace: every create/unlink lands here with a monotone transaction id,
-// and a committed cursor marks the durable prefix. Consumers rebuild
-// namespace-level counters by replaying the log (fs/recovery.hpp,
-// replay_op_log) instead of rescanning the namespace — the Robinhood-style
-// changelog direction from ROADMAP item 2, grown here just far enough to
-// close the inject -> detect -> fsck -> re-verify loop.
+// The MDS changelog (ROADMAP item 2, Robinhood direction): every namespace
+// mutation lands here with a monotone transaction id, and a committed cursor
+// marks the durable prefix. Consumers (fs/changelog.hpp accounting tables,
+// the incremental purge engine, tools::LustreDu) rebuild namespace-level
+// state by replaying the committed prefix instead of rescanning the
+// namespace — the scan-free policy path that keeps working at 1e9 entries,
+// where full MDS sweeps stop (docs/metadata-changelog.md). spiderfsck
+// (tools/spiderfsck) cross-references the same log against the inode table.
 
 enum class OpKind : std::uint8_t {
   kCreate,
   kUnlink,
+  /// Touch: mtime/atime advance (`at` is the new last-touch time). Records
+  /// carry the file's current project/size so consumers stay stateless.
+  kSetattr,
+  /// Size change: `size` is the new size, `prev_size` the old one, so a
+  /// consumer can apply the delta without a lookup.
+  kResize,
+  /// Project reassignment: `project` is the new owner, `prev_project` the
+  /// old one; `size` is the file's current size (it moves between owners).
+  kSetProject,
 };
+
+/// Canonical lowercase name ("create", "setattr", ...) for reports.
+const char* op_kind_name(OpKind kind);
 
 /// One journaled metadata operation. `file` is the fs::FileId value (kept as
 /// a raw integer here so the journal stays below fs_namespace.hpp in the
@@ -59,7 +72,24 @@ struct OpRecord {
   std::uint32_t project = 0;
   Bytes size = 0;
   std::int64_t at = 0;  ///< sim::SimTime value of the operation
+  std::uint32_t prev_project = 0;  ///< kSetProject: owner before the move
+  Bytes prev_size = 0;             ///< kResize: size before the change
 };
+
+// Which mutation paths an attached namespace emits into its changelog.
+// Mirrors Lustre's changelog record mask: atime-only updates (reads) are
+// costly at scale and masked off by default, exactly as `lctl changelog`
+// ships; scenarios that drive atime-based purge opt in with kLogAtime.
+using ChangelogMask = std::uint32_t;
+inline constexpr ChangelogMask kLogCreate = 1u << 0;
+inline constexpr ChangelogMask kLogUnlink = 1u << 1;
+inline constexpr ChangelogMask kLogSetattr = 1u << 2;  ///< touch (mtime)
+inline constexpr ChangelogMask kLogResize = 1u << 3;
+inline constexpr ChangelogMask kLogSetProject = 1u << 4;
+inline constexpr ChangelogMask kLogAtime = 1u << 5;  ///< read-path atime bumps
+inline constexpr ChangelogMask kLogDefault =
+    kLogCreate | kLogUnlink | kLogSetattr | kLogResize | kLogSetProject;
+inline constexpr ChangelogMask kLogAll = kLogDefault | kLogAtime;
 
 /// Append-only op journal with a committed cursor. Records are held in txid
 /// order; truncate_to models a crash that loses the uncommitted tail, and
@@ -67,9 +97,11 @@ struct OpRecord {
 /// breaches spiderfsck must detect).
 class OpLog {
  public:
-  /// Append one record; returns its txid.
+  /// Append one record; returns its txid. The prev_* fields only matter for
+  /// kResize (prev_size) and kSetProject (prev_project) and default to 0.
   std::uint64_t append(OpKind kind, std::uint64_t file, std::uint32_t project,
-                       Bytes size, std::int64_t at)
+                       Bytes size, std::int64_t at,
+                       std::uint32_t prev_project = 0, Bytes prev_size = 0)
       SPIDER_JOURNALED("this IS the journal append: OpLog is the durability "
                        "point itself, not a consumer of one");
 

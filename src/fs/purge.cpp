@@ -1,9 +1,24 @@
 #include "fs/purge.hpp"
 
 #include <algorithm>
+#include <sstream>
 #include <vector>
 
 namespace spider::fs {
+
+std::string purge_report_json(const PurgeReport& report) {
+  std::ostringstream os;
+  os << "{\"scanned\":" << report.scanned << ",\"purged\":" << report.purged
+     << ",\"freed\":" << report.freed << ",\"mds_ops\":" << report.mds_ops
+     << ",\"min_purged_age_s\":";
+  if (report.has_min_age()) {
+    os << report.min_purged_age_s;
+  } else {
+    os << "null";
+  }
+  os << "}";
+  return os.str();
+}
 
 PurgeReport run_purge(FsNamespace& ns, sim::SimTime now,
                       const PurgePolicy& policy) {
@@ -50,6 +65,136 @@ void schedule_daily_purge(sim::Simulator& sim, FsNamespace& ns,
       if (reports) reports->push_back(report);
     });
   }
+}
+
+// --- incremental purge (changelog consumer) ---------------------------------
+
+PurgeRules rules_from_policy(const PurgePolicy& policy) {
+  PurgeRules rules;
+  rules.classes.push_back(PurgeClass{policy.window_days, 0, UINT32_MAX});
+  rules.exempt_project = policy.exempt_project;
+  return rules;
+}
+
+PurgeEngine::PurgeEngine(FsNamespace& ns, const OpLog& log, PurgeRules rules)
+    : ns_(ns), log_(log), rules_(std::move(rules)) {}
+
+ConsumeResult PurgeEngine::poll() {
+  return cursor_.consume(log_, [this](const OpRecord& rec) { apply(rec); });
+}
+
+void PurgeEngine::apply(const OpRecord& rec) {
+  switch (rec.kind) {
+    case OpKind::kCreate: {
+      Tracked& t = files_[rec.file];
+      t.project = rec.project;
+      t.size = rec.size;
+      t.last_touch = rec.at;
+      by_age_.insert({rec.at, rec.file});
+      break;
+    }
+    case OpKind::kUnlink:
+      drop(rec.file);
+      break;
+    case OpKind::kSetattr:
+      touch(rec.file, rec.at);
+      break;
+    case OpKind::kResize: {
+      const auto it = files_.find(rec.file);
+      if (it == files_.end()) break;
+      it->second.size = rec.size;
+      touch(rec.file, rec.at);
+      break;
+    }
+    case OpKind::kSetProject: {
+      const auto it = files_.find(rec.file);
+      if (it == files_.end()) break;
+      it->second.project = rec.project;
+      touch(rec.file, rec.at);
+      break;
+    }
+  }
+}
+
+void PurgeEngine::touch(std::uint64_t file, std::int64_t at) {
+  const auto it = files_.find(file);
+  if (it == files_.end()) return;
+  if (at <= it->second.last_touch) return;  // records replay in txid order
+  by_age_.erase({it->second.last_touch, file});
+  it->second.last_touch = at;
+  by_age_.insert({at, file});
+}
+
+void PurgeEngine::drop(std::uint64_t file) {
+  const auto it = files_.find(file);
+  if (it == files_.end()) return;  // already swept locally; record is the echo
+  by_age_.erase({it->second.last_touch, file});
+  files_.erase(it);
+}
+
+PurgeReport PurgeEngine::sweep(sim::SimTime now) {
+  PurgeReport report;
+  if (rules_.classes.empty()) return report;
+  const double mds_before = ns_.mds().accounted_load();
+
+  // Only files older than the loosest (smallest) class window can match
+  // any class, so the candidate set is a prefix of the age index.
+  double min_window_days = rules_.classes.front().window_days;
+  for (const PurgeClass& c : rules_.classes) {
+    min_window_days = std::min(min_window_days, c.window_days);
+  }
+  const sim::SimTime loosest_cutoff =
+      now - static_cast<sim::SimTime>(min_window_days *
+                                      static_cast<double>(sim::kDay));
+
+  std::vector<std::pair<std::int64_t, std::uint64_t>> victims;
+  for (const auto& [last_touch, file] : by_age_) {
+    if (last_touch >= loosest_cutoff) break;
+    ++report.scanned;
+    const Tracked& t = files_.at(file);
+    if (t.project == rules_.exempt_project) continue;
+    bool eligible = false;
+    for (const PurgeClass& c : rules_.classes) {
+      const sim::SimTime cutoff =
+          now - static_cast<sim::SimTime>(c.window_days *
+                                          static_cast<double>(sim::kDay));
+      if (last_touch >= cutoff) continue;
+      if (t.size < c.min_size) continue;
+      if (c.project != UINT32_MAX && t.project != c.project) continue;
+      eligible = true;
+      break;
+    }
+    if (eligible) victims.push_back({last_touch, file});
+  }
+
+  for (const auto& [last_touch, file] : victims) {
+    const auto it = files_.find(file);
+    if (it == files_.end()) continue;
+    const Bytes size = it->second.size;
+    // The unlink lands in the attached changelog like any other mutation;
+    // our own next poll() sees it as a harmless echo (drop() of a file
+    // already dropped below).
+    if (ns_.unlink(file, now)) {
+      ++report.purged;
+      report.freed += size;
+      report.min_purged_age_s =
+          std::min(report.min_purged_age_s, sim::to_seconds(now - last_touch));
+    }
+    // Either way the table entry is stale now — a failed unlink means the
+    // namespace no longer knows the id, and the log will reconcile us.
+    by_age_.erase({last_touch, file});
+    files_.erase(file);
+  }
+
+  report.mds_ops = ns_.mds().accounted_load() - mds_before;
+  return report;
+}
+
+ConsumeResult PurgeEngine::rebuild() {
+  files_.clear();
+  by_age_.clear();
+  cursor_.reset();
+  return poll();
 }
 
 }  // namespace spider::fs

@@ -56,6 +56,18 @@ OpLogSummary replay_op_log(const OpLog& log) {
         ++out.unlinks;
         live.erase(rec.file);
         break;
+      case OpKind::kSetattr:
+        ++out.setattrs;  // touch: no live-set or size effect
+        break;
+      case OpKind::kResize: {
+        ++out.resizes;
+        const auto it = live.find(rec.file);
+        if (it != live.end()) it->second = rec.size;
+        break;
+      }
+      case OpKind::kSetProject:
+        ++out.setprojects;  // ownership move: live set and sizes unchanged
+        break;
     }
   }
   out.live.reserve(live.size());
@@ -70,10 +82,29 @@ OpLogSummary replay_op_log(const OpLog& log) {
 JournalReplayOutcome replay_from_cursor(const OpLog& log,
                                         std::uint64_t cursor) {
   JournalReplayOutcome out;
-  for (const OpRecord& rec : log.records()) {
-    if (rec.txid > cursor) ++out.replayed;
+  if (cursor > log.last_txid()) {
+    // The records this cursor consumed no longer exist (crash-truncated
+    // tail). Clamp back rather than carry a position a future append will
+    // silently reuse.
+    out.cursor_ahead = true;
+    out.new_cursor = log.last_txid();
+    return out;
   }
-  out.new_cursor = std::max(cursor, log.last_txid());
+  std::uint64_t expect = cursor + 1;
+  for (const OpRecord& rec : log.records()) {
+    if (rec.txid <= cursor) continue;
+    if (rec.txid != expect && !out.gap) {
+      out.gap = true;
+      out.first_gap_txid = expect;
+    }
+    expect = rec.txid + 1;
+    ++out.replayed;
+  }
+  if (expect <= log.last_txid() && !out.gap) {
+    out.gap = true;
+    out.first_gap_txid = expect;
+  }
+  out.new_cursor = log.last_txid();
   return out;
 }
 

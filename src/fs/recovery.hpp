@@ -69,10 +69,14 @@ FailoverOutcome simulate_oss_failover(const RecoveryParams& params);
 struct OpLogSummary {
   std::uint64_t creates = 0;
   std::uint64_t unlinks = 0;
+  std::uint64_t setattrs = 0;
+  std::uint64_t resizes = 0;
+  std::uint64_t setprojects = 0;
   /// Files whose last journaled op is a create (created and never unlinked),
   /// ascending file-id order — the journal's view of the live set.
   std::vector<std::uint64_t> live;
-  /// Sum of the sizes of the journal-live files.
+  /// Sum of the sizes of the journal-live files (kResize records update a
+  /// live file's size in place).
   Bytes live_bytes = 0;
   std::uint64_t last_txid = 0;
 };
@@ -81,11 +85,23 @@ struct OpLogSummary {
 OpLogSummary replay_op_log(const OpLog& log);
 
 /// Replay only the records beyond `cursor` (exclusive), on top of nothing —
-/// the incremental consumer's step. Returns the number of records applied
-/// and the cursor value after the replay (the log's last txid).
+/// the incremental consumer's step over the whole log tail (committed or
+/// not; fs/changelog.hpp's ChangelogCursor is the committed-prefix flavor
+/// and additionally detects txid reuse after a crash, which a pure log view
+/// cannot).
 struct JournalReplayOutcome {
   std::uint64_t replayed = 0;
   std::uint64_t new_cursor = 0;
+  /// `cursor` was beyond last_txid(): it points into a tail that
+  /// truncate_to has since crash-dropped. Nothing replayed; new_cursor is
+  /// clamped back to last_txid() and the consumer must rebuild, because a
+  /// future append will reuse the lost txids for different operations.
+  bool cursor_ahead = false;
+  /// A txid in (cursor, last_txid] had no record — interior corruption of
+  /// the records_mutable kind spiderfsck seeds. Present records were still
+  /// counted; `first_gap_txid` names the first hole.
+  bool gap = false;
+  std::uint64_t first_gap_txid = 0;
 };
 JournalReplayOutcome replay_from_cursor(const OpLog& log, std::uint64_t cursor);
 

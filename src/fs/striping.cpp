@@ -79,4 +79,30 @@ void OstAllocator::release(std::span<const std::uint32_t> ost_ids, Bytes file_si
   }
 }
 
+bool OstAllocator::resize(std::span<const std::uint32_t> ost_ids,
+                          Bytes old_size, Bytes new_size) {
+  if (ost_ids.empty()) return false;
+  const Bytes per_old = (old_size + ost_ids.size() - 1) / ost_ids.size();
+  const Bytes per_new = (new_size + ost_ids.size() - 1) / ost_ids.size();
+  if (per_new == per_old) return true;
+  std::vector<Ost*> touched;
+  touched.reserve(ost_ids.size());
+  for (std::uint32_t id : ost_ids) {
+    auto it = index_of_id_.find(id);
+    if (it != index_of_id_.end()) touched.push_back(osts_[it->second]);
+  }
+  if (per_new < per_old) {
+    for (Ost* o : touched) o->release(per_old - per_new);
+    return true;
+  }
+  std::size_t done = 0;
+  for (; done < touched.size(); ++done) {
+    if (!touched[done]->allocate(per_new - per_old)) break;
+  }
+  if (done == touched.size()) return true;
+  // Grow did not fit: roll the partial reservation back.
+  for (std::size_t i = 0; i < done; ++i) touched[i]->release(per_new - per_old);
+  return false;
+}
+
 }  // namespace spider::fs

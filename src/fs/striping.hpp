@@ -46,6 +46,12 @@ class OstAllocator {
   /// Release a file's reservation from its stripe OSTs.
   void release(std::span<const std::uint32_t> ost_ids, Bytes file_size);
 
+  /// Adjust a file's reservation on its existing stripe OSTs from
+  /// `old_size` to `new_size` (evenly, like allocate/release). Shrinks
+  /// always succeed; a grow that does not fit rolls back and returns false.
+  bool resize(std::span<const std::uint32_t> ost_ids, Bytes old_size,
+              Bytes new_size);
+
   AllocatorMode mode() const { return mode_; }
   std::size_t num_osts() const { return osts_.size(); }
   Ost& ost(std::size_t i) { return *osts_[i]; }

@@ -31,6 +31,7 @@
 #include "block/ssu.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
+#include "fs/changelog.hpp"
 #include "fs/fs_namespace.hpp"
 #include "fs/ost.hpp"
 #include "fs/purge.hpp"
@@ -99,6 +100,15 @@ std::unique_ptr<sim::Oracle> make_namespace_journal_oracle(
     const fs::FsNamespace& ns, const OpJournal& journal);
 std::unique_ptr<sim::Oracle> make_purge_age_oracle(
     const std::vector<fs::PurgeReport>& reports, double window_days);
+/// Changelog-consistency oracle (ROADMAP item 2): each sweep folds newly
+/// committed records into `accounting`, then asserts the derived
+/// per-project usage and live-file count equal the namespace ground truth.
+/// Fires on crash-rewound cursors (and rebuilds) and on interior txid
+/// gaps. Wired into the churn runner; campaigns can add it when their
+/// namespace has the log attached.
+std::unique_ptr<sim::Oracle> make_changelog_oracle(
+    const fs::FsNamespace& ns, const fs::OpLog& log,
+    fs::ChangelogAccounting& accounting);
 
 /// Cluster and workload shape of one campaign run.
 struct CampaignConfig {

@@ -14,6 +14,21 @@
 //                         repaired state re-checks dirty always fails)
 //   --fsck-jobs=N         phase-1 scan lanes for the fsck stage (default 1)
 //
+// Churn mode (no plan files; the billion-entry changelog harness):
+//   --churn                    run the metadata churn scenario instead of
+//                              fault plans; one JSON verdict line, exit 0
+//                              iff the changelog oracles stayed green and
+//                              the query path cost zero namespace walks
+//   --churn-namespaces=N       DNE namespaces (default 8)
+//   --churn-files=N            initial physical records per namespace
+//   --churn-cohort=N           logical files per physical record
+//   --churn-ops=N              churn ops per actor (default 256)
+//   --churn-epochs=N           consumer/oracle barriers (default 8)
+//   --churn-crash              inject a log-rewind crash mid-run; the run
+//                              fails unless consumers detect and resync
+//   --churn-min-logical=N      fail the verdict below N logical files
+//   (--shards and --base-seed apply to churn mode too)
+//
 // One JSON verdict line per run: plan name, seed, replay hash, stream hash,
 // telemetry, and the oracle violations (see docs/fault-injection.md for how
 // to reproduce a violation from a verdict line).
@@ -42,6 +57,7 @@
 #include "common/parallel.hpp"
 #include "sim/faultplan.hpp"
 #include "tools/faultcli/campaign.hpp"
+#include "tools/faultcli/churn.hpp"
 
 namespace {
 
@@ -50,7 +66,12 @@ int usage(const char* argv0) {
                "usage: %s [--seeds=N] [--base-seed=S] [--mutations=M]\n"
                "       [--horizon-s=X] [--jobs=N] [--shards=N]\n"
                "       [--expect-violations] [--fsck] [--fsck-jobs=N]\n"
-               "       <plan.fplan>...\n",
+               "       <plan.fplan>...\n"
+               "   or: %s --churn [--churn-namespaces=N] [--churn-files=N]\n"
+               "       [--churn-cohort=N] [--churn-ops=N] [--churn-epochs=N]\n"
+               "       [--churn-crash] [--churn-min-logical=N] [--shards=N]\n"
+               "       [--base-seed=S]\n",
+               argv0,
                argv0);
   return 2;
 }
@@ -81,6 +102,8 @@ int main(int argc, char** argv) {
   bool expect_violations = false;
   bool fsck = false;
   std::uint64_t fsck_jobs = 1;
+  bool churn = false;
+  tools::ChurnRunConfig churn_cfg;
   std::vector<std::string> plan_paths;
 
   for (int i = 1; i < argc; ++i) {
@@ -109,6 +132,34 @@ int main(int argc, char** argv) {
         return usage(argv[0]);
       }
       if (horizon_s <= 0.0) return usage(argv[0]);
+    } else if (arg == "--churn") {
+      churn = true;
+    } else if (arg.starts_with("--churn-namespaces=")) {
+      std::uint64_t v = 0;
+      if (!parse_count(arg.substr(19), v) || v == 0) return usage(argv[0]);
+      churn_cfg.params.namespaces = static_cast<std::size_t>(v);
+    } else if (arg.starts_with("--churn-files=")) {
+      std::uint64_t v = 0;
+      if (!parse_count(arg.substr(14), v) || v == 0) return usage(argv[0]);
+      churn_cfg.params.initial_files = static_cast<std::size_t>(v);
+    } else if (arg.starts_with("--churn-cohort=")) {
+      std::uint64_t v = 0;
+      if (!parse_count(arg.substr(15), v) || v == 0) return usage(argv[0]);
+      churn_cfg.params.cohort = v;
+    } else if (arg.starts_with("--churn-ops=")) {
+      std::uint64_t v = 0;
+      if (!parse_count(arg.substr(12), v) || v == 0) return usage(argv[0]);
+      churn_cfg.params.ops_per_actor = static_cast<std::size_t>(v);
+    } else if (arg.starts_with("--churn-epochs=")) {
+      std::uint64_t v = 0;
+      if (!parse_count(arg.substr(15), v) || v == 0) return usage(argv[0]);
+      churn_cfg.epochs = static_cast<std::size_t>(v);
+    } else if (arg == "--churn-crash") {
+      churn_cfg.crash = true;
+    } else if (arg.starts_with("--churn-min-logical=")) {
+      std::uint64_t v = 0;
+      if (!parse_count(arg.substr(20), v)) return usage(argv[0]);
+      churn_cfg.min_logical_files = v;
     } else if (arg == "--expect-violations") {
       expect_violations = true;
     } else if (arg == "--fsck") {
@@ -121,6 +172,19 @@ int main(int argc, char** argv) {
     } else {
       plan_paths.emplace_back(arg);
     }
+  }
+  if (churn) {
+    if (!plan_paths.empty()) {
+      std::fprintf(stderr, "spiderfault: --churn takes no plan files\n");
+      return usage(argv[0]);
+    }
+    if (engine_shards > 0) {
+      churn_cfg.engine_shards = static_cast<std::size_t>(engine_shards);
+    }
+    if (have_base_seed) churn_cfg.params.seed = base_seed;
+    const tools::ChurnVerdict verdict = tools::run_churn(churn_cfg);
+    std::printf("%s\n", tools::churn_verdict_json(churn_cfg, verdict).c_str());
+    return verdict.ok ? 0 : 1;
   }
   if (plan_paths.empty()) return usage(argv[0]);
 

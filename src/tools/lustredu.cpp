@@ -31,10 +31,60 @@ void LustreDu::daily_scan(const fs::FsNamespace& ns, sim::SimTime now) {
   scanned_ = true;
 }
 
+void LustreDu::follow(const fs::OpLog& log, std::uint32_t shards) {
+  Feed feed;
+  feed.log = &log;
+  feed.accounting = fs::ChangelogAccounting(shards);
+  feeds_.push_back(std::move(feed));
+}
+
+fs::ConsumeResult LustreDu::poll() {
+  fs::ConsumeResult merged;
+  for (Feed& feed : feeds_) {
+    const fs::ConsumeResult one = feed.accounting.consume(*feed.log);
+    merged.applied += one.applied;
+    merged.cursor_ahead = merged.cursor_ahead || one.cursor_ahead;
+    if (one.gap && !merged.gap) {
+      merged.gap = true;
+      merged.first_gap_txid = one.first_gap_txid;
+    }
+    merged.cursor = one.cursor;  // meaningful when following one log
+  }
+  polled_ = true;
+  return merged;
+}
+
+void LustreDu::rebuild_feeds() {
+  for (Feed& feed : feeds_) feed.accounting.rebuild(*feed.log);
+  polled_ = true;
+}
+
+void LustreDu::resync_feed(std::size_t i, const fs::FsNamespace& ns) {
+  Feed& feed = feeds_.at(i);
+  feed.accounting.rebuild_from_namespace(ns, *feed.log);
+  polled_ = true;
+}
+
 DuCost LustreDu::usage(std::uint32_t project) const {
   DuCost cost;
   cost.mds_ops = 0.0;
   cost.wall_s = 10e-6;  // one indexed database lookup
+  if (!feeds_.empty()) {
+    if (!polled_) {
+      cost.stale = true;  // followed but never polled: no basis to answer
+      return cost;
+    }
+    for (const Feed& feed : feeds_) {
+      cost.bytes_reported += feed.accounting.bytes_of(project);
+    }
+    return cost;
+  }
+  if (!scanned_) {
+    // Cold tool: 0 bytes would be indistinguishable from a genuinely
+    // empty project, which is exactly the bug the stale flag closes.
+    cost.stale = true;
+    return cost;
+  }
   auto it = usage_.find(project);
   cost.bytes_reported = it == usage_.end() ? 0 : it->second;
   return cost;

@@ -174,6 +174,120 @@ TEST(FaultCampaign, AllSixOraclesFireOnSeededBreaches) {
   EXPECT_GE(fired.size(), 6u);
 }
 
+TEST(FaultCampaign, PurgeAgeOracleGuardsTheNothingPurgedSentinel) {
+  // Regression: PurgeReport::min_purged_age_s defaults to +infinity. A
+  // sweep that purged nothing used to push +inf into the age comparison —
+  // vacuously passing, but also serialized as bare `inf`. The oracle now
+  // skips empty sweeps, and flags purged > 0 with no recorded age as a
+  // malformed report.
+  std::vector<fs::PurgeReport> reports;
+  fs::PurgeReport idle;
+  idle.scanned = 100;  // purged == 0, min age left at the +inf sentinel
+  reports.push_back(idle);
+
+  const auto oracle = make_purge_age_oracle(reports, 14.0);
+  std::vector<sim::OracleViolation> out;
+  oracle->check(0, out);
+  EXPECT_TRUE(out.empty()) << violations_json(out);
+
+  fs::PurgeReport healthy;
+  healthy.purged = 2;
+  healthy.min_purged_age_s = 15.0 * 86400.0;
+  reports.push_back(healthy);
+  oracle->check(1, out);
+  EXPECT_TRUE(out.empty()) << violations_json(out);
+
+  fs::PurgeReport malformed;
+  malformed.purged = 3;  // +inf age despite purging: malformed
+  reports.push_back(malformed);
+  oracle->check(2, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NE(out[0].detail.find("no minimum age"), std::string::npos)
+      << out[0].detail;
+
+  fs::PurgeReport young;
+  young.purged = 1;
+  young.min_purged_age_s = 0.5;  // genuinely too young: still fires
+  reports.push_back(young);
+  oracle->check(3, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_NE(out[1].detail.find("younger than"), std::string::npos)
+      << out[1].detail;
+}
+
+TEST(FaultCampaign, ChangelogOracleGreenOnConsistentRedOnCorruption) {
+  FaultCampaign campaign(benign_plan(), 7);
+  Rng rng(2);
+  for (int i = 0; i < 24; ++i) {
+    campaign.ns().create_file(static_cast<std::uint32_t>(i % 3), 8_MiB, 0,
+                              rng);
+  }
+  campaign.oplog().commit(campaign.oplog().last_txid());
+
+  fs::ChangelogAccounting acct(4);
+  const auto oracle =
+      make_changelog_oracle(campaign.ns(), campaign.oplog(), acct);
+  std::vector<sim::OracleViolation> out;
+  oracle->check(0, out);
+  EXPECT_TRUE(out.empty()) << violations_json(out);
+
+  // More churn lands, but one record is lost in flight — interior
+  // corruption in the range the next sweep will consume. The sweep must
+  // call the accounting untrustworthy, naming the hole.
+  for (int i = 0; i < 8; ++i) {
+    campaign.ns().create_file(static_cast<std::uint32_t>(i % 3), 8_MiB, 0,
+                              rng);
+  }
+  campaign.oplog().commit(campaign.oplog().last_txid());
+  auto& recs = campaign.oplog().records_mutable();
+  const std::size_t cut = recs.size() - 4;
+  const fs::OpRecord lost = recs[cut];
+  recs.erase(recs.begin() + static_cast<std::ptrdiff_t>(cut));
+  oracle->check(1, out);
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out[0].oracle, "changelog-consistency");
+  EXPECT_NE(out[0].detail.find("gap"), std::string::npos) << out[0].detail;
+
+  // Repair the log (spiderfsck's backfill), force a full replay, and the
+  // oracle goes green again.
+  recs.insert(recs.begin() + static_cast<std::ptrdiff_t>(cut), lost);
+  acct.rebuild(campaign.oplog());
+  out.clear();
+  oracle->check(2, out);
+  EXPECT_TRUE(out.empty()) << violations_json(out);
+}
+
+TEST(FaultCampaign, ChangelogOracleDetectsCrashRewoundCursor) {
+  FaultCampaign campaign(benign_plan(), 11);
+  Rng rng(3);
+  for (int i = 0; i < 16; ++i) {
+    campaign.ns().create_file(0, 8_MiB, 0, rng);
+  }
+  campaign.oplog().commit(campaign.oplog().last_txid());
+
+  fs::ChangelogAccounting acct(2);
+  const auto oracle =
+      make_changelog_oracle(campaign.ns(), campaign.oplog(), acct);
+  std::vector<sim::OracleViolation> out;
+  oracle->check(0, out);
+  ASSERT_TRUE(out.empty()) << violations_json(out);
+
+  // Crash: the log rewinds under live namespace state. The oracle must
+  // call out the rewound cursor, not silently re-consume reused txids.
+  campaign.oplog().truncate_to(campaign.oplog().committed() / 2);
+  oracle->check(1, out);
+  ASSERT_FALSE(out.empty());
+  EXPECT_NE(out[0].detail.find("rewound"), std::string::npos)
+      << out[0].detail;
+
+  // Recovery is a ground-truth resync (the committed prefix can no longer
+  // describe the live namespace); afterwards the oracle is green again.
+  acct.rebuild_from_namespace(campaign.ns(), campaign.oplog());
+  out.clear();
+  oracle->check(2, out);
+  EXPECT_TRUE(out.empty()) << violations_json(out);
+}
+
 TEST(FaultCampaign, DataLossScenarioIsReportedNotMasked) {
   // Three members of one group fail: beyond RAID-6 parity. The verdict must
   // carry data_lost while accounting stays consistent (no oracle fires for

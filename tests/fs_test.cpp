@@ -14,6 +14,7 @@
 #include "fs/oss.hpp"
 #include "fs/ost.hpp"
 #include "fs/purge.hpp"
+#include "fs/recovery.hpp"
 #include "fs/striping.hpp"
 #include "sim/oracle.hpp"
 #include "tools/faultcli/campaign.hpp"
@@ -442,6 +443,104 @@ TEST(ObdSurvey, OverheadFractionIsSmallButPositive) {
       fs_overhead_fraction(*fleet.ptrs[0], block::IoDir::kWrite);
   EXPECT_GT(overhead, 0.02);
   EXPECT_LT(overhead, 0.25);
+}
+
+// --- replay_from_cursor exact boundaries ------------------------------------
+// The crash/corruption edge cases that used to misaccount silently: a cursor
+// at, one past, and far past the tail, a cursor into a truncate_to-lost
+// tail, and interior gaps from records_mutable corruption.
+
+namespace {
+
+OpLog make_log(int n) {
+  OpLog log;
+  for (int i = 0; i < n; ++i) {
+    log.append(OpKind::kCreate, 100 + static_cast<std::uint64_t>(i), 0, 1_MiB,
+               i);
+  }
+  return log;
+}
+
+}  // namespace
+
+TEST(JournalReplay, CursorAtTailReplaysNothingCleanly) {
+  const OpLog log = make_log(5);
+  const JournalReplayOutcome out = replay_from_cursor(log, log.last_txid());
+  EXPECT_EQ(out.replayed, 0u);
+  EXPECT_EQ(out.new_cursor, 5u);
+  EXPECT_FALSE(out.cursor_ahead);
+  EXPECT_FALSE(out.gap);
+}
+
+TEST(JournalReplay, CursorOnePastTailIsAheadNotASilentNoop) {
+  const OpLog log = make_log(5);
+  const JournalReplayOutcome out =
+      replay_from_cursor(log, log.last_txid() + 1);
+  EXPECT_TRUE(out.cursor_ahead);
+  EXPECT_EQ(out.replayed, 0u);
+  // Clamped to the tail so the consumer rebuilds from a real position
+  // instead of carrying a txid the next append will reuse.
+  EXPECT_EQ(out.new_cursor, log.last_txid());
+}
+
+TEST(JournalReplay, CursorIntoTruncateLostTailIsDetected) {
+  OpLog log = make_log(8);
+  // A consumer saw txid 8, then the crash dropped everything past 4.
+  log.truncate_to(4);
+  const JournalReplayOutcome out = replay_from_cursor(log, 8);
+  EXPECT_TRUE(out.cursor_ahead);
+  EXPECT_EQ(out.replayed, 0u);
+  EXPECT_EQ(out.new_cursor, 4u);
+
+  // After the clamp, replay from the clamped position is clean — and new
+  // appends reusing the lost txids are picked up as ordinary records.
+  log.append(OpKind::kUnlink, 100, 0, 1_MiB, 99);
+  const JournalReplayOutcome again = replay_from_cursor(log, 4);
+  EXPECT_FALSE(again.cursor_ahead);
+  EXPECT_FALSE(again.gap);
+  EXPECT_EQ(again.replayed, 1u);
+  EXPECT_EQ(again.new_cursor, 5u);
+}
+
+TEST(JournalReplay, InteriorGapNamesTheFirstMissingTxid) {
+  OpLog log = make_log(6);
+  auto& recs = log.records_mutable();
+  recs.erase(recs.begin() + 2);  // drop txid 3
+  const JournalReplayOutcome out = replay_from_cursor(log, 0);
+  EXPECT_TRUE(out.gap);
+  EXPECT_EQ(out.first_gap_txid, 3u);
+  EXPECT_EQ(out.replayed, 5u);  // surviving records still counted
+  EXPECT_EQ(out.new_cursor, 6u);
+}
+
+TEST(JournalReplay, GapBeforeTheCursorIsOldNews) {
+  OpLog log = make_log(6);
+  auto& recs = log.records_mutable();
+  recs.erase(recs.begin() + 1);  // drop txid 2
+  // A consumer already past the hole must not re-diagnose it forever.
+  const JournalReplayOutcome out = replay_from_cursor(log, 3);
+  EXPECT_FALSE(out.gap);
+  EXPECT_EQ(out.replayed, 3u);
+  EXPECT_EQ(out.new_cursor, 6u);
+}
+
+TEST(JournalReplay, MissingTailBehindLastTxidIsAGap) {
+  OpLog log = make_log(5);
+  auto& recs = log.records_mutable();
+  recs.pop_back();  // last_txid() still says 5, but record 5 is gone
+  const JournalReplayOutcome out = replay_from_cursor(log, 0);
+  EXPECT_TRUE(out.gap);
+  EXPECT_EQ(out.first_gap_txid, 5u);
+  EXPECT_EQ(out.replayed, 4u);
+}
+
+TEST(JournalReplay, EmptyLogFromZeroIsClean) {
+  const OpLog log;
+  const JournalReplayOutcome out = replay_from_cursor(log, 0);
+  EXPECT_EQ(out.replayed, 0u);
+  EXPECT_EQ(out.new_cursor, 0u);
+  EXPECT_FALSE(out.cursor_ahead);
+  EXPECT_FALSE(out.gap);
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include "block/disk.hpp"
 #include "block/raid.hpp"
 #include "common/rng.hpp"
+#include "fs/changelog.hpp"
 #include "fs/fs_namespace.hpp"
 #include "fs/journal.hpp"
 #include "fs/purge.hpp"
@@ -242,6 +243,153 @@ TEST_P(FsckSoundnessP, TruncatedJournalOrUnjournaledChurnNeverChecksClean) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FsckSoundnessP, ::testing::Range(0, 9));
+
+// --- changelog crash consistency ------------------------------------------
+//
+// The ROADMAP item 2 property: a changelog consumer that detects the
+// crash-rewind (cursor_ahead) and rebuilds is indistinguishable, at any
+// shard fan-out, from a consumer built from scratch over the same log —
+// even when the crash makes the log reuse txids for different operations.
+
+namespace {
+
+/// One random namespace mutation; the attached log records it.
+void churn_once(fs::FsNamespace& ns, std::vector<fs::FileId>& pool,
+                sim::SimTime now, Rng& rng) {
+  const std::uint64_t roll = rng.uniform_index(10);
+  if (roll < 3 || pool.empty()) {
+    const fs::FileId id = ns.create_file(
+        static_cast<std::uint32_t>(rng.uniform_index(6)),
+        (1 + rng.uniform_index(16)) * 1_MiB, now, rng);
+    if (id != fs::kNoFile) pool.push_back(id);
+    return;
+  }
+  const std::size_t pick =
+      static_cast<std::size_t>(rng.uniform_index(pool.size()));
+  const fs::FileId victim = pool[pick];
+  if (roll < 5) {
+    if (ns.unlink(victim, now)) {
+      pool[pick] = pool.back();
+      pool.pop_back();
+    }
+  } else if (roll < 7) {
+    ns.touch_file(victim, now);
+  } else if (roll < 9) {
+    ns.resize_file(victim, (1 + rng.uniform_index(16)) * 1_MiB, now);
+  } else {
+    ns.set_project(victim,
+                   static_cast<std::uint32_t>(rng.uniform_index(6)), now);
+  }
+}
+
+}  // namespace
+
+class ChangelogCrashP : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChangelogCrashP, DetectAndRebuildConvergesWithFromScratchReplay) {
+  const int seed = GetParam();
+  Rng rng(4242 + static_cast<std::uint64_t>(seed));
+
+  tools::SyntheticFsConfig cfg;
+  cfg.files = 96;
+  cfg.churn = 0.25;
+  cfg.seed = 100 + static_cast<std::uint64_t>(seed);
+  tools::SyntheticFs fs = tools::make_synthetic_fs(cfg);
+  fs::FsNamespace& ns = *fs.ns;
+  fs::OpLog& log = *fs.journal;
+  ns.attach_oplog(&log, fs::kLogDefault);
+
+  fs::ChangelogAccounting acct(
+      static_cast<std::uint32_t>(1 + rng.uniform_index(4)));
+  ASSERT_FALSE(acct.consume(log).cursor_ahead);
+  std::vector<fs::FileId> pool = ns.live_ids();
+
+  bool crashed = false;
+  sim::SimTime now = 0;
+  for (int round = 0; round < 6; ++round) {
+    const std::size_t ops = 16 + rng.uniform_index(32);
+    for (std::size_t op = 0; op < ops; ++op) {
+      now += sim::kSecond;
+      churn_once(ns, pool, now, rng);
+    }
+    log.commit(log.last_txid());
+
+    if (round == 3) {
+      // Crash: lose a committed suffix the consumer already applied. The
+      // consumer MUST notice (txids will be reused) and rebuild; silently
+      // continuing is the misaccounting this property forbids.
+      log.truncate_to(rng.uniform_index(acct.cursor()));
+      crashed = true;
+      const fs::ConsumeResult res = acct.consume(log);
+      ASSERT_TRUE(res.cursor_ahead) << "seed=" << seed;
+      const fs::ConsumeResult rebuilt = acct.rebuild(log);
+      ASSERT_FALSE(rebuilt.cursor_ahead) << "seed=" << seed;
+      ASSERT_FALSE(rebuilt.gap) << "seed=" << seed;
+      continue;
+    }
+
+    const fs::ConsumeResult res = acct.consume(log);
+    ASSERT_FALSE(res.cursor_ahead) << "seed=" << seed << " round=" << round;
+    ASSERT_FALSE(res.gap) << "seed=" << seed << " round=" << round;
+    if (!crashed) {
+      // Until the crash, the log and the namespace agree, so the derived
+      // accounting must match ground truth exactly. (After the crash the
+      // namespace keeps the lost mutations' effects — by design only the
+      // committed prefix is authoritative for consumers.)
+      EXPECT_EQ(acct.usage(), ns.usage_by_project())
+          << "seed=" << seed << " round=" << round;
+    }
+  }
+
+  // The surviving consumer is byte-identical to one built from scratch
+  // over the same committed prefix, at a different shard fan-out.
+  fs::ChangelogAccounting scratch(
+      static_cast<std::uint32_t>(1 + rng.uniform_index(8)));
+  const fs::ConsumeResult replay = scratch.rebuild(log);
+  ASSERT_FALSE(replay.cursor_ahead);
+  ASSERT_FALSE(replay.gap);
+  EXPECT_EQ(acct.table_hash(), scratch.table_hash()) << "seed=" << seed;
+  EXPECT_EQ(acct.usage(), scratch.usage()) << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChangelogCrashP, ::testing::Range(0, 8));
+
+// --- changelog shard determinism ------------------------------------------
+
+class ChangelogShardsP : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ChangelogShardsP, AccountingIsShardCountInvariant) {
+  const std::uint32_t shards = GetParam();
+  Rng rng(77);
+
+  tools::SyntheticFsConfig cfg;
+  cfg.files = 128;
+  cfg.churn = 0.25;
+  tools::SyntheticFs fs = tools::make_synthetic_fs(cfg);
+  fs::FsNamespace& ns = *fs.ns;
+  fs::OpLog& log = *fs.journal;
+  ns.attach_oplog(&log, fs::kLogDefault);
+
+  std::vector<fs::FileId> pool = ns.live_ids();
+  sim::SimTime now = 0;
+  for (int op = 0; op < 256; ++op) {
+    now += sim::kSecond;
+    churn_once(ns, pool, now, rng);
+  }
+  log.commit(log.last_txid());
+
+  // Every fan-out derives the identical table — and the table is the truth.
+  fs::ChangelogAccounting flat(1);
+  flat.rebuild(log);
+  fs::ChangelogAccounting acct(shards);
+  acct.rebuild(log);
+  EXPECT_EQ(acct.table_hash(), flat.table_hash()) << shards;
+  EXPECT_EQ(acct.usage(), flat.usage()) << shards;
+  EXPECT_EQ(acct.usage(), ns.usage_by_project()) << shards;
+}
+
+INSTANTIATE_TEST_SUITE_P(FanOut, ChangelogShardsP,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 16u));
 
 }  // namespace
 }  // namespace spider

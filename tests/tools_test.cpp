@@ -200,7 +200,100 @@ TEST_F(DuFixture, LustreDuAnswersFromSnapshotAtZeroMdsCost) {
 TEST_F(DuFixture, UnknownProjectReportsZero) {
   LustreDu tool;
   tool.daily_scan(*ns, 0);
-  EXPECT_EQ(tool.usage(999).bytes_reported, 0u);
+  const auto cost = tool.usage(999);
+  EXPECT_EQ(cost.bytes_reported, 0u);
+  EXPECT_FALSE(cost.stale);  // a real answer: the project is empty
+}
+
+TEST_F(DuFixture, ColdQueryIsStaleNotZero) {
+  // Regression: a never-scanned tool used to answer 0 bytes, which is
+  // indistinguishable from a genuinely empty project. Cold means stale.
+  LustreDu tool;
+  const auto cold = tool.usage(0);
+  EXPECT_TRUE(cold.stale);
+  EXPECT_EQ(cold.bytes_reported, 0u);
+  EXPECT_FALSE(tool.has_snapshot());
+
+  tool.daily_scan(*ns, sim::kDay);
+  EXPECT_TRUE(tool.has_snapshot());
+  const auto warm = tool.usage(0);
+  EXPECT_FALSE(warm.stale);
+  EXPECT_GT(warm.bytes_reported, 0u);
+}
+
+TEST_F(DuFixture, ChangelogModeIsStaleUntilFirstPoll) {
+  fs::OpLog log;
+  ns->attach_oplog(&log, fs::kLogDefault);
+  ns->create_file(0, 1_GiB, 0, rng);
+  log.commit(log.last_txid());
+
+  LustreDu tool;
+  tool.follow(log);
+  EXPECT_TRUE(tool.following());
+  EXPECT_TRUE(tool.usage(0).stale);  // followed but never polled
+
+  tool.poll();
+  const auto cost = tool.usage(0);
+  EXPECT_FALSE(cost.stale);
+  EXPECT_EQ(cost.bytes_reported, 1_GiB);  // only journaled history counts
+}
+
+TEST_F(DuFixture, ChangelogModeSumsFeedsAtZeroWalksAndZeroMdsCost) {
+  // Two DNE namespaces, one tool following both changelogs.
+  fs::OpLog log_a;
+  ns->attach_oplog(&log_a, fs::kLogDefault);
+  fs::FsNamespace other("ns2", ptrs);
+  fs::OpLog log_b;
+  other.attach_oplog(&log_b, fs::kLogDefault);
+
+  ns->create_file(7, 2_GiB, 0, rng);
+  other.create_file(7, 3_GiB, 0, rng);
+  other.create_file(8, 1_GiB, 0, rng);
+  log_a.commit(log_a.last_txid());
+  log_b.commit(log_b.last_txid());
+
+  LustreDu tool;
+  tool.follow(log_a);
+  tool.follow(log_b);
+  ASSERT_EQ(tool.feed_count(), 2u);
+  tool.poll();
+
+  const std::uint64_t walks =
+      ns->full_walks() + other.full_walks();
+  const double mds_before = ns->mds().accounted_load();
+  const auto cost = tool.usage(7);
+  EXPECT_EQ(cost.bytes_reported, 5_GiB);
+  EXPECT_EQ(tool.usage(8).bytes_reported, 1_GiB);
+  EXPECT_DOUBLE_EQ(ns->mds().accounted_load(), mds_before);
+  EXPECT_EQ(ns->full_walks() + other.full_walks(), walks);  // zero walks
+}
+
+TEST_F(DuFixture, ResyncFeedRecoversACrashRewoundLog) {
+  fs::OpLog log;
+  ns->attach_oplog(&log, fs::kLogDefault);
+  for (int f = 0; f < 8; ++f) ns->create_file(1, 1_GiB, 0, rng);
+  log.commit(log.last_txid());
+
+  LustreDu tool;
+  tool.follow(log);
+  tool.poll();
+
+  // MDS crash rewinds the log under live namespace state: the feed's
+  // cursor is now ahead and a prefix replay cannot reconcile, so the tool
+  // falls back to the daily-scan escape hatch for that feed.
+  log.truncate_to(log.committed() / 2);
+  EXPECT_TRUE(tool.poll().cursor_ahead);
+  tool.resync_feed(0, *ns);
+  EXPECT_EQ(tool.usage(1).bytes_reported,
+            ns->usage_by_project().at(1));
+
+  // And the feed is incremental again afterwards.
+  ns->create_file(1, 1_GiB, 0, rng);
+  log.commit(log.last_txid());
+  const auto res = tool.poll();
+  EXPECT_FALSE(res.cursor_ahead);
+  EXPECT_EQ(res.applied, 1u);
+  EXPECT_EQ(tool.usage(1).bytes_reported, ns->usage_by_project().at(1));
 }
 
 // --- scalable tools ---------------------------------------------------------------
